@@ -1,0 +1,72 @@
+"""Figure 10: log-predictive probability vs. training time (HGMM).
+
+Paper shape being reproduced: all five systems converge to roughly the
+same log-predictive probability; AugurV2's Gibbs/ESlice/HMC variants
+get there in ~1.4 s of training while Stan needs ~7.5-8 s (inset), and
+Jags sits in between, slowed by graph interpretation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments.common import format_table, full_scale
+from repro.eval.experiments.fig10 import AUGUR_SCHEDULES, run_fig10
+
+
+@pytest.fixture(scope="module")
+def fig10_results():
+    if full_scale():
+        return run_fig10(n=1000, augur_samples=150, stan_samples=100, stan_warmup=50)
+    return run_fig10(n=300, augur_samples=60, stan_samples=40, stan_warmup=25)
+
+
+def test_fig10_series(fig10_results, report, benchmark):
+    results = fig10_results
+    rows = []
+    for name, series in results.items():
+        t_final, lp_final = series.final()
+        rows.append(
+            [
+                name,
+                f"{t_final:.2f}",
+                f"{lp_final:.1f}",
+                f"{series.values[0]:.1f}",
+                f"{max(series.values):.1f}",
+            ]
+        )
+    report(
+        "Figure 10 -- HGMM log-predictive vs. training time",
+        format_table(
+            ["system", "train s", "final logpred", "first", "best"], rows
+        )
+        + "\n(paper: all systems converge to a similar log-predictive; "
+        "AugurV2 variants finish within ~1.4 s, Stan needs ~7.5-8 s)",
+    )
+
+    # Shape assertions.
+    best = {name: max(s.values) for name, s in results.items()}
+    finish = {name: s.final()[0] for name, s in results.items()}
+    gibbs_best = best["augurv2-gibbs-mu"]
+    # Every system reaches within a band of the Gibbs plateau.
+    for name, b in best.items():
+        assert b > gibbs_best - 0.35 * abs(gibbs_best), (name, b, gibbs_best)
+    # AugurV2 variants finish well before Stan and before Jags.
+    for name in AUGUR_SCHEDULES:
+        assert finish[name] < finish["stan"]
+        assert finish[name] < finish["jags"]
+
+    # The headline timing: one full AugurV2 all-Gibbs fit.
+    from repro.eval.experiments.fig10 import _augur_series
+    from repro.eval.datasets import hgmm_synthetic
+    from repro.eval.experiments.common import hgmm_hypers
+
+    data = hgmm_synthetic(k=3, d=2, n=300, seed=0)
+    benchmark.pedantic(
+        lambda: _augur_series(
+            "bench", AUGUR_SCHEDULES["augurv2-gibbs-mu"], data, hgmm_hypers(3, 2), 20, 0
+        ),
+        rounds=1,
+        iterations=1,
+    )

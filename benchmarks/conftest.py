@@ -1,0 +1,40 @@
+"""Shared benchmark plumbing.
+
+Every benchmark prints a paper-style table (via ``report``) in addition
+to the pytest-benchmark timing stats, and appends it to
+``benchmarks/results/latest.txt`` so a full run leaves a readable
+record.  Set ``REPRO_FULL=1`` for paper-scale workloads; the defaults
+are scaled down to finish on a small machine while preserving the
+trends being reproduced.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a table to the real terminal and log it to the results file."""
+
+    def _report(title: str, body: str) -> None:
+        text = f"\n## {title}\n{body}\n"
+        with capsys.disabled():
+            print(text)
+        RESULTS.mkdir(exist_ok=True)
+        with open(RESULTS / "latest.txt", "a") as f:
+            f.write(text)
+
+    return _report
+
+
+def pytest_sessionstart(session):
+    RESULTS.mkdir(exist_ok=True)
+    latest = RESULTS / "latest.txt"
+    if latest.exists():
+        latest.unlink()

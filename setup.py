@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs ``wheel`` for PEP 660 editable installs; on
+offline boxes without it, ``python setup.py develop`` (or ``pip install
+-e . --no-build-isolation --config-settings editable_mode=compat``)
+installs the package from ``pyproject.toml`` metadata via this shim.
+"""
+
+from setuptools import setup
+
+setup()

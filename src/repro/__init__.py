@@ -1,0 +1,45 @@
+"""repro: a Python reproduction of AugurV2 (PLDI 2017).
+
+Compiles probabilistic models written in a small first-order modeling
+language, together with a query for posterior samples, into composable
+MCMC inference algorithms for a CPU or a (simulated) GPU target --
+following Huang, Tristan & Morrisett, "Compiling Markov Chain Monte
+Carlo Algorithms for Probabilistic Modeling", PLDI 2017.
+
+Quickstart::
+
+    import numpy as np
+    import repro as AugurV2Lib
+    from repro.eval.models import GMM
+
+    with AugurV2Lib.Infer(GMM) as aug:
+        aug.setCompileOpt(AugurV2Lib.Opt(target="cpu"))
+        aug.setUserSched("ESlice mu (*) Gibbs z")
+        aug.compile(K, N, mu0, S0, pis, S)(x)
+        samples = aug.sample(numSamples=1000)
+"""
+
+from repro.api.infer import Infer, Opt
+from repro.core.compiler import compile_model
+from repro.core.frontend.parser import parse_model
+from repro.core.options import CompileOptions
+from repro.core.sampler import CompiledSampler, SampleResult
+from repro.errors import ReproError
+from repro.runtime.rng import Rng
+from repro.runtime.vectors import RaggedArray
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "CompiledSampler",
+    "CompileOptions",
+    "Infer",
+    "Opt",
+    "RaggedArray",
+    "ReproError",
+    "Rng",
+    "SampleResult",
+    "compile_model",
+    "parse_model",
+    "__version__",
+]

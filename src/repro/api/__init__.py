@@ -1,0 +1,5 @@
+"""The Python user interface (paper Figure 2)."""
+
+from repro.api.infer import Infer, Opt
+
+__all__ = ["Infer", "Opt"]

@@ -1,0 +1,11 @@
+"""Baseline systems the paper compares against, built from scratch.
+
+- :mod:`repro.baselines.jags` -- a BUGS/JAGS-style engine: it *reifies
+  the Bayesian-network graph* and performs node-at-a-time Gibbs by
+  walking the graph interpretively, with conjugate node samplers, and
+  adaptive-rejection / slice fallbacks.
+- :mod:`repro.baselines.stan` -- a Stan-style engine: tape-based
+  (operator-overloading) reverse-mode AD, NUTS with dual-averaging
+  warmup, and a template-expansion compile-cost model.  Discrete
+  parameters must be marginalised by hand, as in Stan.
+"""

@@ -1,0 +1,13 @@
+"""A JAGS-like graph-based Gibbs sampler.
+
+The paper's Figure 11 comparison: "Jags reifies the Bayesian network
+structure and performs Gibbs sampling on the graph structure, whereas
+AugurV2 directly generates code".  This engine deliberately pays the
+interpretive costs a graph engine pays: per-element node objects,
+expression evaluation through a tree walker at every density
+evaluation, and child-list traversal per node update.
+"""
+
+from repro.baselines.jags.engine import JagsEngine
+
+__all__ = ["JagsEngine"]

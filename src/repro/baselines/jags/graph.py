@@ -1,0 +1,249 @@
+"""Reified Bayesian-network graph (the JAGS representation).
+
+Every element of every random vector becomes a :class:`Node` object:
+the GMM with 10,000 points materialises 10,000 ``z`` nodes, 10,000
+observed ``x`` nodes, and K ``mu`` nodes.  Densities are evaluated by
+walking argument expression trees per node per sweep -- the interpretive
+cost that AugurV2's compiled conditionals eliminate (Figure 11).
+
+Edges are classified per (parent variable, child declaration) pair:
+
+- **aligned** -- the parent occurs indexed exactly by the child's own
+  comprehension binders with matching bounds, so each parent element has
+  one child element at the same index (e.g. ``z[n]`` in ``x[n]``'s
+  declaration);
+- **dense** -- anything else, notably stochastic indexing like
+  ``mu[z[n]]``: every element of the child declaration is a child of
+  every element of the parent (what a static graph must assume).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.density.interp import eval_expr
+from repro.core.exprs import Expr, Index, Var, children as expr_children
+from repro.core.frontend.ast import Decl, DeclKind, Model
+from repro.core.frontend.symbols import ModelInfo
+from repro.core.lowmm.size_inference import allocate_state, infer_state_layout
+from repro.errors import ReproError
+from repro.runtime.distributions import lookup
+from repro.runtime.vectors import RaggedArray
+
+
+@dataclass
+class Node:
+    """One random-variable element in the reified graph."""
+
+    var: str
+    idx: tuple[int, ...]
+    dist_name: str
+    args: tuple[Expr, ...]
+    binders: dict[str, int]
+    observed: bool
+    #: Filled by the engine: (child nodes, conjugate-position metadata).
+    children: list = field(default_factory=list)
+    sampler: object | None = None
+
+    def env(self, base: dict) -> dict:
+        scope = dict(base)
+        scope.update(self.binders)
+        return scope
+
+    def arg_values(self, base: dict):
+        scope = self.env(base)
+        return [eval_expr(a, scope) for a in self.args]
+
+    def logpdf(self, base: dict) -> float:
+        dist = lookup(self.dist_name)
+        return float(dist.logpdf(get_value(base, self.var, self.idx), *self.arg_values(base)))
+
+
+def get_value(store: dict, var: str, idx: tuple[int, ...]):
+    v = store[var]
+    for i in idx:
+        v = v.row(i) if isinstance(v, RaggedArray) else v[i]
+    return v
+
+
+def set_value(store: dict, var: str, idx: tuple[int, ...], value) -> None:
+    if not idx:
+        if np.ndim(store[var]) == 0:
+            store[var] = float(np.asarray(value))
+        else:
+            store[var][...] = value
+        return
+    v = store[var]
+    for i in idx[:-1]:
+        v = v.row(i) if isinstance(v, RaggedArray) else v[i]
+    v[idx[-1]] = value
+
+
+def _occurrence_paths(e: Expr, name: str) -> list[tuple[Expr, ...]]:
+    out: list[tuple[Expr, ...]] = []
+    path: list[Expr] = []
+    node = e
+    while isinstance(node, Index):
+        path.append(node.index)
+        node = node.base
+    if isinstance(node, Var) and node.name == name:
+        out.append(tuple(reversed(path)))
+        # Indices may still mention the variable; only recurse there.
+        for idx in path:
+            out.extend(_occurrence_paths(idx, name))
+        return out
+    for c in expr_children(e):
+        out.extend(_occurrence_paths(c, name))
+    return out
+
+
+def edge_kind(parent_decl: Decl, child_decl: Decl) -> str | None:
+    """'aligned', 'dense', or None when the child does not reference the
+    parent at all."""
+    occs: list[tuple[Expr, ...]] = []
+    for a in child_decl.dist.args:
+        occs.extend(_occurrence_paths(a, parent_decl.name))
+    if not occs:
+        return None
+    if not parent_decl.gens:
+        # A scalar parent is referenced by every element of the child.
+        return "dense"
+    child_binders = {g.var: p for p, g in enumerate(child_decl.gens)}
+    for occ in occs:
+        if len(occ) != len(parent_decl.gens):
+            return "dense"
+        for p, ix in enumerate(occ):
+            if not isinstance(ix, Var) or ix.name not in child_binders:
+                return "dense"
+            cpos = child_binders[ix.name]
+            cgen = child_decl.gens[cpos]
+            pgen = parent_decl.gens[p]
+            if cpos != p or not cgen.bounds_equal(pgen):
+                return "dense"
+    return "aligned"
+
+
+class BayesNet:
+    """The reified graph plus the value store."""
+
+    def __init__(self, model: Model, info: ModelInfo, env: dict):
+        self.model = model
+        self.info = info
+        self.base_env = dict(env)
+        self.store: dict = {}
+        #: Nodes grouped by variable, in declaration order.
+        self.nodes_by_var: dict[str, list[Node]] = {}
+        self.unobserved: list[Node] = []
+        self._build(env)
+
+    # ------------------------------------------------------------------
+
+    def _element_indices(self, decl: Decl, env: dict):
+        def rec(gens, binders):
+            if not gens:
+                yield dict(binders)
+                return
+            g = gens[0]
+            scope = dict(env)
+            scope.update(binders)
+            lo = int(eval_expr(g.lo, scope))
+            hi = int(eval_expr(g.hi, scope))
+            for i in range(lo, hi):
+                binders[g.var] = i
+                yield from rec(gens[1:], binders)
+            binders.pop(g.var, None)
+
+        yield from rec(list(decl.gens), {})
+
+    def _build(self, env: dict) -> None:
+        params = set(self.info.param_names())
+        layout = infer_state_layout(self.info, env)
+        self.store = allocate_state(layout)
+        scope = dict(env)
+        scope.update(self.store)
+
+        for decl in self.model.decls:
+            if decl.kind is DeclKind.LET:
+                raise ReproError("the JAGS baseline does not support 'let'")
+            nodes = []
+            observed = decl.kind is DeclKind.DATA
+            for binders in self._element_indices(decl, scope):
+                idx = tuple(binders[g.var] for g in decl.gens)
+                nodes.append(
+                    Node(
+                        var=decl.name,
+                        idx=idx,
+                        dist_name=decl.dist.dist,
+                        args=decl.dist.args,
+                        binders=dict(binders),
+                        observed=observed,
+                    )
+                )
+            self.nodes_by_var[decl.name] = nodes
+            if decl.name in params:
+                self.unobserved.extend(nodes)
+
+        # Edges.
+        stochastic = [d for d in self.model.decls if d.is_stochastic]
+        for parent in stochastic:
+            if parent.name not in params:
+                continue
+            for child in stochastic:
+                if child.name == parent.name:
+                    continue
+                kind = edge_kind(parent, child)
+                if kind is None:
+                    continue
+                cnodes = self.nodes_by_var[child.name]
+                if kind == "aligned":
+                    by_idx = {n.idx: n for n in cnodes}
+                    for pnode in self.nodes_by_var[parent.name]:
+                        cn = by_idx.get(pnode.idx)
+                        if cn is not None:
+                            pnode.children.append(cn)
+                else:
+                    for pnode in self.nodes_by_var[parent.name]:
+                        pnode.children.extend(cnodes)
+
+    # ------------------------------------------------------------------
+
+    def eval_env(self) -> dict:
+        scope = dict(self.base_env)
+        scope.update(self.store)
+        return scope
+
+    def node_conditional_logp(self, node: Node, value) -> float:
+        """p(node = value | rest), up to a constant, by graph walking."""
+        set_value(self.store, node.var, node.idx, value)
+        env = self.eval_env()
+        lp = node.logpdf(env)
+        if lp == -np.inf:
+            return lp
+        for child in node.children:
+            lp += child.logpdf(env)
+            if lp == -np.inf:
+                return lp
+        return lp
+
+    def init_from_priors(self, rng) -> None:
+        env = self.eval_env()
+        for decl in self.model.decls:
+            if decl.name not in set(self.info.param_names()):
+                continue
+            for node in self.nodes_by_var[decl.name]:
+                dist = lookup(node.dist_name)
+                args = node.arg_values(env)
+                set_value(self.store, node.var, node.idx, dist.sample(rng, *args))
+        # Copy observed data into the store.
+        for name in self.info.data_names():
+            self.store[name] = self.base_env[name]
+
+    def log_joint(self) -> float:
+        env = self.eval_env()
+        total = 0.0
+        for nodes in self.nodes_by_var.values():
+            for n in nodes:
+                total += n.logpdf(env)
+        return total

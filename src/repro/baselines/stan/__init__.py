@@ -1,0 +1,22 @@
+"""A Stan-like baseline engine.
+
+Design contrasts with AugurV2 that the paper calls out, reproduced
+faithfully:
+
+- **Tape-based AD**: gradients come from instrumenting the log-density
+  program at runtime (operator overloading over array values), not from
+  source-to-source transformation.
+- **No discrete parameters**: mixture assignments must be marginalised
+  by hand in the model program (:mod:`repro.baselines.stan.marginalize`),
+  which "increases the complexity of computing gradients" (Section 7.2).
+- **NUTS with dual-averaging warmup** as the (single) inference
+  strategy.
+- **Slow compilation**: Stan's C++ template-heavy build is modelled by
+  an expression-template instantiation pass
+  (:mod:`repro.baselines.stan.compilemodel`).
+"""
+
+from repro.baselines.stan.engine import StanSampler
+from repro.baselines.stan.model import StanModel
+
+__all__ = ["StanModel", "StanSampler"]

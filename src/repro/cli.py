@@ -1,0 +1,195 @@
+"""Command-line interface: compile and sample models from the shell.
+
+::
+
+    python -m repro sample model.augur inputs.json --samples 500 \
+        --schedule "ESlice mu (*) Gibbs z" --out draws.npz --summary
+    python -m repro inspect model.augur inputs.json --source
+
+Inputs are a single ``.json`` or ``.npz`` file providing a value for
+every hyper-parameter and observed variable; the model's declarations
+decide which is which.  JSON nested lists with unequal row lengths load
+as ragged arrays.  Draws are written to ``.npz`` (ragged variables are
+stored as a flat buffer plus offsets).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro.core.compiler import compile_model
+from repro.core.options import CompileOptions
+from repro.core.frontend.parser import parse_model
+from repro.errors import ReproError
+from repro.runtime.vectors import RaggedArray
+
+
+def _coerce_json_value(v):
+    if isinstance(v, bool):
+        raise ReproError("booleans are not model values")
+    if isinstance(v, (int, float)):
+        return v
+    if isinstance(v, list):
+        if v and all(isinstance(r, list) for r in v):
+            lengths = {len(r) for r in v}
+            inner_is_list = any(isinstance(x, list) for r in v for x in r)
+            if len(lengths) > 1 and not inner_is_list:
+                dtype = (
+                    np.int64
+                    if all(isinstance(x, int) for r in v for x in r)
+                    else np.float64
+                )
+                return RaggedArray.from_rows(v, dtype=dtype)
+        arr = np.asarray(v)
+        if arr.dtype == object:
+            raise ReproError("could not interpret a JSON value as an array")
+        return arr
+    raise ReproError(f"unsupported JSON value of type {type(v).__name__}")
+
+
+def load_inputs(path: str) -> dict:
+    """Load a values file (.json or .npz) into model-ready values."""
+    if path.endswith(".json"):
+        with open(path) as f:
+            raw = json.load(f)
+        if not isinstance(raw, dict):
+            raise ReproError("the inputs file must hold an object at top level")
+        return {k: _coerce_json_value(v) for k, v in raw.items()}
+    if path.endswith(".npz"):
+        out = {}
+        with np.load(path) as data:
+            for k in data.files:
+                v = data[k]
+                out[k] = v.item() if v.ndim == 0 else v
+        return out
+    raise ReproError(f"unsupported inputs format: {path!r} (use .json or .npz)")
+
+
+def split_inputs(source: str, values: dict) -> tuple[dict, dict]:
+    model = parse_model(source)
+    hypers = {h: values[h] for h in model.hypers if h in values}
+    data = {d.name: values[d.name] for d in model.data if d.name in values}
+    missing = [h for h in model.hypers if h not in values] + [
+        d.name for d in model.data if d.name not in values
+    ]
+    if missing:
+        raise ReproError(f"inputs file is missing values for: {missing}")
+    return hypers, data
+
+
+def save_draws(path: str, samples: dict) -> None:
+    arrays = {}
+    for name, draws in samples.items():
+        if draws and isinstance(draws[0], RaggedArray):
+            arrays[name + "__flat"] = np.stack([d.flat for d in draws])
+            arrays[name + "__offsets"] = draws[0].offsets
+        else:
+            arrays[name] = np.asarray(draws)
+    np.savez(path, **arrays)
+
+
+def _build(args) -> "tuple":
+    with open(args.model) as f:
+        source = f.read()
+    values = load_inputs(args.inputs)
+    hypers, data = split_inputs(source, values)
+    options = CompileOptions(target=args.target)
+    sampler = compile_model(
+        source, hypers, data, options=options, schedule=args.schedule
+    )
+    return source, sampler
+
+
+def cmd_sample(args) -> int:
+    _, sampler = _build(args)
+    result = sampler.sample(
+        num_samples=args.samples,
+        burn_in=args.burn_in,
+        thin=args.thin,
+        seed=args.seed,
+        collect=tuple(args.collect.split(",")) if args.collect else None,
+    )
+    print(
+        f"compiled in {sampler.compile_seconds*1e3:.1f} ms; "
+        f"schedule: {sampler.schedule_description()}"
+    )
+    print(
+        f"drew {args.samples} samples in {result.wall_time:.2f} s "
+        f"({args.samples / max(result.wall_time, 1e-9):.1f} samples/s)"
+    )
+    for upd, rate in result.acceptance.items():
+        print(f"  acceptance {upd}: {rate:.3f}")
+    if args.out:
+        save_draws(args.out, result.samples)
+        print(f"wrote draws to {args.out}")
+    if args.summary:
+        from repro.eval.diagnostics import trace_summary
+
+        print()
+        print(trace_summary(result.samples))
+    if args.trace:
+        from repro.eval.diagnostics import trace_plot
+
+        print()
+        print(trace_plot(result.samples, args.trace))
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    source, sampler = _build(args)
+    print("schedule:", sampler.schedule_description())
+    print()
+    print(sampler.plan.describe())
+    if args.source:
+        print()
+        print(sampler.source)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AugurV2-style MCMC compilation from the command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("model", help="path to the model source file")
+        p.add_argument("inputs", help=".json or .npz with hypers + data")
+        p.add_argument("--schedule", default=None, help="user MCMC schedule")
+        p.add_argument("--target", default="cpu", choices=["cpu", "gpu"])
+
+    ps = sub.add_parser("sample", help="compile and draw posterior samples")
+    common(ps)
+    ps.add_argument("--samples", type=int, default=1000)
+    ps.add_argument("--burn-in", type=int, default=0)
+    ps.add_argument("--thin", type=int, default=1)
+    ps.add_argument("--seed", type=int, default=0)
+    ps.add_argument("--collect", default=None, help="comma-separated parameters")
+    ps.add_argument("--out", default=None, help="write draws to this .npz")
+    ps.add_argument("--summary", action="store_true", help="print posterior summary")
+    ps.add_argument("--trace", default=None, help="ASCII trace plot of a parameter")
+    ps.set_defaults(fn=cmd_sample)
+
+    pi = sub.add_parser("inspect", help="show the compiled sampler's plan")
+    common(pi)
+    pi.add_argument("--source", action="store_true", help="print generated code")
+    pi.set_defaults(fn=cmd_inspect)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,19 @@
+"""The AugurV2 compiler pipeline (the paper's primary contribution).
+
+Sub-packages follow the paper's intermediate languages in order:
+
+- :mod:`repro.core.frontend` -- the surface modeling language (Section 2.2),
+- :mod:`repro.core.density`  -- the Density IL and symbolic conditionals
+  (Section 3),
+- :mod:`repro.core.kernel`   -- the Kernel IL, schedules, and conjugacy
+  detection (Section 4.1-4.2),
+- :mod:`repro.core.lowpp`    -- the Low++ IL, update code generation, and
+  source-to-source reverse-mode AD (Section 4.3-4.4),
+- :mod:`repro.core.lowmm`    -- the Low-- IL and size inference (Section
+  5.1-5.2),
+- :mod:`repro.core.blk`      -- the Blk IL and parallelism optimisation
+  (Section 5.3-5.4),
+- :mod:`repro.core.backend`  -- CPU and (simulated) GPU code generation
+  plus Kernel-IL elimination (Section 5.5),
+- :mod:`repro.core.compiler` -- the driver tying the phases together.
+"""

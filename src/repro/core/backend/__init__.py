@@ -1,0 +1,14 @@
+"""Backends: Low--/Blk IL -> executable Python (paper Section 5).
+
+The paper's backend emits Cuda/C and compiles it with Nvcc/Clang.  Here
+the same pipeline position is filled by a *Python source* code
+generator: declarations are emitted as NumPy-vectorised source text and
+compiled with ``compile()``/``exec()`` at model-compile time.  The GPU
+target emits the same numerics instrumented with cost charges against
+the :mod:`repro.gpusim` device model.
+"""
+
+from repro.core.backend.cpu import compile_cpu_module
+from repro.core.backend.gpu import compile_gpu_module
+
+__all__ = ["compile_cpu_module", "compile_gpu_module"]

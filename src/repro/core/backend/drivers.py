@@ -1,0 +1,284 @@
+"""Update drivers: the glue between compiled primitives and MCMC library.
+
+The synthesis step (Section 5.5) wires each base update's generated
+declarations to the corresponding library routine.  Every driver's
+``step(env, ws, rng)`` advances its portion of the state in place.
+
+Rejectable updates (HMC, NUTS, MH) maintain the paper's dual-state
+invariant: the proposal is computed on a copy and only written back on
+acceptance, so subsequent updates always read the most current state.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.density.conditionals import Conditional
+from repro.core.density.interp import eval_expr
+from repro.core.lowmm.size_inference import BufferShape
+from repro.runtime.distributions import lookup
+from repro.runtime.mcmc.hmc import TransformedLogDensity, hmc_step
+from repro.runtime.mcmc.nuts import nuts_step
+from repro.runtime.mcmc.mh import random_walk_step, user_proposal_step
+from repro.runtime.mcmc.slice_sampler import elliptical_slice, slice_coordinate
+from repro.runtime.transforms import Transform
+from repro.runtime.vectors import RaggedArray
+
+
+@dataclass
+class UpdateStats:
+    proposed: int = 0
+    accepted: int = 0
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.accepted / self.proposed if self.proposed else float("nan")
+
+
+class UpdateDriver:
+    """Base class; subclasses implement ``step``."""
+
+    name: str
+    targets: tuple[str, ...]
+
+    def __init__(self) -> None:
+        self.stats = UpdateStats()
+
+    def step(self, env: dict, ws: dict, rng) -> None:
+        raise NotImplementedError
+
+
+class GibbsDriver(UpdateDriver):
+    """Closed-form or enumerated conditional: call the generated update.
+
+    Always accepted (acceptance ratio 1), so no dual state is needed.
+    """
+
+    def __init__(self, name: str, targets, fn):
+        super().__init__()
+        self.name = name
+        self.targets = tuple(targets)
+        self._fn = fn
+
+    def step(self, env, ws, rng) -> None:
+        self._fn(env, ws, rng)
+        self.stats.proposed += 1
+        self.stats.accepted += 1
+
+
+class GradBlockDriver(UpdateDriver):
+    """HMC / NUTS over a block of transformed continuous variables."""
+
+    def __init__(
+        self,
+        name: str,
+        targets,
+        ll_fn,
+        grad_fn,
+        transforms: dict[str, Transform],
+        method: str = "hmc",
+        step_size: float = 0.05,
+        n_steps: int = 20,
+    ):
+        super().__init__()
+        self.name = name
+        self.targets = tuple(targets)
+        self._ll_fn = ll_fn
+        self._grad_fn = grad_fn
+        self._transforms = transforms
+        self._method = method
+        self.step_size = step_size
+        self.n_steps = n_steps
+
+    def _target_density(self, env, ws, rng) -> TransformedLogDensity:
+        def ll(x):
+            scope = dict(env)
+            scope.update(x)
+            (val,) = self._ll_fn(scope, ws, rng)
+            return float(val)
+
+        def grad(x):
+            scope = dict(env)
+            scope.update(x)
+            grads = self._grad_fn(scope, ws, rng)
+            return dict(zip(self.targets, grads))
+
+        return TransformedLogDensity(ll, grad, self._transforms)
+
+    def step(self, env, ws, rng) -> None:
+        target = self._target_density(env, ws, rng)
+        x = {t: np.asarray(env[t], dtype=np.float64) for t in self.targets}
+        z = target.unconstrain(x)
+        self.stats.proposed += 1
+        if self._method == "nuts":
+            z_next, _, _ = nuts_step(rng, target, z, self.step_size)
+            accepted = any(
+                not np.array_equal(z_next[k], z[k]) for k in z
+            )
+        else:
+            z_next, accepted = hmc_step(
+                rng, target, z, self.step_size, self.n_steps
+            )
+        if accepted:
+            self.stats.accepted += 1
+        x_next = target.constrain(z_next)
+        for t in self.targets:
+            env[t] = _shape_like(x_next[t], env[t])
+
+
+def _shape_like(value, like):
+    """Preserve scalar-ness of state entries."""
+    if np.ndim(like) == 0:
+        return float(np.asarray(value))
+    return np.asarray(value, dtype=np.float64)
+
+
+# ----------------------------------------------------------------------
+# Element-wise drivers (Slice / ESlice / MH).
+# ----------------------------------------------------------------------
+
+
+def element_indices(shape: BufferShape):
+    """All index tuples of a state buffer (empty tuple for scalars)."""
+    if shape.is_ragged:
+        for d, length in enumerate(shape.row_lengths):
+            for j in range(int(length)):
+                yield (d, j)
+        return
+    if not shape.lead:
+        yield ()
+        return
+    yield from itertools.product(*(range(n) for n in shape.lead))
+
+
+def _get_element(env, name: str, idx: tuple[int, ...]):
+    v = env[name]
+    for i in idx:
+        v = v.row(i) if isinstance(v, RaggedArray) else v[i]
+    return v
+
+
+def _set_element(env, name: str, idx: tuple[int, ...], value) -> None:
+    if not idx:
+        if np.ndim(env[name]) == 0:
+            env[name] = float(np.asarray(value))
+        else:
+            env[name][...] = value
+        return
+    v = env[name]
+    for i in idx[:-1]:
+        v = v.row(i) if isinstance(v, RaggedArray) else v[i]
+    v[idx[-1]] = value
+
+
+class ElementDriver(UpdateDriver):
+    """Shared plumbing for per-element updates on one variable."""
+
+    def __init__(self, name: str, cond: Conditional, shape: BufferShape, ll_fn):
+        super().__init__()
+        self.name = name
+        self.targets = (cond.target,)
+        self.cond = cond
+        self.shape = shape
+        self._ll_fn = ll_fn
+
+    def _bind_idx(self, env, idx) -> None:
+        for var, i in zip(self.cond.idx_vars, idx):
+            env[var] = int(i)
+
+    def _logp_fn(self, env, ws, rng, idx):
+        target = self.cond.target
+
+        def logp(value):
+            _set_element(env, target, idx, value)
+            (val,) = self._ll_fn(env, ws, rng)
+            return float(val)
+
+        return logp
+
+
+class SliceDriver(ElementDriver):
+    """Coordinate-wise stepping-out slice sampling of each element."""
+
+    def __init__(self, name, cond, shape, ll_fn, width: float = 1.0):
+        super().__init__(name, cond, shape, ll_fn)
+        self.width = width
+
+    def step(self, env, ws, rng) -> None:
+        for idx in element_indices(self.shape):
+            self._bind_idx(env, idx)
+            current = np.array(
+                _get_element(env, self.cond.target, idx), dtype=np.float64, copy=True
+            )
+            if current.ndim == 0:
+                logp = self._logp_fn(env, ws, rng, idx)
+                new = slice_coordinate(rng.generator, logp, float(current), self.width)
+                _set_element(env, self.cond.target, idx, new)
+            else:
+                value = current.copy()
+                for c in range(value.shape[0]):
+                    def logp(vc, c=c):
+                        value[c] = vc
+                        _set_element(env, self.cond.target, idx, value)
+                        (val,) = self._ll_fn(env, ws, rng)
+                        return float(val)
+
+                    value[c] = slice_coordinate(
+                        rng.generator, logp, float(value[c]), self.width
+                    )
+                _set_element(env, self.cond.target, idx, value)
+            self.stats.proposed += 1
+            self.stats.accepted += 1
+
+
+class ESliceDriver(ElementDriver):
+    """Elliptical slice sampling: Gaussian prior handled by rotation,
+    the generated likelihood-only conditional scores candidates."""
+
+    def step(self, env, ws, rng) -> None:
+        prior = lookup(self.cond.prior.dist)
+        for idx in element_indices(self.shape):
+            self._bind_idx(env, idx)
+            args = [eval_expr(a, env) for a in self.cond.prior.args]
+            mean = np.asarray(args[0], dtype=np.float64)
+            nu = prior.sample(rng, *args)
+            # Copy: the candidate evaluations below write through into the
+            # state row, so a view of it would corrupt the ellipse anchor.
+            x0 = np.array(
+                _get_element(env, self.cond.target, idx), dtype=np.float64, copy=True
+            )
+            loglik = self._logp_fn(env, ws, rng, idx)
+            x1 = elliptical_slice(rng.generator, loglik, x0, mean, nu)
+            _set_element(env, self.cond.target, idx, x1)
+            self.stats.proposed += 1
+            self.stats.accepted += 1
+
+
+class MHDriver(ElementDriver):
+    """Random-walk (or user-proposal) Metropolis-Hastings per element."""
+
+    def __init__(self, name, cond, shape, ll_fn, scale: float = 0.5, proposal=None):
+        super().__init__(name, cond, shape, ll_fn)
+        self.scale = scale
+        self.proposal = proposal
+
+    def step(self, env, ws, rng) -> None:
+        for idx in element_indices(self.shape):
+            self._bind_idx(env, idx)
+            x0 = _get_element(env, self.cond.target, idx)
+            x0 = np.asarray(x0, dtype=np.float64).copy()
+            logp = self._logp_fn(env, ws, rng, idx)
+            if self.proposal is not None:
+                x1, accepted = user_proposal_step(
+                    rng.generator, logp, x0, self.proposal
+                )
+            else:
+                x1, accepted = random_walk_step(
+                    rng.generator, logp, x0, self.scale
+                )
+            _set_element(env, self.cond.target, idx, x1)
+            self.stats.proposed += 1
+            self.stats.accepted += int(accepted)

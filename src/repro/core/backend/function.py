@@ -1,0 +1,227 @@
+"""Function-level emission shared by the CPU and GPU backends.
+
+:class:`FnEmitter` walks Low-- statements, attempting vectorisation of
+every parallel loop (single-axis first at two levels: ragged-pair, then
+plain) and falling back to Python loops when the vectoriser declines.
+A :class:`ChargePolicy` hook lets the GPU backend attach device-time
+charges to each emitted block without duplicating the emitter.
+"""
+
+from __future__ import annotations
+
+from repro.core.backend.emitter import (
+    SourceBuilder,
+    VecEmitter,
+    VectorizeFailure,
+    _VecCtx,
+    emit_scalar_expr,
+    mangle,
+)
+from repro.core.exprs import IntLit, mentions
+from repro.core.lowpp.ir import (
+    AssignOp,
+    LoopKind,
+    SAssign,
+    SIf,
+    SLoop,
+    SMultiAssign,
+    Stmt,
+    walk_stmts,
+)
+from repro.errors import CodegenError
+
+
+class ChargePolicy:
+    """Device-time charging hooks; the CPU backend uses the no-op base."""
+
+    def vector_loop(self, sb: SourceBuilder, bn: str, kind: LoopKind, stmts) -> None:
+        pass
+
+    def scalar_iteration(self, sb: SourceBuilder, stmts) -> None:
+        """Called inside a fallback Python loop body, once per iteration;
+        charge only this level's non-loop statements (nested loops charge
+        themselves when reached)."""
+
+    def fallback_par_block(self, sb: SourceBuilder, loop: "SLoop") -> bool:
+        """A Par/AtmPar loop the vectoriser declined.  Return True after
+        charging the whole block (one kernel of ``extent`` threads, each
+        executing the full body) -- nested statements then charge
+        nothing.  The base policy returns False (no charging)."""
+        return False
+
+    def seq_stmts(self, sb: SourceBuilder, stmts) -> None:
+        pass
+
+
+def atomic_locations_code(stmts) -> str | None:
+    """Contention-location estimate for an AtmPar block: the smallest
+    addressable-cell count among scatter targets (1 for scalar
+    accumulators)."""
+    locs: list[str] = []
+    for s in walk_stmts(tuple(stmts)):
+        if isinstance(s, SAssign) and s.op is AssignOp.INC:
+            if s.lhs.indices:
+                locs.append(f"_vops.nelems({mangle(s.lhs.name)})")
+            else:
+                return "1"
+    if not locs:
+        return None
+    if len(locs) == 1:
+        return locs[0]
+    return f"min({', '.join(locs)})"
+
+
+class FnEmitter:
+    def __init__(
+        self,
+        sb: SourceBuilder,
+        ragged_names: frozenset[str],
+        charge: ChargePolicy | None = None,
+        vectorize: bool = True,
+    ):
+        self.sb = sb
+        self.ragged = ragged_names
+        self.charge = charge or ChargePolicy()
+        self.vectorize = vectorize
+
+    # -- statement dispatch ----------------------------------------------
+
+    def stmts(self, stmts) -> None:
+        for s in stmts:
+            self.stmt(s)
+
+    def stmt(self, s: Stmt) -> None:
+        match s:
+            case SAssign(lhs, op, rhs):
+                target = mangle(lhs.name) + "".join(
+                    f"[{emit_scalar_expr(i)}]" for i in lhs.indices
+                )
+                self.sb.emit(f"{target} {op.value} {emit_scalar_expr(rhs)}")
+            case SMultiAssign(lhs, rhs):
+                names = ", ".join(
+                    mangle(lv.name)
+                    + "".join(f"[{emit_scalar_expr(i)}]" for i in lv.indices)
+                    for lv in lhs
+                )
+                self.sb.emit(f"{names} = {emit_scalar_expr(rhs)}")
+            case SIf(cond, then, els):
+                self.sb.emit(f"if {emit_scalar_expr(cond)}:")
+                with self.sb.block():
+                    if not then:
+                        self.sb.emit("pass")
+                    self.stmts(then)
+                if els:
+                    self.sb.emit("else:")
+                    with self.sb.block():
+                        self.stmts(els)
+            case SLoop():
+                self.loop(s)
+            case _:
+                raise CodegenError(f"cannot emit statement {s!r}")
+
+    # -- loops ------------------------------------------------------------
+
+    def loop(self, s: SLoop) -> None:
+        if self.vectorize and s.kind in (LoopKind.PAR, LoopKind.ATM_PAR):
+            if self._try(self._emit_pair_vectorized, s):
+                return
+            if self._try(self._emit_vectorized, s):
+                return
+        self._emit_python_loop(s)
+
+    def _try(self, fn, s: SLoop) -> bool:
+        mark = len(self.sb.lines)
+        depth = self.sb.depth
+        try:
+            fn(s)
+            return True
+        except VectorizeFailure:
+            del self.sb.lines[mark:]
+            self.sb.depth = depth
+            return False
+
+    def _emit_python_loop(self, s: SLoop) -> None:
+        lo = emit_scalar_expr(s.gen.lo)
+        hi = emit_scalar_expr(s.gen.hi)
+        handled = False
+        if s.kind in (LoopKind.PAR, LoopKind.ATM_PAR):
+            handled = self.charge.fallback_par_block(self.sb, s)
+        inner = self
+        if handled:
+            # The whole block was charged as one kernel; suppress nested
+            # charging but keep the (vectorised) numerics.
+            inner = FnEmitter(self.sb, self.ragged, None, vectorize=self.vectorize)
+        self.sb.emit(f"for {mangle(s.gen.var)} in range({lo}, {hi}):")
+        with self.sb.block():
+            if not s.body:
+                self.sb.emit("pass")
+            if not handled:
+                inner.charge.scalar_iteration(self.sb, s.body)
+            inner.stmts(s.body)
+
+    def _emit_vectorized(self, s: SLoop) -> None:
+        sb = self.sb
+        v = mangle(s.gen.var)
+        lo = emit_scalar_expr(s.gen.lo)
+        hi = emit_scalar_expr(s.gen.hi)
+        bn = sb.fresh("bn")
+        sb.emit(f"{v} = np.arange({lo}, {hi})")
+        sb.emit(f"{bn} = {v}.shape[0]")
+        sb.emit(f"if {bn} > 0:")
+        with sb.block():
+            ctx = _VecCtx(bindings={s.gen.var: v}, bn=bn)
+            vec = VecEmitter(sb, ctx, self.ragged)
+            self.charge.vector_loop(sb, bn, s.kind, s.body)
+            for stmt in s.body:
+                vec.stmt(stmt, None)
+
+    def _emit_pair_vectorized(self, s: SLoop) -> None:
+        # Pattern: Par g1 { Par g2 { body } } with g2's bound depending
+        # on g1 -- the ragged (document, token) shape.
+        if len(s.body) != 1 or not isinstance(s.body[0], SLoop):
+            raise VectorizeFailure("not a pair loop")
+        inner = s.body[0]
+        if inner.kind is LoopKind.SEQ:
+            raise VectorizeFailure("inner loop is sequential")
+        if not (
+            mentions(inner.gen.hi, s.gen.var) or mentions(inner.gen.lo, s.gen.var)
+        ):
+            raise VectorizeFailure("inner bound independent; single mode handles it")
+        if inner.gen.lo != IntLit(0):
+            raise VectorizeFailure("ragged inner loop must start at 0")
+
+        sb = self.sb
+        v1, v2 = mangle(s.gen.var), mangle(inner.gen.var)
+        lo = emit_scalar_expr(s.gen.lo)
+        hi = emit_scalar_expr(s.gen.hi)
+        bn = sb.fresh("bn")
+        lens = sb.fresh("lens")
+        offs = sb.fresh("offs")
+        bpos = sb.fresh("bpos")
+
+        sb.emit(f"{v1} = np.arange({lo}, {hi})")
+        # Evaluate the inner bound batched over the outer axis.
+        probe_ctx = _VecCtx(bindings={s.gen.var: v1}, bn=bn)
+        probe = VecEmitter(sb, probe_ctx, self.ragged)
+        lens_code, lens_batch = probe.vx(inner.gen.hi)
+        if lens_batch:
+            sb.emit(f"{lens} = np.asarray({lens_code})")
+        else:
+            sb.emit(f"{lens} = np.full({v1}.shape[0], {lens_code}, dtype=np.int64)")
+        sb.emit(f"{bn} = int(np.sum({lens}))")
+        sb.emit(f"if {bn} > 0:")
+        with sb.block():
+            sb.emit(f"{offs} = np.concatenate(([0], np.cumsum({lens})[:-1]))")
+            sb.emit(f"{v1} = np.repeat({v1}, {lens})")
+            sb.emit(f"{v2} = np.arange({bn}) - np.repeat({offs}, {lens})")
+            sb.emit(f"{bpos} = np.arange({bn})")
+            ctx = _VecCtx(
+                bindings={s.gen.var: v1, inner.gen.var: v2},
+                pair_vars=(s.gen.var, inner.gen.var),
+                bn=bn,
+                bpos=bpos,
+            )
+            vec = VecEmitter(sb, ctx, self.ragged)
+            self.charge.vector_loop(sb, bn, inner.kind, inner.body)
+            for stmt in inner.body:
+                vec.stmt(stmt, None)

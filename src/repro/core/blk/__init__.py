@@ -1,0 +1,22 @@
+"""The Blk IL (paper Sections 5.3-5.4).
+
+Exposes the kinds of parallelism a GPU provides: data-parallel blocks
+(``parBlk``), reductions (``sumBlk``), sequenced parallel computations
+(``loopBlk``), and the absence of parallelism (``seqBlk``).  The
+optimiser commutes loops and converts high-contention atomic
+accumulations into summation blocks using runtime size information.
+"""
+
+from repro.core.blk.ir import BlkDecl, LoopBlk, ParBlk, SeqBlk, SumBlk
+from repro.core.blk.lower import lower_to_blk
+from repro.core.blk.optimize import optimize_blocks
+
+__all__ = [
+    "BlkDecl",
+    "LoopBlk",
+    "ParBlk",
+    "SeqBlk",
+    "SumBlk",
+    "lower_to_blk",
+    "optimize_blocks",
+]

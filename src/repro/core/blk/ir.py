@@ -1,0 +1,90 @@
+"""Blk IL terms (paper Figure 9).
+
+::
+
+    b ::= seqBlk {s}
+        | parBlk lk x <- gen {s}
+        | loopBlk x <- gen {b}
+        | e_acc = sumBlk e0 x <- gen {s ; ret e}
+
+``parBlk`` launches one thread per generator element; ``sumBlk`` is a
+map-reduce; ``loopBlk`` sequences launches; ``seqBlk`` is host-side
+sequential code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exprs import Expr, Gen
+from repro.core.lowpp.ir import LoopKind, LValue, Stmt
+
+
+class Blk:
+    """Base class for blocks."""
+
+
+@dataclass(frozen=True)
+class SeqBlk(Blk):
+    stmts: tuple[Stmt, ...]
+
+    def __str__(self) -> str:
+        inner = " ".join(map(str, self.stmts))
+        return f"seqBlk {{ {inner} }}"
+
+
+@dataclass(frozen=True)
+class ParBlk(Blk):
+    kind: LoopKind  # PAR or ATM_PAR
+    gen: Gen
+    stmts: tuple[Stmt, ...]
+
+    def __str__(self) -> str:
+        inner = " ".join(map(str, self.stmts))
+        return f"parBlk {self.kind.value} {self.gen} {{ {inner} }}"
+
+
+@dataclass(frozen=True)
+class LoopBlk(Blk):
+    gen: Gen
+    blocks: tuple[Blk, ...]
+
+    def __str__(self) -> str:
+        inner = " ".join(map(str, self.blocks))
+        return f"loopBlk {self.gen} {{ {inner} }}"
+
+
+@dataclass(frozen=True)
+class SumBlk(Blk):
+    """``acc = sumBlk init x <- gen { stmts ; ret value }``."""
+
+    acc: LValue
+    init: Expr
+    gen: Gen
+    stmts: tuple[Stmt, ...]
+    value: Expr
+
+    def __str__(self) -> str:
+        inner = " ".join(map(str, self.stmts))
+        return (
+            f"{self.acc} = sumBlk {self.init} {self.gen} "
+            f"{{ {inner} ret {self.value}; }}"
+        )
+
+
+@dataclass(frozen=True)
+class BlkDecl:
+    """A declaration lowered to a sequence of blocks."""
+
+    name: str
+    params: tuple[str, ...]
+    blocks: tuple[Blk, ...]
+    ret: tuple[Expr, ...] = ()
+
+    def __str__(self) -> str:
+        lines = [f"{self.name}({', '.join(self.params)}) {{"]
+        lines.extend(f"  {b}" for b in self.blocks)
+        if self.ret:
+            lines.append("  ret " + ", ".join(map(str, self.ret)) + ";")
+        lines.append("}")
+        return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Low-- -> Blk lowering (paper Section 5.4, first paragraph).
+
+"Every top-level loop we encounter in the body is converted to a
+parallel block with the same loop annotation.  The remaining top-level
+statements that are not nested within a loop are generated as a
+sequential block."  Sequential top-level loops become loop blocks whose
+bodies are lowered recursively (launching the inner parallel blocks
+once per iteration).
+"""
+
+from __future__ import annotations
+
+from repro.core.blk.ir import Blk, BlkDecl, LoopBlk, ParBlk, SeqBlk
+from repro.core.lowpp.ir import LDecl, LoopKind, SLoop, Stmt
+
+
+def _lower_stmts(stmts: tuple[Stmt, ...]) -> tuple[Blk, ...]:
+    blocks: list[Blk] = []
+    pending: list[Stmt] = []
+
+    def flush() -> None:
+        if pending:
+            blocks.append(SeqBlk(tuple(pending)))
+            pending.clear()
+
+    for s in stmts:
+        if isinstance(s, SLoop):
+            if s.kind in (LoopKind.PAR, LoopKind.ATM_PAR):
+                flush()
+                blocks.append(ParBlk(s.kind, s.gen, s.body))
+            else:
+                flush()
+                blocks.append(LoopBlk(s.gen, _lower_stmts(s.body)))
+        else:
+            pending.append(s)
+    flush()
+    return tuple(blocks)
+
+
+def lower_to_blk(decl: LDecl) -> BlkDecl:
+    return BlkDecl(
+        name=decl.name,
+        params=decl.params,
+        blocks=_lower_stmts(decl.body),
+        ret=decl.ret,
+    )

@@ -1,0 +1,127 @@
+"""Compile-time metadata for the builtin operators ``opn``.
+
+Each operator carries a typing rule (used by the frontend and IL type
+checkers) and a Python spelling (used by the backends when emitting
+code).  The numeric implementations live in :mod:`repro.runtime.ops`;
+the adjoint rules used by the AD pass live in
+:mod:`repro.core.lowpp.ad`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.types import INT, REAL, VEC_REAL, Ty, VecTy, unify_numeric
+from repro.errors import TypeCheckError
+
+
+@dataclass(frozen=True)
+class Builtin:
+    name: str
+    arity: int
+    type_rule: Callable[[tuple[Ty, ...]], Ty]
+    #: Spelling in emitted Python code: either an infix operator string
+    #: or ``None`` meaning "call ``_ops.<py_name>``".
+    infix: str | None = None
+    py_name: str | None = None
+
+
+def _numeric_scalar(name: str, ty: Ty) -> None:
+    if not ty.is_numeric_scalar():
+        raise TypeCheckError(f"{name}: expected a numeric scalar, got {ty}")
+
+
+def _binop_rule(name: str):
+    def rule(tys: tuple[Ty, ...]) -> Ty:
+        a, b = tys
+        _numeric_scalar(name, a)
+        _numeric_scalar(name, b)
+        return unify_numeric(a, b)
+
+    return rule
+
+
+def _real_binop_rule(name: str):
+    def rule(tys: tuple[Ty, ...]) -> Ty:
+        for t in tys:
+            _numeric_scalar(name, t)
+        return REAL
+
+    return rule
+
+
+def _real_unop_rule(name: str):
+    def rule(tys: tuple[Ty, ...]) -> Ty:
+        _numeric_scalar(name, tys[0])
+        return REAL
+
+    return rule
+
+
+def _neg_rule(tys: tuple[Ty, ...]) -> Ty:
+    _numeric_scalar("neg", tys[0])
+    return tys[0]
+
+
+def _dotp_rule(tys: tuple[Ty, ...]) -> Ty:
+    a, b = tys
+    if not (isinstance(a, VecTy) and isinstance(b, VecTy)):
+        raise TypeCheckError(f"dotp: expected two vectors, got {a} and {b}")
+    if not (a.elem.is_numeric_scalar() and b.elem.is_numeric_scalar()):
+        raise TypeCheckError("dotp: vectors must hold numeric scalars")
+    return REAL
+
+
+def _normalize_rule(tys: tuple[Ty, ...]) -> Ty:
+    (a,) = tys
+    if not isinstance(a, VecTy) or not a.elem.is_numeric_scalar():
+        raise TypeCheckError(f"normalize: expected a numeric vector, got {a}")
+    return VEC_REAL
+
+
+def _len_rule(tys: tuple[Ty, ...]) -> Ty:
+    (a,) = tys
+    if not isinstance(a, VecTy):
+        raise TypeCheckError(f"len: expected a vector, got {a}")
+    return INT
+
+
+def _eq_rule(tys: tuple[Ty, ...]) -> Ty:
+    a, b = tys
+    unify_numeric(a, b)
+    return INT  # booleans are 0/1 integers, as in the ILs
+
+
+BUILTINS: dict[str, Builtin] = {}
+
+
+def _register(b: Builtin) -> None:
+    BUILTINS[b.name] = b
+
+
+for _name, _infix in (("+", "+"), ("-", "-"), ("*", "*")):
+    _register(Builtin(_name, 2, _binop_rule(_name), infix=_infix))
+_register(Builtin("/", 2, _real_binop_rule("/"), infix="/"))
+_register(Builtin("neg", 1, _neg_rule, py_name="neg"))
+_register(Builtin("pow", 2, _real_binop_rule("pow"), py_name="pow_"))
+for _name in ("exp", "log", "sqrt", "sigmoid"):
+    _register(Builtin(_name, 1, _real_unop_rule(_name), py_name=_name))
+_register(Builtin("dotp", 2, _dotp_rule, py_name="dotp"))
+_register(Builtin("normalize", 1, _normalize_rule, py_name="normalize"))
+_register(Builtin("len", 1, _len_rule, py_name="vlen"))
+_register(Builtin("==", 2, _eq_rule, infix="=="))
+_register(Builtin("min", 2, _binop_rule("min"), py_name="min_"))
+_register(Builtin("max", 2, _binop_rule("max"), py_name="max_"))
+
+
+def lookup_builtin(name: str) -> Builtin:
+    try:
+        return BUILTINS[name]
+    except KeyError:
+        known = ", ".join(sorted(BUILTINS))
+        raise TypeCheckError(f"unknown operator {name!r}; known: {known}") from None
+
+
+def is_builtin(name: str) -> bool:
+    return name in BUILTINS

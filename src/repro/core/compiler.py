@@ -1,0 +1,299 @@
+"""The compiler driver: model + query -> executable MCMC (Figure 3).
+
+Runs the full pipeline:
+
+1. **Frontend** -- parse, type-check against the runtime values, lower
+   to the Density IL, factorize.
+2. **Middle-end** -- select or validate the kernel (user schedule or
+   heuristic), compute symbolic conditionals, generate Low++ update
+   code (conjugate Gibbs, enumeration Gibbs, likelihoods, AD
+   gradients), plus state initialisation and the model log joint.
+3. **Backend** -- size inference and up-front allocation, lowering to
+   Low-- (and, for the GPU target, to the optimised Blk IL), Python
+   source emission, ``compile()``/``exec()``, and synthesis of the
+   complete MCMC algorithm by wiring generated primitives to the
+   library drivers (Section 5.5).
+"""
+
+from __future__ import annotations
+
+import time
+
+
+from repro.core.backend.cpu import compile_cpu_module
+from repro.core.backend.drivers import (
+    ESliceDriver,
+    GibbsDriver,
+    GradBlockDriver,
+    MHDriver,
+    SliceDriver,
+    UpdateDriver,
+)
+from repro.core.backend.gpu import compile_gpu_module
+from repro.core.density.conditionals import BlockConditional, Conditional
+from repro.core.density.lower import lower_and_factorize
+from repro.core.frontend.parser import parse_model
+from repro.core.frontend.symbols import ModelInfo, analyze_model
+from repro.core.frontend.typecheck import type_of_value
+from repro.core.kernel.conjugacy import ConjugacyMatch, EnumerationMatch
+from repro.core.kernel.heuristic import heuristic_schedule
+from repro.core.kernel.ir import KBase, UpdateMethod, flatten
+from repro.core.kernel.schedule import parse_schedule
+from repro.core.kernel.validate import validate_schedule
+from repro.core.lowmm.ir import LowDecl, lower_decl
+from repro.core.lowmm.size_inference import allocate_workspaces, build_plan
+from repro.core.lowpp.ad import gen_grad
+from repro.core.lowpp.gen_gibbs import gen_gibbs_conjugate, gen_gibbs_enumeration
+from repro.core.lowpp.gen_init import gen_forward, gen_init
+from repro.core.lowpp.gen_ll import gen_block_ll, gen_cond_ll, gen_model_ll
+from repro.core.lowpp.verify import verify_decl
+from repro.core.options import CompileOptions
+from repro.core.sampler import CompiledSampler
+from repro.errors import ReproError
+from repro.gpusim import Device
+from repro.runtime.transforms import transform_for_support
+from repro.runtime.vectors import RaggedArray
+
+
+def compile_model(
+    source: str,
+    hyper_values: dict,
+    data_values: dict,
+    options: CompileOptions | None = None,
+    schedule: str | None = None,
+    proposals: dict | None = None,
+) -> CompiledSampler:
+    """Compile a model and a posterior-sampling query into a sampler.
+
+    ``proposals`` optionally maps a variable name to a user MH proposal
+    ``fn(value, rng) -> (candidate, log_q_ratio)``; the variable must be
+    scheduled with the ``MH`` update (Section 4.4's "user-supplied MH
+    proposals").
+    """
+    options = options or CompileOptions()
+    t_start = time.perf_counter()
+
+    # ---- Frontend -----------------------------------------------------
+    model = parse_model(source)
+    missing = [h for h in model.hypers if h not in hyper_values]
+    if missing:
+        raise ReproError(f"missing hyper-parameter values: {missing}")
+    hyper_types = {k: type_of_value(v) for k, v in hyper_values.items()}
+    info = analyze_model(model, hyper_types)
+    data_names = set(info.data_names())
+    missing_data = data_names - set(data_values)
+    if missing_data:
+        raise ReproError(f"missing data values: {sorted(missing_data)}")
+    fd = lower_and_factorize(model)
+
+    env = dict(hyper_values)
+    env.update({k: v for k, v in data_values.items() if k in data_names})
+
+    # ---- Middle-end ----------------------------------------------------
+    if schedule is not None:
+        kernel = validate_schedule(
+            parse_schedule(schedule), fd, info,
+            categorical_rule=options.categorical_rule,
+        )
+    else:
+        kernel = heuristic_schedule(
+            fd, info, categorical_rule=options.categorical_rule
+        )
+
+    decls: list[LowDecl] = []
+    driver_specs: list[tuple] = []
+    ws_specs: list = []
+
+    for upd in flatten(kernel):
+        decl_infos = _generate_update(upd, fd, info, options)
+        for low in decl_infos["decls"]:
+            decls.append(low)
+        ws_specs.extend(decl_infos["workspaces"])
+        driver_specs.append((upd, decl_infos))
+
+    init_decl = gen_init(info, fd)
+    forward_decl = gen_forward(info, fd)
+    model_ll_decl = gen_model_ll(fd)
+    decls.append(lower_decl(init_decl, writes=tuple(info.param_names())))
+    decls.append(lower_decl(forward_decl, writes=tuple(info.data_names())))
+    decls.append(lower_decl(model_ll_decl))
+
+    # Well-formedness check on every generated declaration (turns code
+    # generator bugs into named compile-time errors).
+    for low in decls:
+        verify_decl(low.decl)
+
+    # ---- Backend --------------------------------------------------------
+    plan = build_plan(info, env, tuple(ws_specs))
+    workspaces = allocate_workspaces(plan)
+    ragged = _ragged_names(plan, env)
+
+    device: Device | None = None
+    if options.target == "gpu":
+        device = Device()
+        module = compile_gpu_module(
+            decls, env, ragged_names=ragged, cfg=options.blk_config()
+        )
+    else:
+        module = compile_cpu_module(
+            decls, ragged_names=ragged, vectorize=options.vectorize
+        )
+
+    def bind(name: str):
+        fn = module.fn(name)
+        if device is not None:
+            return lambda e, w, r: fn(e, w, r, device)
+        return fn
+
+    updates: list[UpdateDriver] = []
+    proposals = proposals or {}
+    for upd, gen in driver_specs:
+        updates.append(_make_driver(upd, gen, bind, plan, options, proposals))
+    unused = set(proposals) - {
+        t for upd, _ in driver_specs
+        if upd.method is UpdateMethod.MH
+        for t in upd.unit.names
+    }
+    if unused:
+        raise ReproError(
+            f"proposals supplied for variables without an MH update: "
+            f"{sorted(unused)}"
+        )
+
+    compile_seconds = time.perf_counter() - t_start
+    return CompiledSampler(
+        module=module,
+        plan=plan,
+        workspaces=workspaces,
+        updates=updates,
+        init_fn=bind("init_state"),
+        model_ll_fn=bind("model_ll"),
+        base_env=env,
+        param_names=tuple(info.param_names()),
+        device=device,
+        compile_seconds=compile_seconds,
+        forward_fn=bind("forward_data"),
+        info=info,
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-update code generation and driver wiring.
+# ----------------------------------------------------------------------
+
+
+def _generate_update(upd: KBase, fd, info: ModelInfo, options: CompileOptions) -> dict:
+    method = upd.method
+    payload = upd.payload
+    out = {"decls": [], "workspaces": [], "names": {}}
+
+    if method is UpdateMethod.GIBBS:
+        if isinstance(payload, ConjugacyMatch):
+            code = gen_gibbs_conjugate(payload, fd.lets)
+        elif isinstance(payload, EnumerationMatch):
+            code = gen_gibbs_enumeration(payload, fd.lets)
+        else:
+            raise ReproError(f"Gibbs update without a payload: {upd}")
+        out["decls"].append(
+            lower_decl(
+                code.decl,
+                workspaces=tuple(w.name for w in code.workspaces),
+                writes=upd.unit.names,
+            )
+        )
+        out["workspaces"].extend(code.workspaces)
+        out["names"]["update"] = code.decl.name
+        return out
+
+    if method in (UpdateMethod.HMC, UpdateMethod.NUTS):
+        blk: BlockConditional = payload
+        ll_decl = gen_block_ll(blk, fd.lets)
+        grad_decl = gen_grad(blk, fd.lets)
+        out["decls"].append(lower_decl(ll_decl))
+        out["decls"].append(lower_decl(grad_decl))
+        out["names"]["ll"] = ll_decl.name
+        out["names"]["grad"] = grad_decl.name
+        return out
+
+    cond: Conditional = payload
+    include_prior = method is not UpdateMethod.ESLICE
+    suffix = "" if include_prior else "_lik"
+    ll_decl = gen_cond_ll(cond, fd.lets, include_prior=include_prior, suffix=suffix)
+    out["decls"].append(lower_decl(ll_decl))
+    out["names"]["ll"] = ll_decl.name
+    return out
+
+
+def _make_driver(
+    upd: KBase, gen: dict, bind, plan, options: CompileOptions, proposals=None
+):
+    proposals = proposals or {}
+    method = upd.method
+    names = gen["names"]
+    target_list = upd.unit.names
+
+    if method is UpdateMethod.GIBBS:
+        return GibbsDriver(names["update"], target_list, bind(names["update"]))
+
+    if method in (UpdateMethod.HMC, UpdateMethod.NUTS):
+        blk: BlockConditional = upd.payload
+        transforms = {}
+        for t in target_list:
+            support = _support_of(t, plan, upd)
+            transforms[t] = transform_for_support(support)
+        return GradBlockDriver(
+            name=names["ll"],
+            targets=target_list,
+            ll_fn=bind(names["ll"]),
+            grad_fn=bind(names["grad"]),
+            transforms=transforms,
+            method="nuts" if method is UpdateMethod.NUTS else "hmc",
+            step_size=float(upd.opt("step_size", options.hmc_step_size)),
+            n_steps=int(upd.opt("steps", options.hmc_steps)),
+        )
+
+    cond: Conditional = upd.payload
+    target = target_list[0]
+    shape = plan.state[target]
+    ll_fn = bind(names["ll"])
+    if method is UpdateMethod.SLICE:
+        return SliceDriver(
+            names["ll"], cond, shape, ll_fn, width=float(upd.opt("width", 1.0))
+        )
+    if method is UpdateMethod.ESLICE:
+        return ESliceDriver(names["ll"], cond, shape, ll_fn)
+    if method is UpdateMethod.MH:
+        proposal = proposals.get(target)
+        if proposal is None and upd.opt("proposal") is not None:
+            # The schedule marked this update as user-proposal MH
+            # (``MH[proposal=user]``) but no callable was registered.
+            raise ReproError(
+                f"MH {target}: the schedule requests a user proposal; pass "
+                "one via setProposal / compile_model(proposals=...)"
+            )
+        return MHDriver(
+            names["ll"],
+            cond,
+            shape,
+            ll_fn,
+            scale=float(upd.opt("scale", 0.5)),
+            proposal=proposal,
+        )
+    raise ReproError(f"no driver for update method {method}")
+
+
+def _support_of(target: str, plan, upd: KBase) -> str:
+    blk: BlockConditional = upd.payload
+    for f in blk.factors:
+        if f.source == target:
+            from repro.runtime.distributions import lookup
+
+            return lookup(f.dist).support
+    raise ReproError(f"cannot determine the support of {target!r}")
+
+
+def _ragged_names(plan, env: dict) -> frozenset[str]:
+    names = {n for n, b in plan.state.items() if b.is_ragged}
+    names |= {n for n, b in plan.workspaces.items() if b.is_ragged}
+    names |= {n for n, v in env.items() if isinstance(v, RaggedArray)}
+    return frozenset(names)

@@ -1,0 +1,36 @@
+"""The Density IL (paper Section 3).
+
+The Density IL encodes the density factorization of a model.  The
+compiler lowers the surface AST into a density *tree* (the Figure 4
+grammar), normalises it into a flat product of :class:`Factor` terms,
+and computes per-variable conditionals symbolically with the factoring
+and categorical-indexing rewrite rules of Section 3.3.
+"""
+
+from repro.core.density.conditionals import blocked_factors, conditional
+from repro.core.density.ir import (
+    DensityModel,
+    DistPdf,
+    Factor,
+    FactorizedDensity,
+    IndicatorD,
+    LetD,
+    ProdComp,
+    ProdSeq,
+)
+from repro.core.density.lower import factorize, lower_model
+
+__all__ = [
+    "DensityModel",
+    "DistPdf",
+    "Factor",
+    "FactorizedDensity",
+    "IndicatorD",
+    "LetD",
+    "ProdComp",
+    "ProdSeq",
+    "blocked_factors",
+    "conditional",
+    "factorize",
+    "lower_model",
+]

@@ -1,0 +1,315 @@
+"""Symbolic computation of model conditionals (paper Section 3.3).
+
+Given the factorized density and a target variable ``v``, the compiler
+computes the conditional ``p(v | everything else)`` up to a normalizing
+constant by:
+
+1. keeping only the factors with a functional dependence on ``v``
+   (the cancellation step, isomorphic to conditional-independence
+   computation in Bayesian networks);
+2. aligning structured products with the target's own comprehension via
+   the **factoring rule** -- ``prod_i fn1 prod_j fn2 -> prod_i fn1 fn2``
+   when the comprehension bounds are syntactically equal;
+3. rewriting mixture-indexed occurrences via the
+   **categorical-indexing rule** -- ``prod_i fn -> prod_k prod_i
+   [fn]_{k = z_i}`` when ``v`` is indexed through a Categorical
+   variable ``z``.
+
+The result is a :class:`Conditional`: the target's own generators form
+the outer (parallel) loop structure, the prior factor and each aligned
+likelihood factor are expressed *per element* of the target.  When a
+factor cannot be aligned precisely the conditional is flagged
+``imprecise`` and downstream phases fall back to whole-variable updates,
+matching the paper's "precision in the approximation of the conditional
+can be lost".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.density.ir import Factor, FactorizedDensity
+from repro.core.exprs import (
+    Expr,
+    Gen,
+    Index,
+    Var,
+    map_children,
+)
+from repro.core.frontend.symbols import ModelInfo
+from repro.errors import LoweringError
+
+
+@dataclass(frozen=True)
+class Conditional:
+    """The conditional of ``target`` up to a normalizing constant.
+
+    ``gens``/``idx_vars`` come from the target's declaration and give
+    the outer parallel structure: for an indexed target the conditional
+    describes ``p(target[i...] | rest)`` with ``idx_vars`` free in the
+    factors.  ``prior`` is the factor from the target's own declaration
+    (generators stripped); ``likelihood`` holds every other dependent
+    factor, aligned so that target generators are absorbed and only
+    genuinely inner generators remain.
+    """
+
+    target: str
+    gens: tuple[Gen, ...]
+    idx_vars: tuple[str, ...]
+    prior: Factor
+    likelihood: tuple[Factor, ...]
+    imprecise: bool = False
+    #: True when some factor references the target as a whole vector
+    #: (e.g. ``dotp(x[n], theta)``), so per-element updates are impossible.
+    vector_dependence: bool = False
+
+    @property
+    def all_factors(self) -> tuple[Factor, ...]:
+        return (self.prior,) + self.likelihood
+
+    def __str__(self) -> str:
+        head = self.target + "".join(f"[{v}]" for v in self.idx_vars)
+        lines = [f"p({head} | rest) prop.to"]
+        lines.extend(f"  {f}" for f in self.all_factors)
+        if self.imprecise:
+            lines.append("  (imprecise)")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class BlockConditional:
+    """Joint conditional of several variables: the union of dependent
+    factors, kept in whole-model form (used by blocked/gradient updates)."""
+
+    targets: tuple[str, ...]
+    factors: tuple[Factor, ...]
+
+
+# ----------------------------------------------------------------------
+# Expression helpers.
+# ----------------------------------------------------------------------
+
+
+def _occurrences(e: Expr, name: str, out: list[tuple[Expr, ...]]) -> None:
+    """Collect index paths at which ``name`` occurs in ``e``.
+
+    ``mu[z[n]]`` contributes ``(z[n],)``; a bare ``theta`` contributes
+    ``()``.  Nested indexing contributes the full path, outermost first.
+    """
+    path: list[Expr] = []
+    node = e
+    while isinstance(node, Index):
+        path.append(node.index)
+        node = node.base
+    if isinstance(node, Var) and node.name == name:
+        out.append(tuple(reversed(path)))
+        # Indices may still mention the target (rare); recurse into them.
+        for idx in path:
+            _occurrences(idx, name, out)
+        return
+    from repro.core.exprs import children
+
+    for c in children(e):
+        _occurrences(c, name, out)
+
+
+def occurrences_in_factor(factor: Factor, name: str) -> list[tuple[Expr, ...]]:
+    out: list[tuple[Expr, ...]] = []
+    for a in factor.args:
+        _occurrences(a, name, out)
+    _occurrences(factor.at, name, out)
+    for a, b in factor.guards:
+        _occurrences(a, name, out)
+        _occurrences(b, name, out)
+    return out
+
+
+def replace_expr(e: Expr, old: Expr, new: Expr) -> Expr:
+    """Replace every occurrence of sub-expression ``old`` (by structural
+    equality) with ``new``."""
+    if e == old:
+        return new
+    return map_children(e, lambda c: replace_expr(c, old, new))
+
+
+def _replace_in_factor(factor: Factor, old: Expr, new: Expr) -> Factor:
+    return Factor(
+        gens=factor.gens,
+        guards=tuple(
+            (replace_expr(a, old, new), replace_expr(b, old, new))
+            for a, b in factor.guards
+        ),
+        dist=factor.dist,
+        args=tuple(replace_expr(a, old, new) for a in factor.args),
+        at=replace_expr(factor.at, old, new),
+        source=factor.source,
+    )
+
+
+def _head_var(e: Expr) -> str | None:
+    node = e
+    while isinstance(node, Index):
+        node = node.base
+    return node.name if isinstance(node, Var) else None
+
+
+# ----------------------------------------------------------------------
+# Alignment of one likelihood factor against the target declaration.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _AlignResult:
+    factor: Factor
+    imprecise: bool = False
+    vector_dependence: bool = False
+
+
+def _align_factor(
+    factor: Factor,
+    target: str,
+    target_gens: tuple[Gen, ...],
+    info: ModelInfo,
+    categorical_rule: bool = True,
+) -> _AlignResult:
+    idx_vars = tuple(g.var for g in target_gens)
+    occs = occurrences_in_factor(factor, target)
+    if not occs:
+        raise AssertionError("caller guarantees the factor mentions the target")
+    distinct = set(occs)
+    if len(distinct) > 1:
+        return _AlignResult(factor, imprecise=True)
+    occ = occs[0]
+    if not idx_vars:
+        # Scalar target: nothing to align; all factor generators stay inner.
+        return _AlignResult(factor)
+    if len(occ) == 0:
+        # Whole-vector reference such as dotp(x[n], theta).
+        return _AlignResult(factor, vector_dependence=True)
+
+    result = factor
+    absorbed: set[str] = set()
+    for p, idx_expr in enumerate(occ[: len(idx_vars)]):
+        binder = idx_vars[p]
+        tgen = target_gens[p]
+        if isinstance(idx_expr, Var):
+            fgen = next((g for g in result.gens if g.var == idx_expr.name), None)
+            if fgen is not None and fgen.bounds_equal(tgen):
+                # Factoring rule: the factor's comprehension matches the
+                # target's; absorb it into the conditional's outer product.
+                if binder != fgen.var and any(g.var == binder for g in result.gens):
+                    # Avoid capture: move the clashing generator aside first.
+                    result = result.rename_gen(binder, f"_{binder}__shadow")
+                result = result.rename_gen(fgen.var, binder)
+                absorbed.add(binder)
+                continue
+        head = _head_var(idx_expr)
+        head_info = info.vars.get(head) if head is not None else None
+        if (
+            categorical_rule
+            and head_info is not None
+            and head_info.dist_name == "Categorical"
+        ):
+            # Categorical-indexing rule: guard on k = z[...] and rewrite
+            # the mixture index to the target binder under the guard.
+            guard = (idx_expr, Var(binder))
+            result = _replace_in_factor(result, idx_expr, Var(binder))
+            result = Factor(
+                gens=result.gens,
+                guards=result.guards + (guard,),
+                dist=result.dist,
+                args=result.args,
+                at=result.at,
+                source=result.source,
+            )
+            absorbed.add(binder)
+            continue
+        return _AlignResult(factor, imprecise=True)
+
+    new_gens = tuple(g for g in result.gens if g.var not in absorbed)
+    result = Factor(
+        gens=new_gens,
+        guards=result.guards,
+        dist=result.dist,
+        args=result.args,
+        at=result.at,
+        source=result.source,
+    )
+    return _AlignResult(result)
+
+
+# ----------------------------------------------------------------------
+# Public API.
+# ----------------------------------------------------------------------
+
+
+def conditional(
+    fd: FactorizedDensity,
+    target: str,
+    info: ModelInfo,
+    categorical_rule: bool = True,
+) -> Conditional:
+    """Compute ``p(target | rest)`` up to a normalizing constant.
+
+    ``categorical_rule=False`` disables the categorical-indexing rewrite
+    (the DESIGN.md ablation): mixture-indexed factors then stay
+    unfactored and the conditional is flagged imprecise.
+    """
+    decl_factors = fd.factors_of(target)
+    if len(decl_factors) != 1:
+        raise LoweringError(
+            f"expected exactly one declaration factor for {target!r}, "
+            f"found {len(decl_factors)}"
+        )
+    prior_full = decl_factors[0]
+    target_gens = prior_full.gens
+    idx_vars = tuple(g.var for g in target_gens)
+    prior = Factor(
+        gens=(),
+        guards=prior_full.guards,
+        dist=prior_full.dist,
+        args=prior_full.args,
+        at=prior_full.at,
+        source=prior_full.source,
+    )
+
+    likelihood: list[Factor] = []
+    imprecise = False
+    vector_dependence = False
+    for f in fd.factors:
+        if f.source == target or not f.mentions(target):
+            continue
+        aligned = _align_factor(f, target, target_gens, info, categorical_rule)
+        likelihood.append(aligned.factor)
+        imprecise |= aligned.imprecise
+        vector_dependence |= aligned.vector_dependence
+
+    return Conditional(
+        target=target,
+        gens=target_gens,
+        idx_vars=idx_vars,
+        prior=prior,
+        likelihood=tuple(likelihood),
+        imprecise=imprecise,
+        vector_dependence=vector_dependence,
+    )
+
+
+def blocked_factors(
+    fd: FactorizedDensity, targets: tuple[str, ...]
+) -> BlockConditional:
+    """The joint conditional of ``targets``: all dependent factors, whole."""
+    deps = tuple(
+        f for f in fd.factors if any(f.mentions(t) or f.source == t for t in targets)
+    )
+    return BlockConditional(targets=tuple(targets), factors=deps)
+
+
+def markov_blanket(fd: FactorizedDensity, target: str) -> frozenset[str]:
+    """Names appearing in the conditional of ``target`` (excluding it)."""
+    names: set[str] = set()
+    for f in fd.factors:
+        if f.source == target or f.mentions(target):
+            names |= f.free_names()
+    names.discard(target)
+    return frozenset(names)

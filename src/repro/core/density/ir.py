@@ -1,0 +1,192 @@
+"""Density IL terms (paper Figure 4) and their normalised factor form.
+
+Two representations coexist:
+
+1. The **tree form** mirrors the paper's grammar exactly::
+
+       fn ::= pdist(e...)(e) | fn fn | prod_{x<-gen} fn
+            | let x = e in fn | [fn]_{x=e}
+
+2. The **factor form** (:class:`FactorizedDensity`) flattens the tree
+   into a product of :class:`Factor` terms, each a primitive density
+   under a stack of comprehension generators and equality guards.  The
+   conditional-computation rewrites (Section 3.3) operate on this form;
+   it is equivalent for the models the language can express, because
+   the tree is always a product of comprehension-wrapped primitive
+   densities (optionally under lets and indicators).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exprs import Expr, Gen, Var, free_vars, mentions, subst
+
+
+class DensityFn:
+    """Base class for density tree terms."""
+
+
+@dataclass(frozen=True)
+class DistPdf(DensityFn):
+    """``pdist(args...)(at)`` -- a primitive density evaluated at ``at``."""
+
+    dist: str
+    args: tuple[Expr, ...]
+    at: Expr
+
+    def __str__(self) -> str:
+        return f"p{self.dist}({', '.join(map(str, self.args))})({self.at})"
+
+
+@dataclass(frozen=True)
+class ProdSeq(DensityFn):
+    """``fn1 fn2 ... fnN`` -- product of densities (n-ary for convenience)."""
+
+    fns: tuple[DensityFn, ...]
+
+    def __str__(self) -> str:
+        return " ".join(f"({f})" for f in self.fns)
+
+
+@dataclass(frozen=True)
+class ProdComp(DensityFn):
+    """``prod_{x <- gen} fn`` -- a structured product."""
+
+    gen: Gen
+    body: DensityFn
+
+    def __str__(self) -> str:
+        return f"prod[{self.gen}] ({self.body})"
+
+
+@dataclass(frozen=True)
+class LetD(DensityFn):
+    """``let x = e in fn``."""
+
+    var: str
+    expr: Expr
+    body: DensityFn
+
+    def __str__(self) -> str:
+        return f"let {self.var} = {self.expr} in ({self.body})"
+
+
+@dataclass(frozen=True)
+class IndicatorD(DensityFn):
+    """``[fn]_{lhs = rhs}`` -- the indicator density of Section 3.1."""
+
+    body: DensityFn
+    lhs: Expr
+    rhs: Expr
+
+    def __str__(self) -> str:
+        return f"[{self.body}]_{{{self.lhs} = {self.rhs}}}"
+
+
+@dataclass(frozen=True)
+class DensityModel:
+    """Top level: ``lambda(binders...). fn`` (Figure 4 ``obj``)."""
+
+    binders: tuple[str, ...]
+    fn: DensityFn
+
+    def __str__(self) -> str:
+        return f"lambda({', '.join(self.binders)}). {self.fn}"
+
+
+# ----------------------------------------------------------------------
+# Factor form.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Factor:
+    """One primitive density under generators and guards.
+
+    Denotes ``prod_{gens} [ pdist(args)(at) ]_{guards}`` where each
+    guard ``(a, b)`` asserts ``a == b`` (the factor contributes 1 when
+    the guard fails).  ``source`` records which declaration produced the
+    factor, which code generators use for naming.
+    """
+
+    gens: tuple[Gen, ...]
+    guards: tuple[tuple[Expr, Expr], ...]
+    dist: str
+    args: tuple[Expr, ...]
+    at: Expr
+    source: str = ""
+
+    def mentions(self, name: str) -> bool:
+        if any(mentions(e, name) for e in self.args) or mentions(self.at, name):
+            return True
+        if any(mentions(a, name) or mentions(b, name) for a, b in self.guards):
+            return True
+        return any(
+            mentions(g.lo, name) or mentions(g.hi, name) for g in self.gens
+        )
+
+    def free_names(self) -> frozenset[str]:
+        names: set[str] = set()
+        for e in self.args:
+            names |= free_vars(e)
+        names |= free_vars(self.at)
+        for a, b in self.guards:
+            names |= free_vars(a) | free_vars(b)
+        for g in self.gens:
+            names |= free_vars(g.lo) | free_vars(g.hi)
+        return frozenset(names - {g.var for g in self.gens})
+
+    def rename_gen(self, old: str, new: str) -> "Factor":
+        """Alpha-rename a generator variable throughout the factor."""
+        if old == new:
+            return self
+        mapping = {old: Var(new)}
+        gens = tuple(
+            Gen(new if g.var == old else g.var, subst(g.lo, mapping), subst(g.hi, mapping))
+            for g in self.gens
+        )
+        return Factor(
+            gens=gens,
+            guards=tuple(
+                (subst(a, mapping), subst(b, mapping)) for a, b in self.guards
+            ),
+            dist=self.dist,
+            args=tuple(subst(a, mapping) for a in self.args),
+            at=subst(self.at, mapping),
+            source=self.source,
+        )
+
+    def __str__(self) -> str:
+        s = f"p{self.dist}({', '.join(map(str, self.args))})({self.at})"
+        for a, b in reversed(self.guards):
+            s = f"[{s}]_{{{a}={b}}}"
+        for g in reversed(self.gens):
+            s = f"prod[{g}] {s}"
+        return s
+
+
+@dataclass(frozen=True)
+class FactorizedDensity:
+    """A model as a flat product of factors plus deterministic lets.
+
+    ``lets`` bind scalar deterministic transformations, in declaration
+    order; every factor may reference them.
+    """
+
+    binders: tuple[str, ...]
+    lets: tuple[tuple[str, Expr], ...]
+    factors: tuple[Factor, ...]
+
+    def factors_of(self, source: str) -> tuple[Factor, ...]:
+        return tuple(f for f in self.factors if f.source == source)
+
+    def mentioning(self, name: str) -> tuple[Factor, ...]:
+        return tuple(f for f in self.factors if f.mentions(name))
+
+    def __str__(self) -> str:
+        lines = [f"lambda({', '.join(self.binders)})."]
+        for name, e in self.lets:
+            lines.append(f"  let {name} = {e}")
+        lines.extend(f"  {f}" for f in self.factors)
+        return "\n".join(lines)

@@ -1,0 +1,123 @@
+"""Frontend lowering: surface AST -> Density IL (paper Section 3.1).
+
+This step follows standard statistical practice: a model expressed with
+random variables is converted into its description in terms of
+densities.  Each stochastic declaration becomes a primitive density
+``pdist(args)(var[idx...])`` wrapped in one structured product per
+comprehension generator; the whole model is the product of these.
+"""
+
+from __future__ import annotations
+
+from repro.core.density.ir import (
+    DensityFn,
+    DensityModel,
+    DistPdf,
+    Factor,
+    FactorizedDensity,
+    IndicatorD,
+    LetD,
+    ProdComp,
+    ProdSeq,
+)
+from repro.core.exprs import Expr, Index, Var
+from repro.core.frontend.ast import Decl, DeclKind, Model
+from repro.errors import LoweringError
+
+
+def _decl_at(decl: Decl) -> Expr:
+    """The expression the density is evaluated at: ``name[i][j]...``."""
+    e: Expr = Var(decl.name)
+    for v in decl.idx_vars:
+        e = Index(e, Var(v))
+    return e
+
+
+def _decl_density(decl: Decl) -> DensityFn:
+    fn: DensityFn = DistPdf(decl.dist.dist, decl.dist.args, _decl_at(decl))
+    for g in reversed(decl.gens):
+        fn = ProdComp(g, fn)
+    return fn
+
+
+def lower_model(model: Model) -> DensityModel:
+    """Lower a parsed model to the Density IL tree form.
+
+    The binder list closes over hyper-parameters, then model parameters,
+    then data, matching the paper's GMM example where the density object
+    is ``lambda(K, N, mu_0, Sigma_0, pi, Sigma, mu, z, x). ...``.
+    """
+    binders = model.hypers + tuple(d.name for d in model.decls if d.is_stochastic)
+    fns: list[DensityFn] = []
+    lets: list[Decl] = []
+    for d in model.decls:
+        if d.kind is DeclKind.LET:
+            if d.gens:
+                raise LoweringError(
+                    f"{d.name}: comprehension 'let' declarations are not supported; "
+                    "inline the expression at its use sites"
+                )
+            lets.append(d)
+        else:
+            fns.append(_decl_density(d))
+    body: DensityFn = fns[0] if len(fns) == 1 else ProdSeq(tuple(fns))
+    for d in reversed(lets):
+        body = LetD(d.name, d.rhs, body)
+    return DensityModel(binders, body)
+
+
+def factorize(dmodel: DensityModel) -> FactorizedDensity:
+    """Flatten the density tree into the factor form.
+
+    Products distribute through structured products; lets float to the
+    top (they are scalar and non-recursive by construction); indicators
+    become guards on the factors under them.
+    """
+    lets: list[tuple[str, Expr]] = []
+
+    def go(fn: DensityFn, gens, guards) -> list[Factor]:
+        match fn:
+            case DistPdf(dist, args, at):
+                return [
+                    Factor(
+                        gens=tuple(gens),
+                        guards=tuple(guards),
+                        dist=dist,
+                        args=args,
+                        at=at,
+                        source=_source_name(at),
+                    )
+                ]
+            case ProdSeq(fns):
+                out: list[Factor] = []
+                for f in fns:
+                    out.extend(go(f, gens, guards))
+                return out
+            case ProdComp(gen, body):
+                return go(body, gens + [gen], guards)
+            case IndicatorD(body, lhs, rhs):
+                return go(body, gens, guards + [(lhs, rhs)])
+            case LetD(var, expr, body):
+                lets.append((var, expr))
+                return go(body, gens, guards)
+            case _:
+                raise LoweringError(f"cannot factorize density term {fn!r}")
+
+    factors = go(dmodel.fn, [], [])
+    return FactorizedDensity(
+        binders=dmodel.binders, lets=tuple(lets), factors=tuple(factors)
+    )
+
+
+def _source_name(at: Expr) -> str:
+    """The declared variable a density is attached to (head of ``at``)."""
+    e = at
+    while isinstance(e, Index):
+        e = e.base
+    if isinstance(e, Var):
+        return e.name
+    raise LoweringError(f"density evaluation point {at} has no head variable")
+
+
+def lower_and_factorize(model: Model) -> FactorizedDensity:
+    return factorize(lower_model(model))

@@ -1,0 +1,246 @@
+"""The expression language shared by every IL in the pipeline.
+
+Paper Figure 4 gives the expression grammar used by the Density IL::
+
+    e ::= x | i | r | dist(e...) | opn(e...) | e[e]
+
+and Figure 6 extends it for Low++ with distribution operations::
+
+    e ::= ... | dist(e...).dop      dop ::= ll | samp | grad_i
+
+Keeping one expression type across ILs means the lowering passes only
+rewrite the *statement* structure around expressions, which mirrors how
+the paper's compiler "successively instantiates" kernel payloads with
+lower-level ILs.
+
+All nodes are frozen dataclasses: structural equality and hashing come
+for free, which the conditional-computation rewrites rely on (e.g. the
+factoring rule fires only when two comprehension bounds are
+*syntactically* equal).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Expr:
+    """Base class for expressions (immutable, structurally comparable)."""
+
+    def __getitem__(self, index: "Expr | int") -> "Index":
+        return Index(self, _coerce(index))
+
+
+def _coerce(x) -> Expr:
+    if isinstance(x, Expr):
+        return x
+    if isinstance(x, bool):
+        raise TypeError("booleans are not expressions")
+    if isinstance(x, int):
+        return IntLit(x)
+    if isinstance(x, float):
+        return RealLit(x)
+    if isinstance(x, str):
+        return Var(x)
+    raise TypeError(f"cannot coerce {x!r} to an expression")
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class RealLit(Expr):
+    value: float
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Index(Expr):
+    """``base[index]``; chained ``x[i][j]`` indexes a ragged vector."""
+
+    base: Expr
+    index: Expr
+
+    def __str__(self) -> str:
+        return f"{self.base}[{self.index}]"
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """Application of a builtin operator ``opn(e...)``."""
+
+    fn: str
+    args: tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        return f"{self.fn}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class DistCall(Expr):
+    """A distribution term ``dist(e...)`` (model AST / Density IL)."""
+
+    dist: str
+    args: tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        return f"{self.dist}({', '.join(map(str, self.args))})"
+
+
+class DistOpKind(enum.Enum):
+    LL = "ll"
+    SAMP = "samp"
+    GRAD = "grad"
+
+
+@dataclass(frozen=True)
+class DistOp(Expr):
+    """``dist(args...).dop(value)`` -- Low++ distribution operation.
+
+    ``value`` is the point the density/gradient is evaluated at (absent
+    for ``samp``).  ``grad_index`` follows the paper's convention:
+    ``0`` differentiates w.r.t. the value, ``i >= 1`` w.r.t. the i-th
+    distribution argument.
+    """
+
+    dist: str
+    args: tuple[Expr, ...]
+    op: DistOpKind
+    value: Expr | None = None
+    grad_index: int | None = None
+
+    def __str__(self) -> str:
+        head = f"{self.dist}({', '.join(map(str, self.args))})"
+        if self.op is DistOpKind.SAMP:
+            return f"{head}.samp"
+        suffix = "ll" if self.op is DistOpKind.LL else f"grad{self.grad_index}"
+        return f"{head}.{suffix}({self.value})"
+
+
+# ----------------------------------------------------------------------
+# Generic traversal utilities.
+# ----------------------------------------------------------------------
+
+
+def children(e: Expr) -> tuple[Expr, ...]:
+    """Direct sub-expressions of ``e``."""
+    match e:
+        case Var() | IntLit() | RealLit():
+            return ()
+        case Index(base, index):
+            return (base, index)
+        case Call(_, args) | DistCall(_, args):
+            return args
+        case DistOp(_, args, _, value, _):
+            return args + ((value,) if value is not None else ())
+        case _:
+            raise TypeError(f"not an expression: {e!r}")
+
+
+def walk(e: Expr):
+    """Yield ``e`` and all sub-expressions, pre-order."""
+    yield e
+    for c in children(e):
+        yield from walk(c)
+
+
+def free_vars(e: Expr) -> frozenset[str]:
+    return frozenset(n.name for n in walk(e) if isinstance(n, Var))
+
+
+def mentions(e: Expr, name: str) -> bool:
+    return any(isinstance(n, Var) and n.name == name for n in walk(e))
+
+
+def map_children(e: Expr, f) -> Expr:
+    """Rebuild ``e`` with ``f`` applied to each direct child."""
+    match e:
+        case Var() | IntLit() | RealLit():
+            return e
+        case Index(base, index):
+            return Index(f(base), f(index))
+        case Call(fn, args):
+            return Call(fn, tuple(f(a) for a in args))
+        case DistCall(dist, args):
+            return DistCall(dist, tuple(f(a) for a in args))
+        case DistOp(dist, args, op, value, gi):
+            return DistOp(
+                dist,
+                tuple(f(a) for a in args),
+                op,
+                f(value) if value is not None else None,
+                gi,
+            )
+        case _:
+            raise TypeError(f"not an expression: {e!r}")
+
+
+def subst(e: Expr, mapping: dict[str, Expr]) -> Expr:
+    """Capture-free substitution of variables (no binders inside Expr)."""
+    if isinstance(e, Var) and e.name in mapping:
+        return mapping[e.name]
+    return map_children(e, lambda c: subst(c, mapping))
+
+
+# ----------------------------------------------------------------------
+# Builder helpers (used heavily by code generators and tests).
+# ----------------------------------------------------------------------
+
+
+def var(name: str) -> Var:
+    return Var(name)
+
+
+def lit(value: int | float) -> Expr:
+    return _coerce(value)
+
+
+def call(fn: str, *args) -> Call:
+    return Call(fn, tuple(_coerce(a) for a in args))
+
+
+def add(*args) -> Expr:
+    return call("+", *args)
+
+
+def mul(*args) -> Expr:
+    return call("*", *args)
+
+
+def index(base, *idxs) -> Expr:
+    e = _coerce(base)
+    for i in idxs:
+        e = Index(e, _coerce(i))
+    return e
+
+
+@dataclass(frozen=True)
+class Gen:
+    """A comprehension generator ``var <- lo until hi`` (paper ``gen``)."""
+
+    var: str
+    lo: Expr = field(default_factory=lambda: IntLit(0))
+    hi: Expr = field(default_factory=lambda: IntLit(0))
+
+    def __str__(self) -> str:
+        return f"{self.var} <- {self.lo} until {self.hi}"
+
+    def bounds_equal(self, other: "Gen") -> bool:
+        """Syntactic equality of bounds -- the factoring-rule side condition."""
+        return self.lo == other.lo and self.hi == other.hi

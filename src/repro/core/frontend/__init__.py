@@ -1,0 +1,14 @@
+"""Frontend: the surface modeling language (paper Section 2.2).
+
+The modeling language mirrors random-variable notation: a model is a
+closure over hyper-parameters whose body is a sequence of ``param`` /
+``data`` declarations, each pairing a random variable with its
+distribution under parallel comprehensions.
+
+Entry point: :func:`repro.core.frontend.parser.parse_model`.
+"""
+
+from repro.core.frontend.ast import Decl, DeclKind, Model
+from repro.core.frontend.parser import parse_model
+
+__all__ = ["Decl", "DeclKind", "Model", "parse_model"]

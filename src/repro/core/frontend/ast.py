@@ -1,0 +1,149 @@
+"""Abstract syntax for the surface modeling language.
+
+A model (paper Figure 1) looks like::
+
+    (K, N, mu_0, Sigma_0, pis, Sigma) => {
+      param mu[k] ~ MvNormal(mu_0, Sigma_0)
+        for k <- 0 until K ;
+      param z[n] ~ Categorical(pis)
+        for n <- 0 until N ;
+      data x[n] ~ MvNormal(mu[z[n]], Sigma)
+        for n <- 0 until N ;
+    }
+
+The top level closes over hyper-parameters; each declaration introduces
+one random variable (``param`` = latent, to be inferred; ``data`` =
+observed, supplied by the user; ``let`` = deterministic transformation)
+under zero or more *parallel* comprehension generators.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.exprs import DistCall, Expr, Gen, free_vars
+
+
+class DeclKind(enum.Enum):
+    PARAM = "param"
+    DATA = "data"
+    LET = "let"
+
+
+@dataclass(frozen=True)
+class Decl:
+    """One declaration: ``kind name[i][j] ~/= rhs for gens``.
+
+    ``idx_vars`` are the comprehension binders appearing on the
+    left-hand side, in order; they must match ``gens`` one-for-one.  For
+    a scalar declaration both are empty.
+    """
+
+    kind: DeclKind
+    name: str
+    idx_vars: tuple[str, ...]
+    rhs: Expr
+    gens: tuple[Gen, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.idx_vars) != len(self.gens):
+            raise ValueError(
+                f"{self.name}: {len(self.idx_vars)} index vars but "
+                f"{len(self.gens)} generators"
+            )
+        gen_vars = tuple(g.var for g in self.gens)
+        if self.idx_vars != gen_vars:
+            raise ValueError(
+                f"{self.name}: index vars {self.idx_vars} do not match "
+                f"generator vars {gen_vars}"
+            )
+        if self.kind is not DeclKind.LET and not isinstance(self.rhs, DistCall):
+            raise ValueError(f"{self.name}: stochastic declaration needs a distribution")
+
+    @property
+    def is_stochastic(self) -> bool:
+        return self.kind is not DeclKind.LET
+
+    @property
+    def dist(self) -> DistCall:
+        assert isinstance(self.rhs, DistCall)
+        return self.rhs
+
+    def __str__(self) -> str:
+        lhs = self.name + "".join(f"[{v}]" for v in self.idx_vars)
+        op = "=" if self.kind is DeclKind.LET else "~"
+        comp = (
+            " for " + ", ".join(str(g) for g in self.gens) if self.gens else ""
+        )
+        return f"{self.kind.value} {lhs} {op} {self.rhs}{comp}"
+
+
+@dataclass(frozen=True)
+class Model:
+    """A complete model: hyper-parameter binders plus declarations."""
+
+    hypers: tuple[str, ...]
+    decls: tuple[Decl, ...]
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set(self.hypers)
+        if len(set(self.hypers)) != len(self.hypers):
+            raise ValueError("duplicate hyper-parameter names")
+        for d in self.decls:
+            if d.name in seen:
+                raise ValueError(f"duplicate declaration of {d.name!r}")
+            seen.add(d.name)
+
+    def decl(self, name: str) -> Decl:
+        for d in self.decls:
+            if d.name == name:
+                return d
+        raise KeyError(name)
+
+    @property
+    def params(self) -> tuple[Decl, ...]:
+        return tuple(d for d in self.decls if d.kind is DeclKind.PARAM)
+
+    @property
+    def data(self) -> tuple[Decl, ...]:
+        return tuple(d for d in self.decls if d.kind is DeclKind.DATA)
+
+    @property
+    def lets(self) -> tuple[Decl, ...]:
+        return tuple(d for d in self.decls if d.kind is DeclKind.LET)
+
+    def free_names(self) -> frozenset[str]:
+        """Names a declaration may reference: hypers + earlier declarations."""
+        return frozenset(self.hypers) | frozenset(d.name for d in self.decls)
+
+    def check_scoping(self) -> None:
+        """Reject references to undeclared names and to model parameters
+        inside comprehension bounds (the fixed-structure restriction of
+        Section 2.2)."""
+        param_names = {d.name for d in self.decls if d.kind is DeclKind.PARAM}
+        in_scope: set[str] = set(self.hypers)
+        for d in self.decls:
+            bound = set()
+            for g in d.gens:
+                for e in (g.lo, g.hi):
+                    for v in free_vars(e):
+                        if v in param_names:
+                            raise ValueError(
+                                f"{d.name}: comprehension bound mentions model "
+                                f"parameter {v!r}; bounds must be constant "
+                                "(fixed-structure models only)"
+                            )
+                        if v not in in_scope and v not in bound:
+                            raise ValueError(
+                                f"{d.name}: unknown name {v!r} in comprehension bound"
+                            )
+                bound.add(g.var)
+            for v in free_vars(d.rhs):
+                if v not in in_scope and v not in bound:
+                    raise ValueError(f"{d.name}: unknown name {v!r}")
+            in_scope.add(d.name)
+
+    def __str__(self) -> str:
+        body = "\n".join(f"  {d} ;" for d in self.decls)
+        return f"({', '.join(self.hypers)}) => {{\n{body}\n}}"

@@ -1,0 +1,118 @@
+"""Tokenizer for the surface modeling language and schedule strings."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+KEYWORDS = frozenset({"param", "data", "let", "for", "until"})
+
+#: Multi-character punctuation, longest first so the scanner is greedy.
+MULTI_PUNCT = ("=>", "<-", "(*)", "==")
+SINGLE_PUNCT = "()[]{},;~=+-*/<>."
+
+
+class TokKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT = "int"
+    REAL = "real"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokKind
+    text: str
+    line: int
+    col: int
+
+    def __str__(self) -> str:
+        return self.text if self.kind is not TokKind.EOF else "<eof>"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Scan ``source`` into tokens, raising :class:`ParseError` on junk.
+
+    Comments run from ``#`` or ``//`` to end of line.
+    """
+    toks: list[Token] = []
+    i, line, col = 0, 1, 1
+    n = len(source)
+
+    def error(msg: str):
+        raise ParseError(msg, line, col)
+
+    while i < n:
+        c = source[i]
+        if c == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if c in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if c == "#" or source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        start_col = col
+        # Multi-character punctuation first (so '(*)' beats '(').
+        matched = next((p for p in MULTI_PUNCT if source.startswith(p, i)), None)
+        if matched:
+            toks.append(Token(TokKind.PUNCT, matched, line, start_col))
+            i += len(matched)
+            col += len(matched)
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            seen_dot = seen_exp = False
+            while j < n:
+                ch = source[j]
+                if ch.isdigit():
+                    j += 1
+                elif ch == "." and not seen_dot and not seen_exp:
+                    # Only a decimal point when followed by a digit -- '0 until N'
+                    # style ranges never produce '0.' literals in practice, but
+                    # guard anyway.
+                    if j + 1 < n and source[j + 1].isdigit():
+                        seen_dot = True
+                        j += 1
+                    else:
+                        break
+                elif ch in "eE" and not seen_exp and j + 1 < n and (
+                    source[j + 1].isdigit() or source[j + 1] in "+-"
+                ):
+                    seen_exp = True
+                    j += 2 if source[j + 1] in "+-" else 1
+                else:
+                    break
+            text = source[i:j]
+            kind = TokKind.REAL if seen_dot or seen_exp else TokKind.INT
+            toks.append(Token(kind, text, line, start_col))
+            col += j - i
+            i = j
+            continue
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = TokKind.KEYWORD if text in KEYWORDS else TokKind.IDENT
+            toks.append(Token(kind, text, line, start_col))
+            col += j - i
+            i = j
+            continue
+        if c in SINGLE_PUNCT:
+            toks.append(Token(TokKind.PUNCT, c, line, start_col))
+            i += 1
+            col += 1
+            continue
+        error(f"unexpected character {c!r}")
+    toks.append(Token(TokKind.EOF, "", line, col))
+    return toks

@@ -1,0 +1,220 @@
+"""Recursive-descent parser for the surface modeling language.
+
+Grammar (terminals quoted; ``*`` repetition, ``?`` option)::
+
+    model   := '(' idents? ')' '=>' '{' decl* '}'
+    decl    := ('param' | 'data') lhs '~' expr comp? ';'
+             | 'let' lhs '=' expr comp? ';'
+    lhs     := IDENT ('[' IDENT ']')*
+    comp    := 'for' gen (',' gen)*
+    gen     := IDENT '<-' expr 'until' expr
+    expr    := term (('+' | '-') term)*
+    term    := unary (('*' | '/') unary)*
+    unary   := '-' unary | postfix
+    postfix := primary ('[' expr ']')*
+    primary := IDENT '(' args? ')' | IDENT | INT | REAL | '(' expr ')'
+
+An identifier applied to arguments is a distribution when the name is
+registered in the distribution registry, otherwise a builtin operator.
+"""
+
+from __future__ import annotations
+
+from repro.core.builtins import is_builtin
+from repro.core.exprs import (
+    Call,
+    DistCall,
+    Expr,
+    Gen,
+    Index,
+    IntLit,
+    RealLit,
+    Var,
+)
+from repro.core.frontend.ast import Decl, DeclKind, Model
+from repro.core.frontend.lexer import Token, TokKind, tokenize
+from repro.errors import ParseError
+from repro.runtime.distributions import is_distribution
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.toks = tokenize(source)
+        self.pos = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.toks[self.pos]
+
+    def error(self, msg: str):
+        t = self.cur
+        raise ParseError(f"{msg} (found {str(t)!r})", t.line, t.col)
+
+    def advance(self) -> Token:
+        t = self.cur
+        if t.kind is not TokKind.EOF:
+            self.pos += 1
+        return t
+
+    def at(self, text: str) -> bool:
+        return self.cur.text == text and self.cur.kind in (
+            TokKind.PUNCT,
+            TokKind.KEYWORD,
+        )
+
+    def eat(self, text: str) -> Token:
+        if not self.at(text):
+            self.error(f"expected {text!r}")
+        return self.advance()
+
+    def eat_ident(self) -> str:
+        if self.cur.kind is not TokKind.IDENT:
+            self.error("expected an identifier")
+        return self.advance().text
+
+    # -- grammar --------------------------------------------------------
+
+    def model(self) -> Model:
+        self.eat("(")
+        hypers: list[str] = []
+        if not self.at(")"):
+            hypers.append(self.eat_ident())
+            while self.at(","):
+                self.advance()
+                hypers.append(self.eat_ident())
+        self.eat(")")
+        self.eat("=>")
+        self.eat("{")
+        decls: list[Decl] = []
+        while not self.at("}"):
+            decls.append(self.decl())
+        self.eat("}")
+        if self.cur.kind is not TokKind.EOF:
+            self.error("trailing input after model body")
+        try:
+            model = Model(tuple(hypers), tuple(decls))
+            model.check_scoping()
+        except ValueError as e:
+            raise ParseError(str(e)) from None
+        return model
+
+    def decl(self) -> Decl:
+        if self.cur.kind is not TokKind.KEYWORD or self.cur.text not in (
+            "param",
+            "data",
+            "let",
+        ):
+            self.error("expected 'param', 'data', or 'let'")
+        kind = DeclKind(self.advance().text)
+        name = self.eat_ident()
+        idx_vars: list[str] = []
+        while self.at("["):
+            self.advance()
+            idx_vars.append(self.eat_ident())
+            self.eat("]")
+        self.eat("=" if kind is DeclKind.LET else "~")
+        rhs = self.expr()
+        gens: list[Gen] = []
+        if self.at("for"):
+            self.advance()
+            gens.append(self.gen())
+            while self.at(","):
+                self.advance()
+                gens.append(self.gen())
+        self.eat(";")
+        if kind is not DeclKind.LET and not isinstance(rhs, DistCall):
+            raise ParseError(
+                f"{name}: right-hand side of '~' must be a distribution"
+            )
+        try:
+            return Decl(kind, name, tuple(idx_vars), rhs, tuple(gens))
+        except ValueError as e:
+            raise ParseError(str(e)) from None
+
+    def gen(self) -> Gen:
+        var = self.eat_ident()
+        self.eat("<-")
+        lo = self.expr()
+        self.eat("until")
+        hi = self.expr()
+        return Gen(var, lo, hi)
+
+    def expr(self) -> Expr:
+        e = self.term()
+        while self.at("+") or self.at("-"):
+            op = self.advance().text
+            e = Call(op, (e, self.term()))
+        return e
+
+    def term(self) -> Expr:
+        e = self.unary()
+        while self.at("*") or self.at("/"):
+            op = self.advance().text
+            e = Call(op, (e, self.unary()))
+        return e
+
+    def unary(self) -> Expr:
+        if self.at("-"):
+            self.advance()
+            return Call("neg", (self.unary(),))
+        return self.postfix()
+
+    def postfix(self) -> Expr:
+        e = self.primary()
+        while self.at("["):
+            self.advance()
+            idx = self.expr()
+            self.eat("]")
+            e = Index(e, idx)
+        return e
+
+    def primary(self) -> Expr:
+        t = self.cur
+        if t.kind is TokKind.INT:
+            self.advance()
+            return IntLit(int(t.text))
+        if t.kind is TokKind.REAL:
+            self.advance()
+            return RealLit(float(t.text))
+        if self.at("("):
+            self.advance()
+            e = self.expr()
+            self.eat(")")
+            return e
+        if t.kind is TokKind.IDENT:
+            name = self.advance().text
+            if self.at("("):
+                self.advance()
+                args: list[Expr] = []
+                if not self.at(")"):
+                    args.append(self.expr())
+                    while self.at(","):
+                        self.advance()
+                        args.append(self.expr())
+                self.eat(")")
+                if is_distribution(name):
+                    return DistCall(name, tuple(args))
+                if is_builtin(name):
+                    return Call(name, tuple(args))
+                raise ParseError(
+                    f"unknown function or distribution {name!r}", t.line, t.col
+                )
+            return Var(name)
+        self.error("expected an expression")
+        raise AssertionError("unreachable")
+
+
+def parse_model(source: str) -> Model:
+    """Parse a model source string into a :class:`Model` AST."""
+    return _Parser(source).model()
+
+
+def parse_expr(source: str) -> Expr:
+    """Parse a standalone expression (exposed for tests and tools)."""
+    p = _Parser(source)
+    e = p.expr()
+    if p.cur.kind is not TokKind.EOF:
+        p.error("trailing input after expression")
+    return e

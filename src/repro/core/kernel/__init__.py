@@ -1,0 +1,33 @@
+"""The Kernel IL (paper Section 4.1).
+
+A MCMC algorithm is represented as a composition of base updates, each
+applying one method (Gibbs/FC, MH proposal, gradient-based, slice) to a
+kernel unit (a single variable or a block).  The IL is parametric in
+the representation of the proportional conditional; the middle-end
+instantiates it first with Density-IL conditionals and later with
+Low++/Low-- code.
+"""
+
+from repro.core.kernel.ir import (
+    KBase,
+    KComp,
+    Kernel,
+    KernelUnit,
+    KSched,
+    UpdateMethod,
+    flatten,
+)
+from repro.core.kernel.schedule import parse_schedule
+from repro.core.kernel.heuristic import heuristic_schedule
+
+__all__ = [
+    "KBase",
+    "KComp",
+    "Kernel",
+    "KernelUnit",
+    "KSched",
+    "UpdateMethod",
+    "flatten",
+    "heuristic_schedule",
+    "parse_schedule",
+]

@@ -1,0 +1,149 @@
+"""The conjugacy table (paper Section 4.4).
+
+"AugurV2 exploits conjugacy relations ... via table lookup."  Each rule
+pattern-matches a :class:`Conditional` structurally: the prior must be
+a known distribution whose arguments have no dependence on the target,
+and every likelihood factor must use the target element *exactly* in
+the conjugate argument position.  The compiler "may fail to detect a
+conjugacy relation if the approximation of the conditional is imprecise
+or the compiler needs to perform mathematical rearrangements beyond
+structural pattern matching" -- both limitations are faithfully
+reproduced here.
+
+Each matched rule later gets its own Gibbs code generator in
+:mod:`repro.core.lowpp.gen_gibbs` ("we need to implement a separate
+code-generator for each conjugacy relation", Section 7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.density.conditionals import Conditional
+from repro.core.density.ir import Factor
+from repro.core.exprs import Expr, mentions
+
+
+@dataclass(frozen=True)
+class ConjugacyMatch:
+    """A detected conjugacy relation on a conditional."""
+
+    rule: str
+    cond: Conditional
+
+    def __str__(self) -> str:
+        return f"{self.rule}({self.cond.target})"
+
+
+def _independent_of(e: Expr, target: str) -> bool:
+    return not mentions(e, target)
+
+
+def _prior_args_independent(cond: Conditional) -> bool:
+    return all(_independent_of(a, cond.target) for a in cond.prior.args)
+
+
+def _lik_matches(
+    cond: Conditional,
+    lik_dist: str,
+    conj_arg_index: int,
+) -> bool:
+    """Every likelihood factor is ``lik_dist`` with the target element in
+    argument position ``conj_arg_index`` and no other target dependence."""
+    if not cond.likelihood:
+        return False
+    elem = cond.prior.at
+    for f in cond.likelihood:
+        if f.dist != lik_dist:
+            return False
+        if f.args[conj_arg_index] != elem:
+            return False
+        for i, a in enumerate(f.args):
+            if i != conj_arg_index and not _independent_of(a, cond.target):
+                return False
+        if not _independent_of(f.at, cond.target):
+            return False
+    return True
+
+
+#: (rule name, prior distribution, likelihood distribution, conjugate
+#: argument position in the likelihood).  This is the well-known list
+#: the paper refers to.
+_TABLE: tuple[tuple[str, str, str, int], ...] = (
+    ("normal_normal_mean", "Normal", "Normal", 0),
+    ("mvnormal_mvnormal_mean", "MvNormal", "MvNormal", 0),
+    ("dirichlet_categorical", "Dirichlet", "Categorical", 0),
+    ("beta_bernoulli", "Beta", "Bernoulli", 0),
+    ("beta_binomial", "Beta", "Binomial", 1),
+    ("gamma_poisson", "Gamma", "Poisson", 0),
+    ("gamma_exponential", "Gamma", "Exponential", 0),
+    ("invwishart_mvnormal_cov", "InvWishart", "MvNormal", 1),
+)
+
+
+def detect_conjugacy(cond: Conditional) -> ConjugacyMatch | None:
+    """Look the conditional up in the conjugacy table.
+
+    Returns ``None`` when no rule matches -- including when the
+    conditional approximation was imprecise, in which case a closed
+    form cannot be trusted even if the shapes line up.
+    """
+    if cond.imprecise or cond.vector_dependence:
+        return None
+    if not _prior_args_independent(cond):
+        return None
+    for rule, prior_dist, lik_dist, pos in _TABLE:
+        if cond.prior.dist != prior_dist:
+            continue
+        if _lik_matches(cond, lik_dist, pos):
+            return ConjugacyMatch(rule=rule, cond=cond)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Gibbs-by-enumeration support (the "finite sum" fallback, Section 4.4).
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EnumerationMatch:
+    """A discrete conditional that can be summed over its finite support.
+
+    ``probs_arg`` is the Categorical probability-vector expression whose
+    length gives the support bound (``None`` for a Bernoulli target,
+    whose support is {0, 1}).
+    """
+
+    cond: Conditional
+    probs_arg: Expr | None
+
+
+def detect_enumeration(cond: Conditional, prior_dist_name: str) -> EnumerationMatch | None:
+    """Check that a discrete variable's conditional can be enumerated.
+
+    Requires a finite-support prior (Categorical or Bernoulli) and a
+    precise conditional, so that substituting each support value into
+    the dependent factors scores the full conditional.  Whole-vector
+    references (e.g. a hidden layer used inside ``dotp``) are rejected
+    too: there is no per-element expression to substitute the candidate
+    value into, so the enumeration generator cannot score it.
+    """
+    if cond.imprecise or cond.vector_dependence:
+        return None
+    if prior_dist_name == "Categorical":
+        return EnumerationMatch(cond=cond, probs_arg=cond.prior.args[0])
+    if prior_dist_name == "Bernoulli":
+        return EnumerationMatch(cond=cond, probs_arg=None)
+    return None
+
+
+def lik_factors_by_guard(cond: Conditional) -> tuple[tuple[Factor, ...], tuple[Factor, ...]]:
+    """Split likelihood factors into (unguarded, guarded) groups.
+
+    Guarded factors arose from the categorical-indexing rule and score
+    only the subset selected by the mixture assignment; code generators
+    handle the two groups differently (masked statistics vs. plain).
+    """
+    unguarded = tuple(f for f in cond.likelihood if not f.guards)
+    guarded = tuple(f for f in cond.likelihood if f.guards)
+    return unguarded, guarded

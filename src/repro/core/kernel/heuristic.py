@@ -1,0 +1,81 @@
+"""Automatic kernel selection (paper Section 4.2).
+
+When the user does not supply a schedule, the compiler picks one:
+
+1. variables with a detected conjugacy relation get Gibbs updates;
+2. remaining *discrete* variables get Gibbs by enumerating the
+   (approximated) closed-form conditional over their finite support;
+3. remaining *continuous* variables get HMC, blocked together so the
+   gradient-based update explores their joint conditional.
+
+The produced Kernel-IL term carries the symbolic conditionals as its
+payload -- the first instantiation of the IL's type parameter.
+"""
+
+from __future__ import annotations
+
+from repro.core.density.conditionals import blocked_factors, conditional
+from repro.core.density.ir import FactorizedDensity
+from repro.core.frontend.symbols import ModelInfo
+from repro.core.kernel.conjugacy import detect_conjugacy, detect_enumeration
+from repro.core.kernel.ir import KBase, Kernel, KernelUnit, UpdateMethod, compose
+from repro.errors import ScheduleError
+
+
+def heuristic_schedule(
+    fd: FactorizedDensity, info: ModelInfo, categorical_rule: bool = True
+) -> Kernel:
+    """Choose a composition of base updates for every model parameter."""
+    gibbs_updates: list[KBase] = []
+    grad_vars: list[str] = []
+
+    for name in info.param_names():
+        cond = conditional(fd, name, info, categorical_rule)
+        match = detect_conjugacy(cond)
+        if match is not None:
+            gibbs_updates.append(
+                KBase(
+                    method=UpdateMethod.GIBBS,
+                    unit=KernelUnit.single(name),
+                    payload=match,
+                )
+            )
+            continue
+        vinfo = info.info(name)
+        if vinfo.is_discrete:
+            enum = detect_enumeration(cond, vinfo.dist_name)
+            if enum is None:
+                raise ScheduleError(
+                    f"cannot derive an update for discrete variable {name!r}: "
+                    "its conditional is imprecise and no conjugacy relation "
+                    "applies"
+                )
+            gibbs_updates.append(
+                KBase(
+                    method=UpdateMethod.GIBBS,
+                    unit=KernelUnit.single(name),
+                    payload=enum,
+                )
+            )
+            continue
+        if vinfo.support == "pos_def_mat":
+            raise ScheduleError(
+                f"cannot derive an update for {name!r}: positive-definite "
+                "matrix variables need a conjugacy relation (InvWishart-"
+                "MvNormal), which was not detected"
+            )
+        grad_vars.append(name)
+
+    updates: list[KBase] = list(gibbs_updates)
+    if grad_vars:
+        blk = blocked_factors(fd, tuple(grad_vars))
+        updates.append(
+            KBase(
+                method=UpdateMethod.HMC,
+                unit=KernelUnit.block(grad_vars),
+                payload=blk,
+            )
+        )
+    if not updates:
+        raise ScheduleError("the model has no parameters to infer")
+    return compose(updates)

@@ -1,0 +1,124 @@
+"""User MCMC-schedule parsing (paper Section 2.3).
+
+A schedule string names a base update per variable (or block) and
+composes them with ``(*)``::
+
+    'ESlice mu (*) Gibbs z'
+    'HMC (theta, b, sigma2)'
+    'HMC[steps=20, step_size=0.05] theta (*) Gibbs z'
+
+The optional bracket list attaches options (integers, floats, or bare
+identifiers) to the update, e.g. HMC integrator settings or a MH
+proposal scale.
+"""
+
+from __future__ import annotations
+
+from repro.core.frontend.lexer import Token, TokKind, tokenize
+from repro.core.kernel.ir import KBase, Kernel, KernelUnit, UpdateMethod, compose
+from repro.errors import ParseError
+
+_METHOD_NAMES = {m.value: m for m in UpdateMethod}
+
+
+class _SchedParser:
+    def __init__(self, source: str):
+        self.toks = tokenize(source)
+        self.pos = 0
+
+    @property
+    def cur(self) -> Token:
+        return self.toks[self.pos]
+
+    def error(self, msg: str):
+        t = self.cur
+        raise ParseError(f"schedule: {msg} (found {str(t)!r})", t.line, t.col)
+
+    def advance(self) -> Token:
+        t = self.cur
+        if t.kind is not TokKind.EOF:
+            self.pos += 1
+        return t
+
+    def at(self, text: str) -> bool:
+        return self.cur.text == text
+
+    def eat(self, text: str) -> None:
+        if not self.at(text):
+            self.error(f"expected {text!r}")
+        self.advance()
+
+    def parse(self) -> Kernel:
+        updates = [self.update()]
+        while self.at("(*)"):
+            self.advance()
+            updates.append(self.update())
+        if self.cur.kind is not TokKind.EOF:
+            self.error("trailing input")
+        return compose(updates)
+
+    def update(self) -> KBase:
+        t = self.cur
+        if t.kind is not TokKind.IDENT or t.text not in _METHOD_NAMES:
+            known = ", ".join(sorted(_METHOD_NAMES))
+            self.error(f"expected an update method ({known})")
+        method = _METHOD_NAMES[self.advance().text]
+        options = self.options() if self.at("[") else ()
+        unit = self.unit()
+        return KBase(method=method, unit=unit, options=options)
+
+    def options(self) -> tuple[tuple[str, object], ...]:
+        self.eat("[")
+        opts: list[tuple[str, object]] = []
+        while not self.at("]"):
+            if self.cur.kind is not TokKind.IDENT:
+                self.error("expected an option name")
+            name = self.advance().text
+            self.eat("=")
+            opts.append((name, self.value()))
+            if self.at(","):
+                self.advance()
+        self.eat("]")
+        return tuple(opts)
+
+    def value(self):
+        t = self.cur
+        neg = False
+        if self.at("-"):
+            self.advance()
+            neg = True
+            t = self.cur
+        if t.kind is TokKind.INT:
+            self.advance()
+            v = int(t.text)
+            return -v if neg else v
+        if t.kind is TokKind.REAL:
+            self.advance()
+            v = float(t.text)
+            return -v if neg else v
+        if t.kind is TokKind.IDENT and not neg:
+            self.advance()
+            return t.text
+        self.error("expected an option value")
+        raise AssertionError("unreachable")
+
+    def unit(self) -> KernelUnit:
+        if self.at("("):
+            self.advance()
+            names = [self.ident()]
+            while self.at(","):
+                self.advance()
+                names.append(self.ident())
+            self.eat(")")
+            return KernelUnit.block(names)
+        return KernelUnit.single(self.ident())
+
+    def ident(self) -> str:
+        if self.cur.kind is not TokKind.IDENT:
+            self.error("expected a variable name")
+        return self.advance().text
+
+
+def parse_schedule(source: str) -> Kernel:
+    """Parse a user schedule string into a Kernel-IL term."""
+    return _SchedParser(source).parse()

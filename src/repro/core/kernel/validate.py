@@ -1,0 +1,168 @@
+"""User-schedule validation (paper Section 4.2).
+
+"The user can supply the MCMC schedule, in which case the compiler will
+check that it can indeed generate the desired schedule and fail
+otherwise."  This module performs that check and attaches the symbolic
+conditionals to each base update, producing the same payload shape the
+heuristic scheduler yields.
+"""
+
+from __future__ import annotations
+
+from repro.core.density.conditionals import blocked_factors, conditional
+from repro.core.density.ir import FactorizedDensity
+from repro.core.exprs import mentions
+from repro.core.frontend.symbols import ModelInfo
+from repro.core.kernel.conjugacy import detect_conjugacy, detect_enumeration
+from repro.core.kernel.ir import (
+    KBase,
+    Kernel,
+    UpdateMethod,
+    compose,
+    flatten,
+)
+from repro.errors import ScheduleError
+
+# Supports with an element-wise unconstraining transform the gradient
+# drivers can chain-rule through.  Simplex variables (stick-breaking has
+# a dense Jacobian) and positive-definite matrices are excluded: they
+# must be sampled by Gibbs or slice updates.
+_TRANSFORMABLE = {"real", "real_vec", "pos_real", "unit_interval"}
+
+
+def validate_schedule(
+    kernel: Kernel,
+    fd: FactorizedDensity,
+    info: ModelInfo,
+    allow_partial: bool = False,
+    categorical_rule: bool = True,
+) -> Kernel:
+    """Check a user schedule and attach conditionals; raise on failure."""
+    updates = flatten(kernel)
+    covered: set[str] = set()
+    out: list[KBase] = []
+    params = set(info.param_names())
+
+    for upd in updates:
+        for name in upd.unit.names:
+            if name not in info.vars:
+                raise ScheduleError(f"schedule names unknown variable {name!r}")
+            if name not in params:
+                raise ScheduleError(
+                    f"schedule targets {name!r}, which is not a model parameter"
+                )
+        covered.update(upd.unit.names)
+        out.append(_check_update(upd, fd, info, categorical_rule))
+
+    if not allow_partial:
+        missing = params - covered
+        if missing:
+            raise ScheduleError(
+                f"schedule leaves parameters unsampled: {sorted(missing)}; "
+                "every model parameter needs an update"
+            )
+    return compose(out)
+
+
+def _check_update(
+    upd: KBase, fd: FactorizedDensity, info: ModelInfo, categorical_rule: bool = True
+) -> KBase:
+    method = upd.method
+    if method is UpdateMethod.GIBBS:
+        return _check_gibbs(upd, fd, info, categorical_rule)
+    if method in (UpdateMethod.HMC, UpdateMethod.NUTS):
+        return _check_grad(upd, fd, info)
+    if method in (UpdateMethod.SLICE, UpdateMethod.ESLICE, UpdateMethod.MH):
+        return _check_density_based(upd, fd, info, categorical_rule)
+    raise ScheduleError(f"unsupported update method {method}")
+
+
+def _check_gibbs(
+    upd: KBase, fd: FactorizedDensity, info: ModelInfo, categorical_rule: bool = True
+) -> KBase:
+    if not upd.unit.is_single:
+        raise ScheduleError(
+            f"Gibbs {upd.unit}: blocked Gibbs updates are not supported; "
+            "joint conjugacy detection is out of scope"
+        )
+    name = upd.unit.names[0]
+    cond = conditional(fd, name, info, categorical_rule)
+    match = detect_conjugacy(cond)
+    if match is not None:
+        return upd.with_payload(match)
+    vinfo = info.info(name)
+    if vinfo.is_discrete:
+        enum = detect_enumeration(cond, vinfo.dist_name)
+        if enum is not None:
+            return upd.with_payload(enum)
+    raise ScheduleError(
+        f"Gibbs {name}: no conjugacy relation detected and the variable is "
+        "not a finite-support discrete variable"
+        + (" (conditional approximation is imprecise)" if cond.imprecise else "")
+    )
+
+
+def _check_grad(upd: KBase, fd: FactorizedDensity, info: ModelInfo) -> KBase:
+    for name in upd.unit.names:
+        vinfo = info.info(name)
+        if vinfo.is_discrete:
+            raise ScheduleError(
+                f"{upd.method.value} {name}: gradient-based updates cannot "
+                "be applied to discrete variables; marginalise them or use "
+                "Gibbs"
+            )
+        if vinfo.support not in _TRANSFORMABLE:
+            raise ScheduleError(
+                f"{upd.method.value} {name}: no unconstraining transform for "
+                f"support {vinfo.support!r}"
+            )
+    blk = blocked_factors(fd, upd.unit.names)
+    return upd.with_payload(blk)
+
+
+def _check_density_based(
+    upd: KBase, fd: FactorizedDensity, info: ModelInfo, categorical_rule: bool = True
+) -> KBase:
+    if not upd.unit.is_single:
+        raise ScheduleError(
+            f"{upd.method.value} {upd.unit}: blocked slice/MH updates are "
+            "not supported; list the variables as separate updates"
+        )
+    name = upd.unit.names[0]
+    vinfo = info.info(name)
+    if vinfo.is_discrete and upd.method is not UpdateMethod.MH:
+        raise ScheduleError(
+            f"{upd.method.value} {name}: slice sampling needs a continuous "
+            "variable"
+        )
+    if (
+        vinfo.is_discrete
+        and upd.method is UpdateMethod.MH
+        and upd.opt("proposal") is None
+    ):
+        raise ScheduleError(
+            f"MH {name}: a discrete variable needs a user-supplied proposal; "
+            "mark the update as MH[proposal=user] and pass the callable via "
+            "setProposal / compile_model(proposals=...)"
+        )
+    cond = conditional(fd, name, info, categorical_rule)
+    if upd.method is UpdateMethod.ESLICE:
+        if cond.prior.dist not in ("Normal", "MvNormal"):
+            raise ScheduleError(
+                f"ESlice {name}: elliptical slice sampling requires a "
+                f"Gaussian prior, but {name} has a {cond.prior.dist} prior"
+            )
+        if any(mentions(a, name) for a in cond.prior.args):
+            raise ScheduleError(
+                f"ESlice {name}: the Gaussian prior parameters must not "
+                "depend on the variable itself"
+            )
+    if upd.method in (UpdateMethod.SLICE, UpdateMethod.MH) and vinfo.support in (
+        "pos_def_mat",
+        "simplex",
+    ):
+        raise ScheduleError(
+            f"{upd.method.value} {name}: coordinate-wise updates would leave "
+            f"the {vinfo.support} support; use Gibbs for this variable"
+        )
+    return upd.with_payload(cond)

@@ -1,0 +1,24 @@
+"""The Low-- IL (paper Sections 5.1-5.2).
+
+Structurally the same as Low++, but programs must manage memory
+explicitly: every buffer an update touches -- model state, statistics
+workspaces, enumeration tables, adjoints -- is described by an
+allocation plan computed by *size inference* and allocated up front.
+This is what bounds the memory of a compiled MCMC algorithm and what
+makes GPU execution possible (no dynamic allocation in device code).
+"""
+
+from repro.core.lowmm.ir import LowDecl, lower_decl
+from repro.core.lowmm.size_inference import (
+    AllocationPlan,
+    allocate,
+    infer_state_layout,
+)
+
+__all__ = [
+    "AllocationPlan",
+    "LowDecl",
+    "allocate",
+    "infer_state_layout",
+    "lower_decl",
+]

@@ -1,0 +1,53 @@
+"""Low-- declarations: Low++ plus explicit memory.
+
+The paper: "The Low-- IL is structurally the same as the Low++ IL,
+except that programs must manage memory explicitly."  We reuse the
+Low++ statement forms and attach the memory information: the workspace
+buffers a declaration reads and writes, resolved against an
+:class:`~repro.core.lowmm.size_inference.AllocationPlan`.
+
+The lowering step also performs the functional-primitive elimination of
+Section 5.2 in a restricted form: whole-vector temporaries produced by
+library calls (posterior parameters, adjoint buffers) are accounted for
+in the plan so nothing inside a sampling sweep allocates unboundedly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.lowpp.ir import LDecl
+
+
+@dataclass(frozen=True)
+class LowDecl:
+    """A Low++ declaration paired with its resolved memory requirements.
+
+    ``workspaces`` names the buffers that must exist in the allocation
+    plan before the declaration runs; ``writes`` names the state
+    variables the declaration mutates (used by the synthesis step to
+    maintain the dual-state invariant for rejectable updates).
+    """
+
+    decl: LDecl
+    workspaces: tuple[str, ...]
+    writes: tuple[str, ...]
+
+    @property
+    def name(self) -> str:
+        return self.decl.name
+
+
+def lower_decl(
+    decl: LDecl,
+    workspaces: tuple[str, ...] = (),
+    writes: tuple[str, ...] = (),
+) -> LowDecl:
+    """Lower a Low++ declaration to Low--.
+
+    The statement structure is preserved; what changes is the contract:
+    from here on, every buffer the code touches must appear in the
+    allocation plan (the interpreter and backends enforce this by
+    refusing to create arrays implicitly).
+    """
+    return LowDecl(decl=decl, workspaces=tuple(workspaces), writes=tuple(writes))

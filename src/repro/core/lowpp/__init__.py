@@ -1,0 +1,33 @@
+"""The Low++ IL (paper Section 4.3).
+
+An imperative language that makes parallelism explicit -- loops carry
+``Seq`` / ``Par`` / ``AtmPar`` annotations and increment-and-assign is a
+dedicated statement form -- while abstracting away memory management.
+The update code generators (likelihood reification, conjugate Gibbs,
+enumeration Gibbs, and the Figure 8 reverse-mode AD) all target this
+IL.
+"""
+
+from repro.core.lowpp.ir import (
+    AssignOp,
+    LDecl,
+    LoopKind,
+    LValue,
+    SAssign,
+    SIf,
+    SLoop,
+    SMultiAssign,
+    Stmt,
+)
+
+__all__ = [
+    "AssignOp",
+    "LDecl",
+    "LoopKind",
+    "LValue",
+    "SAssign",
+    "SIf",
+    "SLoop",
+    "SMultiAssign",
+    "Stmt",
+]

@@ -1,0 +1,232 @@
+"""Source-to-source reverse-mode AD: Density IL -> Low++ (paper Fig. 8).
+
+The translation builds an *adjoint program* that computes the gradient
+of a (block) conditional's log density with respect to a set of target
+variables.  Two properties from the paper are preserved:
+
+- **No stack.**  The comprehensions of the Density IL are parallel, so
+  the adjoint of a structured product is simply an ``AtmPar`` loop over
+  the same generator -- order-independence lets the usual AD tape be
+  optimised away (Section 4.4, "the stack can be optimized away").
+
+- **Atomic accumulation.**  Adjoint contributions are emitted as the
+  dedicated increment-and-assign statement, e.g. ``adj_mu[z[n]] +=
+  adj_ll * t``, which parallel backends must execute atomically.  The
+  contention this can cause is exactly what the Blk-IL summation-block
+  conversion (Section 5.4) exists to fix.
+"""
+
+from __future__ import annotations
+
+from repro.core.density.conditionals import BlockConditional
+from repro.core.density.ir import Factor
+from repro.core.exprs import (
+    Call,
+    DistOp,
+    DistOpKind,
+    Expr,
+    Index,
+    IntLit,
+    RealLit,
+    Var,
+    mentions,
+)
+from repro.core.lowpp.gen_ll import _guard_expr, _needed_lets
+from repro.core.lowpp.ir import (
+    AssignOp,
+    LDecl,
+    LoopKind,
+    LValue,
+    SAssign,
+    SIf,
+    SLoop,
+    Stmt,
+)
+from repro.errors import CodegenError
+from repro.runtime.distributions import lookup
+
+
+def _mentions_any(e: Expr, names: tuple[str, ...]) -> bool:
+    return any(mentions(e, n) for n in names)
+
+
+class _AdjointEmitter:
+    """Emits adjoint statements for one gradient declaration."""
+
+    def __init__(self, targets: tuple[str, ...]):
+        self.targets = targets
+        self._counter = 0
+
+    def fresh(self) -> str:
+        self._counter += 1
+        return f"t{self._counter}"
+
+    # -- expression adjoints (Figure 8a) --------------------------------
+
+    def backprop(self, e: Expr, adj: Expr, out: list[Stmt]) -> None:
+        """Accumulate ``adj`` into the adjoints of targets inside ``e``."""
+        match e:
+            case Var(name):
+                if name in self.targets:
+                    out.append(SAssign(LValue(f"adj_{name}"), AssignOp.INC, adj))
+                return
+            case Index():
+                head, idxs = self._index_path(e)
+                for i in idxs:
+                    if _mentions_any(i, self.targets):
+                        raise CodegenError(
+                            "cannot differentiate through an index that "
+                            f"depends on a target variable: {e}"
+                        )
+                if head in self.targets:
+                    out.append(
+                        SAssign(LValue(f"adj_{head}", idxs), AssignOp.INC, adj)
+                    )
+                return
+            case Call(fn, args):
+                self._backprop_call(fn, args, adj, out)
+                return
+            case IntLit() | RealLit():
+                return
+            case _:
+                raise CodegenError(f"cannot differentiate expression {e!r}")
+
+    @staticmethod
+    def _index_path(e: Expr) -> tuple[str | None, tuple[Expr, ...]]:
+        idxs: list[Expr] = []
+        node = e
+        while isinstance(node, Index):
+            idxs.append(node.index)
+            node = node.base
+        head = node.name if isinstance(node, Var) else None
+        return head, tuple(reversed(idxs))
+
+    def _backprop_call(self, fn: str, args, adj: Expr, out: list[Stmt]) -> None:
+        a = args[0]
+        b = args[1] if len(args) > 1 else None
+        partials: list[tuple[Expr, Expr]] = []  # (sub-expression, local adjoint)
+        if fn == "+":
+            partials = [(a, adj), (b, adj)]
+        elif fn == "-":
+            partials = [(a, adj), (b, Call("neg", (adj,)))]
+        elif fn == "*":
+            partials = [(a, Call("*", (adj, b))), (b, Call("*", (adj, a)))]
+        elif fn == "/":
+            partials = [
+                (a, Call("/", (adj, b))),
+                (b, Call("neg", (Call("/", (Call("*", (adj, a)), Call("*", (b, b)))),))),
+            ]
+        elif fn == "neg":
+            partials = [(a, Call("neg", (adj,)))]
+        elif fn == "exp":
+            partials = [(a, Call("*", (adj, Call("exp", (a,)))))]
+        elif fn == "log":
+            partials = [(a, Call("/", (adj, a)))]
+        elif fn == "sqrt":
+            partials = [(a, Call("/", (adj, Call("*", (RealLit(2.0), Call("sqrt", (a,)))))))]
+        elif fn == "sigmoid":
+            s = Call("sigmoid", (a,))
+            partials = [(a, Call("*", (adj, Call("*", (s, Call("-", (RealLit(1.0), s)))))))]
+        elif fn == "pow":
+            partials = [
+                (a, Call("*", (adj, Call("*", (b, Call("pow", (a, Call("-", (b, RealLit(1.0)))))))))),
+                (b, Call("*", (adj, Call("*", (Call("log", (a,)), Call("pow", (a, b))))))),
+            ]
+        elif fn == "dotp":
+            # Vector adjoints: d dotp(a, b) / d a = b (element-wise).
+            partials = [(a, Call("*", (adj, b))), (b, Call("*", (adj, a)))]
+        else:
+            raise CodegenError(f"no adjoint rule for operator {fn!r}")
+        for sub, local in partials:
+            if sub is None or not _mentions_any(sub, self.targets):
+                continue
+            # Bind the propagated adjoint to a temp so chains stay linear
+            # (the "simple expressions" form Figure 8 assumes).
+            t = self.fresh()
+            out.append(SAssign(LValue(t), AssignOp.SET, local))
+            self.backprop(sub, Var(t), out)
+
+    # -- factor adjoints (Figure 8b) -------------------------------------
+
+    def factor_stmts(self, factor: Factor) -> tuple[Stmt, ...]:
+        dist = lookup(factor.dist)
+        inner: list[Stmt] = []
+        if _mentions_any(factor.at, self.targets):
+            if not dist.supports_grad(0):
+                raise CodegenError(
+                    f"{factor.dist}: gradient w.r.t. the value is unavailable"
+                )
+            t = self.fresh()
+            inner.append(
+                SAssign(
+                    LValue(t),
+                    AssignOp.SET,
+                    DistOp(factor.dist, factor.args, DistOpKind.GRAD,
+                           value=factor.at, grad_index=0),
+                )
+            )
+            self.backprop(factor.at, Var(t), inner)
+        for i, arg in enumerate(factor.args, start=1):
+            if not _mentions_any(arg, self.targets):
+                continue
+            if not dist.supports_grad(i):
+                raise CodegenError(
+                    f"{factor.dist}: gradient w.r.t. argument {i} is unavailable"
+                )
+            t = self.fresh()
+            inner.append(
+                SAssign(
+                    LValue(t),
+                    AssignOp.SET,
+                    DistOp(factor.dist, factor.args, DistOpKind.GRAD,
+                           value=factor.at, grad_index=i),
+                )
+            )
+            self.backprop(arg, Var(t), inner)
+        if not inner:
+            return ()
+        for a, b in factor.guards:
+            if _mentions_any(a, self.targets) or _mentions_any(b, self.targets):
+                raise CodegenError("cannot differentiate through a guard")
+        cond = _guard_expr(factor.guards)
+        body: tuple[Stmt, ...] = tuple(inner)
+        if cond is not None:
+            body = (SIf(cond, body),)
+        for g in reversed(factor.gens):
+            body = (SLoop(LoopKind.ATM_PAR, g, body),)
+        return body
+
+
+def gen_grad(
+    blk: BlockConditional,
+    lets: tuple[tuple[str, Expr], ...] = (),
+) -> LDecl:
+    """Generate the adjoint declaration for a block conditional.
+
+    Returns ``grad_<targets>`` computing ``d log p / d target`` for every
+    target, as a tuple in target order.  Adjoint buffers are zeroed with
+    ``lib.zeros_like`` so their shapes always match the state.
+    """
+    targets = blk.targets
+    emitter = _AdjointEmitter(targets)
+    free: set[str] = set()
+    for f in blk.factors:
+        free |= f.free_names()
+    body: list[Stmt] = list(_needed_lets(lets, frozenset(free)))
+    for t in targets:
+        body.append(
+            SAssign(
+                LValue(f"adj_{t}"),
+                AssignOp.SET,
+                Call("lib.zeros_like", (Var(t),)),
+            )
+        )
+    for f in blk.factors:
+        body.extend(emitter.factor_stmts(f))
+    params = tuple(sorted(free | set(targets)))
+    return LDecl(
+        name="grad_" + "_".join(targets),
+        params=params,
+        body=tuple(body),
+        ret=tuple(Var(f"adj_{t}") for t in targets),
+    )

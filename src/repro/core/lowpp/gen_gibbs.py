@@ -1,0 +1,607 @@
+"""Gibbs update code generation (paper Sections 4.4 and 7.1).
+
+Each conjugacy relation has its own code generator ("supporting Gibbs
+updates was difficult because we need to implement a separate
+code-generator for each conjugacy relation").  Every generator follows
+the same three-phase shape:
+
+1. zero the sufficient-statistics buffers,
+2. traverse the likelihood factors accumulating statistics -- with the
+   *guard-inversion* optimisation: a factor guarded by ``z[n] == k``
+   scatters into bucket ``z[n]`` instead of scanning all ``k``, so the
+   traversal is a single ``AtmPar`` pass over the data,
+3. sample each target element from its closed-form posterior, whose
+   parameters come from a fixed ``lib.*`` routine.
+
+Discrete variables without a conjugate prior get the enumeration
+generator: score every support value into a logit table, then draw
+categorically (the "finite sum" approximation of Section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.density.conditionals import Conditional
+from repro.core.density.ir import Factor
+from repro.core.exprs import (
+    Call,
+    DistOp,
+    DistOpKind,
+    Expr,
+    Gen,
+    IntLit,
+    RealLit,
+    Var,
+    mentions,
+    subst,
+)
+from repro.core.kernel.conjugacy import ConjugacyMatch, EnumerationMatch
+from repro.core.lowpp.gen_ll import _guard_expr, _needed_lets
+from repro.core.lowpp.ir import (
+    AssignOp,
+    LDecl,
+    LoopKind,
+    LValue,
+    SAssign,
+    SIf,
+    SLoop,
+    SMultiAssign,
+    Stmt,
+)
+from repro.core.workspace import WorkspaceSpec
+from repro.errors import CodegenError
+
+
+@dataclass(frozen=True)
+class GibbsCode:
+    """A generated update declaration plus the workspaces it needs."""
+
+    decl: LDecl
+    workspaces: tuple[WorkspaceSpec, ...]
+
+
+# ----------------------------------------------------------------------
+# Statistics-phase planning.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _FactorPlan:
+    """How one likelihood factor contributes statistics.
+
+    ``bucket`` gives, per target binder, the expression selecting the
+    statistics cell: the binder itself when the binder is looped, or the
+    guard's left-hand side when the guard was inverted into a scatter.
+    ``loops`` are the generators to iterate (looped binders first, then
+    the factor's own kept generators); ``residual_guards`` are guards
+    that could not be inverted and remain as ``if`` checks; ``mapping``
+    substitutes inverted binders inside statistic expressions.
+    """
+
+    factor: Factor
+    bucket: tuple[Expr, ...]
+    loops: tuple[Gen, ...]
+    residual_guards: tuple[tuple[Expr, Expr], ...]
+    mapping: dict[str, Expr]
+
+    def stat_expr(self, e: Expr) -> Expr:
+        return subst(e, self.mapping)
+
+
+def _plan_factor(factor: Factor, cond: Conditional) -> _FactorPlan:
+    binders = cond.idx_vars
+    guard_of: dict[str, Expr] = {}
+    residual: list[tuple[Expr, Expr]] = []
+    for lhs, rhs in factor.guards:
+        if isinstance(rhs, Var) and rhs.name in binders and rhs.name not in guard_of:
+            guard_of[rhs.name] = lhs
+        else:
+            residual.append((lhs, rhs))
+
+    bucket: list[Expr] = []
+    loop_binders: list[Gen] = []
+    mapping: dict[str, Expr] = {}
+    for b, bgen in zip(binders, cond.gens):
+        lhs = guard_of.get(b)
+        bound_mentions_b = any(
+            mentions(g.lo, b) or mentions(g.hi, b) for g in factor.gens
+        )
+        if lhs is not None and not bound_mentions_b:
+            # Guard inversion: scatter by the mixture assignment.
+            bucket.append(subst(lhs, mapping))
+            mapping[b] = lhs
+        else:
+            if lhs is not None:
+                residual.append((lhs, Var(b)))
+            bucket.append(Var(b))
+            loop_binders.append(bgen)
+    return _FactorPlan(
+        factor=factor,
+        bucket=tuple(bucket),
+        loops=tuple(loop_binders) + factor.gens,
+        residual_guards=tuple(residual),
+        mapping=mapping,
+    )
+
+
+def _wrap_loops(
+    stmts: tuple[Stmt, ...],
+    plan: _FactorPlan,
+    kind: LoopKind = LoopKind.ATM_PAR,
+) -> tuple[Stmt, ...]:
+    cond = _guard_expr(plan.residual_guards)
+    body = stmts
+    if cond is not None:
+        body = (SIf(cond, body),)
+    for g in reversed(plan.loops):
+        body = (SLoop(kind, g, body),)
+    return body
+
+
+# ----------------------------------------------------------------------
+# Shared pieces.
+# ----------------------------------------------------------------------
+
+
+def _ws(name: str, cond: Conditional, trailing: tuple[Expr, ...] = (), dtype="f8"):
+    return WorkspaceSpec(name=name, gens=cond.gens, trailing=trailing, dtype=dtype)
+
+
+def _zero(ws_names: list[str], scalar: bool) -> list[Stmt]:
+    if scalar:
+        return [SAssign(LValue(n), AssignOp.SET, RealLit(0.0)) for n in ws_names]
+    return [
+        SAssign(LValue(n), AssignOp.SET, Call("lib.fill_zero", (Var(n),)))
+        for n in ws_names
+    ]
+
+
+def _cell(name: str, idx: tuple[Expr, ...]) -> LValue:
+    return LValue(name, idx)
+
+
+def _cell_expr(name: str, idx: tuple[Expr, ...]) -> Expr:
+    e: Expr = Var(name)
+    for i in idx:
+        e = e[i]
+    return e
+
+
+def _target_lv(cond: Conditional) -> LValue:
+    return LValue(cond.target, tuple(Var(v) for v in cond.idx_vars))
+
+
+def _sample_loop(cond: Conditional, body: tuple[Stmt, ...]) -> tuple[Stmt, ...]:
+    for g in reversed(cond.gens):
+        body = (SLoop(LoopKind.PAR, g, body),)
+    return body
+
+
+def _binder_idx(cond: Conditional) -> tuple[Expr, ...]:
+    return tuple(Var(v) for v in cond.idx_vars)
+
+
+def _params_for(decl_body, cond, ws_names):
+    """Free names of the generated body become the declaration params."""
+    from repro.core.lowpp.ir import walk_stmts
+
+    free: set[str] = set()
+    bound: set[str] = set(ws_names)
+    from repro.core.exprs import free_vars as fv
+    from repro.core.lowpp.ir import SAssign as _SA, SIf as _SI, SLoop as _SL, SMultiAssign as _SM
+
+    loopvars: set[str] = set()
+    assigned: set[str] = set()
+    for s in walk_stmts(tuple(decl_body)):
+        if isinstance(s, _SL):
+            loopvars.add(s.gen.var)
+            free |= fv(s.gen.lo) | fv(s.gen.hi)
+        elif isinstance(s, _SA):
+            free |= fv(s.rhs)
+            free |= {n for i in s.lhs.indices for n in fv(i)}
+            if not s.lhs.indices:
+                assigned.add(s.lhs.name)
+            else:
+                free.add(s.lhs.name)
+        elif isinstance(s, _SM):
+            free |= fv(s.rhs)
+            for lv in s.lhs:
+                if lv.indices:
+                    free.add(lv.name)
+                    free |= {n for i in lv.indices for n in fv(i)}
+                else:
+                    assigned.add(lv.name)
+        elif isinstance(s, _SI):
+            free |= fv(s.cond)
+    return tuple(sorted(free - loopvars - assigned - bound))
+
+
+def _finish(
+    name: str, cond, body: list[Stmt], specs: list[WorkspaceSpec], lets=()
+) -> GibbsCode:
+    ws_names = [s.name for s in specs]
+    params = _params_for(body, cond, ws_names)
+    let_names = {n for n, _ in lets}
+    if let_names & set(params):
+        body = list(_needed_lets(lets, frozenset(set(params) & let_names))) + list(body)
+        params = _params_for(body, cond, ws_names)
+    decl = LDecl(
+        name=name,
+        params=params,
+        body=tuple(body),
+        ret=(),
+        locals_hint=tuple(ws_names),
+    )
+    return GibbsCode(decl=decl, workspaces=tuple(specs))
+
+
+# ----------------------------------------------------------------------
+# Rule generators.
+# ----------------------------------------------------------------------
+
+
+def _gen_dirichlet_categorical(match: ConjugacyMatch, lets) -> GibbsCode:
+    cond = match.cond
+    t = cond.target
+    scalar = not cond.idx_vars
+    cnt = f"ws_{t}_cnt"
+    alpha = cond.prior.args[0]
+    support = Call("len", (alpha,))
+
+    specs: list[WorkspaceSpec] = []
+    body: list[Stmt] = []
+    if scalar:
+        # Scalar simplex target: the counts buffer is a plain vector.
+        specs.append(WorkspaceSpec(cnt, gens=(), trailing=(support,)))
+        body.append(SAssign(LValue(cnt), AssignOp.SET, Call("lib.fill_zero", (Var(cnt),))))
+    else:
+        specs.append(_ws(cnt, cond, trailing=(support,)))
+        body.extend(_zero([cnt], scalar=False))
+
+    for f in cond.likelihood:
+        plan = _plan_factor(f, cond)
+        at = plan.stat_expr(f.at)
+        inc = SAssign(_cell(cnt, plan.bucket + (at,)), AssignOp.INC, RealLit(1.0))
+        body.extend(_wrap_loops((inc,), plan))
+
+    post = Call("lib.dirichlet_post", (alpha, _cell_expr(cnt, _binder_idx(cond))))
+    samp = SAssign(
+        _target_lv(cond),
+        AssignOp.SET,
+        DistOp("Dirichlet", (post,), DistOpKind.SAMP),
+    )
+    body.extend(_sample_loop(cond, (samp,)))
+    return _finish(f"gibbs_{t}", cond, body, specs, lets)
+
+
+def _gen_normal_normal(match: ConjugacyMatch, lets) -> GibbsCode:
+    cond = match.cond
+    t = cond.target
+    scalar = not cond.idx_vars
+    prec, mean = f"ws_{t}_prec", f"ws_{t}_mean"
+    mu0, v0 = cond.prior.args
+
+    specs: list[WorkspaceSpec] = []
+    body: list[Stmt] = []
+    if scalar:
+        body.extend(_zero([prec, mean], scalar=True))
+    else:
+        specs += [_ws(prec, cond), _ws(mean, cond)]
+        body.extend(_zero([prec, mean], scalar=False))
+
+    for f in cond.likelihood:
+        plan = _plan_factor(f, cond)
+        var_e = plan.stat_expr(f.args[1])
+        at = plan.stat_expr(f.at)
+        incs = (
+            SAssign(_cell(prec, plan.bucket), AssignOp.INC,
+                    Call("/", (RealLit(1.0), var_e))),
+            SAssign(_cell(mean, plan.bucket), AssignOp.INC,
+                    Call("/", (at, var_e))),
+        )
+        body.extend(_wrap_loops(incs, plan))
+
+    idx = _binder_idx(cond)
+    post = Call(
+        "lib.normal_normal_post",
+        (mu0, v0, _cell_expr(prec, idx), _cell_expr(mean, idx)),
+    )
+    pm, pv = LValue(f"pm_{t}"), LValue(f"pv_{t}")
+    stmts = (
+        SMultiAssign((pm, pv), post),
+        SAssign(_target_lv(cond), AssignOp.SET,
+                DistOp("Normal", (Var(pm.name), Var(pv.name)), DistOpKind.SAMP)),
+    )
+    body.extend(_sample_loop(cond, stmts))
+    return _finish(f"gibbs_{t}", cond, body, specs, lets)
+
+
+def _gen_mvnormal_mean(match: ConjugacyMatch, lets) -> GibbsCode:
+    cond = match.cond
+    t = cond.target
+    if len(cond.likelihood) != 1:
+        raise CodegenError(
+            f"gibbs {t}: the MvNormal-mean generator supports exactly one "
+            "likelihood factor"
+        )
+    (lik,) = cond.likelihood
+    cov_e = lik.args[1]
+    for g in lik.gens:
+        if mentions(cov_e, g.var):
+            raise CodegenError(
+                f"gibbs {t}: likelihood covariance varies within the "
+                "comprehension; not expressible as a count-based posterior"
+            )
+    mu0, sigma0 = cond.prior.args
+    cnt, tot = f"ws_{t}_cnt", f"ws_{t}_sum"
+    dim = Call("len", (mu0,))
+
+    specs: list[WorkspaceSpec] = []
+    body: list[Stmt] = []
+    scalar = not cond.idx_vars
+    if scalar:
+        specs.append(WorkspaceSpec(tot, gens=(), trailing=(dim,)))
+        body.append(SAssign(LValue(cnt), AssignOp.SET, RealLit(0.0)))
+        body.append(SAssign(LValue(tot), AssignOp.SET, Call("lib.fill_zero", (Var(tot),))))
+    else:
+        specs += [_ws(cnt, cond), _ws(tot, cond, trailing=(dim,))]
+        body.extend(_zero([cnt, tot], scalar=False))
+
+    plan = _plan_factor(lik, cond)
+    at = plan.stat_expr(lik.at)
+    incs = (
+        SAssign(_cell(cnt, plan.bucket), AssignOp.INC, RealLit(1.0)),
+        SAssign(_cell(tot, plan.bucket), AssignOp.INC, at),
+    )
+    body.extend(_wrap_loops(incs, plan))
+
+    idx = _binder_idx(cond)
+    post = Call(
+        "lib.mvnormal_post",
+        (mu0, sigma0, cov_e, _cell_expr(tot, idx), _cell_expr(cnt, idx)),
+    )
+    pm, pc = LValue(f"pm_{t}"), LValue(f"pc_{t}")
+    stmts = (
+        SMultiAssign((pm, pc), post),
+        SAssign(_target_lv(cond), AssignOp.SET,
+                DistOp("MvNormal", (Var(pm.name), Var(pc.name)), DistOpKind.SAMP)),
+    )
+    body.extend(_sample_loop(cond, stmts))
+    return _finish(f"gibbs_{t}", cond, body, specs, lets)
+
+
+def _gen_invwishart_cov(match: ConjugacyMatch, lets) -> GibbsCode:
+    cond = match.cond
+    t = cond.target
+    if len(cond.likelihood) != 1:
+        raise CodegenError(
+            f"gibbs {t}: the InvWishart generator supports exactly one "
+            "likelihood factor"
+        )
+    (lik,) = cond.likelihood
+    mean_e = lik.args[0]
+    nu, psi = cond.prior.args
+    cnt, scat = f"ws_{t}_cnt", f"ws_{t}_scat"
+    # Scatter buffers are (d, d); take d from the prior scale matrix.
+    dim = Call("len", (psi,))
+
+    specs: list[WorkspaceSpec] = []
+    body: list[Stmt] = []
+    scalar = not cond.idx_vars
+    if scalar:
+        specs.append(WorkspaceSpec(scat, gens=(), trailing=(dim, dim)))
+        body.append(SAssign(LValue(cnt), AssignOp.SET, RealLit(0.0)))
+        body.append(SAssign(LValue(scat), AssignOp.SET, Call("lib.fill_zero", (Var(scat),))))
+    else:
+        specs += [_ws(cnt, cond), _ws(scat, cond, trailing=(dim, dim))]
+        body.extend(_zero([cnt, scat], scalar=False))
+
+    plan = _plan_factor(lik, cond)
+    at = plan.stat_expr(lik.at)
+    centered = Call("-", (at, plan.stat_expr(mean_e)))
+    incs = (
+        SAssign(_cell(cnt, plan.bucket), AssignOp.INC, RealLit(1.0)),
+        SAssign(_cell(scat, plan.bucket), AssignOp.INC,
+                Call("lib.outer", (centered, centered))),
+    )
+    body.extend(_wrap_loops(incs, plan))
+
+    idx = _binder_idx(cond)
+    post = Call(
+        "lib.invwishart_post",
+        (nu, psi, _cell_expr(scat, idx), _cell_expr(cnt, idx)),
+    )
+    pn, pp = LValue(f"pn_{t}"), LValue(f"pp_{t}")
+    stmts = (
+        SMultiAssign((pn, pp), post),
+        SAssign(_target_lv(cond), AssignOp.SET,
+                DistOp("InvWishart", (Var(pn.name), Var(pp.name)), DistOpKind.SAMP)),
+    )
+    body.extend(_sample_loop(cond, stmts))
+    return _finish(f"gibbs_{t}", cond, body, specs, lets)
+
+
+def _gen_sum_count_rule(match: ConjugacyMatch, lets, lib_post: str, out_dist: str) -> GibbsCode:
+    """Shared generator for Beta-Bernoulli / Gamma-Poisson / Gamma-Exponential:
+    statistics are (sum of observations, count)."""
+    cond = match.cond
+    t = cond.target
+    a, b = cond.prior.args
+    s, c = f"ws_{t}_sum", f"ws_{t}_cnt"
+
+    specs: list[WorkspaceSpec] = []
+    body: list[Stmt] = []
+    scalar = not cond.idx_vars
+    if scalar:
+        body.extend(_zero([s, c], scalar=True))
+    else:
+        specs += [_ws(s, cond), _ws(c, cond)]
+        body.extend(_zero([s, c], scalar=False))
+
+    for f in cond.likelihood:
+        plan = _plan_factor(f, cond)
+        at = plan.stat_expr(f.at)
+        incs = (
+            SAssign(_cell(s, plan.bucket), AssignOp.INC, at),
+            SAssign(_cell(c, plan.bucket), AssignOp.INC, RealLit(1.0)),
+        )
+        body.extend(_wrap_loops(incs, plan))
+
+    idx = _binder_idx(cond)
+    post = Call(lib_post, (a, b, _cell_expr(s, idx), _cell_expr(c, idx)))
+    pa, pb = LValue(f"pa_{t}"), LValue(f"pb_{t}")
+    stmts = (
+        SMultiAssign((pa, pb), post),
+        SAssign(_target_lv(cond), AssignOp.SET,
+                DistOp(out_dist, (Var(pa.name), Var(pb.name)), DistOpKind.SAMP)),
+    )
+    body.extend(_sample_loop(cond, stmts))
+    return _finish(f"gibbs_{t}", cond, body, specs, lets)
+
+
+def _gen_beta_binomial(match: ConjugacyMatch, lets) -> GibbsCode:
+    """Beta prior + Binomial likelihoods: statistics are (sum of
+    successes, sum of trials); the trials expression is accumulated per
+    factor so per-observation trial counts are supported."""
+    cond = match.cond
+    t = cond.target
+    a, b = cond.prior.args
+    s, tr = f"ws_{t}_succ", f"ws_{t}_trials"
+
+    specs: list[WorkspaceSpec] = []
+    body: list[Stmt] = []
+    scalar = not cond.idx_vars
+    if scalar:
+        body.extend(_zero([s, tr], scalar=True))
+    else:
+        specs += [_ws(s, cond), _ws(tr, cond)]
+        body.extend(_zero([s, tr], scalar=False))
+
+    for f in cond.likelihood:
+        plan = _plan_factor(f, cond)
+        at = plan.stat_expr(f.at)
+        trials_e = plan.stat_expr(f.args[0])
+        incs = (
+            SAssign(_cell(s, plan.bucket), AssignOp.INC, at),
+            SAssign(_cell(tr, plan.bucket), AssignOp.INC, trials_e),
+        )
+        body.extend(_wrap_loops(incs, plan))
+
+    idx = _binder_idx(cond)
+    post = Call(
+        "lib.beta_binomial_post", (a, b, _cell_expr(s, idx), _cell_expr(tr, idx))
+    )
+    pa, pb = LValue(f"pa_{t}"), LValue(f"pb_{t}")
+    stmts = (
+        SMultiAssign((pa, pb), post),
+        SAssign(_target_lv(cond), AssignOp.SET,
+                DistOp("Beta", (Var(pa.name), Var(pb.name)), DistOpKind.SAMP)),
+    )
+    body.extend(_sample_loop(cond, stmts))
+    return _finish(f"gibbs_{t}", cond, body, specs, lets)
+
+
+_RULE_GENERATORS = {
+    "dirichlet_categorical": _gen_dirichlet_categorical,
+    "normal_normal_mean": _gen_normal_normal,
+    "mvnormal_mvnormal_mean": _gen_mvnormal_mean,
+    "invwishart_mvnormal_cov": _gen_invwishart_cov,
+    "beta_binomial": _gen_beta_binomial,
+    "beta_bernoulli": lambda m, lets: _gen_sum_count_rule(
+        m, lets, "lib.beta_bernoulli_post", "Beta"
+    ),
+    "gamma_poisson": lambda m, lets: _gen_sum_count_rule(
+        m, lets, "lib.gamma_poisson_post", "Gamma"
+    ),
+    "gamma_exponential": lambda m, lets: _gen_sum_count_rule(
+        m, lets, "lib.gamma_exponential_post", "Gamma"
+    ),
+}
+
+
+def gen_gibbs_conjugate(match: ConjugacyMatch, lets=()) -> GibbsCode:
+    """Dispatch to the per-rule generator (the Section 7.1 table)."""
+    try:
+        generator = _RULE_GENERATORS[match.rule]
+    except KeyError:
+        raise CodegenError(f"no Gibbs code generator for rule {match.rule!r}") from None
+    return generator(match, lets)
+
+
+# ----------------------------------------------------------------------
+# Enumeration Gibbs for finite-support discrete variables.
+# ----------------------------------------------------------------------
+
+
+def gen_gibbs_enumeration(match: EnumerationMatch, lets=()) -> GibbsCode:
+    cond = match.cond
+    t = cond.target
+    elem: Expr = Var(t)
+    for v in cond.idx_vars:
+        elem = elem[Var(v)]
+
+    if match.probs_arg is not None:
+        # Bound the support by the Categorical vector's length, with the
+        # target binders pinned to their lower bounds (the vector length
+        # is uniform across a fixed-structure comprehension).
+        pin = {g.var: g.lo for g in cond.gens}
+        support: Expr = Call("len", (subst(match.probs_arg, pin),))
+    else:
+        support = IntLit(2)
+
+    ek = Var("ek0")
+    logits = f"ws_{t}_logits"
+    cell = LValue(logits, _binder_idx(cond) + (ek,))
+
+    # Phase 1: score every support value.  The enumeration loop is
+    # emitted OUTSIDE the parallel element loops -- the commuted form the
+    # Blk optimiser would otherwise have to discover (Section 5.4).
+    score: list[Stmt] = [
+        SAssign(
+            cell,
+            AssignOp.SET,
+            DistOp(cond.prior.dist, cond.prior.args, DistOpKind.LL, value=ek),
+        )
+    ]
+    for f in cond.likelihood:
+        mapping_f = lambda e: subst_expr_elem(e, elem, ek)
+        args = tuple(mapping_f(a) for a in f.args)
+        at = mapping_f(f.at)
+        guards = tuple((mapping_f(a), mapping_f(b)) for a, b in f.guards)
+        inc: Stmt = SAssign(
+            cell, AssignOp.INC, DistOp(f.dist, args, DistOpKind.LL, value=at)
+        )
+        g_expr = _guard_expr(guards)
+        if g_expr is not None:
+            inc = SIf(g_expr, (inc,))
+        stmts: tuple[Stmt, ...] = (inc,)
+        for g in reversed(f.gens):
+            stmts = (SLoop(LoopKind.ATM_PAR, g, stmts),)
+        score.extend(stmts)
+
+    inner: tuple[Stmt, ...] = tuple(score)
+    for g in reversed(cond.gens):
+        inner = (SLoop(LoopKind.PAR, g, inner),)
+    body: list[Stmt] = [
+        SLoop(LoopKind.SEQ, Gen("ek0", IntLit(0), support), inner)
+    ]
+
+    # Phase 2: draw from the normalised logits.
+    row = _cell_expr(logits, _binder_idx(cond))
+    draw = SAssign(
+        _target_lv(cond),
+        AssignOp.SET,
+        DistOp("Categorical", (Call("lib.softmax", (row,)),), DistOpKind.SAMP),
+    )
+    body.extend(_sample_loop(cond, (draw,)))
+
+    spec = WorkspaceSpec(logits, gens=cond.gens, trailing=(support,))
+    return _finish(f"gibbs_{t}", cond, body, [spec], lets)
+
+
+def subst_expr_elem(e: Expr, elem: Expr, replacement: Expr) -> Expr:
+    """Replace the target element expression by structural equality."""
+    from repro.core.density.conditionals import replace_expr
+
+    return replace_expr(e, elem, replacement)

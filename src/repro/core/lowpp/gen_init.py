@@ -1,0 +1,67 @@
+"""State initialisation codegen: draw every parameter from its prior.
+
+The generated ``init_state`` declaration walks the parameter
+declarations in order (so later priors may reference earlier draws,
+e.g. ``z ~ Categorical(pi)`` after ``pi ~ Dirichlet(alpha)``) and fills
+the pre-allocated state buffers with prior samples -- the standard way
+to start a chain.
+"""
+
+from __future__ import annotations
+
+from repro.core.density.ir import FactorizedDensity
+from repro.core.exprs import DistOp, DistOpKind, Var
+from repro.core.frontend.ast import DeclKind
+from repro.core.frontend.symbols import ModelInfo
+from repro.core.lowpp.gen_ll import _needed_lets
+from repro.core.lowpp.ir import (
+    AssignOp,
+    LDecl,
+    LoopKind,
+    LValue,
+    SAssign,
+    SLoop,
+    Stmt,
+)
+
+
+def _gen_sampling_decl(
+    info: ModelInfo,
+    fd: FactorizedDensity,
+    kind: DeclKind,
+    name: str,
+) -> LDecl:
+    body: list[Stmt] = []
+    for decl in info.model.decls:
+        if decl.kind is not kind:
+            continue
+        lv = LValue(decl.name, tuple(Var(v) for v in decl.idx_vars))
+        draw: Stmt = SAssign(
+            lv,
+            AssignOp.SET,
+            DistOp(decl.dist.dist, decl.dist.args, DistOpKind.SAMP),
+        )
+        stmts: tuple[Stmt, ...] = (draw,)
+        for g in reversed(decl.gens):
+            stmts = (SLoop(LoopKind.PAR, g, stmts),)
+        body.extend(stmts)
+    # Drawn names and loop binders are not free; everything else is.
+    from repro.core.lowpp.gen_gibbs import _params_for
+
+    params = _params_for(body, None, [])
+    let_names = {n for n, _ in fd.lets}
+    if let_names & set(params):
+        body = list(_needed_lets(fd.lets, frozenset(set(params) & let_names))) + body
+        params = _params_for(body, None, [])
+    return LDecl(name=name, params=params, body=tuple(body), ret=())
+
+
+def gen_init(info: ModelInfo, fd: FactorizedDensity) -> LDecl:
+    """Draw every parameter from its prior (chain initialisation)."""
+    return _gen_sampling_decl(info, fd, DeclKind.PARAM, "init_state")
+
+
+def gen_forward(info: ModelInfo, fd: FactorizedDensity) -> LDecl:
+    """Simulate the observed variables given the parameters -- the
+    forward pass used for posterior-predictive checks."""
+    return _gen_sampling_decl(info, fd, DeclKind.DATA, "forward_data")

@@ -1,0 +1,138 @@
+"""Likelihood reification: Density IL -> Low++ (paper Section 4.4).
+
+"It is straightforward to generate Low++ code that reifies a likelihood
+computation from a density factorization.  It is also straightforward
+to parallelize these computations as a map-reduce."  The generated
+declarations accumulate ``ll`` with ``AtmPar`` loops; the Blk-IL
+optimiser later converts the accumulation into summation blocks.
+"""
+
+from __future__ import annotations
+
+
+from repro.core.density.conditionals import BlockConditional, Conditional
+from repro.core.density.ir import Factor, FactorizedDensity
+from repro.core.exprs import (
+    Call,
+    DistOp,
+    DistOpKind,
+    Expr,
+    RealLit,
+    Var,
+    free_vars,
+)
+from repro.core.lowpp.ir import (
+    AssignOp,
+    LDecl,
+    LoopKind,
+    LValue,
+    SAssign,
+    SIf,
+    SLoop,
+    Stmt,
+)
+
+_LL = "ll"
+
+
+def _guard_expr(guards) -> Expr | None:
+    """Conjoin equality guards into one condition (via multiplication of
+    0/1 indicators, which the IL represents with ``==`` and ``*``)."""
+    conds = [Call("==", (a, b)) for a, b in guards]
+    if not conds:
+        return None
+    cond = conds[0]
+    for c in conds[1:]:
+        cond = Call("*", (cond, c))
+    return cond
+
+
+def factor_ll_stmts(factor: Factor, acc: str | LValue = _LL) -> tuple[Stmt, ...]:
+    """Statements accumulating a factor's log density into ``acc``."""
+    lv = LValue(acc) if isinstance(acc, str) else acc
+    inc: Stmt = SAssign(
+        lv,
+        AssignOp.INC,
+        DistOp(factor.dist, factor.args, DistOpKind.LL, value=factor.at),
+    )
+    cond = _guard_expr(factor.guards)
+    if cond is not None:
+        inc = SIf(cond, (inc,))
+    body: tuple[Stmt, ...] = (inc,)
+    for g in reversed(factor.gens):
+        body = (SLoop(LoopKind.ATM_PAR, g, body),)
+    return body
+
+
+def _needed_lets(
+    lets: tuple[tuple[str, Expr], ...], names: frozenset[str]
+) -> tuple[Stmt, ...]:
+    """Let-bindings (in order) transitively needed by ``names``."""
+    needed: set[str] = set(names)
+    keep: list[tuple[str, Expr]] = []
+    for name, e in reversed(lets):
+        if name in needed:
+            keep.append((name, e))
+            needed |= free_vars(e)
+    return tuple(
+        SAssign(LValue(name), AssignOp.SET, e) for name, e in reversed(keep)
+    )
+
+
+def _factors_free_names(factors) -> frozenset[str]:
+    out: set[str] = set()
+    for f in factors:
+        out |= f.free_names()
+    return frozenset(out)
+
+
+def _ll_decl(
+    name: str,
+    factors: tuple[Factor, ...],
+    lets: tuple[tuple[str, Expr], ...],
+    extra_params: tuple[str, ...] = (),
+) -> LDecl:
+    free = _factors_free_names(factors)
+    let_stmts = _needed_lets(lets, free)
+    body: list[Stmt] = list(let_stmts)
+    body.append(SAssign(LValue(_LL), AssignOp.SET, RealLit(0.0)))
+    for f in factors:
+        body.extend(factor_ll_stmts(f))
+    bound = {s.lhs.name for s in let_stmts}
+    for s in let_stmts:
+        free |= free_vars(s.rhs)
+    free = frozenset(free - bound)
+    params = tuple(sorted(free)) + tuple(p for p in extra_params if p not in free)
+    return LDecl(name=name, params=params, body=tuple(body), ret=(Var(_LL),))
+
+
+def gen_cond_ll(
+    cond: Conditional,
+    lets: tuple[tuple[str, Expr], ...] = (),
+    include_prior: bool = True,
+    suffix: str = "",
+) -> LDecl:
+    """The per-element conditional log density ``p(target[i...] | rest)``.
+
+    The declaration takes the target's index binders as parameters; the
+    caller evaluates it with the candidate value already written into
+    the state array, so no value substitution is required.  With
+    ``include_prior=False`` only the likelihood factors are scored (the
+    form elliptical slice sampling needs).
+    """
+    factors = cond.all_factors if include_prior else cond.likelihood
+    name = f"cond_ll_{cond.target}{suffix}"
+    return _ll_decl(name, factors, lets, extra_params=cond.idx_vars)
+
+
+def gen_block_ll(
+    blk: BlockConditional, lets: tuple[tuple[str, Expr], ...] = ()
+) -> LDecl:
+    """The joint conditional log density of a block of variables."""
+    name = "block_ll_" + "_".join(blk.targets)
+    return _ll_decl(name, blk.factors, lets)
+
+
+def gen_model_ll(fd: FactorizedDensity) -> LDecl:
+    """The full model log joint (used for diagnostics and MH at the top)."""
+    return _ll_decl("model_ll", fd.factors, fd.lets)

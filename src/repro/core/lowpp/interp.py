@@ -1,0 +1,168 @@
+"""Reference interpreter for Low++ declarations.
+
+Executes a declaration directly against an environment of NumPy values.
+This is the semantics the backends must agree with: the CPU backend's
+generated code is differential-tested against this interpreter, and it
+doubles as the fallback execution path for models the vectoriser cannot
+handle.
+
+Loop annotations are ignored here (a sequential schedule is always a
+valid execution of ``Par``/``AtmPar`` loops).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exprs import (
+    Call,
+    DistOp,
+    DistOpKind,
+    Expr,
+    Index,
+    IntLit,
+    RealLit,
+    Var,
+)
+from repro.core.lowpp.ir import (
+    AssignOp,
+    LDecl,
+    SAssign,
+    SIf,
+    SLoop,
+    SMultiAssign,
+    Stmt,
+)
+from repro.errors import RuntimeFailure
+from repro.runtime import mcmclib, ops
+from repro.runtime.distributions import lookup
+from repro.runtime.rng import Rng
+from repro.runtime.vectors import RaggedArray
+
+
+def eval_expr(e: Expr, scope: dict, rng: Rng):
+    match e:
+        case Var(name):
+            try:
+                return scope[name]
+            except KeyError:
+                raise RuntimeFailure(f"unbound variable {name!r}") from None
+        case IntLit(v) | RealLit(v):
+            return v
+        case Index(base, idx):
+            b = eval_expr(base, scope, rng)
+            i = int(eval_expr(idx, scope, rng))
+            if isinstance(b, RaggedArray):
+                return b.row(i)
+            return b[i]
+        case Call(fn, args):
+            vals = [eval_expr(a, scope, rng) for a in args]
+            if fn.startswith("lib."):
+                impl = mcmclib.TABLE.get(fn[4:])
+                if impl is None:
+                    raise RuntimeFailure(f"unknown library routine {fn!r}")
+                return impl(*vals)
+            impl = ops.TABLE.get(fn)
+            if impl is None:
+                raise RuntimeFailure(f"no implementation for operator {fn!r}")
+            return impl(*vals)
+        case DistOp(dist, args, op, value, grad_index):
+            d = lookup(dist)
+            vals = [eval_expr(a, scope, rng) for a in args]
+            if op is DistOpKind.SAMP:
+                return d.sample(rng, *vals)
+            at = eval_expr(value, scope, rng)
+            if op is DistOpKind.LL:
+                return d.logpdf(at, *vals)
+            return d.grad(grad_index, at, *vals)
+        case _:
+            raise RuntimeFailure(f"cannot evaluate {e!r}")
+
+
+def _store(lv, value, scope: dict, rng: Rng, increment: bool) -> None:
+    if not lv.indices:
+        if increment:
+            existing = scope.get(lv.name, 0.0)
+            scope[lv.name] = existing + value
+        else:
+            scope[lv.name] = value
+        return
+    target = scope.get(lv.name)
+    if target is None:
+        raise RuntimeFailure(
+            f"store into unallocated buffer {lv.name!r}; size inference "
+            "must allocate workspaces before execution"
+        )
+    # Resolve all but the last index by drilling into rows.
+    for idx_expr in lv.indices[:-1]:
+        i = int(eval_expr(idx_expr, scope, rng))
+        target = target.row(i) if isinstance(target, RaggedArray) else target[i]
+    last = int(eval_expr(lv.indices[-1], scope, rng))
+    if isinstance(target, RaggedArray):
+        raise RuntimeFailure("cannot store a whole ragged row; index further")
+    if increment:
+        target[last] = target[last] + value
+    else:
+        target[last] = value
+
+
+def exec_stmt(s: Stmt, scope: dict, rng: Rng) -> None:
+    match s:
+        case SAssign(lhs, op, rhs):
+            value = eval_expr(rhs, scope, rng)
+            _store(lhs, value, scope, rng, increment=op is AssignOp.INC)
+        case SMultiAssign(lhs, rhs):
+            values = eval_expr(rhs, scope, rng)
+            if len(values) != len(lhs):
+                raise RuntimeFailure(
+                    f"multi-assign arity mismatch: {len(lhs)} targets, "
+                    f"{len(values)} values"
+                )
+            for lv, v in zip(lhs, values):
+                _store(lv, v, scope, rng, increment=False)
+        case SIf(cond, then, els):
+            branch = then if np.all(eval_expr(cond, scope, rng)) else els
+            for b in branch:
+                exec_stmt(b, scope, rng)
+        case SLoop(_, gen, body):
+            lo = int(eval_expr(gen.lo, scope, rng))
+            hi = int(eval_expr(gen.hi, scope, rng))
+            for i in range(lo, hi):
+                scope[gen.var] = i
+                for b in body:
+                    exec_stmt(b, scope, rng)
+        case _:
+            raise RuntimeFailure(f"cannot execute statement {s!r}")
+
+
+def run_decl(
+    decl: LDecl,
+    env: dict,
+    rng: Rng,
+    workspaces: dict | None = None,
+) -> tuple:
+    """Execute ``decl``; return its ``ret`` values (a tuple).
+
+    ``env`` supplies the declaration parameters; array stores mutate the
+    supplied arrays in place.  The final local scope is available via
+    :func:`run_decl_scope` for tests that inspect intermediates.
+    """
+    values, _ = run_decl_scope(decl, env, rng, workspaces)
+    return values
+
+
+def run_decl_scope(
+    decl: LDecl,
+    env: dict,
+    rng: Rng,
+    workspaces: dict | None = None,
+) -> tuple[tuple, dict]:
+    missing = [p for p in decl.params if p not in env]
+    if missing:
+        raise RuntimeFailure(f"{decl.name}: missing parameters {missing}")
+    scope = dict(env)
+    if workspaces:
+        scope.update(workspaces)
+    for s in decl.body:
+        exec_stmt(s, scope, rng)
+    return tuple(eval_expr(r, scope, rng) for r in decl.ret), scope

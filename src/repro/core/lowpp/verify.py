@@ -1,0 +1,138 @@
+"""Well-formedness checking for Low++ declarations.
+
+Generated code is checked before lowering: every variable read must be
+bound (a parameter, a workspace, a loop binder in scope, or a local
+assigned earlier), loop binders must not shadow anything, and
+distribution operations must match the registry (arity, gradient index
+range, value presence).  Catching these at compile time turns code
+generator bugs into immediate, named errors instead of runtime
+``KeyError`` s inside emitted modules.
+"""
+
+from __future__ import annotations
+
+from repro.core.exprs import (
+    Call,
+    DistOp,
+    DistOpKind,
+    Expr,
+    Index,
+    IntLit,
+    RealLit,
+    Var,
+)
+from repro.core.lowpp.ir import (
+    AssignOp,
+    LDecl,
+    SAssign,
+    SIf,
+    SLoop,
+    SMultiAssign,
+    Stmt,
+)
+from repro.errors import CodegenError
+from repro.runtime.distributions import is_distribution, lookup
+
+
+class _Checker:
+    def __init__(self, decl: LDecl):
+        self.decl = decl
+        self.bound: set[str] = set(decl.params) | set(decl.locals_hint)
+
+    def fail(self, msg: str):
+        raise CodegenError(f"{self.decl.name}: {msg}")
+
+    # -- expressions -----------------------------------------------------
+
+    def expr(self, e: Expr) -> None:
+        match e:
+            case Var(name):
+                if name not in self.bound:
+                    self.fail(f"read of unbound variable {name!r}")
+            case IntLit() | RealLit():
+                pass
+            case Index(base, idx):
+                self.expr(base)
+                self.expr(idx)
+            case Call(_, args):
+                for a in args:
+                    self.expr(a)
+            case DistOp(dist, args, op, value, grad_index):
+                if not is_distribution(dist):
+                    self.fail(f"unknown distribution {dist!r}")
+                d = lookup(dist)
+                if len(args) != d.arity:
+                    self.fail(
+                        f"{dist} takes {d.arity} arguments, got {len(args)}"
+                    )
+                if op is DistOpKind.SAMP:
+                    if value is not None:
+                        self.fail(f"{dist}.samp takes no evaluation point")
+                else:
+                    if value is None:
+                        self.fail(f"{dist}.{op.value} needs an evaluation point")
+                    self.expr(value)
+                if op is DistOpKind.GRAD:
+                    if grad_index is None or not (0 <= grad_index <= d.arity):
+                        self.fail(
+                            f"{dist}.grad index {grad_index} out of range "
+                            f"[0, {d.arity}]"
+                        )
+                for a in args:
+                    self.expr(a)
+            case _:
+                self.fail(f"unknown expression node {e!r}")
+
+    # -- statements -------------------------------------------------------
+
+    def stmt(self, s: Stmt) -> None:
+        match s:
+            case SAssign(lhs, op, rhs):
+                self.expr(rhs)
+                for i in lhs.indices:
+                    self.expr(i)
+                if lhs.indices or op is AssignOp.INC:
+                    # Indexed stores and increments read the target.
+                    if lhs.name not in self.bound:
+                        self.fail(
+                            f"store into unbound buffer {lhs.name!r} "
+                            "(missing workspace or parameter?)"
+                        )
+                else:
+                    self.bound.add(lhs.name)
+            case SMultiAssign(lhs, rhs):
+                self.expr(rhs)
+                for lv in lhs:
+                    for i in lv.indices:
+                        self.expr(i)
+                    if lv.indices:
+                        if lv.name not in self.bound:
+                            self.fail(f"store into unbound buffer {lv.name!r}")
+                    else:
+                        self.bound.add(lv.name)
+            case SIf(cond, then, els):
+                self.expr(cond)
+                for b in then:
+                    self.stmt(b)
+                for b in els:
+                    self.stmt(b)
+            case SLoop(_, gen, body):
+                if gen.var in self.bound:
+                    self.fail(f"loop binder {gen.var!r} shadows an existing name")
+                self.expr(gen.lo)
+                self.expr(gen.hi)
+                self.bound.add(gen.var)
+                for b in body:
+                    self.stmt(b)
+                self.bound.discard(gen.var)
+            case _:
+                self.fail(f"unknown statement node {s!r}")
+
+
+def verify_decl(decl: LDecl) -> None:
+    """Raise :class:`CodegenError` if the declaration is ill-formed."""
+    checker = _Checker(decl)
+    for s in decl.body:
+        checker.stmt(s)
+    for r in decl.ret:
+        checker.expr(r)

@@ -1,0 +1,221 @@
+"""The compiled sampler: what the AugurV2 pipeline ultimately produces.
+
+A :class:`CompiledSampler` owns the compiled backend module, the
+up-front allocation plan, the composed update drivers, and the runtime
+environment (hyper-parameters and data).  Its ``sample`` method runs
+the chain: initialise from the prior (or a supplied state), apply every
+base update in schedule order per sweep, and collect copies of the
+requested parameters.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.backend.cpu import CompiledModule
+from repro.core.backend.drivers import UpdateDriver
+from repro.core.lowmm.size_inference import AllocationPlan, allocate_state
+from repro.errors import RuntimeFailure
+from repro.gpusim import Device
+from repro.runtime.rng import Rng
+from repro.runtime.vectors import RaggedArray
+
+
+def _copy_value(v):
+    if isinstance(v, RaggedArray):
+        return v.copy()
+    if isinstance(v, np.ndarray):
+        return v.copy()
+    return v
+
+
+@dataclass
+class SampleResult:
+    """Posterior samples plus run metadata."""
+
+    samples: dict[str, list]
+    wall_time: float
+    sweep_times: np.ndarray
+    acceptance: dict[str, float]
+    device_time: float | None = None
+
+    def array(self, name: str) -> np.ndarray:
+        """Samples of ``name`` stacked on a leading draw axis (dense only)."""
+        vals = self.samples[name]
+        if vals and isinstance(vals[0], RaggedArray):
+            return np.stack([v.flat for v in vals])
+        return np.asarray(vals)
+
+    def __getitem__(self, name: str):
+        return self.samples[name]
+
+
+class CompiledSampler:
+    def __init__(
+        self,
+        module: CompiledModule,
+        plan: AllocationPlan,
+        workspaces: dict,
+        updates: list[UpdateDriver],
+        init_fn,
+        model_ll_fn,
+        base_env: dict,
+        param_names: tuple[str, ...],
+        device: Device | None = None,
+        compile_seconds: float = 0.0,
+        forward_fn=None,
+        info=None,
+    ):
+        self.module = module
+        self.plan = plan
+        self.workspaces = workspaces
+        self.updates = updates
+        self._init_fn = init_fn
+        self._model_ll_fn = model_ll_fn
+        self._forward_fn = forward_fn
+        self._info = info
+        self.base_env = base_env
+        self.param_names = param_names
+        self.device = device
+        self.compile_seconds = compile_seconds
+
+    # ------------------------------------------------------------------
+
+    @property
+    def source(self) -> str:
+        """The generated backend source (the paper's Cuda/C analogue)."""
+        return self.module.source
+
+    def schedule_description(self) -> str:
+        return " (*) ".join(
+            f"{type(u).__name__.removesuffix('Driver')} {','.join(u.targets)}"
+            for u in self.updates
+        )
+
+    # ------------------------------------------------------------------
+
+    def init_state(self, rng: Rng) -> dict:
+        env = dict(self.base_env)
+        env.update(allocate_state(self.plan.state))
+        self._init_fn(env, self.workspaces, rng)
+        return {p: env[p] for p in self.param_names}
+
+    def posterior_predictive(self, state: dict, rng: Rng) -> dict:
+        """Simulate replicated observations given one posterior draw.
+
+        Runs the generated forward declaration (the model's data
+        declarations, sampled) against fresh data buffers -- the
+        standard posterior-predictive-check machinery.
+        """
+        if self._forward_fn is None or self._info is None:
+            raise RuntimeFailure("this sampler was built without forward support")
+        from repro.core.lowmm.size_inference import infer_data_layout
+
+        data_layout = infer_data_layout(self._info, self.base_env)
+        env = dict(self.base_env)
+        env.update(state)
+        env.update(allocate_state(data_layout))
+        self._forward_fn(env, self.workspaces, rng)
+        return {name: env[name] for name in data_layout}
+
+    def log_joint(self, state: dict, rng: Rng | None = None) -> float:
+        env = dict(self.base_env)
+        env.update(state)
+        (val,) = self._model_ll_fn(env, self.workspaces, rng or Rng(0))
+        return float(val)
+
+    def step(self, state: dict, rng: Rng) -> dict:
+        """One full sweep of the composed kernel (in place)."""
+        env = dict(self.base_env)
+        env.update(state)
+        for upd in self.updates:
+            upd.step(env, self.workspaces, rng)
+        for p in self.param_names:
+            state[p] = env[p]
+        return state
+
+    def sample(
+        self,
+        num_samples: int,
+        burn_in: int = 0,
+        thin: int = 1,
+        seed: int | Rng = 0,
+        collect: tuple[str, ...] | None = None,
+        init: dict | None = None,
+        callback=None,
+    ) -> SampleResult:
+        """Draw posterior samples.
+
+        ``collect`` restricts which parameters are stored (all by
+        default); ``callback(sweep_index, state)`` runs after every kept
+        sweep (used by the log-predictive benchmarks).
+        """
+        if num_samples <= 0:
+            raise RuntimeFailure("num_samples must be positive")
+        rng = seed if isinstance(seed, Rng) else Rng(seed)
+        collect = tuple(collect) if collect is not None else self.param_names
+        unknown = set(collect) - set(self.param_names)
+        if unknown:
+            raise RuntimeFailure(f"cannot collect non-parameters: {sorted(unknown)}")
+
+        state = init if init is not None else self.init_state(rng)
+        samples: dict[str, list] = {name: [] for name in collect}
+        sweep_times = []
+        start = time.perf_counter()
+        total_sweeps = burn_in + num_samples * thin
+        kept = 0
+        for sweep in range(total_sweeps):
+            t0 = time.perf_counter()
+            self.step(state, rng)
+            sweep_times.append(time.perf_counter() - t0)
+            if sweep >= burn_in and (sweep - burn_in) % thin == 0:
+                for name in collect:
+                    samples[name].append(_copy_value(state[name]))
+                if callback is not None:
+                    callback(kept, state)
+                kept += 1
+        wall = time.perf_counter() - start
+        return SampleResult(
+            samples=samples,
+            wall_time=wall,
+            sweep_times=np.asarray(sweep_times),
+            acceptance={
+                f"{type(u).__name__.removesuffix('Driver')} {','.join(u.targets)}": u.stats.acceptance_rate
+                for u in self.updates
+            },
+            device_time=self.device.elapsed if self.device is not None else None,
+        )
+
+    def sample_chains(
+        self,
+        n_chains: int,
+        num_samples: int,
+        burn_in: int = 0,
+        thin: int = 1,
+        seed: int = 0,
+        collect: tuple[str, ...] | None = None,
+    ) -> list[SampleResult]:
+        """Run several independent chains from forked RNG streams.
+
+        This is the Jags/Stan style of parallelism the paper contrasts
+        with AugurV2's within-chain parallelism (Section 7.2); here the
+        chains run sequentially but with statistically independent
+        streams, which is what chain-level diagnostics like
+        :func:`repro.eval.metrics.potential_scale_reduction` need.
+        """
+        if n_chains < 1:
+            raise RuntimeFailure("need at least one chain")
+        rngs = Rng(seed).fork(n_chains)
+        return [
+            self.sample(
+                num_samples=num_samples,
+                burn_in=burn_in,
+                thin=thin,
+                seed=rng,
+                collect=collect,
+            )
+            for rng in rngs
+        ]

@@ -1,0 +1,109 @@
+"""The simple type system shared by the modeling language and the ILs.
+
+Figure 4 of the paper gives the grammar::
+
+    sigma ::= Int | Real
+    tau   ::= sigma | Vec tau | Mat sigma
+
+Base types are integers and reals.  Compound types are vectors (which may
+nest, giving ragged vectors-of-vectors) and matrices of base type.  A
+``Mat (Vec ...)`` is deliberately unrepresentable, matching the paper's
+"matrices of vectors are rejected".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TypeCheckError
+
+
+class Ty:
+    """Base class for types.  Instances are immutable and compare by value."""
+
+    def is_numeric_scalar(self) -> bool:
+        return isinstance(self, (IntTy, RealTy))
+
+
+@dataclass(frozen=True)
+class IntTy(Ty):
+    def __str__(self) -> str:
+        return "Int"
+
+
+@dataclass(frozen=True)
+class RealTy(Ty):
+    def __str__(self) -> str:
+        return "Real"
+
+
+@dataclass(frozen=True)
+class VecTy(Ty):
+    elem: Ty
+
+    def __str__(self) -> str:
+        return f"Vec {self.elem}"
+
+
+@dataclass(frozen=True)
+class MatTy(Ty):
+    elem: Ty
+
+    def __post_init__(self) -> None:
+        if not self.elem.is_numeric_scalar():
+            raise TypeCheckError(
+                f"matrices may only contain base types, not {self.elem}"
+            )
+
+    def __str__(self) -> str:
+        return f"Mat {self.elem}"
+
+
+INT = IntTy()
+REAL = RealTy()
+VEC_INT = VecTy(INT)
+VEC_REAL = VecTy(REAL)
+MAT_REAL = MatTy(REAL)
+
+
+def parse_type(text: str) -> Ty:
+    """Parse a type written in the surface syntax, e.g. ``"Vec Vec Real"``."""
+    parts = text.split()
+    if not parts:
+        raise TypeCheckError("empty type")
+    ty: Ty
+    head = parts[-1]
+    if head == "Int":
+        ty = INT
+    elif head == "Real":
+        ty = REAL
+    else:
+        raise TypeCheckError(f"unknown base type {head!r}")
+    for ctor in reversed(parts[:-1]):
+        if ctor == "Vec":
+            ty = VecTy(ty)
+        elif ctor == "Mat":
+            ty = MatTy(ty)
+        else:
+            raise TypeCheckError(f"unknown type constructor {ctor!r}")
+    return ty
+
+
+def element_type(ty: Ty) -> Ty:
+    """The type obtained by indexing once into ``ty``."""
+    if isinstance(ty, VecTy):
+        return ty.elem
+    if isinstance(ty, MatTy):
+        return VecTy(ty.elem)
+    raise TypeCheckError(f"cannot index into non-compound type {ty}")
+
+
+def unify_numeric(a: Ty, b: Ty) -> Ty:
+    """Join two numeric types (Int promotes to Real); reject others."""
+    if isinstance(a, IntTy) and isinstance(b, IntTy):
+        return INT
+    if a.is_numeric_scalar() and b.is_numeric_scalar():
+        return REAL
+    if a == b:
+        return a
+    raise TypeCheckError(f"cannot unify types {a} and {b}")

@@ -1,0 +1,36 @@
+"""Workspace (scratch buffer) specifications.
+
+Update code generators declare the buffers they need -- statistics
+accumulators, enumeration logit tables, adjoint arrays -- as
+:class:`WorkspaceSpec` records.  Size inference (paper Section 5.2)
+resolves the specs against the runtime environment and allocates every
+buffer up front, which is what bounds the memory of a compiled MCMC
+algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exprs import Expr, Gen
+
+
+@dataclass(frozen=True)
+class WorkspaceSpec:
+    """A buffer with leading dimensions given by comprehension generators
+    and fixed trailing dimensions.
+
+    When a generator bound depends on an earlier generator variable
+    (e.g. ``j <- 0 until N[d]``), the buffer is ragged and is allocated
+    as a :class:`~repro.runtime.vectors.RaggedArray`; otherwise it is a
+    dense ndarray.
+    """
+
+    name: str
+    gens: tuple[Gen, ...]
+    trailing: tuple[Expr, ...] = ()
+    dtype: str = "f8"
+
+    def __str__(self) -> str:
+        dims = [f"|{g}|" for g in self.gens] + [str(t) for t in self.trailing]
+        return f"{self.name}: [{' x '.join(dims) or 'scalar'}] {self.dtype}"

@@ -1,0 +1,1 @@
+"""Evaluation harness: model zoo, synthetic datasets, and metrics."""

@@ -1,0 +1,21 @@
+"""Synthetic datasets with the shapes of the paper's evaluation data.
+
+The paper evaluates on UCI datasets (German Credit, Adult, Kos, Nips).
+Offline, we generate deterministic synthetic equivalents whose *shapes*
+match -- feature counts, class balance, vocabulary sizes, token counts
+-- since those shapes, not the particular values, drive the performance
+trends being reproduced (see DESIGN.md, substitutions table).
+"""
+
+from repro.eval.datasets.classification import adult_like, german_credit_like
+from repro.eval.datasets.clusters import hgmm_synthetic
+from repro.eval.datasets.corpus import kos_like, nips_like, synthetic_corpus
+
+__all__ = [
+    "adult_like",
+    "german_credit_like",
+    "hgmm_synthetic",
+    "kos_like",
+    "nips_like",
+    "synthetic_corpus",
+]

@@ -1,0 +1,51 @@
+"""Binary-classification datasets shaped like German Credit and Adult."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ClassificationData:
+    x: np.ndarray  # (N, D) standardised features
+    y: np.ndarray  # (N,) 0/1 labels
+    true_theta: np.ndarray
+    true_bias: float
+
+    @property
+    def n(self) -> int:
+        return self.x.shape[0]
+
+    @property
+    def d(self) -> int:
+        return self.x.shape[1]
+
+
+def _logistic_dataset(n: int, d: int, seed: int, sparsity: float = 0.5) -> ClassificationData:
+    rng = np.random.default_rng(seed)
+    # A mix of continuous and binarised features, standardised, as the
+    # preprocessed UCI datasets would be.
+    cont = rng.normal(size=(n, d))
+    binary_mask = rng.uniform(size=d) < 0.4
+    cont[:, binary_mask] = (cont[:, binary_mask] > 0).astype(np.float64)
+    x = (cont - cont.mean(axis=0)) / (cont.std(axis=0) + 1e-12)
+    theta = rng.normal(size=d)
+    theta[rng.uniform(size=d) < sparsity] = 0.0
+    bias = float(rng.normal(scale=0.5))
+    p = 1.0 / (1.0 + np.exp(-(x @ theta + bias)))
+    y = (rng.uniform(size=n) < p).astype(np.int64)
+    return ClassificationData(x=x, y=y, true_theta=theta, true_bias=bias)
+
+
+def german_credit_like(n: int = 1000, d: int = 24, seed: int = 101) -> ClassificationData:
+    """The German Credit shape: ~1000 points, 24 predictors (paper: "the
+    small dataset size (roughly 1000 points) and the low dimensionality
+    of the parameter space (26 parameters)")."""
+    return _logistic_dataset(n, d, seed)
+
+
+def adult_like(n: int = 50_000, d: int = 14, seed: int = 202) -> ClassificationData:
+    """The Adult Income shape: ~50000 observations, 14 parameters."""
+    return _logistic_dataset(n, d, seed)

@@ -1,0 +1,89 @@
+"""Bag-of-words corpora shaped like the UCI Kos and Nips datasets.
+
+Paper Figure 12: "The Kos dataset has a vocabulary size of 6906 and
+contains roughly 460k words.  The Nips dataset has a vocabulary size of
+12419 and roughly 1.9 million words."  The generators below produce LDA
+corpora with those vocabulary sizes and token counts (optionally scaled
+down by a factor so the benchmark suite fits on a small machine while
+keeping the Kos-vs-Nips shape ratio).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.runtime.vectors import RaggedArray
+
+
+@dataclass(frozen=True)
+class Corpus:
+    name: str
+    w: RaggedArray  # tokens per document (int word ids)
+    vocab_size: int
+    doc_lengths: np.ndarray
+
+    @property
+    def n_docs(self) -> int:
+        return self.w.n_rows
+
+    @property
+    def n_tokens(self) -> int:
+        return self.w.n_elems
+
+
+def synthetic_corpus(
+    name: str,
+    vocab_size: int,
+    total_tokens: int,
+    n_docs: int,
+    n_topics_true: int = 20,
+    seed: int = 11,
+    topic_concentration: float = 0.05,
+) -> Corpus:
+    """Generate a corpus from the LDA generative process itself, so the
+    topic structure the samplers look for is actually present."""
+    rng = np.random.default_rng(seed)
+    phi = rng.dirichlet(np.full(vocab_size, topic_concentration), size=n_topics_true)
+    theta = rng.dirichlet(np.full(n_topics_true, 0.1), size=n_docs)
+    base_len = total_tokens // n_docs
+    lengths = np.maximum(
+        1, rng.poisson(base_len, size=n_docs)
+    )
+    # Adjust to hit the requested total exactly.
+    diff = total_tokens - int(lengths.sum())
+    lengths[0] = max(1, lengths[0] + diff)
+    docs = []
+    for di in range(n_docs):
+        topics = rng.choice(n_topics_true, size=lengths[di], p=theta[di])
+        # Vectorised per-topic word draws.
+        words = np.empty(lengths[di], dtype=np.int64)
+        for t in np.unique(topics):
+            mask = topics == t
+            words[mask] = rng.choice(vocab_size, size=mask.sum(), p=phi[t])
+        docs.append(words)
+    w = RaggedArray.from_rows(docs)
+    return Corpus(name=name, w=w, vocab_size=vocab_size, doc_lengths=np.diff(w.offsets))
+
+
+def kos_like(scale: float = 1.0, seed: int = 11) -> Corpus:
+    """Kos shape: V = 6906, ~460k tokens, ~3430 documents."""
+    return synthetic_corpus(
+        name=f"Kos(x{scale:g})",
+        vocab_size=max(50, int(6906 * min(1.0, scale * 2))),
+        total_tokens=max(500, int(460_000 * scale)),
+        n_docs=max(10, int(3430 * scale)),
+        seed=seed,
+    )
+
+
+def nips_like(scale: float = 1.0, seed: int = 12) -> Corpus:
+    """Nips shape: V = 12419, ~1.9M tokens, ~1500 documents."""
+    return synthetic_corpus(
+        name=f"Nips(x{scale:g})",
+        vocab_size=max(80, int(12419 * min(1.0, scale * 2))),
+        total_tokens=max(800, int(1_900_000 * scale)),
+        n_docs=max(10, int(1500 * scale)),
+        seed=seed,
+    )

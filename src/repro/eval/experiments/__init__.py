@@ -1,0 +1,7 @@
+"""Reproduction experiments, one module per paper table/figure.
+
+Each module exposes a ``run_*`` function returning structured results;
+the ``benchmarks/`` directory wraps these in pytest-benchmark targets
+and prints the paper-style rows.  DESIGN.md holds the experiment index;
+EXPERIMENTS.md records paper-vs-measured numbers.
+"""

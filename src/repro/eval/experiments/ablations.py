@@ -1,0 +1,184 @@
+"""Ablations of the compiler optimisations DESIGN.md calls out.
+
+1. **Summation-block conversion** (Section 5.4): device time for the
+   HLR gradient with the conversion on vs. off at Adult scale.
+2. **Loop commuting** (Section 5.4): device time for the paper's own
+   inline kernel shape -- ``parBlk K { loop N }`` with K << N -- with
+   commuting on vs. off.
+3. **Categorical-indexing rewrite** (Section 3.3): with the rule off,
+   the GMM means lose their conjugate Gibbs update entirely (the
+   schedule validator rejects it) and the fallback ESlice update also
+   pays an unfactored conditional; we measure the end-to-end slowdown.
+4. **Vectorised codegen vs. interpreted loops**: the CPU backend with
+   vectorisation disabled, the "interpreted" worst case.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.backend.gpu import compile_gpu_module
+from repro.core.blk.optimize import OptimizeConfig
+from repro.core.compiler import compile_model
+from repro.core.density.conditionals import blocked_factors
+from repro.core.density.lower import lower_and_factorize
+from repro.core.exprs import Gen, IntLit, Var
+from repro.core.frontend.parser import parse_model
+from repro.core.lowmm.ir import lower_decl
+from repro.core.lowpp.ad import gen_grad
+from repro.core.lowpp.ir import (
+    AssignOp,
+    LDecl,
+    LoopKind,
+    LValue,
+    SAssign,
+    SLoop,
+)
+from repro.core.options import CompileOptions
+from repro.errors import ScheduleError
+from repro.eval import models
+from repro.eval.datasets import adult_like
+from repro.eval.experiments.common import full_scale
+from repro.gpusim import Device
+from repro.runtime.rng import Rng
+
+
+@dataclass
+class AblationRow:
+    name: str
+    baseline: float
+    ablated: float
+    unit: str
+
+    @property
+    def factor(self) -> float:
+        return self.ablated / self.baseline
+
+
+def ablate_sum_block(seed: int = 0) -> AblationRow:
+    data = adult_like() if full_scale() else adult_like(n=20_000, d=14)
+    fd = lower_and_factorize(parse_model(models.HLR))
+    blk = blocked_factors(fd, ("sigma2", "b", "theta"))
+    decl = lower_decl(gen_grad(blk, fd.lets))
+    env = {
+        "N": data.n, "D": data.d, "lam": 1.0, "x": data.x,
+        "sigma2": 1.0, "b": 0.0, "theta": np.zeros(data.d), "y": data.y,
+    }
+    times = {}
+    for label, cfg in (
+        ("on", OptimizeConfig()),
+        ("off", OptimizeConfig(sum_block_conversion=False)),
+    ):
+        mod = compile_gpu_module([decl], env, cfg=cfg)
+        dev = Device()
+        mod.fn(decl.decl.name)(dict(env), {}, Rng(seed), dev)
+        times[label] = dev.elapsed
+    return AblationRow("sum-block conversion", times["on"], times["off"], "device s")
+
+
+def ablate_loop_commuting(k: int = 4, n: int = 200_000) -> AblationRow:
+    # The paper's Section 5.4 kernel: parBlk K { loop Par N { ... } }.
+    decl = lower_decl(
+        LDecl(
+            name="commute_kernel",
+            params=("K", "N", "out"),
+            body=(
+                SLoop(
+                    LoopKind.PAR,
+                    Gen("k", IntLit(0), Var("K")),
+                    (
+                        SLoop(
+                            LoopKind.PAR,
+                            Gen("n", IntLit(0), Var("N")),
+                            (
+                                SAssign(
+                                    LValue("out", (Var("k"), Var("n"))),
+                                    AssignOp.SET,
+                                    Var("n"),
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        )
+    )
+    env = {"K": k, "N": n, "out": np.zeros((k, n))}
+    times = {}
+    for label, cfg in (
+        ("on", OptimizeConfig()),
+        ("off", OptimizeConfig(commute_loops=False)),
+    ):
+        mod = compile_gpu_module([decl], env, cfg=cfg)
+        dev = Device()
+        mod.fn("commute_kernel")(dict(env), {}, Rng(0), dev)
+        times[label] = dev.elapsed
+    return AblationRow("loop commuting", times["on"], times["off"], "device s")
+
+
+def ablate_categorical_rewrite(seed: int = 0):
+    """Returns (AblationRow for wall time, bool gibbs_rejected)."""
+    rng = np.random.default_rng(seed)
+    n = 1000 if full_scale() else 300
+    true_mu = np.array([[-4.0, 0.0], [4.0, 0.0], [0.0, 4.0]])
+    z = rng.integers(0, 3, size=n)
+    x = true_mu[z] + rng.normal(0, 0.5, size=(n, 2))
+    hypers = {
+        "K": 3, "N": n, "mu_0": np.zeros(2), "Sigma_0": np.eye(2) * 25.0,
+        "pis": np.full(3, 1 / 3), "Sigma": np.eye(2) * 0.25,
+    }
+    sweeps = 30
+
+    sampler = compile_model(models.GMM, hypers, {"x": x}, schedule="Gibbs mu (*) Gibbs z")
+    t0 = time.perf_counter()
+    sampler.sample(num_samples=sweeps, seed=seed, collect=("mu",))
+    with_rule = time.perf_counter() - t0
+
+    gibbs_rejected = False
+    try:
+        compile_model(
+            models.GMM, hypers, {"x": x},
+            options=CompileOptions(categorical_rule=False),
+            schedule="Gibbs mu (*) Gibbs z",
+        )
+    except ScheduleError:
+        gibbs_rejected = True
+
+    fallback = compile_model(
+        models.GMM, hypers, {"x": x},
+        options=CompileOptions(categorical_rule=False),
+        schedule="ESlice mu (*) Gibbs z",
+    )
+    t0 = time.perf_counter()
+    fallback.sample(num_samples=sweeps, seed=seed, collect=("mu",))
+    without_rule = time.perf_counter() - t0
+
+    return (
+        AblationRow("categorical-indexing rewrite", with_rule, without_rule, "wall s"),
+        gibbs_rejected,
+    )
+
+
+def ablate_vectorization(seed: int = 0) -> AblationRow:
+    rng = np.random.default_rng(seed)
+    n = 2000 if full_scale() else 400
+    z = rng.integers(0, 2, size=n)
+    x = np.where(z[:, None] == 0, -3.0, 3.0) + rng.normal(0, 0.5, size=(n, 2))
+    hypers = {
+        "K": 2, "N": n, "mu_0": np.zeros(2), "Sigma_0": np.eye(2) * 25.0,
+        "pis": np.full(2, 0.5), "Sigma": np.eye(2) * 0.25,
+    }
+    sweeps = 20
+    times = {}
+    for label, opts in (
+        ("on", CompileOptions()),
+        ("off", CompileOptions(vectorize=False)),
+    ):
+        sampler = compile_model(models.GMM, hypers, {"x": x}, options=opts)
+        t0 = time.perf_counter()
+        sampler.sample(num_samples=sweeps, seed=seed, collect=("mu",))
+        times[label] = time.perf_counter() - t0
+    return AblationRow("vectorised codegen", times["on"], times["off"], "wall s")

@@ -1,0 +1,55 @@
+"""Section 7.2 compile-time comparison.
+
+Paper: "It takes roughly 35 seconds for Stan to compile the model (due
+to the extensive use of C++ templates in its implementation of AD).
+AugurV2 compiles almost instantaneously when generating CPU code, while
+it takes roughly 8 seconds to generate GPU code" (the latter being
+Nvcc's fault, which we do not model -- see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.stan.compilemodel import simulate_cpp_compile
+from repro.baselines.stan.marginalize import hlr_model
+from repro.core.compiler import compile_model
+from repro.core.options import CompileOptions
+from repro.eval import models
+from repro.eval.datasets import german_credit_like
+from repro.eval.experiments.common import full_scale
+
+
+@dataclass
+class CompileRow:
+    system: str
+    seconds: float
+    paper_seconds: str
+
+
+def run_compile_times(seed: int = 0) -> list[CompileRow]:
+    data = german_credit_like() if full_scale() else german_credit_like(n=200, d=8)
+    hypers = {"N": data.n, "D": data.d, "lam": 1.0, "x": data.x}
+    observed = {"y": data.y}
+
+    t0 = time.perf_counter()
+    compile_model(models.HLR, hypers, observed)
+    cpu_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    compile_model(models.HLR, hypers, observed, options=CompileOptions(target="gpu"))
+    gpu_s = time.perf_counter() - t0
+
+    stan_s = simulate_cpp_compile(
+        hlr_model(data.n, data.d),
+        {"x": data.x, "y": data.y.astype(np.float64), "lam": 1.0},
+    )
+
+    return [
+        CompileRow("augurv2-cpu", cpu_s, "~instant"),
+        CompileRow("augurv2-gpu", gpu_s, "~8 s (Nvcc; toolchain not modelled)"),
+        CompileRow("stan", stan_s, "~35 s"),
+    ]

@@ -1,0 +1,89 @@
+"""Evaluation metrics.
+
+The Figure 10 metric is the log-predictive probability of held-out
+points -- "a proxy for learning: as training time increases, the
+algorithm should be able to make better predictions".  Effective sample
+size is included for general chain diagnostics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import multivariate_normal
+
+
+def mixture_log_predictive(
+    holdout: np.ndarray,
+    mu: np.ndarray,
+    sigma,
+    pi: np.ndarray | None = None,
+) -> float:
+    """Log predictive probability of held-out points under one posterior
+    draw of a Gaussian mixture.
+
+    ``sigma`` may be a single shared covariance ``(D, D)`` or per-cluster
+    ``(K, D, D)``; ``pi`` defaults to uniform weights.
+    """
+    holdout = np.asarray(holdout, dtype=np.float64)
+    mu = np.asarray(mu, dtype=np.float64)
+    k = mu.shape[0]
+    if pi is None:
+        pi = np.full(k, 1.0 / k)
+    sigma = np.asarray(sigma, dtype=np.float64)
+    comp = np.empty((holdout.shape[0], k))
+    for j in range(k):
+        cov = sigma[j] if sigma.ndim == 3 else sigma
+        comp[:, j] = multivariate_normal(mu[j], cov, allow_singular=True).logpdf(
+            holdout
+        )
+    logits = comp + np.log(np.asarray(pi) + 1e-300)
+    m = logits.max(axis=1, keepdims=True)
+    return float(np.sum(m.squeeze(1) + np.log(np.exp(logits - m).sum(axis=1))))
+
+
+def bernoulli_log_predictive(x, y, theta, bias) -> float:
+    """Held-out log likelihood for a logistic-regression posterior draw."""
+    logits = x @ np.asarray(theta) + float(bias)
+    p = 1.0 / (1.0 + np.exp(-logits))
+    eps = 1e-12
+    y = np.asarray(y)
+    return float(np.sum(y * np.log(p + eps) + (1 - y) * np.log(1 - p + eps)))
+
+
+def effective_sample_size(draws: np.ndarray, max_lag: int | None = None) -> float:
+    """ESS via the initial-positive-sequence autocorrelation estimator."""
+    x = np.asarray(draws, dtype=np.float64)
+    n = x.shape[0]
+    if n < 4:
+        return float(n)
+    x = x - x.mean()
+    var = float(np.sum(x * x)) / n
+    if var == 0:
+        return float(n)
+    max_lag = max_lag or min(n - 2, 1000)
+    # FFT autocorrelation.
+    size = int(2 ** np.ceil(np.log2(2 * n)))
+    f = np.fft.rfft(x, size)
+    acf = np.fft.irfft(f * np.conj(f))[: max_lag + 1].real / (n * var)
+    # Sum consecutive pairs while positive (Geyer).
+    rho_sum = 0.0
+    for lag in range(1, max_lag, 2):
+        pair = acf[lag] + (acf[lag + 1] if lag + 1 <= max_lag else 0.0)
+        if pair < 0:
+            break
+        rho_sum += pair
+    ess = n / (1.0 + 2.0 * rho_sum)
+    return float(min(max(ess, 1.0), n))
+
+
+def potential_scale_reduction(chains: np.ndarray) -> float:
+    """Gelman-Rubin R-hat over ``(n_chains, n_draws)`` scalar chains."""
+    chains = np.asarray(chains, dtype=np.float64)
+    m, n = chains.shape
+    if m < 2 or n < 2:
+        raise ValueError("R-hat needs at least 2 chains of length 2")
+    means = chains.mean(axis=1)
+    b = n * means.var(ddof=1)
+    w = chains.var(axis=1, ddof=1).mean()
+    var_plus = (n - 1) / n * w + b / n
+    return float(np.sqrt(var_plus / w))

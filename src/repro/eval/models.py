@@ -1,0 +1,158 @@
+"""The model zoo: source text for every model in the paper's evaluation.
+
+These are the three Section 7.2 benchmark models (HLR, HGMM, LDA), the
+introductory GMM (Figure 1), and a few small models used by tests.
+"""
+
+GMM = """
+(K, N, mu_0, Sigma_0, pis, Sigma) => {
+  param mu[k] ~ MvNormal(mu_0, Sigma_0)
+    for k <- 0 until K ;
+  param z[n] ~ Categorical(pis)
+    for n <- 0 until N ;
+  data x[n] ~ MvNormal(mu[z[n]], Sigma)
+    for n <- 0 until N ;
+}
+"""
+
+#: Hierarchical Gaussian Mixture Model (paper Section 7.2): mixture
+#: weights, per-cluster means and covariances are all inferred.
+HGMM = """
+(K, N, alpha, mu_0, Sigma_0, nu, Psi) => {
+  param pi ~ Dirichlet(alpha) ;
+  param mu[k] ~ MvNormal(mu_0, Sigma_0)
+    for k <- 0 until K ;
+  param Sigma[k] ~ InvWishart(nu, Psi)
+    for k <- 0 until K ;
+  param z[n] ~ Categorical(pi)
+    for n <- 0 until N ;
+  data y[n] ~ MvNormal(mu[z[n]], Sigma[z[n]])
+    for n <- 0 until N ;
+}
+"""
+
+#: Hierarchical Logistic Regression (paper Section 7.2).  ``x`` is the
+#: observed feature matrix, closed over as a hyper-parameter; ``lam``
+#: is the prior rate on the shared variance.
+HLR = """
+(N, D, lam, x) => {
+  param sigma2 ~ Exponential(lam) ;
+  param b ~ Normal(0.0, sigma2) ;
+  param theta[j] ~ Normal(0.0, sigma2)
+    for j <- 0 until D ;
+  data y[n] ~ Bernoulli(sigmoid(dotp(x[n], theta) + b))
+    for n <- 0 until N ;
+}
+"""
+
+#: Latent Dirichlet Allocation (paper Section 7.2).  ``N`` is the
+#: per-document token-count vector, so the token comprehensions are
+#: ragged.
+LDA = """
+(K, D, V, N, alpha, beta) => {
+  param theta[d] ~ Dirichlet(alpha)
+    for d <- 0 until D ;
+  param phi[k] ~ Dirichlet(beta)
+    for k <- 0 until K ;
+  param z[d][j] ~ Categorical(theta[d])
+    for d <- 0 until D, j <- 0 until N[d] ;
+  data w[d][j] ~ Categorical(phi[z[d][j]])
+    for d <- 0 until D, j <- 0 until N[d] ;
+}
+"""
+
+#: Conjugate Normal-Normal chain: the simplest Gibbs-able model.
+NORMAL_NORMAL = """
+(N, mu_0, v_0, v) => {
+  param mu ~ Normal(mu_0, v_0) ;
+  data y[n] ~ Normal(mu, v)
+    for n <- 0 until N ;
+}
+"""
+
+#: Beta-Bernoulli coin model.
+BETA_BERNOULLI = """
+(N, a, b) => {
+  param p ~ Beta(a, b) ;
+  data y[n] ~ Bernoulli(p)
+    for n <- 0 until N ;
+}
+"""
+
+#: Gamma-Poisson count model.
+GAMMA_POISSON = """
+(N, a, b) => {
+  param rate ~ Gamma(a, b) ;
+  data y[n] ~ Poisson(rate)
+    for n <- 0 until N ;
+}
+"""
+
+#: Dirichlet-Categorical (a one-level LDA ingredient).
+DIRICHLET_CATEGORICAL = """
+(N, alpha) => {
+  param pi ~ Dirichlet(alpha) ;
+  data y[n] ~ Categorical(pi)
+    for n <- 0 until N ;
+}
+"""
+
+#: The Section 5.4 running example: a positive scale parameter over
+#: normal observations -- exercises the AtmPar -> sumBlk conversion.
+EXP_NORMAL = """
+(N, lam) => {
+  param v ~ Exponential(lam) ;
+  data y[n] ~ Normal(0.0, v)
+    for n <- 0 until N ;
+}
+"""
+
+#: Sigmoid Belief Network (one hidden layer) -- the paper lists "deep
+#: generative models such as sigmoid belief networks" among the
+#: expressible model class (Section 2).  The hidden units appear as a
+#: whole vector inside the sigmoid link, so no per-element enumeration
+#: exists; they are sampled with user-proposal MH (bit flips).
+SBN = """
+(H, V, ph, W, b) => {
+  param h[j] ~ Bernoulli(ph)
+    for j <- 0 until H ;
+  data x[v] ~ Bernoulli(sigmoid(dotp(W[v], h) + b[v]))
+    for v <- 0 until V ;
+}
+"""
+
+def make_unrolled_hmm(t_steps: int) -> str:
+    """Build an unrolled Hidden Markov Model source string.
+
+    The paper (Section 2.2): sequential dependence must be written "by
+    unfolding the entire model.  This is doable, but does not take
+    advantage of the design of AugurV2."  This helper does the
+    unfolding: one hidden-state declaration per time step, each drawn
+    from the transition row selected by its predecessor, with a Normal
+    emission per step.  Every hidden state gets an enumeration-Gibbs
+    update, so the compiled sampler is a full forward-filtering-free
+    Gibbs HMM.
+    """
+    if t_steps < 1:
+        raise ValueError("an HMM needs at least one time step")
+    decls = ["  param h0 ~ Categorical(pi0) ;"]
+    for t in range(1, t_steps):
+        decls.append(f"  param h{t} ~ Categorical(trans[h{t - 1}]) ;")
+    for t in range(t_steps):
+        decls.append(f"  data y{t} ~ Normal(means[h{t}], v) ;")
+    body = "\n".join(decls)
+    return f"(pi0, trans, means, v) => {{\n{body}\n}}"
+
+
+ALL_MODELS = {
+    "gmm": GMM,
+    "hgmm": HGMM,
+    "hlr": HLR,
+    "lda": LDA,
+    "normal_normal": NORMAL_NORMAL,
+    "beta_bernoulli": BETA_BERNOULLI,
+    "gamma_poisson": GAMMA_POISSON,
+    "dirichlet_categorical": DIRICHLET_CATEGORICAL,
+    "exp_normal": EXP_NORMAL,
+    "sbn": SBN,
+}

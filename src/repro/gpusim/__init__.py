@@ -1,0 +1,17 @@
+"""GPU simulator substrate.
+
+The paper evaluates on an Nvidia Titan Black via Cuda/Nvcc.  Offline
+and GPU-less, this package substitutes a SIMT *device model*: kernels
+execute numerically on the host (NumPy), while the device accounts
+simulated time for kernel launches, lane-parallel execution, atomic
+contention, tree reductions, and host<->device transfers.  The cost
+model charges for exactly the phenomena the paper's GPU findings hinge
+on, so speedup *shapes* (parallelism wins on big latent spaces, atomic
+contention penalises naive AtmPar code, summation blocks fix it)
+reproduce even though absolute seconds do not.
+"""
+
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.device import Device
+
+__all__ = ["CostModel", "Device"]

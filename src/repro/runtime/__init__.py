@@ -1,0 +1,20 @@
+"""Runtime library for compiled samplers (paper Section 6.2).
+
+The AugurV2 runtime was written in Cuda/C and provided primitive
+functions, primitive distributions, MCMC library code, and vector
+operations.  This package is the Python analogue:
+
+- :mod:`repro.runtime.distributions` -- primitive distributions with
+  vectorised ``logpdf`` / ``sample`` / ``grad`` operations,
+- :mod:`repro.runtime.vectors` -- the flattened ragged-array
+  representation used for vectors of vectors,
+- :mod:`repro.runtime.mcmc` -- library code for the base MCMC updates
+  (leapfrog/HMC, NUTS, slice samplers, MH acceptance machinery),
+- :mod:`repro.runtime.rng` -- the random-number substrate,
+- :mod:`repro.runtime.transforms` -- bijective reparameterisations used
+  by gradient-based updates on constrained variables.
+"""
+
+from repro.runtime.rng import Rng
+
+__all__ = ["Rng"]

@@ -1,0 +1,25 @@
+"""Primitive distributions with known functional form (paper Section 2.2).
+
+Each distribution provides the Low++ distribution operations: ``ll``
+(:meth:`logpdf`), ``samp`` (:meth:`sample`), and ``grad_i``
+(:meth:`grad`).  Distributions are registered by surface name in
+:mod:`repro.runtime.distributions.registry`.
+"""
+
+from repro.runtime.distributions.base import Distribution, GradUnsupported, ParamSpec
+from repro.runtime.distributions.registry import (
+    all_distributions,
+    is_distribution,
+    lookup,
+    register,
+)
+
+__all__ = [
+    "Distribution",
+    "GradUnsupported",
+    "ParamSpec",
+    "all_distributions",
+    "is_distribution",
+    "lookup",
+    "register",
+]

@@ -1,0 +1,119 @@
+"""Distribution interface used across the compiler and runtime.
+
+Every primitive distribution the modeling language exposes is an
+instance of :class:`Distribution`.  The interface mirrors the
+distribution operations ``dop`` of the Low++ IL (paper Figure 6):
+
+- ``logpdf``  -- the ``ll`` operation (log density / log mass),
+- ``sample``  -- the ``samp`` operation,
+- ``grad``    -- the ``grad_i`` operation, where index ``0`` denotes the
+  gradient with respect to the *value* and index ``i >= 1`` the gradient
+  with respect to the ``i``-th distribution argument.
+
+All operations are vectorised: ``value`` may carry leading batch axes
+and parameters broadcast against it, which is what lets the CPU backend
+emit whole ``Par`` loops as single vector calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.types import Ty
+from repro.errors import ReproError
+
+
+class GradUnsupported(ReproError):
+    """The requested gradient is not implemented for this distribution.
+
+    The compiler consults :meth:`Distribution.supports_grad` before
+    scheduling a gradient-based update, so hitting this at runtime
+    indicates a compiler bug rather than a user error.
+    """
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """Static description of one distribution parameter."""
+
+    name: str
+    ty: Ty
+
+
+class Distribution:
+    """A primitive distribution with known functional form (Section 2.2).
+
+    Sub-classes set the class attributes and implement the numeric
+    methods.  ``name`` is the surface-syntax spelling (``Normal``,
+    ``MvNormal``, ...).
+    """
+
+    name: str
+    params: tuple[ParamSpec, ...]
+    result_ty: Ty
+    is_discrete: bool = False
+    #: Support descriptor: one of "real", "pos_real", "unit_interval",
+    #: "simplex", "real_vec", "pos_def_mat", "nonneg_int", "binary",
+    #: "int_range", "bounded_real".
+    support: str = "real"
+
+    # ------------------------------------------------------------------
+    def event_shape(self, *params) -> tuple[int, ...]:
+        """Shape of one variate given concrete parameter values.
+
+        Used by size inference (Section 5.2) to bound state and
+        workspace allocations up front.  Scalar distributions return
+        ``()``; vector/matrix distributions inspect their parameters.
+        """
+        return ()
+
+    def logpdf(self, value, *params):
+        """Log density (or log mass) of ``value``; vectorised."""
+        raise NotImplementedError
+
+    def sample(self, rng, *params, size=None):
+        """Draw a variate (or a batch when ``size``/batched params given)."""
+        raise NotImplementedError
+
+    def grad(self, index: int, value, *params):
+        """Gradient of ``logpdf`` w.r.t. value (``index=0``) or a parameter.
+
+        Parameter indices are 1-based to match the paper's ``grad_i``
+        notation, where position ``i`` refers to the i-th argument of the
+        distribution call.
+        """
+        if index == 0:
+            return self.grad_value(value, *params)
+        return self.grad_param(index, value, *params)
+
+    def grad_value(self, value, *params):
+        raise GradUnsupported(f"{self.name}: gradient w.r.t. value not available")
+
+    def grad_param(self, index: int, value, *params):
+        raise GradUnsupported(f"{self.name}: gradient w.r.t. argument {index} not available")
+
+    # ------------------------------------------------------------------
+    def supports_grad(self, index: int) -> bool:
+        """Whether ``grad(index, ...)`` is implemented (compile-time query)."""
+        if self.is_discrete and index == 0:
+            return False
+        probe = f"grad_{'value' if index == 0 else 'param'}"
+        return getattr(type(self), probe) is not getattr(Distribution, probe)
+
+    @property
+    def arity(self) -> int:
+        return len(self.params)
+
+    def __repr__(self) -> str:
+        return f"<dist {self.name}/{self.arity}>"
+
+
+def as_float_array(x) -> np.ndarray:
+    """Coerce a parameter or value to a float64 ndarray (0-d for scalars)."""
+    return np.asarray(x, dtype=np.float64)
+
+
+def as_int_array(x) -> np.ndarray:
+    return np.asarray(x, dtype=np.int64)

@@ -1,0 +1,42 @@
+"""Bernoulli distribution over ``{0, 1}``."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import INT, REAL
+from repro.runtime.distributions.base import (
+    Distribution,
+    ParamSpec,
+    as_float_array,
+    as_int_array,
+)
+
+
+class Bernoulli(Distribution):
+    name = "Bernoulli"
+    params = (ParamSpec("p", REAL),)
+    result_ty = INT
+    is_discrete = True
+    support = "binary"
+
+    def logpdf(self, value, p):
+        x = as_int_array(value)
+        prob = as_float_array(p)
+        with np.errstate(divide="ignore"):
+            return np.where(x == 1, np.log(prob), np.log1p(-prob))
+
+    def sample(self, rng, p, size=None):
+        prob = as_float_array(p)
+        shape = prob.shape if size is None else (size,) + prob.shape
+        return (rng.uniform(size=shape if shape else None) < prob).astype(np.int64)
+
+    def support_size(self, p) -> int:
+        return 2
+
+    def grad_param(self, index, value, p):
+        if index != 1:
+            raise IndexError(f"Bernoulli has 1 parameter, not {index}")
+        x = as_float_array(value)
+        prob = as_float_array(p)
+        return x / prob - (1.0 - x) / (1.0 - prob)

@@ -1,0 +1,43 @@
+"""Beta distribution on the open unit interval."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import digamma, gammaln
+
+from repro.core.types import REAL
+from repro.runtime.distributions.base import Distribution, ParamSpec, as_float_array
+
+
+class Beta(Distribution):
+    name = "Beta"
+    params = (ParamSpec("a", REAL), ParamSpec("b", REAL))
+    result_ty = REAL
+    support = "unit_interval"
+
+    def logpdf(self, value, a, b):
+        x, aa, bb = map(as_float_array, (value, a, b))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = (
+                (aa - 1.0) * np.log(x)
+                + (bb - 1.0) * np.log1p(-x)
+                + gammaln(aa + bb)
+                - gammaln(aa)
+                - gammaln(bb)
+            )
+        return np.where((x > 0) & (x < 1), out, -np.inf)
+
+    def sample(self, rng, a, b, size=None):
+        return rng.beta(as_float_array(a), as_float_array(b), size=size)
+
+    def grad_value(self, value, a, b):
+        x, aa, bb = map(as_float_array, (value, a, b))
+        return (aa - 1.0) / x - (bb - 1.0) / (1.0 - x)
+
+    def grad_param(self, index, value, a, b):
+        x, aa, bb = map(as_float_array, (value, a, b))
+        if index == 1:
+            return np.log(x) + digamma(aa + bb) - digamma(aa)
+        if index == 2:
+            return np.log1p(-x) + digamma(aa + bb) - digamma(bb)
+        raise IndexError(f"Beta has 2 parameters, not {index}")

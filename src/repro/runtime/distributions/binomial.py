@@ -1,0 +1,51 @@
+"""Binomial distribution ``Binomial(trials, p)``."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import gammaln
+
+from repro.core.types import INT, REAL
+from repro.runtime.distributions.base import (
+    Distribution,
+    ParamSpec,
+    as_float_array,
+    as_int_array,
+)
+
+
+class Binomial(Distribution):
+    name = "Binomial"
+    params = (ParamSpec("trials", INT), ParamSpec("p", REAL))
+    result_ty = INT
+    is_discrete = True
+    support = "nonneg_int"
+
+    def logpdf(self, value, trials, p):
+        k = as_int_array(value)
+        n = as_int_array(trials)
+        prob = as_float_array(p)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = (
+                gammaln(n + 1.0)
+                - gammaln(k + 1.0)
+                - gammaln(n - k + 1.0)
+                + k * np.log(prob)
+                + (n - k) * np.log1p(-prob)
+            )
+        return np.where((k >= 0) & (k <= n), out, -np.inf)
+
+    def sample(self, rng, trials, p, size=None):
+        n = as_int_array(trials)
+        prob = as_float_array(p)
+        return rng.generator.binomial(n, prob, size=size)
+
+    def grad_param(self, index, value, trials, p):
+        if index == 1:
+            raise IndexError("Binomial trials are integer; no gradient")
+        if index != 2:
+            raise IndexError(f"Binomial has 2 parameters, not {index}")
+        k = as_float_array(value)
+        n = as_float_array(trials)
+        prob = as_float_array(p)
+        return k / prob - (n - k) / (1.0 - prob)

@@ -1,0 +1,49 @@
+"""Categorical distribution over ``{0, ..., K-1}`` given a probability vector."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import INT, VEC_REAL
+from repro.runtime.distributions.base import (
+    Distribution,
+    ParamSpec,
+    as_float_array,
+    as_int_array,
+)
+
+
+class Categorical(Distribution):
+    name = "Categorical"
+    params = (ParamSpec("probs", VEC_REAL),)
+    result_ty = INT
+    is_discrete = True
+    support = "int_range"
+
+    def logpdf(self, value, probs):
+        k = as_int_array(value)
+        p = as_float_array(probs)
+        batch = np.broadcast_shapes(k.shape, p.shape[:-1])
+        k = np.broadcast_to(k, batch)
+        p = np.broadcast_to(p, batch + p.shape[-1:])
+        picked = np.take_along_axis(p, k[..., None], axis=-1)[..., 0]
+        with np.errstate(divide="ignore"):
+            return np.log(picked)
+
+    def sample(self, rng, probs, size=None):
+        p = as_float_array(probs)
+        if size is not None:
+            p = np.broadcast_to(p, (size,) + p.shape[-1:])
+        return rng.categorical(p)
+
+    def support_size(self, probs) -> int:
+        return as_float_array(probs).shape[-1]
+
+    def grad_param(self, index, value, probs):
+        if index != 1:
+            raise IndexError(f"Categorical has 1 parameter, not {index}")
+        k = as_int_array(value)
+        p = as_float_array(probs)
+        onehot = np.zeros(k.shape + p.shape[-1:], dtype=np.float64)
+        np.put_along_axis(onehot, k[..., None], 1.0, axis=-1)
+        return onehot / p

@@ -1,0 +1,40 @@
+"""Dirichlet distribution over the probability simplex."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import digamma, gammaln
+
+from repro.core.types import VEC_REAL
+from repro.runtime.distributions.base import Distribution, ParamSpec, as_float_array
+
+
+class Dirichlet(Distribution):
+    name = "Dirichlet"
+    params = (ParamSpec("alpha", VEC_REAL),)
+    result_ty = VEC_REAL
+    support = "simplex"
+
+    def event_shape(self, alpha):
+        return (np.asarray(alpha).shape[-1],)
+
+    def logpdf(self, value, alpha):
+        x, a = as_float_array(value), as_float_array(alpha)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            term = np.sum((a - 1.0) * np.log(x), axis=-1)
+        norm = gammaln(np.sum(a, axis=-1)) - np.sum(gammaln(a), axis=-1)
+        ok = np.all(x > 0, axis=-1) & np.isclose(np.sum(x, axis=-1), 1.0, atol=1e-6)
+        return np.where(ok, term + norm, -np.inf)
+
+    def sample(self, rng, alpha, size=None):
+        return rng.dirichlet(as_float_array(alpha), size=size)
+
+    def grad_value(self, value, alpha):
+        x, a = as_float_array(value), as_float_array(alpha)
+        return (a - 1.0) / x
+
+    def grad_param(self, index, value, alpha):
+        if index != 1:
+            raise IndexError(f"Dirichlet has 1 parameter, not {index}")
+        x, a = as_float_array(value), as_float_array(alpha)
+        return np.log(x) - digamma(a) + digamma(np.sum(a, axis=-1, keepdims=True))

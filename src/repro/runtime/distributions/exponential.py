@@ -1,0 +1,33 @@
+"""Exponential distribution with *rate* parameter ``lambda``."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import REAL
+from repro.runtime.distributions.base import Distribution, ParamSpec, as_float_array
+
+
+class Exponential(Distribution):
+    name = "Exponential"
+    params = (ParamSpec("rate", REAL),)
+    result_ty = REAL
+    support = "pos_real"
+
+    def logpdf(self, value, rate):
+        x, lam = as_float_array(value), as_float_array(rate)
+        return np.where(x >= 0, np.log(lam) - lam * x, -np.inf)
+
+    def sample(self, rng, rate, size=None):
+        lam = as_float_array(rate)
+        return rng.exponential(1.0 / lam, size=size)
+
+    def grad_value(self, value, rate):
+        x, lam = as_float_array(value), as_float_array(rate)
+        return np.broadcast_to(-lam, np.broadcast_shapes(x.shape, lam.shape)).copy()
+
+    def grad_param(self, index, value, rate):
+        if index != 1:
+            raise IndexError(f"Exponential has 1 parameter, not {index}")
+        x, lam = as_float_array(value), as_float_array(rate)
+        return 1.0 / lam - x

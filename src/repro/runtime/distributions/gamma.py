@@ -1,0 +1,38 @@
+"""Gamma distribution with shape/rate parameterisation."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import digamma, gammaln
+
+from repro.core.types import REAL
+from repro.runtime.distributions.base import Distribution, ParamSpec, as_float_array
+
+
+class Gamma(Distribution):
+    name = "Gamma"
+    params = (ParamSpec("shape", REAL), ParamSpec("rate", REAL))
+    result_ty = REAL
+    support = "pos_real"
+
+    def logpdf(self, value, shape, rate):
+        x, a, b = map(as_float_array, (value, shape, rate))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = a * np.log(b) - gammaln(a) + (a - 1.0) * np.log(x) - b * x
+        return np.where(x > 0, out, -np.inf)
+
+    def sample(self, rng, shape, rate, size=None):
+        a, b = as_float_array(shape), as_float_array(rate)
+        return rng.gamma(a, 1.0 / b, size=size)
+
+    def grad_value(self, value, shape, rate):
+        x, a, b = map(as_float_array, (value, shape, rate))
+        return (a - 1.0) / x - b
+
+    def grad_param(self, index, value, shape, rate):
+        x, a, b = map(as_float_array, (value, shape, rate))
+        if index == 1:  # d/d shape
+            return np.log(b) - digamma(a) + np.log(x)
+        if index == 2:  # d/d rate
+            return a / b - x
+        raise IndexError(f"Gamma has 2 parameters, not {index}")

@@ -1,0 +1,77 @@
+"""Inverse-Wishart distribution over positive-definite matrices.
+
+Used as the conjugate prior for an ``MvNormal`` covariance in the HGMM
+(paper Section 7.2).  Sampling uses the Bartlett decomposition of the
+Wishart distribution applied to the inverse scale matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import multigammaln
+
+from repro.core.types import MAT_REAL, REAL
+from repro.runtime.distributions.base import Distribution, ParamSpec, as_float_array
+
+
+def _logdet(m: np.ndarray) -> np.ndarray:
+    sign, val = np.linalg.slogdet(m)
+    return np.where(sign > 0, val, -np.inf)
+
+
+class InvWishart(Distribution):
+    name = "InvWishart"
+    params = (ParamSpec("df", REAL), ParamSpec("scale", MAT_REAL))
+    result_ty = MAT_REAL
+    support = "pos_def_mat"
+
+    def event_shape(self, df, scale):
+        d = np.asarray(scale).shape[-1]
+        return (d, d)
+
+    def logpdf(self, value, df, scale):
+        x = as_float_array(value)
+        nu = as_float_array(df)
+        psi = as_float_array(scale)
+        d = x.shape[-1]
+        # tr(Psi X^-1) computed via solve to avoid an explicit inverse.
+        xinvpsi = np.linalg.solve(x, np.broadcast_to(psi, x.shape))
+        trace = np.trace(xinvpsi, axis1=-2, axis2=-1)
+        return (
+            0.5 * nu * _logdet(psi)
+            - 0.5 * nu * d * np.log(2.0)
+            - multigammaln(nu / 2.0, d)
+            - 0.5 * (nu + d + 1.0) * _logdet(x)
+            - 0.5 * trace
+        )
+
+    def sample(self, rng, df, scale, size=None):
+        df_arr = np.asarray(df, dtype=np.float64)
+        psi = as_float_array(scale)
+        if df_arr.ndim > 0 or psi.ndim > 2:
+            # Batched parameters: one draw per leading index.
+            batch = np.broadcast_shapes(df_arr.shape, psi.shape[:-2])
+            df_b = np.broadcast_to(df_arr, batch).reshape(-1)
+            psi_b = np.broadcast_to(psi, batch + psi.shape[-2:]).reshape(
+                (-1,) + psi.shape[-2:]
+            )
+            draws = np.stack(
+                [self.sample(rng, float(n), p) for n, p in zip(df_b, psi_b)]
+            )
+            return draws.reshape(batch + psi.shape[-2:])
+        nu = float(df_arr)
+        d = psi.shape[-1]
+        if size is not None:
+            return np.stack([self.sample(rng, nu, psi) for _ in range(int(size))])
+        # X ~ InvWishart(nu, Psi)  <=>  X^-1 ~ Wishart(nu, Psi^-1).
+        chol_inv_psi = np.linalg.cholesky(np.linalg.inv(psi))
+        a = np.zeros((d, d))
+        idx = np.tril_indices(d, -1)
+        a[idx] = rng.standard_normal(len(idx[0]))
+        # Chi-squared marginals on the diagonal (Bartlett).
+        a[np.diag_indices(d)] = np.sqrt(
+            [rng.gamma((nu - i) / 2.0, 2.0) for i in range(d)]
+        )
+        factor = chol_inv_psi @ a
+        wishart = factor @ factor.T
+        return np.linalg.inv(wishart)

@@ -1,0 +1,46 @@
+"""Laplace (double-exponential) distribution ``Laplace(loc, scale)``.
+
+Useful as a sparsity-inducing prior in regression models; continuous
+with a (sub-gradient at the mode) density gradient, so HMC and slice
+updates apply.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import REAL
+from repro.runtime.distributions.base import Distribution, ParamSpec, as_float_array
+
+
+class Laplace(Distribution):
+    name = "Laplace"
+    params = (ParamSpec("loc", REAL), ParamSpec("scale", REAL))
+    result_ty = REAL
+    support = "real"
+
+    def logpdf(self, value, loc, scale):
+        x, m, b = map(as_float_array, (value, loc, scale))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = -np.log(2.0 * b) - np.abs(x - m) / b
+        return np.where(b > 0, out, -np.inf)
+
+    def sample(self, rng, loc, scale, size=None):
+        m, b = as_float_array(loc), as_float_array(scale)
+        shape = np.broadcast_shapes(m.shape, b.shape)
+        if size is not None:
+            shape = (size,) + shape
+        u = rng.uniform(-0.5, 0.5, size=shape if shape else None)
+        return m - b * np.sign(u) * np.log1p(-2.0 * np.abs(u))
+
+    def grad_value(self, value, loc, scale):
+        x, m, b = map(as_float_array, (value, loc, scale))
+        return -np.sign(x - m) / b
+
+    def grad_param(self, index, value, loc, scale):
+        x, m, b = map(as_float_array, (value, loc, scale))
+        if index == 1:
+            return np.sign(x - m) / b
+        if index == 2:
+            return -1.0 / b + np.abs(x - m) / b**2
+        raise IndexError(f"Laplace has 2 parameters, not {index}")

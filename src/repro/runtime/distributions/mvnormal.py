@@ -1,0 +1,81 @@
+"""Multivariate normal distribution ``MvNormal(mean, cov)``.
+
+``value`` and ``mean`` carry shape ``(..., D)``; ``cov`` is ``(D, D)``
+or batched ``(..., D, D)``.  Log densities are computed via Cholesky
+factors for stability, and the batched path is what lets a ``Par`` loop
+over mixture components or data points collapse into one call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import MAT_REAL, VEC_REAL
+from repro.runtime.distributions.base import Distribution, ParamSpec, as_float_array
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+def _chol(cov: np.ndarray) -> np.ndarray:
+    return np.linalg.cholesky(cov)
+
+
+def _solve_chol(chol: np.ndarray, b: np.ndarray, matrix: bool = False) -> np.ndarray:
+    """Solve ``(L L^T) x = b`` given the lower Cholesky factor ``L``.
+
+    ``b`` is a (batch of) vector(s) unless ``matrix`` is set, in which
+    case its last two axes form a matrix right-hand side.
+    """
+    rhs = b if matrix else b[..., None]
+    y = np.linalg.solve(chol, rhs)
+    x = np.linalg.solve(np.swapaxes(chol, -1, -2), y)
+    return x if matrix else x[..., 0]
+
+
+class MvNormal(Distribution):
+    name = "MvNormal"
+    params = (ParamSpec("mean", VEC_REAL), ParamSpec("cov", MAT_REAL))
+    result_ty = VEC_REAL
+    support = "real_vec"
+
+    def event_shape(self, mean, cov):
+        return (np.asarray(mean).shape[-1],)
+
+    def logpdf(self, value, mean, cov):
+        x, mu, sigma = map(as_float_array, (value, mean, cov))
+        diff = x - mu
+        chol = _chol(sigma)
+        # Solve L y = diff  =>  maha = |y|^2 = diff^T Sigma^-1 diff.
+        y = np.linalg.solve(chol, diff[..., None])[..., 0]
+        maha = np.sum(y * y, axis=-1)
+        logdet = 2.0 * np.sum(np.log(np.diagonal(chol, axis1=-2, axis2=-1)), axis=-1)
+        d = x.shape[-1]
+        return -0.5 * (d * _LOG_2PI + logdet + maha)
+
+    def sample(self, rng, mean, cov, size=None):
+        mu, sigma = as_float_array(mean), as_float_array(cov)
+        chol = _chol(sigma)
+        if size is None:
+            shape = np.broadcast_shapes(mu.shape, chol.shape[:-1])
+        else:
+            shape = (size,) + mu.shape if isinstance(size, int) else tuple(size) + mu.shape
+        z = rng.standard_normal(shape)
+        return mu + np.einsum("...ij,...j->...i", chol, z)
+
+    def grad_value(self, value, mean, cov):
+        x, mu, sigma = map(as_float_array, (value, mean, cov))
+        return -_solve_chol(_chol(sigma), x - mu)
+
+    def grad_param(self, index, value, mean, cov):
+        x, mu, sigma = map(as_float_array, (value, mean, cov))
+        if index == 1:  # d/d mean = Sigma^-1 (x - mu)
+            return _solve_chol(_chol(sigma), x - mu)
+        if index == 2:  # d/d cov = 0.5 (S^-1 d d^T S^-1 - S^-1)
+            chol = _chol(sigma)
+            sd = _solve_chol(chol, x - mu)
+            d = sigma.shape[-1]
+            inv = _solve_chol(
+                chol, np.broadcast_to(np.eye(d), sigma.shape).copy(), matrix=True
+            )
+            return 0.5 * (sd[..., :, None] * sd[..., None, :] - inv)
+        raise IndexError(f"MvNormal has 2 parameters, not {index}")

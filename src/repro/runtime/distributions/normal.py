@@ -1,0 +1,43 @@
+"""Univariate normal distribution, parameterised by mean and *variance*.
+
+The paper's models write ``Normal(0, sigma^2)`` (e.g. the HLR prior), so
+the second argument is the variance, not the standard deviation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import REAL
+from repro.runtime.distributions.base import Distribution, ParamSpec, as_float_array
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+class Normal(Distribution):
+    name = "Normal"
+    params = (ParamSpec("mean", REAL), ParamSpec("var", REAL))
+    result_ty = REAL
+    support = "real"
+
+    def logpdf(self, value, mean, var):
+        x, mu, v = map(as_float_array, (value, mean, var))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = -0.5 * (_LOG_2PI + np.log(v) + (x - mu) ** 2 / v)
+        return np.where(v > 0, out, -np.inf)
+
+    def sample(self, rng, mean, var, size=None):
+        mu, v = as_float_array(mean), as_float_array(var)
+        return rng.normal(mu, np.sqrt(v), size=size)
+
+    def grad_value(self, value, mean, var):
+        x, mu, v = map(as_float_array, (value, mean, var))
+        return -(x - mu) / v
+
+    def grad_param(self, index, value, mean, var):
+        x, mu, v = map(as_float_array, (value, mean, var))
+        if index == 1:  # d/d mean
+            return (x - mu) / v
+        if index == 2:  # d/d var
+            return -0.5 / v + (x - mu) ** 2 / (2.0 * v**2)
+        raise IndexError(f"Normal has 2 parameters, not {index}")

@@ -1,0 +1,38 @@
+"""Poisson distribution over the non-negative integers."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import gammaln
+
+from repro.core.types import INT, REAL
+from repro.runtime.distributions.base import (
+    Distribution,
+    ParamSpec,
+    as_float_array,
+    as_int_array,
+)
+
+
+class Poisson(Distribution):
+    name = "Poisson"
+    params = (ParamSpec("rate", REAL),)
+    result_ty = INT
+    is_discrete = True
+    support = "nonneg_int"
+
+    def logpdf(self, value, rate):
+        x = as_int_array(value)
+        lam = as_float_array(rate)
+        out = x * np.log(lam) - lam - gammaln(x + 1.0)
+        return np.where(x >= 0, out, -np.inf)
+
+    def sample(self, rng, rate, size=None):
+        return rng.poisson(as_float_array(rate), size=size)
+
+    def grad_param(self, index, value, rate):
+        if index != 1:
+            raise IndexError(f"Poisson has 1 parameter, not {index}")
+        x = as_float_array(value)
+        lam = as_float_array(rate)
+        return x / lam - 1.0

@@ -1,0 +1,72 @@
+"""Registry mapping surface-syntax distribution names to implementations.
+
+The frontend type checker, the conjugacy detector, the AD pass, and the
+backends all look distributions up here, so adding a new primitive
+distribution is a single :func:`register` call (plus, for Gibbs support,
+a conjugacy rule -- see :mod:`repro.core.kernel.conjugacy`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TypeCheckError
+from repro.runtime.distributions.base import Distribution
+from repro.runtime.distributions.bernoulli import Bernoulli
+from repro.runtime.distributions.binomial import Binomial
+from repro.runtime.distributions.beta import Beta
+from repro.runtime.distributions.categorical import Categorical
+from repro.runtime.distributions.dirichlet import Dirichlet
+from repro.runtime.distributions.exponential import Exponential
+from repro.runtime.distributions.gamma import Gamma
+from repro.runtime.distributions.inv_wishart import InvWishart
+from repro.runtime.distributions.laplace import Laplace
+from repro.runtime.distributions.mvnormal import MvNormal
+from repro.runtime.distributions.normal import Normal
+from repro.runtime.distributions.poisson import Poisson
+from repro.runtime.distributions.student_t import StudentT
+from repro.runtime.distributions.uniform import Uniform
+
+_REGISTRY: dict[str, Distribution] = {}
+
+
+def register(dist: Distribution) -> Distribution:
+    """Add a distribution to the registry (last registration wins)."""
+    _REGISTRY[dist.name] = dist
+    return dist
+
+
+def lookup(name: str) -> Distribution:
+    """Find a distribution by surface name, or raise ``TypeCheckError``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise TypeCheckError(
+            f"unknown distribution {name!r}; known distributions: {known}"
+        ) from None
+
+
+def is_distribution(name: str) -> bool:
+    return name in _REGISTRY
+
+
+def all_distributions() -> dict[str, Distribution]:
+    return dict(_REGISTRY)
+
+
+for _dist in (
+    Normal(),
+    MvNormal(),
+    Categorical(),
+    Dirichlet(),
+    Bernoulli(),
+    Exponential(),
+    Gamma(),
+    Beta(),
+    InvWishart(),
+    Poisson(),
+    Uniform(),
+    Binomial(),
+    Laplace(),
+    StudentT(),
+):
+    register(_dist)

@@ -1,0 +1,31 @@
+"""Continuous uniform distribution on ``[lo, hi]``."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import REAL
+from repro.runtime.distributions.base import Distribution, ParamSpec, as_float_array
+
+
+class Uniform(Distribution):
+    name = "Uniform"
+    params = (ParamSpec("lo", REAL), ParamSpec("hi", REAL))
+    result_ty = REAL
+    support = "bounded_real"
+
+    def logpdf(self, value, lo, hi):
+        x, a, b = map(as_float_array, (value, lo, hi))
+        inside = (x >= a) & (x <= b)
+        with np.errstate(divide="ignore"):
+            return np.where(inside, -np.log(b - a), -np.inf)
+
+    def sample(self, rng, lo, hi, size=None):
+        return rng.uniform(as_float_array(lo), as_float_array(hi), size=size)
+
+    def grad_value(self, value, lo, hi):
+        x = as_float_array(value)
+        shape = np.broadcast_shapes(
+            x.shape, as_float_array(lo).shape, as_float_array(hi).shape
+        )
+        return np.zeros(shape)

@@ -1,0 +1,24 @@
+"""Metropolis-Hastings acceptance (paper Section 5.5).
+
+Every base MCMC update is a MH update with a particular proposal; the
+acceptance ratio ``alpha = min(1, p(x') q(x' -> x) / (p(x) q(x -> x')))``
+is computed in log space.  Gibbs updates have ``alpha = 1`` and skip
+this entirely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mh_accept(rng, log_alpha: float) -> bool:
+    """Accept with probability ``min(1, exp(log_alpha))``.
+
+    NaN log-ratios (e.g. from an out-of-support proposal evaluating to
+    ``-inf - -inf``) are rejected, keeping the chain on valid states.
+    """
+    if np.isnan(log_alpha):
+        return False
+    if log_alpha >= 0:
+        return True
+    return bool(np.log(rng.uniform()) < log_alpha)

@@ -1,0 +1,98 @@
+"""No-U-Turn sampler (prototype, paper footnote 5).
+
+Implements the efficient NUTS of Hoffman & Gelman (2014, Algorithm 3)
+with multinomial-free slice sampling and a fixed maximum tree depth,
+over the same :class:`TransformedLogDensity` interface as HMC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.mcmc.hmc import TransformedLogDensity
+from repro.runtime.mcmc.tree import Tree, tree_copy, tree_dot, tree_gaussian
+
+_MAX_DEPTH = 8
+_DELTA_MAX = 1000.0
+
+
+def _leapfrog_one(target, z, p, eps):
+    grad = target.grad(z)
+    p = {k: p[k] + 0.5 * eps * grad[k] for k in p}
+    z = {k: z[k] + eps * p[k] for k in z}
+    grad = target.grad(z)
+    p = {k: p[k] + 0.5 * eps * grad[k] for k in p}
+    return z, p
+
+
+def _no_uturn(z_minus, z_plus, p_minus, p_plus) -> bool:
+    diff = {k: np.asarray(z_plus[k]) - np.asarray(z_minus[k]) for k in z_plus}
+    return (
+        tree_dot(diff, p_minus) >= 0 and tree_dot(diff, p_plus) >= 0
+    )
+
+
+def nuts_step(rng, target: TransformedLogDensity, z: Tree, step_size: float):
+    """One NUTS transition.
+
+    Returns ``(next position, n_leapfrog, accept_stat)`` where
+    ``accept_stat`` is the average Metropolis acceptance over the tree's
+    leaf states -- the statistic dual-averaging step-size adaptation
+    targets (Hoffman & Gelman 2014).
+    """
+    p0 = tree_gaussian(rng, z)
+    joint0 = target.logpdf(z) - 0.5 * tree_dot(p0, p0)
+    log_u = joint0 + np.log(rng.uniform())
+
+    z_minus = tree_copy(z)
+    z_plus = tree_copy(z)
+    p_minus = tree_copy(p0)
+    p_plus = tree_copy(p0)
+    z_sample = tree_copy(z)
+    n = 1
+    leapfrogs = 0
+    keep_going = True
+    alpha_sum = 0.0
+    n_alpha = 0
+
+    def build(zb, pb, direction, depth):
+        nonlocal leapfrogs, alpha_sum, n_alpha
+        if depth == 0:
+            z1, p1 = _leapfrog_one(target, zb, pb, direction * step_size)
+            leapfrogs += 1
+            joint = target.logpdf(z1) - 0.5 * tree_dot(p1, p1)
+            alpha_sum += float(min(1.0, np.exp(min(0.0, joint - joint0))))
+            n_alpha += 1
+            n1 = 1 if log_u <= joint else 0
+            s1 = log_u < joint + _DELTA_MAX
+            return z1, p1, z1, p1, z1, n1, s1
+        zm, pm, zp, pp, zs, n1, s1 = build(zb, pb, direction, depth - 1)
+        if s1:
+            if direction == -1:
+                zm, pm, _, _, zs2, n2, s2 = build(zm, pm, direction, depth - 1)
+            else:
+                _, _, zp, pp, zs2, n2, s2 = build(zp, pp, direction, depth - 1)
+            if n2 > 0 and rng.uniform() < n2 / max(1, n1 + n2):
+                zs = zs2
+            n1 += n2
+            s1 = s2 and _no_uturn(zm, zp, pm, pp)
+        return zm, pm, zp, pp, zs, n1, s1
+
+    depth = 0
+    while keep_going and depth < _MAX_DEPTH:
+        direction = -1 if rng.uniform() < 0.5 else 1
+        if direction == -1:
+            z_minus, p_minus, _, _, z_prop, n_prime, s_prime = build(
+                z_minus, p_minus, direction, depth
+            )
+        else:
+            _, _, z_plus, p_plus, z_prop, n_prime, s_prime = build(
+                z_plus, p_plus, direction, depth
+            )
+        if s_prime and rng.uniform() < min(1.0, n_prime / n):
+            z_sample = z_prop
+        n += n_prime
+        keep_going = s_prime and _no_uturn(z_minus, z_plus, p_minus, p_plus)
+        depth += 1
+    accept_stat = alpha_sum / n_alpha if n_alpha else 0.0
+    return z_sample, leapfrogs, accept_stat

@@ -1,0 +1,38 @@
+"""Dict-of-arrays ("tree") arithmetic for multi-variable updates.
+
+A gradient-based update over a block of variables works on the
+product space; representing points as ``{name: ndarray}`` keeps the
+driver code independent of how many variables the block holds.
+Scalars are carried as 0-d arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+Tree = dict
+
+
+def tree_copy(t: Tree) -> Tree:
+    return {k: np.array(v, dtype=np.float64, copy=True) for k, v in t.items()}
+
+
+def tree_add(a: Tree, b: Tree) -> Tree:
+    return {k: a[k] + b[k] for k in a}
+
+
+def tree_scale(a: Tree, s: float) -> Tree:
+    return {k: s * v for k, v in a.items()}
+
+
+def tree_axpy(a: Tree, x: Tree, alpha: float) -> Tree:
+    """``a + alpha * x``."""
+    return {k: a[k] + alpha * x[k] for k in a}
+
+
+def tree_dot(a: Tree, b: Tree) -> float:
+    return float(sum(np.sum(np.asarray(a[k]) * np.asarray(b[k])) for k in a))
+
+
+def tree_gaussian(rng, like: Tree) -> Tree:
+    return {k: rng.standard_normal(np.shape(v)) for k, v in like.items()}

@@ -1,0 +1,118 @@
+"""Numeric implementations of the builtin operators ``opn``.
+
+Generated sampler code and the IL interpreters call these.  Every
+operator is vectorised: scalar arguments broadcast, so a ``Par`` loop
+body that uses ``sigmoid`` works unchanged when the backend collapses
+the loop into one batched call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def add(a, b):
+    return np.add(a, b)
+
+
+def sub(a, b):
+    return np.subtract(a, b)
+
+
+def mul(a, b):
+    return np.multiply(a, b)
+
+
+def div(a, b):
+    return np.divide(a, b)
+
+
+def neg(a):
+    return np.negative(a)
+
+
+def pow_(a, b):
+    return np.power(a, b)
+
+
+def exp(a):
+    return np.exp(a)
+
+
+def log(a):
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.log(a)
+
+
+def sqrt(a):
+    return np.sqrt(a)
+
+
+def sigmoid(a):
+    """Numerically stable logistic function."""
+    a = np.asarray(a, dtype=np.float64)
+    out = np.empty_like(a)
+    pos = a >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-a[pos]))
+    ea = np.exp(a[~pos])
+    out[~pos] = ea / (1.0 + ea)
+    return out if out.ndim else float(out)
+
+
+def dotp(a, b):
+    """Inner product along the last axis (batched)."""
+    return np.sum(np.asarray(a) * np.asarray(b), axis=-1)
+
+
+def normalize(a):
+    """Scale a (batch of) non-negative vector(s) to sum to one."""
+    a = np.asarray(a, dtype=np.float64)
+    return a / np.sum(a, axis=-1, keepdims=True)
+
+
+def vlen(a):
+    """Length of a vector (the surface builtin ``len``)."""
+    return np.asarray(a).shape[-1]
+
+
+def eq(a, b):
+    return np.equal(a, b)
+
+
+def min_(a, b):
+    return np.minimum(a, b)
+
+
+def max_(a, b):
+    return np.maximum(a, b)
+
+
+def logsumexp(a, axis=-1):
+    a = np.asarray(a, dtype=np.float64)
+    m = np.max(a, axis=axis, keepdims=True)
+    m = np.where(np.isfinite(m), m, 0.0)
+    with np.errstate(divide="ignore"):
+        return np.squeeze(m, axis=axis) + np.log(np.sum(np.exp(a - m), axis=axis))
+
+
+#: Mapping from surface operator name to implementation; the backends
+#: emit calls through this table (``ops.TABLE['sigmoid']``) so adding an
+#: operator never touches the code generators.
+TABLE = {
+    "+": add,
+    "-": sub,
+    "*": mul,
+    "/": div,
+    "neg": neg,
+    "pow": pow_,
+    "exp": exp,
+    "log": log,
+    "sqrt": sqrt,
+    "sigmoid": sigmoid,
+    "dotp": dotp,
+    "normalize": normalize,
+    "len": vlen,
+    "==": eq,
+    "min": min_,
+    "max": max_,
+}

@@ -1,0 +1,90 @@
+"""Random-number substrate for compiled samplers and baselines.
+
+All stochastic code in the package draws from an :class:`Rng`, a thin
+wrapper over :class:`numpy.random.Generator` that adds a few sampling
+primitives the generated code needs (log-space categorical draws, batch
+categorical draws) and supports deterministic forking so that parallel
+chains and the GPU simulator get independent, reproducible streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Rng:
+    """A seedable random source with the primitives generated code uses."""
+
+    def __init__(self, seed: int | np.random.Generator | None = None):
+        if isinstance(seed, np.random.Generator):
+            self._gen = seed
+        else:
+            self._gen = np.random.default_rng(seed)
+
+    @property
+    def generator(self) -> np.random.Generator:
+        """The underlying NumPy generator, for direct distribution calls."""
+        return self._gen
+
+    def fork(self, n: int) -> list["Rng"]:
+        """Split off ``n`` independent child streams (for parallel chains)."""
+        return [Rng(np.random.default_rng(s)) for s in self._gen.spawn(n)]
+
+    # ------------------------------------------------------------------
+    # Scalar / batch primitives used by generated sampler code.
+    # ------------------------------------------------------------------
+
+    def uniform(self, low: float = 0.0, high: float = 1.0, size=None):
+        return self._gen.uniform(low, high, size=size)
+
+    def normal(self, loc=0.0, scale=1.0, size=None):
+        return self._gen.normal(loc, scale, size=size)
+
+    def standard_normal(self, size=None):
+        return self._gen.standard_normal(size=size)
+
+    def gamma(self, shape, scale=1.0, size=None):
+        return self._gen.gamma(shape, scale, size=size)
+
+    def beta(self, a, b, size=None):
+        return self._gen.beta(a, b, size=size)
+
+    def exponential(self, scale=1.0, size=None):
+        return self._gen.exponential(scale, size=size)
+
+    def poisson(self, lam, size=None):
+        return self._gen.poisson(lam, size=size)
+
+    def integers(self, low, high=None, size=None):
+        return self._gen.integers(low, high, size=size)
+
+    def categorical_logits(self, logits: np.ndarray) -> np.ndarray:
+        """Draw categorical variates from unnormalised log-probabilities.
+
+        ``logits`` has shape ``(..., K)``; one draw is made per leading
+        index using the Gumbel-max trick, which is numerically safe for
+        very negative logits and vectorises across the batch.
+        """
+        logits = np.asarray(logits, dtype=np.float64)
+        gumbel = -np.log(-np.log(self._gen.uniform(size=logits.shape)))
+        return np.argmax(logits + gumbel, axis=-1)
+
+    def categorical(self, probs: np.ndarray) -> np.ndarray:
+        """Draw categorical variates from (rows of) a probability vector."""
+        probs = np.asarray(probs, dtype=np.float64)
+        if probs.ndim == 1:
+            return int(self._gen.choice(probs.shape[0], p=probs / probs.sum()))
+        cdf = np.cumsum(probs, axis=-1)
+        cdf /= cdf[..., -1:]
+        u = self._gen.uniform(size=probs.shape[:-1] + (1,))
+        return (u > cdf).sum(axis=-1)
+
+    def dirichlet(self, alpha: np.ndarray, size=None) -> np.ndarray:
+        alpha = np.asarray(alpha, dtype=np.float64)
+        if size is None and alpha.ndim == 1:
+            return self._gen.dirichlet(alpha)
+        # Batched Dirichlet via normalised Gammas (the runtime-library
+        # inlining example from paper Section 5.4).
+        shape = (size,) + alpha.shape if size is not None else alpha.shape
+        g = self._gen.gamma(np.broadcast_to(alpha, shape))
+        return g / g.sum(axis=-1, keepdims=True)

@@ -1,0 +1,208 @@
+"""Bijective reparameterisations for constrained parameters.
+
+Gradient-based updates (HMC, NUTS) operate on an unconstrained space.
+When the heuristic scheduler assigns such an update to a variable with
+constrained support -- e.g. ``sigma2 ~ Exponential(lam)`` in the HLR
+model, which is positive -- the compiler wraps the variable in one of
+these transforms.  Each transform contributes the log-Jacobian of the
+inverse map to the target density, which is the standard change of
+variables used by Stan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Transform:
+    """A bijection between a constrained space and the real line."""
+
+    name: str
+
+    def to_unconstrained(self, x):
+        raise NotImplementedError
+
+    def to_constrained(self, z):
+        raise NotImplementedError
+
+    def log_jacobian(self, z):
+        """``log |d constrained / d z|`` at unconstrained point ``z``."""
+        raise NotImplementedError
+
+    def grad_log_jacobian(self, z):
+        """Gradient of :meth:`log_jacobian` w.r.t. ``z``."""
+        raise NotImplementedError
+
+    def grad_constrained_wrt_z(self, z):
+        """``d constrained / d z`` (for chain-ruling density gradients)."""
+        raise NotImplementedError
+
+
+class IdentityTransform(Transform):
+    name = "identity"
+
+    def to_unconstrained(self, x):
+        return np.asarray(x, dtype=np.float64)
+
+    def to_constrained(self, z):
+        return np.asarray(z, dtype=np.float64)
+
+    def log_jacobian(self, z):
+        return np.zeros_like(np.asarray(z, dtype=np.float64))
+
+    def grad_log_jacobian(self, z):
+        return np.zeros_like(np.asarray(z, dtype=np.float64))
+
+    def grad_constrained_wrt_z(self, z):
+        return np.ones_like(np.asarray(z, dtype=np.float64))
+
+
+class LogTransform(Transform):
+    """Positive reals <-> reals via ``x = exp(z)``."""
+
+    name = "log"
+
+    def to_unconstrained(self, x):
+        return np.log(np.asarray(x, dtype=np.float64))
+
+    def to_constrained(self, z):
+        # A diverging leapfrog trajectory may push z to overflow; the
+        # resulting inf density evaluates to -inf and gets rejected.
+        with np.errstate(over="ignore"):
+            return np.exp(np.asarray(z, dtype=np.float64))
+
+    def log_jacobian(self, z):
+        return np.asarray(z, dtype=np.float64)
+
+    def grad_log_jacobian(self, z):
+        return np.ones_like(np.asarray(z, dtype=np.float64))
+
+    def grad_constrained_wrt_z(self, z):
+        with np.errstate(over="ignore"):
+            return np.exp(np.asarray(z, dtype=np.float64))
+
+
+class LogitTransform(Transform):
+    """Open unit interval <-> reals via ``x = sigmoid(z)``."""
+
+    name = "logit"
+
+    def to_unconstrained(self, x):
+        x = np.asarray(x, dtype=np.float64)
+        return np.log(x) - np.log1p(-x)
+
+    def to_constrained(self, z):
+        z = np.asarray(z, dtype=np.float64)
+        return 1.0 / (1.0 + np.exp(-z))
+
+    def log_jacobian(self, z):
+        z = np.asarray(z, dtype=np.float64)
+        # log sigmoid(z) + log (1 - sigmoid(z)), computed stably.  A
+        # diverged trajectory may hand us nan/inf; propagate quietly and
+        # let the acceptance test reject.
+        with np.errstate(invalid="ignore"):
+            return -np.logaddexp(0.0, z) - np.logaddexp(0.0, -z)
+
+    def grad_log_jacobian(self, z):
+        z = np.asarray(z, dtype=np.float64)
+        return 1.0 - 2.0 / (1.0 + np.exp(-z))
+
+    def grad_constrained_wrt_z(self, z):
+        s = self.to_constrained(z)
+        return s * (1.0 - s)
+
+
+class StickBreakingTransform(Transform):
+    """K-simplex <-> R^(K-1) via the stick-breaking construction.
+
+    Used when a gradient-based update is assigned to a Dirichlet
+    variable.  Follows the Stan reference construction.
+    """
+
+    name = "stick_breaking"
+
+    def __init__(self, k: int):
+        if k < 2:
+            raise ValueError("simplex dimension must be at least 2")
+        self.k = k
+
+    def to_unconstrained(self, x):
+        x = np.asarray(x, dtype=np.float64)
+        k = self.k
+        remaining = 1.0 - np.concatenate(
+            [np.zeros(x.shape[:-1] + (1,)), np.cumsum(x[..., :-1], axis=-1)], axis=-1
+        )
+        frac = x[..., :-1] / remaining[..., :-1]
+        offsets = np.log(np.arange(k - 1, 0, -1, dtype=np.float64))
+        return np.log(frac) - np.log1p(-frac) + offsets
+
+    def to_constrained(self, z):
+        z = np.asarray(z, dtype=np.float64)
+        k = self.k
+        offsets = np.log(np.arange(k - 1, 0, -1, dtype=np.float64))
+        frac = 1.0 / (1.0 + np.exp(-(z - offsets)))
+        out = np.empty(z.shape[:-1] + (k,))
+        remaining = np.ones(z.shape[:-1])
+        for i in range(k - 1):
+            out[..., i] = frac[..., i] * remaining
+            remaining = remaining - out[..., i]
+        out[..., -1] = remaining
+        return out
+
+    def log_jacobian(self, z):
+        z = np.asarray(z, dtype=np.float64)
+        k = self.k
+        offsets = np.log(np.arange(k - 1, 0, -1, dtype=np.float64))
+        zc = z - offsets
+        log_frac = -np.logaddexp(0.0, -zc)
+        log_one_minus = -np.logaddexp(0.0, zc)
+        x = self.to_constrained(z)
+        remaining = 1.0 - np.concatenate(
+            [np.zeros(z.shape[:-1] + (1,)), np.cumsum(x[..., :-1], axis=-1)], axis=-1
+        )[..., :-1]
+        with np.errstate(divide="ignore"):
+            log_remaining = np.log(np.maximum(remaining, 1e-300))
+        return np.sum(log_frac + log_one_minus + log_remaining, axis=-1)
+
+    def grad_log_jacobian(self, z):
+        # The analytic form is unwieldy; central differences are exact
+        # enough for leapfrog integration and keep this module compact.
+        z = np.asarray(z, dtype=np.float64)
+        eps = 1e-6
+        grad = np.zeros_like(z)
+        for i in range(z.shape[-1]):
+            zp, zm = z.copy(), z.copy()
+            zp[..., i] += eps
+            zm[..., i] -= eps
+            grad[..., i] = (self.log_jacobian(zp) - self.log_jacobian(zm)) / (2 * eps)
+        return grad
+
+    def grad_constrained_wrt_z(self, z):
+        # Full Jacobian matrix d x / d z, shape (K, K-1).
+        z = np.asarray(z, dtype=np.float64)
+        eps = 1e-6
+        k = self.k
+        jac = np.zeros(z.shape[:-1] + (k, k - 1))
+        for i in range(k - 1):
+            zp, zm = z.copy(), z.copy()
+            zp[..., i] += eps
+            zm[..., i] -= eps
+            jac[..., :, i] = (self.to_constrained(zp) - self.to_constrained(zm)) / (
+                2 * eps
+            )
+        return jac
+
+
+def transform_for_support(support: str, dim: int | None = None) -> Transform:
+    """Pick the unconstraining transform for a distribution support tag."""
+    if support in ("real", "real_vec"):
+        return IdentityTransform()
+    if support == "pos_real":
+        return LogTransform()
+    if support == "unit_interval":
+        return LogitTransform()
+    if support == "simplex":
+        if dim is None:
+            raise ValueError("simplex transform requires the dimension")
+        return StickBreakingTransform(dim)
+    raise ValueError(f"no unconstraining transform for support {support!r}")

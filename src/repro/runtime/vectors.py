@@ -1,0 +1,150 @@
+"""Flattened ragged-array representation (paper Section 6.2).
+
+AugurV2 supports vectors of vectors (ragged arrays) in its surface
+syntax, but the runtime stores the data in one flat, contiguous buffer
+paired with an index structure.  The flat buffer makes it possible to
+map an operation over *all* elements at once (the GPU-friendly layout,
+and equally the NumPy-friendly layout), while the index structure keeps
+random access ``v[i][j]`` cheap.
+
+:class:`RaggedArray` here plays the role of the paper's paired
+"pointer-directed structure + flattened contiguous array".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+
+class RaggedArray:
+    """A vector of variable-length vectors stored as one flat buffer.
+
+    ``flat`` holds every element contiguously; ``offsets`` (length
+    ``n_rows + 1``) holds the CSR-style row starts, so row ``i`` is
+    ``flat[offsets[i]:offsets[i+1]]``.
+    """
+
+    __slots__ = ("flat", "offsets")
+
+    def __init__(self, flat: np.ndarray, offsets: np.ndarray):
+        flat = np.ascontiguousarray(flat)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if offsets.ndim != 1 or offsets.size == 0 or offsets[0] != 0:
+            raise ValueError("offsets must be 1-D, non-empty, and start at 0")
+        if np.any(np.diff(offsets) < 0):
+            raise ValueError("offsets must be non-decreasing")
+        if offsets[-1] != flat.shape[0]:
+            raise ValueError(
+                f"offsets end at {offsets[-1]} but flat buffer has {flat.shape[0]} rows"
+            )
+        self.flat = flat
+        self.offsets = offsets
+
+    # ------------------------------------------------------------------
+    # Construction.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, rows: Iterable[Sequence], dtype=None) -> "RaggedArray":
+        """Build from an iterable of per-row sequences (possibly ragged)."""
+        rows = [np.asarray(r, dtype=dtype) for r in rows]
+        lengths = np.array([r.shape[0] for r in rows], dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(lengths)])
+        if rows:
+            flat = np.concatenate(rows) if offsets[-1] > 0 else np.empty(
+                (0,) + rows[0].shape[1:], dtype=rows[0].dtype
+            )
+        else:
+            flat = np.empty(0, dtype=dtype or np.float64)
+        return cls(flat, offsets)
+
+    @classmethod
+    def full(
+        cls,
+        lengths: Sequence[int],
+        fill_value=0.0,
+        dtype=np.float64,
+        event_shape: tuple[int, ...] = (),
+    ) -> "RaggedArray":
+        """Allocate with the given row lengths, filled with a constant.
+
+        ``event_shape`` appends fixed trailing dimensions to every
+        element (e.g. a per-token logit vector), so row ``i`` has shape
+        ``(lengths[i], *event_shape)``.
+        """
+        lengths = np.asarray(lengths, dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(lengths)])
+        flat = np.full((int(offsets[-1]),) + tuple(event_shape), fill_value, dtype=dtype)
+        return cls(flat, offsets)
+
+    # ------------------------------------------------------------------
+    # Access.
+    # ------------------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        return self.offsets.size - 1
+
+    @property
+    def n_elems(self) -> int:
+        return int(self.offsets[-1])
+
+    def row_lengths(self) -> np.ndarray:
+        return np.diff(self.offsets)
+
+    def row(self, i: int) -> np.ndarray:
+        """A *view* onto row ``i`` of the flat buffer."""
+        return self.flat[self.offsets[i] : self.offsets[i + 1]]
+
+    def __getitem__(self, i: int) -> np.ndarray:
+        return self.row(i)
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __iter__(self):
+        for i in range(self.n_rows):
+            yield self.row(i)
+
+    def row_index(self) -> np.ndarray:
+        """For each flat element, the row it belongs to.
+
+        This is the gather map that lets a map over ``v[d][j]`` run as
+        one vector operation over the flat buffer -- e.g. for LDA,
+        ``theta[doc_of_token]`` indexes the per-document parameters for
+        every token at once.
+        """
+        return np.repeat(np.arange(self.n_rows), self.row_lengths())
+
+    def position_index(self) -> np.ndarray:
+        """For each flat element, its position within its row."""
+        return np.arange(self.n_elems) - np.repeat(self.offsets[:-1], self.row_lengths())
+
+    # ------------------------------------------------------------------
+    # Whole-structure operations.
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "RaggedArray":
+        return RaggedArray(self.flat.copy(), self.offsets.copy())
+
+    def map_flat(self, fn) -> "RaggedArray":
+        """Apply a vectorised function across the flat buffer."""
+        return RaggedArray(fn(self.flat), self.offsets)
+
+    def to_rows(self) -> list[np.ndarray]:
+        return [self.row(i).copy() for i in range(self.n_rows)]
+
+    def same_shape(self, other: "RaggedArray") -> bool:
+        return np.array_equal(self.offsets, other.offsets)
+
+    def __repr__(self) -> str:
+        return f"RaggedArray(n_rows={self.n_rows}, n_elems={self.n_elems})"
+
+
+def as_ragged(value, dtype=None) -> RaggedArray:
+    """Coerce nested lists / lists of arrays / RaggedArray to RaggedArray."""
+    if isinstance(value, RaggedArray):
+        return value
+    return RaggedArray.from_rows(value, dtype=dtype)

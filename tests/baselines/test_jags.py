@@ -1,0 +1,173 @@
+"""The JAGS-like graph engine: structure, sampler assignment, posteriors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.jags.ars import ars_sample
+from repro.baselines.jags.engine import JagsEngine
+from repro.eval import models
+
+
+# ----------------------------------------------------------------------
+# Adaptive rejection sampling.
+# ----------------------------------------------------------------------
+
+
+def test_ars_standard_normal_moments():
+    rng = np.random.default_rng(0)
+    logp = lambda x: -0.5 * x * x
+    draws = np.array([ars_sample(rng, logp) for _ in range(4000)])
+    assert draws.mean() == pytest.approx(0.0, abs=0.06)
+    assert draws.std() == pytest.approx(1.0, abs=0.06)
+
+
+def test_ars_shifted_normal():
+    rng = np.random.default_rng(1)
+    logp = lambda x: -0.5 * (x - 3.0) ** 2 / 0.25
+    draws = np.array([ars_sample(rng, logp, init_points=[2.0, 3.0, 4.0]) for _ in range(2000)])
+    assert draws.mean() == pytest.approx(3.0, abs=0.05)
+
+
+def test_ars_bounded_support():
+    rng = np.random.default_rng(2)
+    # Gamma(3, 2) on (0, inf) -- log-concave for shape > 1.
+    logp = lambda x: 2.0 * np.log(x) - 2.0 * x if x > 0 else -np.inf
+    draws = np.array(
+        [ars_sample(rng, logp, lower=0.0, init_points=[0.5, 1.5, 3.0]) for _ in range(3000)]
+    )
+    assert np.all(draws > 0)
+    assert draws.mean() == pytest.approx(1.5, rel=0.05)
+
+
+# ----------------------------------------------------------------------
+# Graph structure.
+# ----------------------------------------------------------------------
+
+
+def gmm_inputs(seed=0, n=40):
+    rng = np.random.default_rng(seed)
+    true_mu = np.array([[-3.0, 0.0], [3.0, 0.0]])
+    z = rng.integers(0, 2, size=n)
+    x = true_mu[z] + rng.normal(0, 0.4, size=(n, 2))
+    hypers = {
+        "K": 2,
+        "N": n,
+        "mu_0": np.zeros(2),
+        "Sigma_0": np.eye(2) * 16.0,
+        "pis": np.full(2, 0.5),
+        "Sigma": np.eye(2) * 0.16,
+    }
+    return hypers, {"x": x}, true_mu
+
+
+def test_graph_reifies_every_element():
+    hypers, data, _ = gmm_inputs(n=40)
+    eng = JagsEngine(models.GMM, hypers, data)
+    assert len(eng.net.nodes_by_var["z"]) == 40
+    assert len(eng.net.nodes_by_var["mu"]) == 2
+    assert len(eng.net.nodes_by_var["x"]) == 40
+
+
+def test_edge_classification():
+    hypers, data, _ = gmm_inputs(n=10)
+    eng = JagsEngine(models.GMM, hypers, data)
+    # z[n] -> x[n] is aligned: exactly one child per z node.
+    for node in eng.net.nodes_by_var["z"]:
+        assert len(node.children) == 1
+        assert node.children[0].idx == node.idx
+    # mu[k] -> x[*] is dense (stochastic indexing).
+    for node in eng.net.nodes_by_var["mu"]:
+        assert len(node.children) == 10
+
+
+def test_sampler_factory_assignments():
+    hypers, data, _ = gmm_inputs(n=10)
+    eng = JagsEngine(models.GMM, hypers, data)
+    names = eng.sampler_names()
+    assert names["mu"] == "MvNormalMeanSampler"
+    assert names["z"] == "EnumerationSampler"
+
+
+def test_hlr_falls_back_to_ars():
+    rng = np.random.default_rng(3)
+    n, d = 20, 3
+    x = rng.normal(size=(n, d))
+    y = rng.integers(0, 2, size=n)
+    eng = JagsEngine(
+        models.HLR, {"N": n, "D": d, "lam": 1.0, "x": x}, {"y": y}
+    )
+    names = eng.sampler_names()
+    assert names["theta"] == "ARSSampler"
+    assert names["b"] == "ARSSampler"
+    assert names["sigma2"] == "ARSSampler"
+
+
+def test_hgmm_assignments():
+    rng = np.random.default_rng(4)
+    y = rng.normal(size=(15, 2))
+    hypers = {
+        "K": 2, "N": 15, "alpha": np.ones(2), "mu_0": np.zeros(2),
+        "Sigma_0": np.eye(2) * 9.0, "nu": 4.0, "Psi": np.eye(2),
+    }
+    eng = JagsEngine(models.HGMM, hypers, {"y": y})
+    names = eng.sampler_names()
+    assert names["pi"] == "DirichletCategoricalSampler"
+    assert names["mu"] == "MvNormalMeanSampler"
+    assert names["Sigma"] == "InvWishartSampler"
+    assert names["z"] == "EnumerationSampler"
+
+
+# ----------------------------------------------------------------------
+# Posterior correctness.
+# ----------------------------------------------------------------------
+
+
+def test_jags_normal_normal_posterior():
+    rng = np.random.default_rng(5)
+    y = rng.normal(2.0, 1.0, size=30)
+    eng = JagsEngine(
+        models.NORMAL_NORMAL,
+        {"N": 30, "mu_0": 0.0, "v_0": 100.0, "v": 1.0},
+        {"y": y},
+    )
+    samples, _ = eng.sample(num_samples=1500, burn_in=20, seed=0)
+    draws = np.asarray(samples["mu"])
+    post_prec = 1 / 100.0 + 30
+    post_mean = y.sum() / post_prec
+    assert draws.mean() == pytest.approx(post_mean, abs=0.05)
+    assert draws.var() == pytest.approx(1 / post_prec, rel=0.25)
+
+
+def test_jags_gmm_recovers_clusters():
+    hypers, data, true_mu = gmm_inputs(n=60)
+    eng = JagsEngine(models.GMM, hypers, data)
+    samples, _ = eng.sample(num_samples=40, burn_in=20, seed=1)
+    mean_mu = np.asarray(samples["mu"])[10:].mean(axis=0)
+    for t in true_mu:
+        assert np.linalg.norm(mean_mu - t, axis=1).min() < 0.5
+
+
+def test_jags_beta_bernoulli_posterior():
+    y = np.array([1, 1, 0, 1, 1, 0, 1, 1])
+    eng = JagsEngine(models.BETA_BERNOULLI, {"N": 8, "a": 2.0, "b": 2.0}, {"y": y})
+    samples, _ = eng.sample(num_samples=2000, seed=2)
+    draws = np.asarray(samples["p"])
+    assert draws.mean() == pytest.approx(8 / 12, abs=0.02)
+
+
+def test_jags_matches_augurv2_posterior():
+    # The two systems must agree on the posterior (same model, same data).
+    from repro.core.compiler import compile_model
+
+    rng = np.random.default_rng(6)
+    y = rng.normal(1.0, 1.0, size=25)
+    hypers = {"N": 25, "mu_0": 0.0, "v_0": 4.0, "v": 1.0}
+    eng = JagsEngine(models.NORMAL_NORMAL, hypers, {"y": y})
+    jsamples, _ = eng.sample(num_samples=1500, burn_in=20, seed=0)
+    sampler = compile_model(models.NORMAL_NORMAL, hypers, {"y": y})
+    asamples = sampler.sample(num_samples=1500, burn_in=20, seed=0)
+    assert np.mean(jsamples["mu"]) == pytest.approx(
+        float(asamples.array("mu").mean()), abs=0.05
+    )

@@ -1,0 +1,242 @@
+"""Blk IL lowering and the Section 5.4 optimisations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.blk.ir import LoopBlk, ParBlk, SeqBlk, SumBlk
+from repro.core.blk.lower import lower_to_blk
+from repro.core.blk.optimize import OptimizeConfig, optimize_blocks
+from repro.core.density.conditionals import blocked_factors, conditional
+from repro.core.exprs import Call, Gen, IntLit, RealLit, Var
+from repro.core.kernel.conjugacy import detect_enumeration
+from repro.core.lowpp.ad import gen_grad
+from repro.core.lowpp.gen_gibbs import gen_gibbs_enumeration
+from repro.core.lowpp.ir import (
+    AssignOp,
+    LDecl,
+    LoopKind,
+    LValue,
+    SAssign,
+    SLoop,
+)
+
+from tests.lowpp.conftest import make_setup
+
+
+def simple_decl(body):
+    return LDecl(name="f", params=(), body=tuple(body))
+
+
+def test_lowering_splits_seq_and_par():
+    body = [
+        SAssign(LValue("a"), AssignOp.SET, RealLit(0.0)),
+        SLoop(
+            LoopKind.PAR,
+            Gen("i", IntLit(0), Var("N")),
+            (SAssign(LValue("x", (Var("i"),)), AssignOp.SET, Var("i")),),
+        ),
+        SAssign(LValue("b"), AssignOp.SET, RealLit(1.0)),
+    ]
+    blk = lower_to_blk(simple_decl(body))
+    kinds = [type(b) for b in blk.blocks]
+    assert kinds == [SeqBlk, ParBlk, SeqBlk]
+
+
+def test_lowering_seq_loop_becomes_loop_blk():
+    body = [
+        SLoop(
+            LoopKind.SEQ,
+            Gen("k", IntLit(0), Var("K")),
+            (
+                SLoop(
+                    LoopKind.PAR,
+                    Gen("n", IntLit(0), Var("N")),
+                    (SAssign(LValue("w", (Var("n"), Var("k"))), AssignOp.SET, Var("n")),),
+                ),
+            ),
+        )
+    ]
+    blk = lower_to_blk(simple_decl(body))
+    (lb,) = blk.blocks
+    assert isinstance(lb, LoopBlk)
+    assert isinstance(lb.blocks[0], ParBlk)
+
+
+def inner_loop_block(outer_n, inner_n):
+    return simple_decl(
+        [
+            SLoop(
+                LoopKind.PAR,
+                Gen("k", IntLit(0), Var("K")),
+                (
+                    SLoop(
+                        LoopKind.PAR,
+                        Gen("n", IntLit(0), Var("N")),
+                        (
+                            SAssign(
+                                LValue("out", (Var("k"), Var("n"))),
+                                AssignOp.SET,
+                                Var("n"),
+                            ),
+                        ),
+                    ),
+                ),
+            )
+        ]
+    )
+
+
+def test_commute_when_inner_much_larger():
+    decl = inner_loop_block(3, 10_000)
+    blk = optimize_blocks(lower_to_blk(decl), {"K": 3, "N": 10_000})
+    (b,) = blk.blocks
+    assert isinstance(b, ParBlk)
+    assert b.gen.var == "n"  # the big loop is now the parallel one
+    assert isinstance(b.stmts[0], SLoop)
+    assert b.stmts[0].gen.var == "k"
+
+
+def test_no_commute_when_sizes_comparable():
+    decl = inner_loop_block(100, 120)
+    blk = optimize_blocks(lower_to_blk(decl), {"K": 100, "N": 120})
+    (b,) = blk.blocks
+    assert b.gen.var == "k"
+
+
+def test_no_commute_when_inner_bound_depends_on_outer():
+    decl = simple_decl(
+        [
+            SLoop(
+                LoopKind.PAR,
+                Gen("d", IntLit(0), Var("D")),
+                (
+                    SLoop(
+                        LoopKind.PAR,
+                        Gen("j", IntLit(0), Var("L")[Var("d")]),
+                        (SAssign(LValue("o", (Var("d"), Var("j"))), AssignOp.SET, Var("j")),),
+                    ),
+                ),
+            )
+        ]
+    )
+    blk = optimize_blocks(
+        lower_to_blk(decl), {"D": 2, "L": np.array([10_000, 10_000])}
+    )
+    (b,) = blk.blocks
+    assert b.gen.var == "d"
+
+
+def test_commute_disabled_by_config():
+    decl = inner_loop_block(3, 10_000)
+    cfg = OptimizeConfig(commute_loops=False)
+    blk = optimize_blocks(lower_to_blk(decl), {"K": 3, "N": 10_000}, cfg)
+    (b,) = blk.blocks
+    assert b.gen.var == "k"
+
+
+def contention_decl():
+    # The paper's Section 5.4 example: adj_var += ... over N threads.
+    return simple_decl(
+        [
+            SLoop(
+                LoopKind.ATM_PAR,
+                Gen("n", IntLit(0), Var("N")),
+                (
+                    SAssign(
+                        LValue("t"),
+                        AssignOp.SET,
+                        Call("*", (Var("adj_ll"), Var("n"))),
+                    ),
+                    SAssign(LValue("adj_var"), AssignOp.INC, Var("t")),
+                ),
+            )
+        ]
+    )
+
+
+def test_sum_block_conversion():
+    blk = optimize_blocks(lower_to_blk(contention_decl()), {"N": 50_000})
+    (b,) = blk.blocks
+    assert isinstance(b, SumBlk)
+    assert b.acc == LValue("adj_var")
+    assert b.init == Var("adj_var")
+    assert b.value == Var("t")
+
+
+def test_no_conversion_below_contention_threshold():
+    blk = optimize_blocks(lower_to_blk(contention_decl()), {"N": 8})
+    (b,) = blk.blocks
+    assert isinstance(b, ParBlk)
+
+
+def test_conversion_disabled_by_config():
+    cfg = OptimizeConfig(sum_block_conversion=False)
+    blk = optimize_blocks(lower_to_blk(contention_decl()), {"N": 50_000}, cfg)
+    (b,) = blk.blocks
+    assert isinstance(b, ParBlk)
+
+
+def test_fission_multiple_accumulators():
+    decl = simple_decl(
+        [
+            SLoop(
+                LoopKind.ATM_PAR,
+                Gen("n", IntLit(0), Var("N")),
+                (
+                    SAssign(LValue("s1"), AssignOp.INC, Var("n")),
+                    SAssign(LValue("s2"), AssignOp.INC, Call("*", (Var("n"), Var("n")))),
+                ),
+            )
+        ]
+    )
+    blk = optimize_blocks(lower_to_blk(decl), {"N": 1000})
+    assert len(blk.blocks) == 2
+    assert all(isinstance(b, SumBlk) for b in blk.blocks)
+    assert [b.acc.name for b in blk.blocks] == ["s1", "s2"]
+
+
+def test_indexed_increment_not_converted():
+    # adj_mu[z[n]] += ... : scatter, not a scalar reduction.
+    decl = simple_decl(
+        [
+            SLoop(
+                LoopKind.ATM_PAR,
+                Gen("n", IntLit(0), Var("N")),
+                (
+                    SAssign(
+                        LValue("adj_mu", (Var("z")[Var("n")],)),
+                        AssignOp.INC,
+                        Var("n"),
+                    ),
+                ),
+            )
+        ]
+    )
+    blk = optimize_blocks(lower_to_blk(decl), {"N": 50_000})
+    (b,) = blk.blocks
+    assert isinstance(b, ParBlk)
+
+
+def test_hlr_gradient_converts_sigma2_adjoint():
+    # End-to-end: the HLR gradient's shared-variance adjoint loop becomes
+    # a summation block at Adult-income scale (the Section 7.2 story).
+    fd, info = make_setup("hlr")
+    blk_cond = blocked_factors(fd, ("sigma2", "b", "theta"))
+    grad = gen_grad(blk_cond, fd.lets)
+    lowered = lower_to_blk(grad)
+    env = {"N": 50_000, "D": 14}
+    optimized = optimize_blocks(lowered, env)
+    assert any(isinstance(b, SumBlk) for b in optimized.blocks)
+
+
+def test_enumeration_gibbs_lowering_shape():
+    fd, info = make_setup("gmm")
+    cond = conditional(fd, "z", info)
+    enum = detect_enumeration(cond, info.info("z").dist_name)
+    code = gen_gibbs_enumeration(enum, fd.lets)
+    blk = lower_to_blk(code.decl)
+    # Phase 1 is a loopBlk over the support; phase 2 a parBlk draw.
+    assert isinstance(blk.blocks[0], LoopBlk)
+    assert isinstance(blk.blocks[-1], ParBlk)

@@ -1,0 +1,18 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime.rng import Rng
+
+
+@pytest.fixture
+def rng() -> Rng:
+    return Rng(12345)
+
+
+@pytest.fixture
+def np_rng() -> np.random.Generator:
+    return np.random.default_rng(98765)

@@ -1,0 +1,102 @@
+"""Builtin operator table: typing rules and runtime implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.builtins import BUILTINS, is_builtin, lookup_builtin
+from repro.core.types import INT, MAT_REAL, REAL, VEC_REAL, VecTy
+from repro.errors import TypeCheckError
+from repro.runtime import ops
+
+
+def test_every_builtin_has_a_runtime_implementation():
+    for name, b in BUILTINS.items():
+        if b.infix is not None:
+            assert name in ops.TABLE
+        else:
+            assert b.py_name is not None
+            assert getattr(ops, b.py_name, None) is not None
+
+
+def test_arithmetic_typing():
+    plus = lookup_builtin("+")
+    assert plus.type_rule((INT, INT)) == INT
+    assert plus.type_rule((INT, REAL)) == REAL
+    with pytest.raises(TypeCheckError):
+        plus.type_rule((VEC_REAL, REAL))
+    div = lookup_builtin("/")
+    assert div.type_rule((INT, INT)) == REAL  # division is real
+
+
+def test_vector_op_typing():
+    dotp = lookup_builtin("dotp")
+    assert dotp.type_rule((VEC_REAL, VecTy(INT))) == REAL
+    with pytest.raises(TypeCheckError):
+        dotp.type_rule((REAL, VEC_REAL))
+    norm = lookup_builtin("normalize")
+    assert norm.type_rule((VEC_REAL,)) == VEC_REAL
+    with pytest.raises(TypeCheckError):
+        norm.type_rule((MAT_REAL,))
+    ln = lookup_builtin("len")
+    assert ln.type_rule((VEC_REAL,)) == INT
+
+
+def test_neg_preserves_type():
+    neg = lookup_builtin("neg")
+    assert neg.type_rule((INT,)) == INT
+    assert neg.type_rule((REAL,)) == REAL
+
+
+def test_eq_returns_int():
+    assert lookup_builtin("==").type_rule((INT, INT)) == INT
+
+
+def test_lookup_unknown_raises():
+    assert not is_builtin("frobnicate")
+    with pytest.raises(TypeCheckError, match="unknown operator"):
+        lookup_builtin("frobnicate")
+
+
+# ----------------------------------------------------------------------
+# Runtime implementations.
+# ----------------------------------------------------------------------
+
+
+def test_sigmoid_stability():
+    assert ops.sigmoid(800.0) == pytest.approx(1.0)
+    assert ops.sigmoid(-800.0) == pytest.approx(0.0)
+    assert ops.sigmoid(0.0) == pytest.approx(0.5)
+    out = ops.sigmoid(np.array([-800.0, 0.0, 800.0]))
+    np.testing.assert_allclose(out, [0.0, 0.5, 1.0], atol=1e-12)
+
+
+def test_dotp_batched():
+    a = np.arange(6, dtype=float).reshape(2, 3)
+    b = np.ones(3)
+    np.testing.assert_allclose(ops.dotp(a, b), [3.0, 12.0])
+
+
+def test_normalize_batched():
+    a = np.array([[1.0, 3.0], [2.0, 2.0]])
+    out = ops.normalize(a)
+    np.testing.assert_allclose(out.sum(axis=1), 1.0)
+
+
+def test_vlen():
+    assert ops.vlen(np.zeros(5)) == 5
+    assert ops.vlen(np.zeros((4, 7))) == 7  # last axis (batched rows)
+
+
+def test_logsumexp_handles_neg_inf():
+    out = ops.logsumexp(np.array([-np.inf, 0.0]))
+    assert out == pytest.approx(0.0)
+    all_inf = ops.logsumexp(np.array([-np.inf, -np.inf]))
+    assert all_inf == -np.inf
+
+
+def test_log_suppresses_warnings():
+    with np.errstate(divide="raise"):
+        # ops.log internally ignores the divide warning.
+        assert ops.log(0.0) == -np.inf

@@ -1,0 +1,130 @@
+"""Expression-language invariants, including hypothesis property tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hst
+
+from repro.core.exprs import (
+    Call,
+    DistOp,
+    DistOpKind,
+    Gen,
+    Index,
+    IntLit,
+    RealLit,
+    Var,
+    children,
+    free_vars,
+    map_children,
+    mentions,
+    subst,
+    walk,
+)
+
+names = hst.sampled_from(["a", "b", "c", "x", "y", "z"])
+
+
+def expr_strategy():
+    leaves = hst.one_of(
+        names.map(Var),
+        hst.integers(-100, 100).map(IntLit),
+        hst.floats(-10, 10, allow_nan=False).map(RealLit),
+    )
+
+    def extend(inner):
+        return hst.one_of(
+            hst.tuples(inner, inner).map(lambda t: Index(t[0], t[1])),
+            hst.tuples(hst.sampled_from(["+", "-", "*"]), inner, inner).map(
+                lambda t: Call(t[0], (t[1], t[2]))
+            ),
+            hst.tuples(inner, inner).map(
+                lambda t: DistOp("Normal", (t[0], t[1]), DistOpKind.LL, value=t[0])
+            ),
+        )
+
+    return hst.recursive(leaves, extend, max_leaves=12)
+
+
+exprs = expr_strategy()
+
+
+@given(exprs)
+@settings(max_examples=80, deadline=None)
+def test_walk_covers_children_transitively(e):
+    nodes = list(walk(e))
+    assert nodes[0] is e
+    for n in nodes:
+        for c in children(n):
+            assert c in nodes
+
+
+@given(exprs)
+@settings(max_examples=80, deadline=None)
+def test_free_vars_matches_walk(e):
+    via_walk = {n.name for n in walk(e) if isinstance(n, Var)}
+    assert free_vars(e) == frozenset(via_walk)
+    for v in via_walk:
+        assert mentions(e, v)
+    assert not mentions(e, "not_a_name")
+
+
+@given(exprs)
+@settings(max_examples=80, deadline=None)
+def test_identity_map_children_preserves_equality(e):
+    assert map_children(e, lambda c: c) == e
+
+
+@given(exprs, names)
+@settings(max_examples=80, deadline=None)
+def test_subst_removes_variable(e, v):
+    out = subst(e, {v: IntLit(0)})
+    assert not mentions(out, v)
+
+
+@given(exprs, names)
+@settings(max_examples=80, deadline=None)
+def test_subst_is_noop_without_occurrences(e, v):
+    if not mentions(e, v):
+        assert subst(e, {v: IntLit(0)}) == e
+
+
+@given(exprs)
+@settings(max_examples=50, deadline=None)
+def test_str_is_total(e):
+    assert isinstance(str(e), str)
+
+
+def test_structural_equality_and_hashing():
+    a = Call("+", (Var("x"), IntLit(1)))
+    b = Call("+", (Var("x"), IntLit(1)))
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != Call("+", (Var("y"), IntLit(1)))
+
+
+def test_builder_helpers():
+    from repro.core.exprs import add, index, lit, mul, var
+
+    assert add(1, 2) == Call("+", (IntLit(1), IntLit(2)))
+    assert mul("a", 2.0) == Call("*", (Var("a"), RealLit(2.0)))
+    assert index("m", "i", "j") == Index(Index(Var("m"), Var("i")), Var("j"))
+    assert lit(3) == IntLit(3)
+    assert var("q") == Var("q")
+    assert Var("v")[IntLit(0)] == Index(Var("v"), IntLit(0))
+
+
+def test_gen_bounds_equal_is_syntactic():
+    a = Gen("i", IntLit(0), Var("N"))
+    b = Gen("j", IntLit(0), Var("N"))
+    c = Gen("k", IntLit(0), Var("M"))
+    assert a.bounds_equal(b)
+    assert not a.bounds_equal(c)
+
+
+def test_coerce_rejects_bad_values():
+    with pytest.raises(TypeError):
+        Var("x")[object()]
+    with pytest.raises(TypeError):
+        Var("x")[True]

@@ -1,0 +1,25 @@
+"""Repository hygiene: no dead imports, all modules importable."""
+
+from __future__ import annotations
+
+import compileall
+import pathlib
+import sys
+
+SRC = pathlib.Path(__file__).resolve().parents[2] / "src"
+
+
+def test_no_unused_imports():
+    sys.path.insert(0, str(SRC.parent / "tools"))
+    try:
+        from check_imports import unused_imports
+    finally:
+        sys.path.pop(0)
+    problems = []
+    for path in sorted(SRC.rglob("*.py")):
+        problems.extend(unused_imports(path))
+    assert not problems, "\n".join(problems)
+
+
+def test_all_modules_compile():
+    assert compileall.compile_dir(str(SRC), quiet=2, force=True)

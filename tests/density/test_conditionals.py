@@ -1,0 +1,324 @@
+"""Symbolic conditional computation: the Section 3.3 rewrite rules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.density.conditionals import (
+    blocked_factors,
+    conditional,
+    markov_blanket,
+    occurrences_in_factor,
+    replace_expr,
+)
+from repro.core.density.interp import factor_logpdf, log_joint
+from repro.core.density.lower import lower_and_factorize
+from repro.core.exprs import Call, Index, IntLit, Var
+from repro.core.frontend.parser import parse_model
+from repro.core.frontend.symbols import analyze_model
+from repro.core.types import INT, MAT_REAL, REAL, VEC_REAL, VecTy
+from repro.eval import models
+
+
+def gmm_setup():
+    m = parse_model(models.GMM)
+    info = analyze_model(
+        m,
+        {
+            "K": INT,
+            "N": INT,
+            "mu_0": VEC_REAL,
+            "Sigma_0": MAT_REAL,
+            "pis": VEC_REAL,
+            "Sigma": MAT_REAL,
+        },
+    )
+    return lower_and_factorize(m), info
+
+
+def hlr_setup():
+    m = parse_model(models.HLR)
+    info = analyze_model(m, {"N": INT, "D": INT, "lam": REAL, "x": MAT_REAL})
+    return lower_and_factorize(m), info
+
+
+def lda_setup():
+    m = parse_model(models.LDA)
+    info = analyze_model(
+        m,
+        {
+            "K": INT,
+            "D": INT,
+            "V": INT,
+            "N": VecTy(INT),
+            "alpha": VEC_REAL,
+            "beta": VEC_REAL,
+        },
+    )
+    return lower_and_factorize(m), info
+
+
+def hgmm_setup():
+    m = parse_model(models.HGMM)
+    info = analyze_model(
+        m,
+        {
+            "K": INT,
+            "N": INT,
+            "alpha": VEC_REAL,
+            "mu_0": VEC_REAL,
+            "Sigma_0": MAT_REAL,
+            "nu": REAL,
+            "Psi": MAT_REAL,
+        },
+    )
+    return lower_and_factorize(m), info
+
+
+# ----------------------------------------------------------------------
+# The categorical-indexing rule (mixture pattern).
+# ----------------------------------------------------------------------
+
+
+def test_gmm_mu_conditional_uses_categorical_indexing():
+    fd, info = gmm_setup()
+    cond = conditional(fd, "mu", info)
+    assert cond.idx_vars == ("k",)
+    assert not cond.imprecise
+    assert cond.prior.dist == "MvNormal"
+    assert cond.prior.at == Index(Var("mu"), Var("k"))
+    (lik,) = cond.likelihood
+    # The inner product over n remains; the mixture index became a guard.
+    assert [g.var for g in lik.gens] == ["n"]
+    assert lik.guards == ((Index(Var("z"), Var("n")), Var("k")),)
+    # Under the guard, mu[z[n]] was rewritten to mu[k].
+    assert lik.args[0] == Index(Var("mu"), Var("k"))
+
+
+def test_hgmm_sigma_conditional_rewrites_all_mixture_indices():
+    fd, info = hgmm_setup()
+    cond = conditional(fd, "Sigma", info)
+    (lik,) = cond.likelihood
+    # Conditioning on Sigma rewrites BOTH mu[z[n]] and Sigma[z[n]].
+    assert lik.args == (Index(Var("mu"), Var("k")), Index(Var("Sigma"), Var("k")))
+    assert lik.guards == ((Index(Var("z"), Var("n")), Var("k")),)
+
+
+def test_lda_phi_conditional_guard_on_topic_assignment():
+    fd, info = lda_setup()
+    cond = conditional(fd, "phi", info)
+    (lik,) = cond.likelihood
+    assert [g.var for g in lik.gens] == ["d", "j"]
+    guard_lhs, guard_rhs = lik.guards[0]
+    assert guard_lhs == Index(Index(Var("z"), Var("d")), Var("j"))
+    assert guard_rhs == Var("k")
+    assert lik.args[0] == Index(Var("phi"), Var("k"))
+
+
+# ----------------------------------------------------------------------
+# The factoring rule (matching comprehension bounds).
+# ----------------------------------------------------------------------
+
+
+def test_gmm_z_conditional_absorbs_matching_product():
+    fd, info = gmm_setup()
+    cond = conditional(fd, "z", info)
+    assert cond.idx_vars == ("n",)
+    (lik,) = cond.likelihood
+    assert lik.gens == ()  # absorbed into the outer product over n
+    assert lik.at == Index(Var("x"), Var("n"))
+
+
+def test_factoring_aligns_differently_named_generators():
+    m = parse_model(
+        """
+        (N) => {
+          param w[i] ~ Normal(0.0, 1.0) for i <- 0 until N ;
+          data y[m] ~ Normal(w[m], 1.0) for m <- 0 until N ;
+        }
+        """
+    )
+    info = analyze_model(m, {"N": INT})
+    cond = conditional(lower_and_factorize(m), "w", info)
+    (lik,) = cond.likelihood
+    assert lik.gens == ()
+    # The factor's binder m was renamed to the target's binder i.
+    assert lik.at == Index(Var("y"), Var("i"))
+    assert lik.args[0] == Index(Var("w"), Var("i"))
+
+
+def test_lda_theta_conditional():
+    fd, info = lda_setup()
+    cond = conditional(fd, "theta", info)
+    (lik,) = cond.likelihood
+    # d is absorbed; the ragged token loop j remains.
+    assert [g.var for g in lik.gens] == ["j"]
+    assert lik.args[0] == Index(Var("theta"), Var("d"))
+
+
+def test_lda_z_conditional_fully_absorbed():
+    fd, info = lda_setup()
+    cond = conditional(fd, "z", info)
+    assert cond.idx_vars == ("d", "j")
+    (lik,) = cond.likelihood
+    assert lik.gens == ()
+    assert lik.at == Index(Index(Var("w"), Var("d")), Var("j"))
+
+
+def test_mismatched_bounds_are_not_factored():
+    m = parse_model(
+        """
+        (N, M) => {
+          param w[i] ~ Normal(0.0, 1.0) for i <- 0 until N ;
+          data y[m] ~ Normal(w[0], 1.0) for m <- 0 until M ;
+        }
+        """
+    )
+    info = analyze_model(m, {"N": INT, "M": INT})
+    cond = conditional(lower_and_factorize(m), "w", info)
+    (lik,) = cond.likelihood
+    # w[0]: constant index, not a generator and not categorical => imprecise.
+    assert cond.imprecise
+    assert [g.var for g in lik.gens] == ["m"]
+
+
+# ----------------------------------------------------------------------
+# Scalar targets, whole-vector dependence, blanket queries.
+# ----------------------------------------------------------------------
+
+
+def test_scalar_target_keeps_inner_generators():
+    fd, info = hgmm_setup()
+    cond = conditional(fd, "pi", info)
+    assert cond.idx_vars == ()
+    (lik,) = cond.likelihood
+    assert [g.var for g in lik.gens] == ["n"]
+    assert lik.dist == "Categorical"
+
+
+def test_hlr_theta_has_vector_dependence():
+    fd, info = hlr_setup()
+    cond = conditional(fd, "theta", info)
+    assert cond.vector_dependence
+    assert not cond.imprecise
+    (lik,) = cond.likelihood
+    assert [g.var for g in lik.gens] == ["n"]
+
+
+def test_hlr_sigma2_conditional_drops_data_factor():
+    fd, info = hlr_setup()
+    cond = conditional(fd, "sigma2", info)
+    # Dependent factors: its own prior plus the two Normal priors; the
+    # Bernoulli data factor has no dependence on sigma2 and cancels.
+    assert {f.source for f in cond.likelihood} == {"b", "theta"}
+
+
+def test_markov_blanket_gmm():
+    fd, info = gmm_setup()
+    assert "x" in markov_blanket(fd, "mu")
+    assert "z" in markov_blanket(fd, "mu")
+    assert "mu_0" in markov_blanket(fd, "mu")
+    assert "pis" not in markov_blanket(fd, "mu")
+
+
+def test_blocked_factors_union():
+    fd, info = hlr_setup()
+    blk = blocked_factors(fd, ("theta", "b"))
+    assert {f.source for f in blk.factors} == {"theta", "b", "y"}
+
+
+# ----------------------------------------------------------------------
+# Semantic correctness: the conditional is the joint up to a constant.
+# ----------------------------------------------------------------------
+
+
+def gmm_env(K=2, N=5, D=2, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "K": K,
+        "N": N,
+        "mu_0": np.zeros(D),
+        "Sigma_0": np.eye(D),
+        "pis": np.full(K, 1.0 / K),
+        "Sigma": np.eye(D),
+        "mu": rng.normal(size=(K, D)),
+        "z": rng.integers(0, K, size=N),
+        "x": rng.normal(size=(N, D)),
+    }
+
+
+def conditional_logp(cond, env, idx_binding):
+    scope = dict(env) | idx_binding
+    return sum(factor_logpdf(f, scope) for f in cond.all_factors)
+
+
+def test_gmm_mu_conditional_matches_joint_ratio():
+    fd, info = gmm_setup()
+    cond = conditional(fd, "mu", info)
+    env = gmm_env()
+    env2 = dict(env)
+    mu2 = env["mu"].copy()
+    mu2[1] = np.array([3.0, -1.0])
+    env2["mu"] = mu2
+
+    joint_ratio = log_joint(fd, env2) - log_joint(fd, env)
+    cond_ratio = conditional_logp(cond, env2, {"k": 1}) - conditional_logp(
+        cond, env, {"k": 1}
+    )
+    assert cond_ratio == pytest.approx(joint_ratio, rel=1e-10)
+
+
+def test_gmm_z_conditional_matches_joint_ratio():
+    fd, info = gmm_setup()
+    cond = conditional(fd, "z", info)
+    env = gmm_env()
+    env2 = dict(env)
+    z2 = env["z"].copy()
+    z2[3] = 1 - z2[3]
+    env2["z"] = z2
+
+    joint_ratio = log_joint(fd, env2) - log_joint(fd, env)
+    cond_ratio = conditional_logp(cond, env2, {"n": 3}) - conditional_logp(
+        cond, env, {"n": 3}
+    )
+    assert cond_ratio == pytest.approx(joint_ratio, rel=1e-10)
+
+
+def test_hlr_sigma2_conditional_matches_joint_ratio():
+    fd, info = hlr_setup()
+    cond = conditional(fd, "sigma2", info)
+    rng = np.random.default_rng(1)
+    env = {
+        "N": 4,
+        "D": 3,
+        "lam": 1.0,
+        "x": rng.normal(size=(4, 3)),
+        "sigma2": 1.5,
+        "b": 0.3,
+        "theta": rng.normal(size=3),
+        "y": rng.integers(0, 2, size=4),
+    }
+    env2 = dict(env, sigma2=2.5)
+    joint_ratio = log_joint(fd, env2) - log_joint(fd, env)
+    cond_ratio = conditional_logp(cond, env2, {}) - conditional_logp(cond, env, {})
+    assert cond_ratio == pytest.approx(joint_ratio, rel=1e-10)
+
+
+# ----------------------------------------------------------------------
+# Helper-level tests.
+# ----------------------------------------------------------------------
+
+
+def test_occurrences_in_factor():
+    fd, info = gmm_setup()
+    x_factor = fd.factors_of("x")[0]
+    occs = occurrences_in_factor(x_factor, "mu")
+    assert occs == [(Index(Var("z"), Var("n")),)]
+    assert occurrences_in_factor(x_factor, "z") == [(Var("n"),)]
+
+
+def test_replace_expr_structural():
+    e = Call("+", (Index(Var("z"), Var("n")), IntLit(1)))
+    out = replace_expr(e, Index(Var("z"), Var("n")), Var("k"))
+    assert out == Call("+", (Var("k"), IntLit(1)))

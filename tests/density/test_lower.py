@@ -1,0 +1,116 @@
+"""Lowering models to the Density IL and its factor form."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.density.ir import DistPdf, ProdComp, ProdSeq
+from repro.core.density.lower import factorize, lower_and_factorize, lower_model
+from repro.core.exprs import Call, Gen, Index, IntLit, RealLit, Var
+from repro.core.frontend.parser import parse_model
+from repro.errors import LoweringError
+from repro.eval import models
+
+
+def test_gmm_density_tree_shape():
+    dm = lower_model(parse_model(models.GMM))
+    assert dm.binders == ("K", "N", "mu_0", "Sigma_0", "pis", "Sigma", "mu", "z", "x")
+    assert isinstance(dm.fn, ProdSeq)
+    assert len(dm.fn.fns) == 3
+    mu_term = dm.fn.fns[0]
+    assert isinstance(mu_term, ProdComp)
+    assert mu_term.gen == Gen("k", IntLit(0), Var("K"))
+    assert isinstance(mu_term.body, DistPdf)
+    assert mu_term.body.at == Index(Var("mu"), Var("k"))
+
+
+def test_gmm_factor_form():
+    fd = lower_and_factorize(parse_model(models.GMM))
+    assert len(fd.factors) == 3
+    assert [f.source for f in fd.factors] == ["mu", "z", "x"]
+    x_factor = fd.factors_of("x")[0]
+    assert x_factor.gens == (Gen("n", IntLit(0), Var("N")),)
+    assert x_factor.guards == ()
+    assert x_factor.dist == "MvNormal"
+
+
+def test_lda_factor_nested_gens():
+    fd = lower_and_factorize(parse_model(models.LDA))
+    z = fd.factors_of("z")[0]
+    assert len(z.gens) == 2
+    assert z.gens[1].hi == Index(Var("N"), Var("d"))
+
+
+def test_scalar_decl_has_no_gens():
+    fd = lower_and_factorize(parse_model(models.NORMAL_NORMAL))
+    mu = fd.factors_of("mu")[0]
+    assert mu.gens == ()
+    assert mu.at == Var("mu")
+
+
+def test_let_floats_to_top():
+    m = parse_model(
+        """
+        (N, s) => {
+          let t = s * 2.0 ;
+          param mu ~ Normal(0.0, t) ;
+          data y[n] ~ Normal(mu, 1.0) for n <- 0 until N ;
+        }
+        """
+    )
+    fd = lower_and_factorize(m)
+    assert fd.lets == (("t", Call("*", (Var("s"), RealLit(2.0)))),)
+    assert len(fd.factors) == 2
+
+
+def test_comprehension_let_rejected():
+    m = parse_model(
+        """
+        (N, s) => {
+          let t[i] = s * 2.0 for i <- 0 until N ;
+          param mu ~ Normal(0.0, 1.0) ;
+        }
+        """
+    )
+    with pytest.raises(LoweringError, match="comprehension 'let'"):
+        lower_model(m)
+
+
+def test_factor_mentions_and_free_names():
+    fd = lower_and_factorize(parse_model(models.GMM))
+    x_factor = fd.factors_of("x")[0]
+    assert x_factor.mentions("mu")
+    assert x_factor.mentions("z")
+    assert not x_factor.mentions("mu_0")
+    assert x_factor.free_names() >= {"mu", "z", "x", "Sigma", "N"}
+    assert "n" not in x_factor.free_names()  # bound by the generator
+
+
+def test_factor_rename_gen():
+    fd = lower_and_factorize(parse_model(models.GMM))
+    x_factor = fd.factors_of("x")[0]
+    renamed = x_factor.rename_gen("n", "m")
+    assert renamed.gens[0].var == "m"
+    assert renamed.at == Index(Var("x"), Var("m"))
+    assert x_factor.rename_gen("n", "n") is x_factor
+
+
+def test_mentioning_query():
+    fd = lower_and_factorize(parse_model(models.GMM))
+    assert {f.source for f in fd.mentioning("mu")} == {"mu", "x"}
+    assert {f.source for f in fd.mentioning("z")} == {"z", "x"}
+
+
+def test_density_tree_pretty_prints():
+    dm = lower_model(parse_model(models.GMM))
+    text = str(dm)
+    assert "prod[k <- 0 until K]" in text
+    assert "pMvNormal" in text
+
+
+def test_factorize_roundtrip_factor_count_all_models():
+    for name, src in models.ALL_MODELS.items():
+        fd = lower_and_factorize(parse_model(src))
+        m = parse_model(src)
+        stochastic = [d for d in m.decls if d.is_stochastic]
+        assert len(fd.factors) == len(stochastic), name

@@ -1,0 +1,80 @@
+"""Synthetic dataset generators: shapes, determinism, structure."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.datasets import (
+    adult_like,
+    german_credit_like,
+    hgmm_synthetic,
+    kos_like,
+    nips_like,
+    synthetic_corpus,
+)
+
+
+def test_german_credit_shape():
+    d = german_credit_like()
+    assert d.x.shape == (1000, 24)
+    assert set(np.unique(d.y)) <= {0, 1}
+    # Standardised features.
+    np.testing.assert_allclose(d.x.mean(axis=0), 0.0, atol=1e-9)
+
+
+def test_adult_shape():
+    d = adult_like(n=5000)
+    assert d.x.shape == (5000, 14)
+
+
+def test_classification_labels_follow_signal():
+    d = german_credit_like(n=5000, d=6, seed=5)
+    logits = d.x @ d.true_theta + d.true_bias
+    # Labels should correlate with the generating logits.
+    agreement = ((logits > 0).astype(int) == d.y).mean()
+    # Better than chance (the sparsity mask can leave the signal weak).
+    assert agreement > 0.55
+
+
+def test_datasets_are_deterministic():
+    a, b = german_credit_like(seed=9), german_credit_like(seed=9)
+    np.testing.assert_array_equal(a.x, b.x)
+    np.testing.assert_array_equal(a.y, b.y)
+
+
+def test_hgmm_synthetic_clusters():
+    d = hgmm_synthetic(k=4, d=3, n=500, seed=1)
+    assert d.y.shape == (500, 3)
+    assert d.mu.shape == (4, 3)
+    assert d.holdout.shape[0] == 100
+    # Points sit near their assigned centres.
+    dists = np.linalg.norm(d.y - d.mu[d.z], axis=1)
+    assert np.median(dists) < 3.0
+
+
+def test_corpus_token_budget():
+    c = synthetic_corpus("t", vocab_size=40, total_tokens=5000, n_docs=50, seed=2)
+    assert c.n_tokens == 5000
+    assert c.n_docs == 50
+    assert c.w.flat.max() < 40
+    assert c.w.flat.min() >= 0
+
+
+def test_corpus_has_topic_structure():
+    # Documents should reuse few words relative to the vocabulary
+    # (peaked topics), unlike a uniform corpus.
+    c = synthetic_corpus(
+        "t", vocab_size=500, total_tokens=4000, n_docs=40,
+        n_topics_true=5, seed=3, topic_concentration=0.02,
+    )
+    distinct_per_doc = np.mean([len(np.unique(c.w.row(i))) for i in range(c.n_docs)])
+    assert distinct_per_doc < 60
+
+
+def test_kos_nips_shapes():
+    kos = kos_like(scale=0.01)
+    nips = nips_like(scale=0.01)
+    assert nips.n_tokens > kos.n_tokens
+    assert nips.vocab_size > kos.vocab_size
+    full_kos = kos_like(scale=1.0)
+    assert full_kos.vocab_size == 6906

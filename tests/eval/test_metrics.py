@@ -1,0 +1,89 @@
+"""Evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.stats import multivariate_normal
+
+from repro.eval.metrics import (
+    bernoulli_log_predictive,
+    effective_sample_size,
+    mixture_log_predictive,
+    potential_scale_reduction,
+)
+
+
+def test_mixture_log_predictive_single_component_matches_mvn():
+    rng = np.random.default_rng(0)
+    pts = rng.normal(size=(20, 2))
+    mu = np.array([[0.5, -0.5]])
+    cov = np.eye(2) * 2.0
+    got = mixture_log_predictive(pts, mu, cov)
+    expected = multivariate_normal(mu[0], cov).logpdf(pts).sum()
+    assert got == pytest.approx(expected, rel=1e-10)
+
+
+def test_mixture_log_predictive_weights():
+    pts = np.array([[10.0, 10.0]])
+    mu = np.array([[10.0, 10.0], [-10.0, -10.0]])
+    cov = np.eye(2)
+    lp_uniform = mixture_log_predictive(pts, mu, cov)
+    lp_right = mixture_log_predictive(pts, mu, cov, pi=np.array([0.99, 0.01]))
+    lp_wrong = mixture_log_predictive(pts, mu, cov, pi=np.array([0.01, 0.99]))
+    assert lp_right > lp_uniform > lp_wrong
+
+
+def test_mixture_log_predictive_per_cluster_covs():
+    pts = np.array([[0.0, 0.0]])
+    mu = np.zeros((2, 2))
+    sigmas = np.stack([np.eye(2), np.eye(2) * 100.0])
+    lp = mixture_log_predictive(pts, mu, sigmas)
+    tight = multivariate_normal(np.zeros(2), np.eye(2)).logpdf(pts[0])
+    wide = multivariate_normal(np.zeros(2), np.eye(2) * 100).logpdf(pts[0])
+    expected = np.logaddexp(np.log(0.5) + tight, np.log(0.5) + wide)
+    assert lp == pytest.approx(float(expected), rel=1e-10)
+
+
+def test_bernoulli_log_predictive():
+    x = np.array([[1.0, 0.0], [0.0, 1.0]])
+    theta = np.array([100.0, -100.0])
+    # Point 0 has logit +100 (y=1 certain), point 1 logit -100 (y=0).
+    got = bernoulli_log_predictive(x, np.array([1, 0]), theta, 0.0)
+    assert got == pytest.approx(0.0, abs=1e-6)
+    bad = bernoulli_log_predictive(x, np.array([0, 1]), theta, 0.0)
+    assert bad < -50
+
+
+def test_ess_iid_close_to_n():
+    rng = np.random.default_rng(1)
+    draws = rng.normal(size=4000)
+    ess = effective_sample_size(draws)
+    assert ess > 3000
+
+
+def test_ess_correlated_chain_is_small():
+    rng = np.random.default_rng(2)
+    x = np.zeros(4000)
+    for i in range(1, 4000):
+        x[i] = 0.99 * x[i - 1] + rng.normal() * 0.1
+    ess = effective_sample_size(x)
+    assert ess < 400
+
+
+def test_ess_degenerate_inputs():
+    assert effective_sample_size(np.ones(100)) == 100.0
+    assert effective_sample_size(np.array([1.0, 2.0])) == 2.0
+
+
+def test_rhat_mixed_vs_unmixed():
+    rng = np.random.default_rng(3)
+    mixed = rng.normal(size=(4, 500))
+    assert potential_scale_reduction(mixed) == pytest.approx(1.0, abs=0.05)
+    unmixed = mixed + np.arange(4)[:, None] * 5.0
+    assert potential_scale_reduction(unmixed) > 2.0
+
+
+def test_rhat_requires_multiple_chains():
+    with pytest.raises(ValueError):
+        potential_scale_reduction(np.zeros((1, 100)))

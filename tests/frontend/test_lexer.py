@@ -1,0 +1,73 @@
+"""Lexer behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.frontend.lexer import TokKind, tokenize
+from repro.errors import ParseError
+
+
+def kinds_and_texts(src):
+    return [(t.kind, t.text) for t in tokenize(src) if t.kind is not TokKind.EOF]
+
+
+def test_keywords_vs_identifiers():
+    toks = kinds_and_texts("param data let for until params")
+    assert toks[:5] == [
+        (TokKind.KEYWORD, "param"),
+        (TokKind.KEYWORD, "data"),
+        (TokKind.KEYWORD, "let"),
+        (TokKind.KEYWORD, "for"),
+        (TokKind.KEYWORD, "until"),
+    ]
+    assert toks[5] == (TokKind.IDENT, "params")
+
+
+def test_numbers():
+    toks = kinds_and_texts("0 42 3.14 1e3 2.5e-2")
+    assert toks == [
+        (TokKind.INT, "0"),
+        (TokKind.INT, "42"),
+        (TokKind.REAL, "3.14"),
+        (TokKind.REAL, "1e3"),
+        (TokKind.REAL, "2.5e-2"),
+    ]
+
+
+def test_multi_char_punct_is_greedy():
+    toks = kinds_and_texts("(*) => <- ==")
+    assert [t for _, t in toks] == ["(*)", "=>", "<-", "=="]
+
+
+def test_paren_star_paren_only_as_unit():
+    # '( *)' with a space is three tokens, not the compose operator.
+    toks = kinds_and_texts("( *)")
+    assert [t for _, t in toks] == ["(", "*", ")"]
+
+
+def test_comments_are_skipped():
+    toks = kinds_and_texts("a # comment\nb // another\nc")
+    assert [t for _, t in toks] == ["a", "b", "c"]
+
+
+def test_positions_track_lines_and_columns():
+    toks = tokenize("a\n  bb")
+    assert (toks[0].line, toks[0].col) == (1, 1)
+    assert (toks[1].line, toks[1].col) == (2, 3)
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(ParseError) as exc:
+        tokenize("a $ b")
+    assert "unexpected character" in str(exc.value)
+
+
+def test_index_brackets():
+    toks = kinds_and_texts("mu[z[n]]")
+    assert [t for _, t in toks] == ["mu", "[", "z", "[", "n", "]", "]"]
+
+
+def test_underscore_identifiers():
+    toks = kinds_and_texts("mu_0 _x")
+    assert [t for _, t in toks] == ["mu_0", "_x"]

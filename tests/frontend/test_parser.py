@@ -1,0 +1,160 @@
+"""Parser behaviour on the paper's models and on error cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exprs import Call, DistCall, Gen, Index, IntLit, Var
+from repro.core.frontend.ast import DeclKind
+from repro.core.frontend.parser import parse_expr, parse_model
+from repro.errors import ParseError
+from repro.eval import models
+
+
+def test_parse_gmm_shape():
+    m = parse_model(models.GMM)
+    assert m.hypers == ("K", "N", "mu_0", "Sigma_0", "pis", "Sigma")
+    assert [d.name for d in m.decls] == ["mu", "z", "x"]
+    assert [d.kind for d in m.decls] == [DeclKind.PARAM, DeclKind.PARAM, DeclKind.DATA]
+    mu = m.decl("mu")
+    assert mu.gens == (Gen("k", IntLit(0), Var("K")),)
+    assert mu.dist == DistCall("MvNormal", (Var("mu_0"), Var("Sigma_0")))
+
+
+def test_parse_gmm_indexed_argument():
+    m = parse_model(models.GMM)
+    x = m.decl("x")
+    mean_arg = x.dist.args[0]
+    assert mean_arg == Index(Var("mu"), Index(Var("z"), Var("n")))
+
+
+@pytest.mark.parametrize("name", sorted(models.ALL_MODELS))
+def test_all_zoo_models_parse(name):
+    m = parse_model(models.ALL_MODELS[name])
+    assert m.decls
+
+
+def test_parse_lda_ragged_comprehension():
+    m = parse_model(models.LDA)
+    z = m.decl("z")
+    assert z.idx_vars == ("d", "j")
+    assert z.gens[1].hi == Index(Var("N"), Var("d"))
+
+
+def test_parse_scalar_declaration():
+    m = parse_model(models.NORMAL_NORMAL)
+    mu = m.decl("mu")
+    assert mu.idx_vars == ()
+    assert mu.gens == ()
+
+
+def test_parse_hlr_builtin_calls():
+    m = parse_model(models.HLR)
+    y = m.decl("y")
+    (p,) = y.dist.args
+    assert isinstance(p, Call) and p.fn == "sigmoid"
+    inner = p.args[0]
+    assert isinstance(inner, Call) and inner.fn == "+"
+    assert isinstance(inner.args[0], Call) and inner.args[0].fn == "dotp"
+
+
+def test_let_declaration():
+    m = parse_model(
+        """
+        (N, s) => {
+          let t = s * 2.0 ;
+          param mu ~ Normal(0.0, t) ;
+          data y[n] ~ Normal(mu, 1.0) for n <- 0 until N ;
+        }
+        """
+    )
+    t = m.decl("t")
+    assert t.kind is DeclKind.LET
+
+
+def test_str_roundtrips_through_parser():
+    m = parse_model(models.HGMM)
+    m2 = parse_model(str(m))
+    assert m2 == m
+
+
+# ----------------------------------------------------------------------
+# Error cases.
+# ----------------------------------------------------------------------
+
+
+def test_stochastic_decl_requires_distribution():
+    with pytest.raises(ParseError, match="must be a distribution"):
+        parse_model("(N) => { param mu ~ 3.0 + 1.0 ; }")
+
+
+def test_unknown_function_rejected():
+    with pytest.raises(ParseError, match="unknown function or distribution"):
+        parse_model("(N) => { param mu ~ Normall(0.0, 1.0) ; }")
+
+
+def test_index_vars_must_match_generators():
+    with pytest.raises(ParseError, match="do not match"):
+        parse_model(
+            "(K) => { param mu[j] ~ Normal(0.0, 1.0) for k <- 0 until K ; }"
+        )
+
+
+def test_missing_semicolon():
+    with pytest.raises(ParseError):
+        parse_model("(N) => { param mu ~ Normal(0.0, 1.0) }")
+
+
+def test_duplicate_declaration_rejected():
+    with pytest.raises(ParseError, match="duplicate"):
+        parse_model(
+            "(N) => { param mu ~ Normal(0.0, 1.0) ; param mu ~ Normal(0.0, 1.0) ; }"
+        )
+
+
+def test_bounds_cannot_mention_params():
+    # The fixed-structure restriction (paper Section 2.2).
+    with pytest.raises(ParseError, match="fixed-structure"):
+        parse_model(
+            """
+            (N) => {
+              param m ~ Poisson(3.0) ;
+              param w[i] ~ Normal(0.0, 1.0) for i <- 0 until m ;
+            }
+            """
+        )
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(ParseError, match="unknown name"):
+        parse_model("(N) => { param mu ~ Normal(ghost, 1.0) ; }")
+
+
+def test_trailing_input_rejected():
+    with pytest.raises(ParseError, match="trailing"):
+        parse_model("(N) => { param mu ~ Normal(0.0, 1.0) ; } extra")
+
+
+# ----------------------------------------------------------------------
+# Expression parsing.
+# ----------------------------------------------------------------------
+
+
+def test_expr_precedence():
+    e = parse_expr("a + b * c")
+    assert e == Call("+", (Var("a"), Call("*", (Var("b"), Var("c")))))
+
+
+def test_expr_parens_override():
+    e = parse_expr("(a + b) * c")
+    assert e == Call("*", (Call("+", (Var("a"), Var("b"))), Var("c")))
+
+
+def test_expr_unary_minus():
+    e = parse_expr("-a + b")
+    assert e == Call("+", (Call("neg", (Var("a"),)), Var("b")))
+
+
+def test_expr_chained_indexing():
+    e = parse_expr("w[d][j]")
+    assert e == Index(Index(Var("w"), Var("d")), Var("j"))

@@ -1,0 +1,96 @@
+"""The Figure-2 user interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro as AugurV2Lib
+from repro.errors import ReproError
+from repro.eval import models
+
+
+def gmm_inputs(seed=0, n=60):
+    rng = np.random.default_rng(seed)
+    true_mu = np.array([[-3.0, 0.0], [3.0, 0.0]])
+    z = rng.integers(0, 2, size=n)
+    x = true_mu[z] + rng.normal(0, 0.4, size=(n, 2))
+    return (2, n, np.zeros(2), np.eye(2) * 16.0, np.full(2, 0.5), np.eye(2) * 0.16), x
+
+
+def test_figure2_workflow(tmp_path):
+    # Mirrors the paper's Figure 2, including loading the model from a file.
+    model_path = tmp_path / "gmm.augur"
+    model_path.write_text(models.GMM)
+    hypers, x = gmm_inputs()
+    with AugurV2Lib.Infer(str(model_path)) as aug:
+        opt = AugurV2Lib.Opt(target="cpu")
+        aug.setCompileOpt(opt)
+        aug.setUserSched("ESlice mu (*) Gibbs z")
+        aug.compile(*hypers)(x)
+        samples = aug.sample(numSamples=40, burnIn=10)
+    assert samples.array("mu").shape == (40, 2, 2)
+    assert samples.array("z").shape == (40, 60)
+
+
+def test_infer_accepts_inline_source():
+    hypers, x = gmm_inputs()
+    with AugurV2Lib.Infer(models.GMM) as aug:
+        aug.compile(*hypers)(x)
+        samples = aug.sample(numSamples=5)
+    assert samples.array("mu").shape[0] == 5
+
+
+def test_infer_missing_file():
+    with pytest.raises(ReproError, match="not found"):
+        AugurV2Lib.Infer("/nonexistent/model.augur")
+
+
+def test_compile_arity_checks():
+    aug = AugurV2Lib.Infer(models.GMM)
+    with pytest.raises(ReproError, match="closes over 6"):
+        aug.compile(1, 2, 3)
+    hypers, x = gmm_inputs()
+    with pytest.raises(ReproError, match="observes 1"):
+        aug.compile(*hypers)()
+
+
+def test_sample_before_compile_raises():
+    aug = AugurV2Lib.Infer(models.GMM)
+    with pytest.raises(ReproError, match="before sampling"):
+        aug.sample(numSamples=1)
+
+
+def test_seed_controls_reproducibility():
+    hypers, x = gmm_inputs()
+    results = []
+    for _ in range(2):
+        aug = AugurV2Lib.Infer(models.GMM)
+        aug.setSeed(42)
+        aug.compile(*hypers)(x)
+        results.append(aug.sample(numSamples=5).array("mu"))
+    np.testing.assert_array_equal(results[0], results[1])
+
+
+def test_gpu_opt_round_trip():
+    hypers, x = gmm_inputs(n=30)
+    aug = AugurV2Lib.Infer(models.GMM)
+    aug.setCompileOpt(AugurV2Lib.Opt(target="gpu"))
+    aug.compile(*hypers)(x)
+    res = aug.sample(numSamples=5)
+    assert res.device_time is not None and res.device_time > 0
+
+
+def test_schedule_description_and_source():
+    hypers, x = gmm_inputs(n=20)
+    aug = AugurV2Lib.Infer(models.GMM)
+    aug.compile(*hypers)(x)
+    desc = aug.schedule_description()
+    assert "Gibbs" in desc
+    assert "def gibbs_z" in aug.source
+    assert aug.compile_seconds < 5.0
+
+
+def test_opt_rejects_unknown_target():
+    with pytest.raises(ValueError, match="unknown target"):
+        AugurV2Lib.Opt(target="tpu")

@@ -1,0 +1,130 @@
+"""The command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import load_inputs, main, save_draws, split_inputs
+from repro.errors import ReproError
+from repro.eval import models
+from repro.runtime.vectors import RaggedArray
+
+
+@pytest.fixture
+def gmm_files(tmp_path):
+    model = tmp_path / "gmm.augur"
+    model.write_text(models.GMM)
+    rng = np.random.default_rng(0)
+    true_mu = np.array([[-3.0, 0.0], [3.0, 0.0]])
+    z = rng.integers(0, 2, size=50)
+    x = true_mu[z] + rng.normal(0, 0.4, size=(50, 2))
+    inputs = tmp_path / "inputs.json"
+    inputs.write_text(
+        json.dumps(
+            {
+                "K": 2,
+                "N": 50,
+                "mu_0": [0.0, 0.0],
+                "Sigma_0": [[16.0, 0.0], [0.0, 16.0]],
+                "pis": [0.5, 0.5],
+                "Sigma": [[0.16, 0.0], [0.0, 0.16]],
+                "x": x.tolist(),
+            }
+        )
+    )
+    return str(model), str(inputs), tmp_path
+
+
+def test_sample_command(gmm_files, capsys):
+    model, inputs, tmp = gmm_files
+    out = tmp / "draws.npz"
+    code = main(
+        [
+            "sample", model, inputs,
+            "--samples", "20", "--burn-in", "5", "--seed", "1",
+            "--collect", "mu", "--out", str(out), "--summary", "--trace", "mu",
+        ]
+    )
+    assert code == 0
+    text = capsys.readouterr().out
+    assert "schedule:" in text
+    assert "samples/s" in text
+    assert "trace of mu" in text
+    with np.load(out) as draws:
+        assert draws["mu"].shape == (20, 2, 2)
+
+
+def test_inspect_command(gmm_files, capsys):
+    model, inputs, _ = gmm_files
+    code = main(["inspect", model, inputs, "--source"])
+    assert code == 0
+    text = capsys.readouterr().out
+    assert "allocation plan" in text
+    assert "def gibbs_mu" in text
+
+
+def test_sample_with_user_schedule(gmm_files, capsys):
+    model, inputs, _ = gmm_files
+    code = main(
+        ["sample", model, inputs, "--samples", "5",
+         "--schedule", "ESlice mu (*) Gibbs z"]
+    )
+    assert code == 0
+    assert "ESlice" in capsys.readouterr().out
+
+
+def test_bad_schedule_reports_error(gmm_files, capsys):
+    model, inputs, _ = gmm_files
+    code = main(["sample", model, inputs, "--schedule", "Gibbs nothere"])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_missing_input_value(gmm_files, tmp_path):
+    model, _, _ = gmm_files
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"K": 2}))
+    code = main(["sample", model, str(bad), "--samples", "2"])
+    assert code == 2
+
+
+def test_load_inputs_json_ragged(tmp_path):
+    p = tmp_path / "in.json"
+    p.write_text(json.dumps({"w": [[1, 2, 3], [4]], "N": [3, 1]}))
+    vals = load_inputs(str(p))
+    assert isinstance(vals["w"], RaggedArray)
+    assert vals["w"].n_elems == 4
+    np.testing.assert_array_equal(vals["N"], [3, 1])
+
+
+def test_load_inputs_npz(tmp_path):
+    p = tmp_path / "in.npz"
+    np.savez(p, a=np.arange(3), s=np.float64(2.5), n=np.int64(7))
+    vals = load_inputs(str(p))
+    assert vals["s"] == 2.5
+    assert vals["n"] == 7
+    np.testing.assert_array_equal(vals["a"], [0, 1, 2])
+
+
+def test_load_inputs_rejects_unknown_format(tmp_path):
+    p = tmp_path / "in.txt"
+    p.write_text("x")
+    with pytest.raises(ReproError, match="unsupported inputs format"):
+        load_inputs(str(p))
+
+
+def test_split_inputs_missing():
+    with pytest.raises(ReproError, match="missing values"):
+        split_inputs(models.NORMAL_NORMAL, {"N": 3})
+
+
+def test_save_draws_ragged(tmp_path):
+    draws = [RaggedArray.from_rows([[1, 2], [3]]) for _ in range(4)]
+    out = tmp_path / "d.npz"
+    save_draws(str(out), {"z": draws})
+    with np.load(out) as data:
+        assert data["z__flat"].shape == (4, 3)
+        np.testing.assert_array_equal(data["z__offsets"], [0, 2, 3])

@@ -1,0 +1,325 @@
+"""End-to-end: compile_model produces samplers that target the right
+posterior, across schedules and backends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import compile_model
+from repro.core.options import CompileOptions
+from repro.errors import ReproError
+from repro.eval import models
+
+
+def gmm_problem(seed=0, n=120, separation=4.0):
+    rng = np.random.default_rng(seed)
+    true_mu = np.array([[-separation, 0.0], [separation, 0.0]])
+    z = rng.integers(0, 2, size=n)
+    x = true_mu[z] + rng.normal(0, 0.5, size=(n, 2))
+    hypers = {
+        "K": 2,
+        "N": n,
+        "mu_0": np.zeros(2),
+        "Sigma_0": np.eye(2) * 25.0,
+        "pis": np.full(2, 0.5),
+        "Sigma": np.eye(2) * 0.25,
+    }
+    return hypers, {"x": x}, true_mu
+
+
+def recovered_means(result, burl=20):
+    mu = result.array("mu")[burl:]
+    return mu.mean(axis=0)
+
+
+def assert_recovers_clusters(mean_mu, true_mu, atol=0.4):
+    # Label-invariant check: each true centre has a recovered centre nearby.
+    for t in true_mu:
+        dists = np.linalg.norm(mean_mu - t, axis=1)
+        assert dists.min() < atol, f"no recovered centre near {t}: {mean_mu}"
+
+
+# ----------------------------------------------------------------------
+# Conjugate models: analytic posterior checks.
+# ----------------------------------------------------------------------
+
+
+def test_normal_normal_posterior():
+    rng = np.random.default_rng(1)
+    y = rng.normal(3.0, 1.0, size=50)
+    sampler = compile_model(
+        models.NORMAL_NORMAL,
+        {"N": 50, "mu_0": 0.0, "v_0": 100.0, "v": 1.0},
+        {"y": y},
+    )
+    res = sampler.sample(num_samples=2000, burn_in=50, seed=0)
+    draws = res.array("mu")
+    post_prec = 1 / 100.0 + 50 / 1.0
+    post_mean = (y.sum() / 1.0) / post_prec
+    assert draws.mean() == pytest.approx(post_mean, abs=0.03)
+    assert draws.var() == pytest.approx(1 / post_prec, rel=0.2)
+
+
+def test_beta_bernoulli_posterior():
+    y = np.array([1, 1, 0, 1, 1, 1, 0, 1, 1, 0])
+    sampler = compile_model(
+        models.BETA_BERNOULLI, {"N": 10, "a": 2.0, "b": 2.0}, {"y": y}
+    )
+    res = sampler.sample(num_samples=3000, seed=1)
+    draws = res.array("p")
+    a_post, b_post = 2 + 7, 2 + 3
+    assert draws.mean() == pytest.approx(a_post / (a_post + b_post), abs=0.02)
+
+
+def test_gamma_poisson_posterior():
+    y = np.array([4, 6, 3, 5, 7, 4, 5])
+    sampler = compile_model(
+        models.GAMMA_POISSON, {"N": 7, "a": 1.0, "b": 1.0}, {"y": y}
+    )
+    res = sampler.sample(num_samples=3000, seed=2)
+    draws = res.array("rate")
+    assert draws.mean() == pytest.approx((1 + y.sum()) / (1 + 7), rel=0.05)
+
+
+# ----------------------------------------------------------------------
+# GMM under the three Figure-10 schedules.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "schedule",
+    [
+        None,  # heuristic: Gibbs mu (*) Gibbs z
+        "Gibbs mu (*) Gibbs z",
+        "ESlice mu (*) Gibbs z",
+        "HMC[steps=10, step_size=0.05] mu (*) Gibbs z",
+        "Slice mu (*) Gibbs z",
+        "MH[scale=0.3] mu (*) Gibbs z",
+    ],
+)
+def test_gmm_recovers_cluster_means(schedule):
+    hypers, data, true_mu = gmm_problem()
+    sampler = compile_model(models.GMM, hypers, data, schedule=schedule)
+    from repro.runtime.rng import Rng
+
+    rng = Rng(3)
+    # Standard practice: initialise the centres at random data points so
+    # slow-mixing updates (random-walk MH) aren't testing burn-in luck.
+    init = sampler.init_state(rng)
+    init["mu"] = data["x"][np.array([5, 60])].copy()
+    res = sampler.sample(num_samples=80, burn_in=20, seed=rng, init=init)
+    assert_recovers_clusters(recovered_means(res), true_mu)
+
+
+def test_gmm_gpu_target_matches_cpu_quality():
+    hypers, data, true_mu = gmm_problem()
+    sampler = compile_model(
+        models.GMM, hypers, data, options=CompileOptions(target="gpu")
+    )
+    res = sampler.sample(num_samples=60, burn_in=20, seed=4)
+    assert_recovers_clusters(recovered_means(res), true_mu)
+    assert sampler.device is not None
+    assert res.device_time is not None and res.device_time > 0
+
+
+def test_gmm_unvectorized_fallback_works():
+    hypers, data, true_mu = gmm_problem(n=40)
+    sampler = compile_model(
+        models.GMM, hypers, data, options=CompileOptions(vectorize=False)
+    )
+    res = sampler.sample(num_samples=40, burn_in=10, seed=5)
+    assert_recovers_clusters(recovered_means(res, burl=10), true_mu)
+    assert "for v_n in range" in sampler.source
+
+
+# ----------------------------------------------------------------------
+# HMC on constrained / hierarchical models.
+# ----------------------------------------------------------------------
+
+
+def test_exp_normal_posterior_via_hmc():
+    # v ~ Exponential(1), y ~ Normal(0, v): heuristic gives HMC with a
+    # log transform; the posterior of v should track the empirical second
+    # moment of the data.
+    rng = np.random.default_rng(6)
+    y = rng.normal(0, np.sqrt(2.0), size=400)
+    sampler = compile_model(
+        models.EXP_NORMAL, {"N": 400, "lam": 1.0}, {"y": y},
+        schedule="HMC[steps=15, step_size=0.02] v",
+    )
+    res = sampler.sample(num_samples=400, burn_in=100, seed=7)
+    draws = res.array("v")
+    assert np.all(draws > 0)  # the transform keeps v positive
+    assert draws.mean() == pytest.approx(np.mean(y**2), rel=0.15)
+    acc = list(res.acceptance.values())[0]
+    assert acc > 0.5
+
+
+def test_hlr_recovers_signal_direction():
+    rng = np.random.default_rng(8)
+    n, d = 250, 4
+    x = rng.normal(size=(n, d))
+    true_theta = np.array([2.0, -2.0, 0.0, 1.0])
+    p = 1 / (1 + np.exp(-(x @ true_theta)))
+    y = (rng.uniform(size=n) < p).astype(np.int64)
+    sampler = compile_model(
+        models.HLR,
+        {"N": n, "D": d, "lam": 1.0, "x": x},
+        {"y": y},
+        schedule="HMC[steps=20, step_size=0.03] (sigma2, b, theta)",
+    )
+    res = sampler.sample(num_samples=300, burn_in=150, seed=9)
+    theta_mean = res.array("theta").mean(axis=0)
+    # Directions recovered: large positive, large negative, near zero.
+    assert theta_mean[0] > 0.8
+    assert theta_mean[1] < -0.8
+    assert abs(theta_mean[2]) < 0.6
+    assert np.all(res.array("sigma2") > 0)
+
+
+def test_hlr_nuts_prototype_runs():
+    rng = np.random.default_rng(10)
+    n, d = 80, 3
+    x = rng.normal(size=(n, d))
+    y = (rng.uniform(size=n) < 0.5).astype(np.int64)
+    sampler = compile_model(
+        models.HLR,
+        {"N": n, "D": d, "lam": 1.0, "x": x},
+        {"y": y},
+        schedule="NUTS[step_size=0.1] (sigma2, b, theta)",
+    )
+    res = sampler.sample(num_samples=30, burn_in=10, seed=11)
+    assert res.array("theta").shape == (30, d)
+
+
+# ----------------------------------------------------------------------
+# HGMM and LDA: the paper's bigger models.
+# ----------------------------------------------------------------------
+
+
+def hgmm_problem(seed=0, n=90):
+    rng = np.random.default_rng(seed)
+    true_mu = np.array([[-3.0, -3.0], [3.0, 3.0], [0.0, 4.0]])
+    z = rng.integers(0, 3, size=n)
+    y = true_mu[z] + rng.normal(0, 0.4, size=(n, 2))
+    hypers = {
+        "K": 3,
+        "N": n,
+        "alpha": np.full(3, 1.0),
+        "mu_0": np.zeros(2),
+        "Sigma_0": np.eye(2) * 25.0,
+        "nu": 5.0,
+        "Psi": np.eye(2),
+    }
+    return hypers, {"y": y}, true_mu
+
+
+def test_hgmm_fully_conjugate_gibbs():
+    hypers, data, true_mu = hgmm_problem()
+    sampler = compile_model(models.HGMM, hypers, data)
+    assert all("Gibbs" in k for k in sampler.schedule_description().split(" (*) "))
+    res = sampler.sample(num_samples=60, burn_in=30, seed=12)
+    mean_mu = res.array("mu")[20:].mean(axis=0)
+    assert_recovers_clusters(mean_mu, true_mu, atol=0.6)
+    pis = res.array("pi")
+    np.testing.assert_allclose(pis.sum(axis=1), 1.0, atol=1e-8)
+
+
+def lda_problem(seed=0, d=12, v=21, k=3, tokens=40):
+    rng = np.random.default_rng(seed)
+    # Three sharply-peaked topics over disjoint vocabulary thirds.
+    phi = np.zeros((k, v))
+    for t in range(k):
+        block = slice(t * (v // k), (t + 1) * (v // k))
+        phi[t, block] = 1.0
+    phi /= phi.sum(axis=1, keepdims=True)
+    docs = []
+    for _ in range(d):
+        topic = rng.integers(0, k)
+        docs.append(rng.choice(v, size=tokens, p=phi[topic]))
+    from repro.runtime.vectors import RaggedArray
+
+    w = RaggedArray.from_rows(docs)
+    hypers = {
+        "K": k,
+        "D": d,
+        "V": v,
+        "N": np.full(d, tokens),
+        "alpha": np.full(k, 0.5),
+        "beta": np.full(v, 0.5),
+    }
+    return hypers, {"w": w}
+
+
+def test_lda_gibbs_improves_log_joint_and_finds_structure():
+    hypers, data = lda_problem(d=18, tokens=60)
+    sampler = compile_model(models.LDA, hypers, data)
+    from repro.runtime.rng import Rng
+
+    rng = Rng(13)
+    state = sampler.init_state(rng)
+    lp0 = sampler.log_joint(state)
+    for _ in range(80):
+        sampler.step(state, rng)
+    lp1 = sampler.log_joint(state)
+    assert lp1 > lp0 + 50  # massive improvement on structured data
+    phi = state["phi"]
+    np.testing.assert_allclose(phi.sum(axis=1), 1.0, atol=1e-9)
+    # The three disjoint vocabulary blocks are each dominated by some
+    # learned topic (label-permutation and topic-merge tolerant).
+    blocks = phi.reshape(3, 3, 7).sum(axis=2)  # topic x block mass
+    dominant = set(np.argmax(blocks, axis=1))
+    assert dominant == {0, 1, 2} or (blocks.max(axis=1) > 0.6).all()
+
+
+# ----------------------------------------------------------------------
+# Compiler-level behaviours.
+# ----------------------------------------------------------------------
+
+
+def test_missing_hyper_value_raises():
+    with pytest.raises(ReproError, match="missing hyper"):
+        compile_model(models.NORMAL_NORMAL, {"N": 3}, {"y": np.zeros(3)})
+
+
+def test_missing_data_raises():
+    with pytest.raises(ReproError, match="missing data"):
+        compile_model(
+            models.NORMAL_NORMAL,
+            {"N": 3, "mu_0": 0.0, "v_0": 1.0, "v": 1.0},
+            {},
+        )
+
+
+def test_categorical_rule_ablation_breaks_gibbs_mu():
+    hypers, data, _ = gmm_problem(n=30)
+    from repro.errors import ScheduleError
+
+    with pytest.raises(ScheduleError):
+        compile_model(
+            models.GMM,
+            hypers,
+            data,
+            options=CompileOptions(categorical_rule=False),
+            schedule="Gibbs mu (*) Gibbs z",
+        )
+
+
+def test_compile_reports_time_and_source():
+    hypers, data, _ = gmm_problem(n=20)
+    sampler = compile_model(models.GMM, hypers, data)
+    assert sampler.compile_seconds < 5.0
+    assert "def gibbs_mu" in sampler.source
+    assert "def init_state" in sampler.source
+    assert sampler.plan.total_bytes() > 0
+
+
+def test_sample_collect_and_thin():
+    hypers, data, _ = gmm_problem(n=20)
+    sampler = compile_model(models.GMM, hypers, data)
+    res = sampler.sample(num_samples=10, thin=2, collect=("mu",), seed=0)
+    assert set(res.samples) == {"mu"}
+    assert res.array("mu").shape[0] == 10
+    with pytest.raises(ReproError):
+        sampler.sample(num_samples=5, collect=("nope",))

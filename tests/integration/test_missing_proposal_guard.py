@@ -1,0 +1,22 @@
+"""The MH[proposal=user] marker requires a registered callable."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import compile_model
+from repro.errors import ReproError
+from repro.eval import models
+
+
+def test_marker_without_callable_rejected():
+    rng = np.random.default_rng(0)
+    y = rng.normal(size=10)
+    with pytest.raises(ReproError, match="requests a user proposal"):
+        compile_model(
+            models.NORMAL_NORMAL,
+            {"N": 10, "mu_0": 0.0, "v_0": 1.0, "v": 1.0},
+            {"y": y},
+            schedule="MH[proposal=user] mu",
+        )

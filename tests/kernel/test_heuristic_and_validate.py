@@ -1,0 +1,164 @@
+"""Heuristic kernel selection and user-schedule validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.density.conditionals import BlockConditional, Conditional
+from repro.core.density.lower import lower_and_factorize
+from repro.core.frontend.parser import parse_model
+from repro.core.frontend.symbols import analyze_model
+from repro.core.kernel.conjugacy import ConjugacyMatch, EnumerationMatch
+from repro.core.kernel.heuristic import heuristic_schedule
+from repro.core.kernel.ir import UpdateMethod, flatten
+from repro.core.kernel.schedule import parse_schedule
+from repro.core.kernel.validate import validate_schedule
+from repro.errors import ScheduleError
+from repro.eval import models
+
+from tests.kernel.test_conjugacy import HYPERS
+
+
+def setup(name):
+    m = parse_model(models.ALL_MODELS[name])
+    info = analyze_model(m, HYPERS[name])
+    return lower_and_factorize(m), info
+
+
+# ----------------------------------------------------------------------
+# Heuristic selection (Section 4.2's three-step rule).
+# ----------------------------------------------------------------------
+
+
+def test_heuristic_gmm():
+    fd, info = setup("gmm")
+    updates = flatten(heuristic_schedule(fd, info))
+    by_var = {u.unit.names: u for u in updates}
+    assert by_var[("mu",)].method is UpdateMethod.GIBBS
+    assert isinstance(by_var[("mu",)].payload, ConjugacyMatch)
+    assert by_var[("z",)].method is UpdateMethod.GIBBS
+    assert isinstance(by_var[("z",)].payload, EnumerationMatch)
+
+
+def test_heuristic_hgmm_fully_conjugate():
+    fd, info = setup("hgmm")
+    updates = flatten(heuristic_schedule(fd, info))
+    assert all(u.method is UpdateMethod.GIBBS for u in updates)
+    assert {u.unit.names[0] for u in updates} == {"pi", "mu", "Sigma", "z"}
+
+
+def test_heuristic_hlr_blocks_continuous_into_hmc():
+    fd, info = setup("hlr")
+    updates = flatten(heuristic_schedule(fd, info))
+    assert len(updates) == 1
+    (upd,) = updates
+    assert upd.method is UpdateMethod.HMC
+    assert set(upd.unit.names) == {"sigma2", "b", "theta"}
+    assert isinstance(upd.payload, BlockConditional)
+
+
+def test_heuristic_lda_all_gibbs():
+    fd, info = setup("lda")
+    updates = flatten(heuristic_schedule(fd, info))
+    assert [u.method for u in updates] == [UpdateMethod.GIBBS] * 3
+    assert {u.unit.names[0] for u in updates} == {"theta", "phi", "z"}
+
+
+def test_heuristic_exp_normal_gives_hmc():
+    # v ~ Exponential is not conjugate to a Normal variance: HMC it is.
+    fd, info = setup("exp_normal")
+    (upd,) = flatten(heuristic_schedule(fd, info))
+    assert upd.method is UpdateMethod.HMC
+    assert upd.unit.names == ("v",)
+
+
+# ----------------------------------------------------------------------
+# User-schedule validation.
+# ----------------------------------------------------------------------
+
+
+def test_validate_paper_schedule_on_gmm():
+    fd, info = setup("gmm")
+    k = validate_schedule(parse_schedule("ESlice mu (*) Gibbs z"), fd, info)
+    updates = flatten(k)
+    assert isinstance(updates[0].payload, Conditional)
+    assert isinstance(updates[1].payload, EnumerationMatch)
+
+
+def test_validate_gmm_three_ways():
+    # The three Figure 10 AugurV2 configurations.
+    fd, info = setup("gmm")
+    for sched in ("Gibbs mu (*) Gibbs z", "ESlice mu (*) Gibbs z", "HMC mu (*) Gibbs z"):
+        validate_schedule(parse_schedule(sched), fd, info)
+
+
+def test_validate_rejects_unknown_variable():
+    fd, info = setup("gmm")
+    with pytest.raises(ScheduleError, match="unknown variable"):
+        validate_schedule(parse_schedule("Gibbs ghost"), fd, info)
+
+
+def test_validate_rejects_data_variable():
+    fd, info = setup("gmm")
+    with pytest.raises(ScheduleError, match="not a model parameter"):
+        validate_schedule(parse_schedule("Gibbs x (*) Gibbs mu (*) Gibbs z"), fd, info)
+
+
+def test_validate_rejects_uncovered_params():
+    fd, info = setup("gmm")
+    with pytest.raises(ScheduleError, match="unsampled"):
+        validate_schedule(parse_schedule("Gibbs z"), fd, info)
+    # ... unless partial schedules are explicitly allowed.
+    validate_schedule(parse_schedule("Gibbs z"), fd, info, allow_partial=True)
+
+
+def test_validate_rejects_nonconjugate_gibbs():
+    fd, info = setup("hlr")
+    with pytest.raises(ScheduleError, match="no conjugacy relation"):
+        validate_schedule(
+            parse_schedule("Gibbs sigma2 (*) HMC (b, theta)"), fd, info
+        )
+
+
+def test_validate_rejects_hmc_on_discrete():
+    fd, info = setup("gmm")
+    with pytest.raises(ScheduleError, match="discrete"):
+        validate_schedule(parse_schedule("Gibbs mu (*) HMC z"), fd, info)
+
+
+def test_validate_rejects_slice_on_discrete():
+    fd, info = setup("gmm")
+    with pytest.raises(ScheduleError, match="continuous"):
+        validate_schedule(parse_schedule("Gibbs mu (*) Slice z"), fd, info)
+
+
+def test_validate_rejects_eslice_without_gaussian_prior():
+    fd, info = setup("hlr")
+    with pytest.raises(ScheduleError, match="Gaussian prior"):
+        validate_schedule(
+            parse_schedule("ESlice sigma2 (*) HMC (b, theta)"), fd, info
+        )
+
+
+def test_validate_rejects_mh_on_discrete_without_proposal():
+    fd, info = setup("gmm")
+    with pytest.raises(ScheduleError, match="user-supplied proposal"):
+        validate_schedule(parse_schedule("Gibbs mu (*) MH z"), fd, info)
+
+
+def test_validate_rejects_blocked_gibbs():
+    fd, info = setup("hgmm")
+    with pytest.raises(ScheduleError, match="blocked Gibbs"):
+        validate_schedule(
+            parse_schedule("Gibbs (mu, Sigma) (*) Gibbs pi (*) Gibbs z"),
+            fd,
+            info,
+        )
+
+
+def test_validate_hmc_on_constrained_continuous_is_allowed():
+    # sigma2 is positive: the log transform makes HMC legal.
+    fd, info = setup("hlr")
+    k = validate_schedule(parse_schedule("HMC (sigma2, b, theta)"), fd, info)
+    (upd,) = flatten(k)
+    assert isinstance(upd.payload, BlockConditional)

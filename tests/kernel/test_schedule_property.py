@@ -1,0 +1,42 @@
+"""Property test: schedule pretty-printing round-trips through the parser."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as hst
+
+from repro.core.kernel.ir import KBase, KernelUnit, UpdateMethod, compose, flatten
+from repro.core.kernel.schedule import parse_schedule
+
+names = hst.sampled_from(["mu", "z", "theta", "pi", "sigma2", "b"])
+
+units = hst.one_of(
+    names.map(KernelUnit.single),
+    hst.lists(names, min_size=2, max_size=3, unique=True).map(KernelUnit.block),
+)
+
+methods = hst.sampled_from(list(UpdateMethod))
+
+updates = hst.tuples(methods, units).map(lambda t: KBase(t[0], t[1]))
+
+kernels = hst.lists(updates, min_size=1, max_size=5).map(compose)
+
+
+@given(kernels)
+@settings(max_examples=100, deadline=None)
+def test_schedule_roundtrip(kernel):
+    reparsed = parse_schedule(str(kernel))
+    a, b = flatten(kernel), flatten(reparsed)
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        assert x.method is y.method
+        assert x.unit == y.unit
+
+
+@given(kernels)
+@settings(max_examples=50, deadline=None)
+def test_flatten_preserves_order(kernel):
+    updates = flatten(kernel)
+    # Composition is associative in execution order: re-composing the
+    # flat list yields the same flat list.
+    assert flatten(compose(updates)) == updates

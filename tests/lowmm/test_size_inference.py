@@ -1,0 +1,188 @@
+"""Size inference: state layouts, workspace allocation, memory bounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exprs import Call, Gen, Index, IntLit, Var
+from repro.core.lowmm.size_inference import (
+    allocate,
+    allocate_state,
+    build_plan,
+    infer_state_layout,
+    resolve_workspace,
+)
+from repro.core.workspace import WorkspaceSpec
+from repro.errors import SizeInferenceError
+from repro.runtime.vectors import RaggedArray
+
+from tests.lowpp.conftest import make_setup
+
+
+def gmm_env():
+    return {
+        "K": 3,
+        "N": 10,
+        "mu_0": np.zeros(2),
+        "Sigma_0": np.eye(2),
+        "pis": np.full(3, 1 / 3),
+        "Sigma": np.eye(2),
+        "x": np.zeros((10, 2)),
+    }
+
+
+def lda_env():
+    return {
+        "K": 4,
+        "D": 3,
+        "V": 7,
+        "N": np.array([5, 2, 6]),
+        "alpha": np.ones(4),
+        "beta": np.ones(7),
+        "w": RaggedArray.full([5, 2, 6], 0, dtype=np.int64),
+    }
+
+
+def test_gmm_state_layout():
+    fd, info = make_setup("gmm")
+    layout = infer_state_layout(info, gmm_env())
+    assert layout["mu"].lead == (3,)
+    assert layout["mu"].event == (2,)
+    assert layout["mu"].dtype == "f8"
+    assert layout["z"].lead == (10,)
+    assert layout["z"].event == ()
+    assert layout["z"].dtype == "i8"
+
+
+def test_hgmm_state_layout_includes_matrices():
+    fd, info = make_setup("hgmm")
+    env = {
+        "K": 3,
+        "N": 8,
+        "alpha": np.ones(3),
+        "mu_0": np.zeros(2),
+        "Sigma_0": np.eye(2),
+        "nu": 4.0,
+        "Psi": np.eye(2),
+        "y": np.zeros((8, 2)),
+    }
+    layout = infer_state_layout(info, env)
+    assert layout["Sigma"].lead == (3,)
+    assert layout["Sigma"].event == (2, 2)
+    assert layout["pi"].lead == ()
+    assert layout["pi"].event == (3,)
+
+
+def test_lda_state_layout_is_ragged():
+    fd, info = make_setup("lda")
+    layout = infer_state_layout(info, lda_env())
+    z = layout["z"]
+    assert z.is_ragged
+    np.testing.assert_array_equal(z.row_lengths, [5, 2, 6])
+    assert z.dtype == "i8"
+    assert layout["theta"].lead == (3,)
+    assert layout["theta"].event == (4,)
+
+
+def test_allocate_state_buffers():
+    fd, info = make_setup("lda")
+    layout = infer_state_layout(info, lda_env())
+    state = allocate_state(layout)
+    assert isinstance(state["z"], RaggedArray)
+    assert state["z"].n_elems == 13
+    assert state["theta"].shape == (3, 4)
+    assert state["phi"].shape == (4, 7)
+
+
+def test_scalar_state_is_scalar():
+    fd, info = make_setup("normal_normal")
+    layout = infer_state_layout(info, {"N": 4, "mu_0": 0.0, "v_0": 1.0, "v": 1.0})
+    assert layout["mu"].lead == ()
+    assert layout["mu"].event == ()
+    state = allocate_state(layout)
+    assert np.ndim(state["mu"]) == 0
+
+
+def test_workspace_dense():
+    spec = WorkspaceSpec(
+        "ws", gens=(Gen("k", IntLit(0), Var("K")),), trailing=(Var("D"),)
+    )
+    bufs = allocate([spec], {"K": 3, "D": 2})
+    assert bufs["ws"].shape == (3, 2)
+    assert bufs["ws"].dtype == np.float64
+
+
+def test_workspace_ragged():
+    spec = WorkspaceSpec(
+        "ws_logits",
+        gens=(
+            Gen("d", IntLit(0), Var("D")),
+            Gen("j", IntLit(0), Index(Var("N"), Var("d"))),
+        ),
+        trailing=(Var("K"),),
+    )
+    bufs = allocate([spec], {"D": 3, "N": np.array([5, 2, 6]), "K": 4})
+    ws = bufs["ws_logits"]
+    assert isinstance(ws, RaggedArray)
+    assert ws.row(0).shape == (5, 4)
+    assert ws.row(2).shape == (6, 4)
+
+
+def test_workspace_trailing_len_expression():
+    spec = WorkspaceSpec("ws", gens=(), trailing=(Call("len", (Var("alpha"),)),))
+    bufs = allocate([spec], {"alpha": np.ones(5)})
+    assert bufs["ws"].shape == (5,)
+
+
+def test_ragged_outer_dimension_rejected():
+    spec = WorkspaceSpec(
+        "bad",
+        gens=(
+            Gen("d", IntLit(0), Var("D")),
+            Gen("j", IntLit(0), Index(Var("N"), Var("d"))),
+            Gen("l", IntLit(0), Var("M")),
+        ),
+    )
+    with pytest.raises(SizeInferenceError, match="innermost"):
+        resolve_workspace(spec, {"D": 2, "N": np.array([1, 2]), "M": 2})
+
+
+def test_plan_total_bytes():
+    fd, info = make_setup("gmm")
+    spec = WorkspaceSpec("ws", gens=(Gen("k", IntLit(0), Var("K")),))
+    plan = build_plan(info, gmm_env(), (spec,))
+    # mu: 3x2 f8 = 48; z: 10 i8 = 80; ws: 3 f8 = 24.
+    assert plan.state["mu"].nbytes() == 48
+    assert plan.state["z"].nbytes() == 80
+    assert plan.workspaces["ws"].nbytes() == 24
+    assert plan.total_bytes() == 48 + 80 + 24
+    assert "allocation plan" in plan.describe()
+
+
+def test_plan_deduplicates_workspaces():
+    fd, info = make_setup("gmm")
+    spec = WorkspaceSpec("ws", gens=(Gen("k", IntLit(0), Var("K")),))
+    plan = build_plan(info, gmm_env(), (spec, spec))
+    assert list(plan.workspaces) == ["ws"]
+
+
+def test_state_layout_uses_earlier_params_for_shapes():
+    # A model whose second parameter's event shape depends on the first
+    # parameter's buffer (via len), exercising incremental allocation.
+    from repro.core.frontend.parser import parse_model
+    from repro.core.frontend.symbols import analyze_model
+    from repro.core.types import INT, VEC_REAL
+
+    m = parse_model(
+        """
+        (N, alpha) => {
+          param pi ~ Dirichlet(alpha) ;
+          param q ~ Dirichlet(pi) ;
+          data y[n] ~ Categorical(q) for n <- 0 until N ;
+        }
+        """
+    )
+    info = analyze_model(m, {"N": INT, "alpha": VEC_REAL})
+    layout = infer_state_layout(info, {"N": 2, "alpha": np.ones(4), "y": np.zeros(2, dtype=np.int64)})
+    assert layout["q"].event == (4,)

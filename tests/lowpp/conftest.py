@@ -1,0 +1,63 @@
+"""Shared model setups for Low++ codegen tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.density.lower import lower_and_factorize
+from repro.core.frontend.parser import parse_model
+from repro.core.frontend.symbols import analyze_model
+from repro.eval import models
+
+from tests.kernel.test_conjugacy import HYPERS
+
+
+def make_setup(name):
+    m = parse_model(models.ALL_MODELS[name])
+    info = analyze_model(m, HYPERS[name])
+    return lower_and_factorize(m), info
+
+
+@pytest.fixture
+def gmm():
+    return make_setup("gmm")
+
+
+@pytest.fixture
+def hlr():
+    return make_setup("hlr")
+
+
+@pytest.fixture
+def gmm_env():
+    rng = np.random.default_rng(0)
+    K, N, D = 2, 6, 2
+    return {
+        "K": K,
+        "N": N,
+        "mu_0": np.zeros(D),
+        "Sigma_0": np.eye(D) * 4.0,
+        "pis": np.full(K, 0.5),
+        "Sigma": np.eye(D) * 0.5,
+        "mu": rng.normal(size=(K, D)),
+        "z": rng.integers(0, K, size=N),
+        "x": rng.normal(size=(N, D)),
+    }
+
+
+@pytest.fixture
+def hlr_env():
+    rng = np.random.default_rng(1)
+    N, D = 5, 3
+    x = rng.normal(size=(N, D))
+    return {
+        "N": N,
+        "D": D,
+        "lam": 1.0,
+        "x": x,
+        "sigma2": 1.2,
+        "b": 0.4,
+        "theta": rng.normal(size=D),
+        "y": rng.integers(0, 2, size=N),
+    }

@@ -1,0 +1,224 @@
+"""Generated Gibbs updates: statistics and posterior correctness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.density.conditionals import conditional
+from repro.core.kernel.conjugacy import detect_conjugacy, detect_enumeration
+from repro.core.lowpp.gen_gibbs import gen_gibbs_conjugate, gen_gibbs_enumeration
+from repro.core.lowpp.interp import run_decl_scope
+from repro.runtime.rng import Rng
+from repro.runtime.vectors import RaggedArray
+
+from tests.lowpp.conftest import make_setup
+
+
+def alloc_ws(specs, env):
+    """Hand allocation of workspaces (size inference is tested separately)."""
+    from repro.core.density.interp import eval_expr
+
+    out = {}
+    for spec in specs:
+        dims = []
+        scope = dict(env)
+        ragged = False
+        for g in spec.gens:
+            hi = eval_expr(g.hi, scope)
+            if isinstance(hi, np.ndarray):
+                ragged = True
+            dims.append(hi)
+        trailing = [int(eval_expr(t, scope)) for t in spec.trailing]
+        if ragged:
+            raise NotImplementedError("ragged workspaces allocated in size-inference tests")
+        shape = tuple(int(d) for d in dims) + tuple(trailing)
+        out[spec.name] = np.zeros(shape)
+    return out
+
+
+def run_gibbs(code, env, seed=0):
+    ws = alloc_ws(code.workspaces, env)
+    _, scope = run_decl_scope(code.decl, env, Rng(seed), workspaces=ws)
+    return scope
+
+
+# ----------------------------------------------------------------------
+# Normal-Normal: the posterior is known in closed form.
+# ----------------------------------------------------------------------
+
+
+def normal_normal_env(seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "N": 20,
+        "mu_0": 1.0,
+        "v_0": 4.0,
+        "v": 0.5,
+        "mu": 0.0,
+        "y": rng.normal(2.0, 0.7, size=20),
+    }
+
+
+def test_normal_normal_gibbs_matches_analytic_posterior():
+    fd, info = make_setup("normal_normal")
+    match = detect_conjugacy(conditional(fd, "mu", info))
+    code = gen_gibbs_conjugate(match, fd.lets)
+    env = normal_normal_env()
+    y, v, mu0, v0 = env["y"], env["v"], env["mu_0"], env["v_0"]
+    post_prec = 1 / v0 + len(y) / v
+    post_mean = (mu0 / v0 + y.sum() / v) / post_prec
+
+    draws = np.array([run_gibbs(code, dict(env), seed=i)["mu"] for i in range(4000)])
+    assert draws.mean() == pytest.approx(post_mean, abs=0.01)
+    assert draws.var() == pytest.approx(1 / post_prec, rel=0.1)
+
+
+# ----------------------------------------------------------------------
+# Beta-Bernoulli / Gamma-Poisson: posterior parameters via statistics.
+# ----------------------------------------------------------------------
+
+
+def test_beta_bernoulli_gibbs_posterior_moments():
+    fd, info = make_setup("beta_bernoulli")
+    match = detect_conjugacy(conditional(fd, "p", info))
+    code = gen_gibbs_conjugate(match, fd.lets)
+    y = np.array([1, 1, 0, 1, 0, 1, 1, 1])
+    env = {"N": len(y), "a": 2.0, "b": 2.0, "p": 0.5, "y": y}
+    a_post, b_post = 2.0 + y.sum(), 2.0 + (len(y) - y.sum())
+    draws = np.array([run_gibbs(code, dict(env), seed=i)["p"] for i in range(4000)])
+    assert draws.mean() == pytest.approx(a_post / (a_post + b_post), abs=0.01)
+
+
+def test_gamma_poisson_gibbs_posterior_moments():
+    fd, info = make_setup("gamma_poisson")
+    match = detect_conjugacy(conditional(fd, "rate", info))
+    code = gen_gibbs_conjugate(match, fd.lets)
+    y = np.array([3, 5, 4, 2, 6, 3])
+    env = {"N": len(y), "a": 1.0, "b": 1.0, "rate": 1.0, "y": y}
+    a_post, b_post = 1.0 + y.sum(), 1.0 + len(y)
+    draws = np.array([run_gibbs(code, dict(env), seed=i)["rate"] for i in range(4000)])
+    assert draws.mean() == pytest.approx(a_post / b_post, rel=0.02)
+
+
+# ----------------------------------------------------------------------
+# Dirichlet-Categorical: scalar and guarded (mixture) variants.
+# ----------------------------------------------------------------------
+
+
+def test_dirichlet_categorical_gibbs_counts():
+    fd, info = make_setup("dirichlet_categorical")
+    match = detect_conjugacy(conditional(fd, "pi", info))
+    code = gen_gibbs_conjugate(match, fd.lets)
+    y = np.array([0, 1, 1, 2, 1, 1, 0, 1])
+    alpha = np.ones(3)
+    env = {"N": len(y), "alpha": alpha, "pi": np.full(3, 1 / 3), "y": y}
+    counts = np.bincount(y, minlength=3)
+    expected_mean = (alpha + counts) / (alpha + counts).sum()
+    draws = np.array([run_gibbs(code, dict(env), seed=i)["pi"] for i in range(3000)])
+    np.testing.assert_allclose(draws.mean(axis=0), expected_mean, atol=0.015)
+
+
+def gmm_gibbs_env(seed=0):
+    rng = np.random.default_rng(seed)
+    K, N, D = 2, 30, 2
+    z = np.array([0] * 15 + [1] * 15)
+    x = np.concatenate(
+        [rng.normal(-2.0, 0.3, size=(15, D)), rng.normal(2.0, 0.3, size=(15, D))]
+    )
+    return {
+        "K": K,
+        "N": N,
+        "mu_0": np.zeros(D),
+        "Sigma_0": np.eye(D) * 100.0,
+        "pis": np.full(K, 0.5),
+        "Sigma": np.eye(D) * 0.09,
+        "mu": np.zeros((K, D)),
+        "z": z,
+        "x": x,
+    }
+
+
+def test_gmm_mu_gibbs_uses_guard_inversion():
+    # Structural: the statistics loop is a single AtmPar pass over n that
+    # scatters by z[n]; there is no loop over k in the statistics phase.
+    from repro.core.lowpp.ir import SAssign, SLoop, walk_stmts
+
+    fd, info = make_setup("gmm")
+    match = detect_conjugacy(conditional(fd, "mu", info))
+    code = gen_gibbs_conjugate(match, fd.lets)
+    text = str(code.decl)
+    assert "ws_mu_cnt[z[n]]" in text
+    assert "ws_mu_sum[z[n]]" in text
+
+
+def test_gmm_mu_gibbs_posterior_concentrates_on_cluster_means():
+    fd, info = make_setup("gmm")
+    match = detect_conjugacy(conditional(fd, "mu", info))
+    code = gen_gibbs_conjugate(match, fd.lets)
+    env = gmm_gibbs_env()
+    draws = np.stack(
+        [run_gibbs(code, dict(env, mu=env["mu"].copy()), seed=i)["mu"] for i in range(300)]
+    )
+    means = draws.mean(axis=0)
+    # With a nearly-flat prior, the posterior mean is close to each
+    # cluster's empirical mean.
+    emp0 = env["x"][env["z"] == 0].mean(axis=0)
+    emp1 = env["x"][env["z"] == 1].mean(axis=0)
+    np.testing.assert_allclose(means[0], emp0, atol=0.05)
+    np.testing.assert_allclose(means[1], emp1, atol=0.05)
+
+
+# ----------------------------------------------------------------------
+# Enumeration Gibbs for the mixture assignment.
+# ----------------------------------------------------------------------
+
+
+def test_gmm_z_enumeration_matches_analytic_probabilities():
+    fd, info = make_setup("gmm")
+    cond = conditional(fd, "z", info)
+    enum = detect_enumeration(cond, info.info("z").dist_name)
+    code = gen_gibbs_enumeration(enum, fd.lets)
+
+    env = gmm_gibbs_env()
+    env["mu"] = np.array([[-2.0, -2.0], [2.0, 2.0]])
+    # Analytic conditional for point n: prop.to pi_k * N(x_n | mu_k, Sigma).
+    from scipy.stats import multivariate_normal as mvn
+
+    n_probe = 0
+    logits = np.array(
+        [
+            np.log(0.5) + mvn(env["mu"][k], env["Sigma"]).logpdf(env["x"][n_probe])
+            for k in range(2)
+        ]
+    )
+    probs = np.exp(logits - logits.max())
+    probs /= probs.sum()
+
+    draws = np.array(
+        [run_gibbs(code, dict(env, z=env["z"].copy()), seed=i)["z"][n_probe] for i in range(2000)]
+    )
+    freq = np.bincount(draws, minlength=2) / draws.size
+    np.testing.assert_allclose(freq, probs, atol=0.03)
+
+
+def test_enumeration_workspace_shape():
+    fd, info = make_setup("gmm")
+    cond = conditional(fd, "z", info)
+    enum = detect_enumeration(cond, info.info("z").dist_name)
+    code = gen_gibbs_enumeration(enum, fd.lets)
+    (spec,) = code.workspaces
+    assert spec.name == "ws_z_logits"
+    assert [g.var for g in spec.gens] == ["n"]
+    assert len(spec.trailing) == 1
+
+
+def test_gibbs_decl_params_exclude_workspaces_and_loopvars():
+    fd, info = make_setup("gmm")
+    match = detect_conjugacy(conditional(fd, "mu", info))
+    code = gen_gibbs_conjugate(match, fd.lets)
+    assert "ws_mu_cnt" not in code.decl.params
+    assert "n" not in code.decl.params
+    assert "k" not in code.decl.params
+    assert "mu" in code.decl.params
+    assert "z" in code.decl.params

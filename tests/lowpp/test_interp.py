@@ -1,0 +1,195 @@
+"""Low++ interpreter semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exprs import (
+    Call,
+    DistOp,
+    DistOpKind,
+    Gen,
+    IntLit,
+    RealLit,
+    Var,
+)
+from repro.core.lowpp.ir import (
+    AssignOp,
+    LDecl,
+    LoopKind,
+    LValue,
+    SAssign,
+    SIf,
+    SLoop,
+    SMultiAssign,
+)
+from repro.core.lowpp.interp import run_decl, run_decl_scope
+from repro.errors import RuntimeFailure
+from repro.runtime.rng import Rng
+from repro.runtime.vectors import RaggedArray
+
+
+def test_scalar_assign_and_return(rng):
+    decl = LDecl(
+        name="f",
+        params=("a",),
+        body=(
+            SAssign(LValue("t"), AssignOp.SET, Call("*", (Var("a"), RealLit(2.0)))),
+            SAssign(LValue("t"), AssignOp.INC, RealLit(1.0)),
+        ),
+        ret=(Var("t"),),
+    )
+    assert run_decl(decl, {"a": 3.0}, rng) == (7.0,)
+
+
+def test_loop_accumulation(rng):
+    decl = LDecl(
+        name="sum_sq",
+        params=("n",),
+        body=(
+            SAssign(LValue("acc"), AssignOp.SET, RealLit(0.0)),
+            SLoop(
+                LoopKind.ATM_PAR,
+                Gen("i", IntLit(0), Var("n")),
+                (SAssign(LValue("acc"), AssignOp.INC, Call("*", (Var("i"), Var("i")))),),
+            ),
+        ),
+        ret=(Var("acc"),),
+    )
+    assert run_decl(decl, {"n": 5}, rng) == (0 + 1 + 4 + 9 + 16,)
+
+
+def test_indexed_store_mutates_array(rng):
+    arr = np.zeros(4)
+    decl = LDecl(
+        name="fill",
+        params=("out", "n"),
+        body=(
+            SLoop(
+                LoopKind.PAR,
+                Gen("i", IntLit(0), Var("n")),
+                (SAssign(LValue("out", (Var("i"),)), AssignOp.SET, Var("i")),),
+            ),
+        ),
+    )
+    run_decl(decl, {"out": arr, "n": 4}, rng)
+    np.testing.assert_array_equal(arr, [0, 1, 2, 3])
+
+
+def test_scatter_increment(rng):
+    counts = np.zeros(3)
+    idx = np.array([0, 2, 2, 1, 2])
+    decl = LDecl(
+        name="count",
+        params=("counts", "idx", "n"),
+        body=(
+            SLoop(
+                LoopKind.ATM_PAR,
+                Gen("i", IntLit(0), Var("n")),
+                (
+                    SAssign(
+                        LValue("counts", (Var("idx")[Var("i")],)),
+                        AssignOp.INC,
+                        RealLit(1.0),
+                    ),
+                ),
+            ),
+        ),
+    )
+    run_decl(decl, {"counts": counts, "idx": idx, "n": 5}, rng)
+    np.testing.assert_array_equal(counts, [1, 1, 3])
+
+
+def test_if_branches(rng):
+    decl = LDecl(
+        name="branch",
+        params=("a",),
+        body=(
+            SIf(
+                Call("==", (Var("a"), IntLit(1))),
+                (SAssign(LValue("out"), AssignOp.SET, RealLit(10.0)),),
+                (SAssign(LValue("out"), AssignOp.SET, RealLit(20.0)),),
+            ),
+        ),
+        ret=(Var("out"),),
+    )
+    assert run_decl(decl, {"a": 1}, rng) == (10.0,)
+    assert run_decl(decl, {"a": 0}, rng) == (20.0,)
+
+
+def test_multi_assign_from_lib_call(rng):
+    decl = LDecl(
+        name="post",
+        params=("mu0", "v0", "p", "m"),
+        body=(
+            SMultiAssign(
+                (LValue("pm"), LValue("pv")),
+                Call("lib.normal_normal_post", (Var("mu0"), Var("v0"), Var("p"), Var("m"))),
+            ),
+        ),
+        ret=(Var("pm"), Var("pv")),
+    )
+    pm, pv = run_decl(decl, {"mu0": 0.0, "v0": 1.0, "p": 1.0, "m": 2.0}, rng)
+    assert pv == pytest.approx(0.5)
+    assert pm == pytest.approx(1.0)
+
+
+def test_distop_ll_and_samp(rng):
+    decl = LDecl(
+        name="d",
+        params=("mu",),
+        body=(
+            SAssign(
+                LValue("lp"),
+                AssignOp.SET,
+                DistOp("Normal", (Var("mu"), RealLit(1.0)), DistOpKind.LL, value=RealLit(0.0)),
+            ),
+            SAssign(
+                LValue("draw"),
+                AssignOp.SET,
+                DistOp("Normal", (Var("mu"), RealLit(1.0)), DistOpKind.SAMP),
+            ),
+        ),
+        ret=(Var("lp"), Var("draw")),
+    )
+    lp, draw = run_decl(decl, {"mu": 0.0}, Rng(0))
+    assert lp == pytest.approx(-0.5 * np.log(2 * np.pi))
+    assert isinstance(float(draw), float)
+
+
+def test_ragged_store(rng):
+    ws = RaggedArray.full([2, 3], 0.0)
+    decl = LDecl(
+        name="r",
+        params=("ws",),
+        body=(SAssign(LValue("ws", (IntLit(1), IntLit(2))), AssignOp.SET, RealLit(9.0)),),
+    )
+    run_decl(decl, {"ws": ws}, rng)
+    assert ws.row(1)[2] == 9.0
+
+
+def test_missing_param_raises(rng):
+    decl = LDecl(name="f", params=("a",), body=(), ret=())
+    with pytest.raises(RuntimeFailure, match="missing parameters"):
+        run_decl(decl, {}, rng)
+
+
+def test_store_to_unallocated_buffer_raises(rng):
+    decl = LDecl(
+        name="f",
+        params=(),
+        body=(SAssign(LValue("buf", (IntLit(0),)), AssignOp.SET, RealLit(1.0)),),
+    )
+    with pytest.raises(RuntimeFailure, match="unallocated"):
+        run_decl(decl, {}, rng)
+
+
+def test_scope_exposes_locals(rng):
+    decl = LDecl(
+        name="f",
+        params=(),
+        body=(SAssign(LValue("local"), AssignOp.SET, RealLit(5.0)),),
+    )
+    _, scope = run_decl_scope(decl, {}, rng)
+    assert scope["local"] == 5.0

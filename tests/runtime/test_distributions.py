@@ -1,0 +1,265 @@
+"""Distribution correctness: log densities vs. scipy, gradients vs. finite
+differences, and sampler moments vs. analytic moments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.stats as st
+
+from repro.runtime.distributions import lookup
+from repro.runtime.distributions.base import GradUnsupported
+from repro.runtime.rng import Rng
+
+
+def finite_diff(f, x, eps=1e-6):
+    """Central-difference gradient of a scalar function of a scalar."""
+    return (f(x + eps) - f(x - eps)) / (2 * eps)
+
+
+# ----------------------------------------------------------------------
+# logpdf agreement with scipy.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "name,args,value,scipy_lp",
+    [
+        ("Normal", (1.5, 4.0), 0.3, lambda v: st.norm(1.5, 2.0).logpdf(v)),
+        ("Exponential", (2.5,), 0.7, lambda v: st.expon(scale=1 / 2.5).logpdf(v)),
+        ("Gamma", (3.0, 2.0), 1.3, lambda v: st.gamma(3.0, scale=0.5).logpdf(v)),
+        ("Beta", (2.0, 5.0), 0.3, lambda v: st.beta(2.0, 5.0).logpdf(v)),
+        ("Poisson", (4.2,), 3, lambda v: st.poisson(4.2).logpmf(v)),
+        ("Bernoulli", (0.3,), 1, lambda v: st.bernoulli(0.3).logpmf(v)),
+        ("Bernoulli", (0.3,), 0, lambda v: st.bernoulli(0.3).logpmf(v)),
+        ("Uniform", (-1.0, 3.0), 0.5, lambda v: st.uniform(-1.0, 4.0).logpdf(v)),
+    ],
+)
+def test_logpdf_matches_scipy(name, args, value, scipy_lp):
+    dist = lookup(name)
+    assert dist.logpdf(value, *args) == pytest.approx(scipy_lp(value), rel=1e-10)
+
+
+def test_mvnormal_logpdf_matches_scipy():
+    dist = lookup("MvNormal")
+    mean = np.array([1.0, -2.0, 0.5])
+    cov = np.array([[2.0, 0.3, 0.1], [0.3, 1.0, 0.2], [0.1, 0.2, 0.5]])
+    x = np.array([0.7, -1.0, 0.0])
+    expected = st.multivariate_normal(mean, cov).logpdf(x)
+    assert dist.logpdf(x, mean, cov) == pytest.approx(expected, rel=1e-10)
+
+
+def test_mvnormal_logpdf_batched():
+    dist = lookup("MvNormal")
+    mean = np.array([0.0, 0.0])
+    cov = np.eye(2) * 2.0
+    xs = np.array([[0.0, 0.0], [1.0, 1.0], [3.0, -1.0]])
+    got = dist.logpdf(xs, mean, cov)
+    expected = [st.multivariate_normal(mean, cov).logpdf(x) for x in xs]
+    np.testing.assert_allclose(got, expected, rtol=1e-10)
+
+
+def test_dirichlet_logpdf_matches_scipy():
+    dist = lookup("Dirichlet")
+    alpha = np.array([2.0, 3.0, 1.5])
+    x = np.array([0.3, 0.5, 0.2])
+    expected = st.dirichlet(alpha).logpdf(x)
+    assert dist.logpdf(x, alpha) == pytest.approx(expected, rel=1e-10)
+
+
+def test_categorical_logpmf():
+    dist = lookup("Categorical")
+    probs = np.array([0.1, 0.7, 0.2])
+    assert dist.logpdf(1, probs) == pytest.approx(np.log(0.7))
+    np.testing.assert_allclose(
+        dist.logpdf(np.array([0, 2]), probs), np.log([0.1, 0.2])
+    )
+
+
+def test_inv_wishart_logpdf_matches_scipy():
+    dist = lookup("InvWishart")
+    psi = np.array([[2.0, 0.3], [0.3, 1.0]])
+    x = np.array([[1.5, 0.1], [0.1, 0.8]])
+    expected = st.invwishart(df=5, scale=psi).logpdf(x)
+    assert dist.logpdf(x, 5.0, psi) == pytest.approx(expected, rel=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Out-of-support values.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "name,args,bad",
+    [
+        ("Exponential", (1.0,), -0.5),
+        ("Gamma", (2.0, 1.0), -1.0),
+        ("Beta", (2.0, 2.0), 1.5),
+        ("Uniform", (0.0, 1.0), 2.0),
+    ],
+)
+def test_logpdf_out_of_support_is_neg_inf(name, args, bad):
+    assert lookup(name).logpdf(bad, *args) == -np.inf
+
+
+# ----------------------------------------------------------------------
+# Gradients vs. finite differences.
+# ----------------------------------------------------------------------
+
+GRAD_CASES = [
+    ("Normal", (1.5, 4.0), 0.3),
+    ("Exponential", (2.5,), 0.7),
+    ("Gamma", (3.0, 2.0), 1.3),
+    ("Beta", (2.0, 5.0), 0.3),
+]
+
+
+@pytest.mark.parametrize("name,args,value", GRAD_CASES)
+def test_grad_value_matches_finite_diff(name, args, value):
+    dist = lookup(name)
+    expected = finite_diff(lambda v: dist.logpdf(v, *args), value)
+    assert dist.grad(0, value, *args) == pytest.approx(expected, rel=1e-5)
+
+
+@pytest.mark.parametrize("name,args,value", GRAD_CASES)
+def test_grad_params_match_finite_diff(name, args, value):
+    dist = lookup(name)
+    for i in range(1, len(args) + 1):
+        def lp(p):
+            newargs = list(args)
+            newargs[i - 1] = p
+            return dist.logpdf(value, *newargs)
+
+        expected = finite_diff(lp, args[i - 1])
+        assert dist.grad(i, value, *args) == pytest.approx(expected, rel=1e-5), (
+            f"{name} grad {i}"
+        )
+
+
+def test_mvnormal_grads_match_finite_diff():
+    dist = lookup("MvNormal")
+    mean = np.array([1.0, -0.5])
+    cov = np.array([[1.5, 0.2], [0.2, 0.8]])
+    x = np.array([0.3, 0.4])
+    eps = 1e-6
+    for j in range(2):
+        dx = np.zeros(2)
+        dx[j] = eps
+        num = (dist.logpdf(x + dx, mean, cov) - dist.logpdf(x - dx, mean, cov)) / (
+            2 * eps
+        )
+        assert dist.grad(0, x, mean, cov)[j] == pytest.approx(num, rel=1e-5)
+        num_mu = (dist.logpdf(x, mean + dx, cov) - dist.logpdf(x, mean - dx, cov)) / (
+            2 * eps
+        )
+        assert dist.grad(1, x, mean, cov)[j] == pytest.approx(num_mu, rel=1e-5)
+
+
+def test_mvnormal_grad_cov_matches_finite_diff():
+    dist = lookup("MvNormal")
+    mean = np.array([0.0, 0.0])
+    cov = np.array([[1.5, 0.2], [0.2, 0.8]])
+    x = np.array([0.7, -0.3])
+    g = dist.grad(2, x, mean, cov)
+    eps = 1e-6
+    for i in range(2):
+        for j in range(2):
+            # Perturb symmetrically (covariances are symmetric matrices);
+            # the matching analytic derivative is g[i,j] + g[j,i] off the
+            # diagonal and g[i,i] on it.
+            d = np.zeros((2, 2))
+            d[i, j] += eps
+            if i != j:
+                d[j, i] += eps
+            num = (dist.logpdf(x, mean, cov + d) - dist.logpdf(x, mean, cov - d)) / (
+                2 * eps
+            )
+            analytic = g[i, j] if i == j else g[i, j] + g[j, i]
+            assert analytic == pytest.approx(num, rel=1e-4, abs=1e-8)
+
+
+def test_bernoulli_grad_p():
+    dist = lookup("Bernoulli")
+    expected = finite_diff(lambda p: dist.logpdf(1, p), 0.3)
+    assert dist.grad(1, 1, 0.3) == pytest.approx(expected, rel=1e-6)
+
+
+def test_dirichlet_grad_alpha_matches_finite_diff():
+    dist = lookup("Dirichlet")
+    alpha = np.array([2.0, 3.0, 1.5])
+    x = np.array([0.3, 0.5, 0.2])
+    g = dist.grad(1, x, alpha)
+    eps = 1e-6
+    for i in range(3):
+        d = np.zeros(3)
+        d[i] = eps
+        num = (dist.logpdf(x, alpha + d) - dist.logpdf(x, alpha - d)) / (2 * eps)
+        assert g[i] == pytest.approx(num, rel=1e-5)
+
+
+def test_discrete_grad_value_unsupported():
+    with pytest.raises(GradUnsupported):
+        lookup("Categorical").grad(0, 1, np.array([0.5, 0.5]))
+    assert not lookup("Categorical").supports_grad(0)
+    assert lookup("Normal").supports_grad(0)
+
+
+# ----------------------------------------------------------------------
+# Sampler moments.
+# ----------------------------------------------------------------------
+
+
+def test_normal_sampler_moments():
+    dist = lookup("Normal")
+    draws = dist.sample(Rng(0), 2.0, 9.0, size=200_000)
+    assert np.mean(draws) == pytest.approx(2.0, abs=0.03)
+    assert np.var(draws) == pytest.approx(9.0, rel=0.02)
+
+
+def test_mvnormal_sampler_moments():
+    dist = lookup("MvNormal")
+    mean = np.array([1.0, -1.0])
+    cov = np.array([[2.0, 0.5], [0.5, 1.0]])
+    draws = dist.sample(Rng(1), mean, cov, size=100_000)
+    np.testing.assert_allclose(draws.mean(axis=0), mean, atol=0.03)
+    np.testing.assert_allclose(np.cov(draws.T), cov, atol=0.05)
+
+
+def test_dirichlet_sampler_moments():
+    dist = lookup("Dirichlet")
+    alpha = np.array([2.0, 3.0, 5.0])
+    draws = dist.sample(Rng(2), alpha, size=100_000)
+    np.testing.assert_allclose(draws.mean(axis=0), alpha / alpha.sum(), atol=0.01)
+    np.testing.assert_allclose(draws.sum(axis=1), 1.0, atol=1e-12)
+
+
+def test_categorical_sampler_frequencies():
+    dist = lookup("Categorical")
+    probs = np.array([0.2, 0.5, 0.3])
+    draws = dist.sample(Rng(3), probs, size=100_000)
+    freq = np.bincount(draws, minlength=3) / draws.size
+    np.testing.assert_allclose(freq, probs, atol=0.01)
+
+
+def test_inv_wishart_sampler_mean():
+    dist = lookup("InvWishart")
+    psi = np.array([[2.0, 0.3], [0.3, 1.0]])
+    nu = 7.0
+    draws = dist.sample(Rng(4), nu, psi, size=20_000)
+    # E[X] = Psi / (nu - d - 1) for nu > d + 1.
+    expected = psi / (nu - 2 - 1)
+    np.testing.assert_allclose(draws.mean(axis=0), expected, atol=0.03)
+
+
+def test_gamma_sampler_moments():
+    dist = lookup("Gamma")
+    draws = dist.sample(Rng(5), 3.0, 2.0, size=200_000)
+    assert np.mean(draws) == pytest.approx(1.5, rel=0.02)
+    assert np.var(draws) == pytest.approx(0.75, rel=0.03)
+
+
+def test_bernoulli_sampler_vectorised_params():
+    dist = lookup("Bernoulli")
+    p = np.array([0.1, 0.9])
+    draws = np.array([dist.sample(Rng(i), p) for i in range(4000)])
+    np.testing.assert_allclose(draws.mean(axis=0), p, atol=0.03)

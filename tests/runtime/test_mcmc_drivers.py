@@ -1,0 +1,234 @@
+"""MCMC library routines tested directly on analytic targets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime.mcmc.accept import mh_accept
+from repro.runtime.mcmc.hmc import TransformedLogDensity, hmc_step, leapfrog
+from repro.runtime.mcmc.mh import random_walk_step, user_proposal_step
+from repro.runtime.mcmc.nuts import nuts_step
+from repro.runtime.mcmc.slice_sampler import elliptical_slice, slice_coordinate
+from repro.runtime.mcmc.tree import (
+    tree_axpy,
+    tree_copy,
+    tree_dot,
+    tree_gaussian,
+    tree_scale,
+)
+from repro.runtime.rng import Rng
+from repro.runtime.transforms import IdentityTransform, LogTransform
+
+
+def gaussian_target(mean, var):
+    """A diagonal Gaussian as a TransformedLogDensity over one variable."""
+    mean = np.asarray(mean, dtype=np.float64)
+    var = np.asarray(var, dtype=np.float64)
+
+    def ll(x):
+        v = np.asarray(x["x"])
+        return float(np.sum(-0.5 * (v - mean) ** 2 / var))
+
+    def grad(x):
+        v = np.asarray(x["x"])
+        return {"x": -(v - mean) / var}
+
+    return TransformedLogDensity(ll, grad, {"x": IdentityTransform()})
+
+
+# ----------------------------------------------------------------------
+# Trees.
+# ----------------------------------------------------------------------
+
+
+def test_tree_arithmetic():
+    a = {"u": np.array([1.0, 2.0]), "v": np.array(3.0)}
+    b = {"u": np.array([0.5, -1.0]), "v": np.array(2.0)}
+    assert tree_dot(a, b) == pytest.approx(1 * 0.5 - 2 + 6)
+    s = tree_scale(a, 2.0)
+    np.testing.assert_array_equal(s["u"], [2.0, 4.0])
+    ax = tree_axpy(a, b, 2.0)
+    np.testing.assert_array_equal(ax["u"], [2.0, 0.0])
+    c = tree_copy(a)
+    c["u"][0] = 99.0
+    assert a["u"][0] == 1.0
+
+
+def test_tree_gaussian_shapes(rng):
+    like = {"u": np.zeros((3, 2)), "v": np.array(0.0)}
+    g = tree_gaussian(rng, like)
+    assert g["u"].shape == (3, 2)
+    assert np.shape(g["v"]) == ()
+
+
+# ----------------------------------------------------------------------
+# Acceptance.
+# ----------------------------------------------------------------------
+
+
+def test_mh_accept_edge_cases(rng):
+    assert mh_accept(rng, 0.0)
+    assert mh_accept(rng, 10.0)
+    assert not mh_accept(rng, float("nan"))
+    accepts = sum(mh_accept(rng, np.log(0.3)) for _ in range(20_000))
+    assert accepts / 20_000 == pytest.approx(0.3, abs=0.02)
+
+
+# ----------------------------------------------------------------------
+# Leapfrog / HMC.
+# ----------------------------------------------------------------------
+
+
+def test_leapfrog_is_reversible():
+    target = gaussian_target(np.zeros(3), np.ones(3))
+    rng = Rng(0)
+    z = {"x": rng.normal(size=3)}
+    p = {"x": rng.normal(size=3)}
+    z1, p1 = leapfrog(target, z, p, 0.1, 10)
+    # Negate momentum and integrate back.
+    z2, p2 = leapfrog(target, z1, tree_scale(p1, -1.0), 0.1, 10)
+    np.testing.assert_allclose(z2["x"], z["x"], atol=1e-10)
+    np.testing.assert_allclose(p2["x"], -p["x"], atol=1e-10)
+
+
+def test_leapfrog_conserves_energy_approximately():
+    target = gaussian_target(np.zeros(2), np.ones(2))
+    rng = Rng(1)
+    z = {"x": rng.normal(size=2)}
+    p = {"x": rng.normal(size=2)}
+    h0 = -target.logpdf(z) + 0.5 * tree_dot(p, p)
+    z1, p1 = leapfrog(target, z, p, 0.05, 50)
+    h1 = -target.logpdf(z1) + 0.5 * tree_dot(p1, p1)
+    assert abs(h1 - h0) < 0.05
+
+
+def test_hmc_samples_gaussian_moments():
+    target = gaussian_target(np.array([2.0, -1.0]), np.array([1.0, 4.0]))
+    rng = Rng(2)
+    z = {"x": np.zeros(2)}
+    draws = []
+    for _ in range(2000):
+        z, _ = hmc_step(rng, target, z, step_size=0.3, n_steps=8)
+        draws.append(z["x"].copy())
+    draws = np.asarray(draws)[200:]
+    np.testing.assert_allclose(draws.mean(axis=0), [2.0, -1.0], atol=0.2)
+    np.testing.assert_allclose(draws.var(axis=0), [1.0, 4.0], rtol=0.25)
+
+
+def test_hmc_with_log_transform_stays_positive():
+    # Target: log-normal-ish via transform; underlying density on x > 0.
+    def ll(x):
+        v = float(np.asarray(x["x"]))
+        return -0.5 * (np.log(v)) ** 2 - np.log(v) if v > 0 else -np.inf
+
+    def grad(x):
+        v = float(np.asarray(x["x"]))
+        return {"x": np.asarray((-np.log(v) - 1.0) / v)}
+
+    target = TransformedLogDensity(ll, grad, {"x": LogTransform()})
+    rng = Rng(3)
+    z = target.unconstrain({"x": np.asarray(1.0)})
+    for _ in range(200):
+        z, _ = hmc_step(rng, target, z, 0.2, 5)
+        assert target.constrain(z)["x"] > 0
+
+
+# ----------------------------------------------------------------------
+# NUTS.
+# ----------------------------------------------------------------------
+
+
+def test_nuts_samples_gaussian_moments():
+    target = gaussian_target(np.array([1.0]), np.array([2.0]))
+    rng = Rng(4)
+    z = {"x": np.zeros(1)}
+    draws = []
+    for _ in range(1500):
+        z, leapfrogs, accept = nuts_step(rng, target, z, step_size=0.5)
+        assert leapfrogs >= 1
+        assert 0.0 <= accept <= 1.0
+        draws.append(float(z["x"][0]))
+    draws = np.asarray(draws)[200:]
+    assert draws.mean() == pytest.approx(1.0, abs=0.15)
+    assert draws.var() == pytest.approx(2.0, rel=0.25)
+
+
+def test_nuts_tiny_step_gives_low_accept_stat():
+    target = gaussian_target(np.zeros(1), np.ones(1))
+    rng = Rng(5)
+    _, _, accept_big = nuts_step(rng, target, {"x": np.zeros(1)}, step_size=10.0)
+    _, _, accept_small = nuts_step(rng, target, {"x": np.zeros(1)}, step_size=0.1)
+    assert accept_small > accept_big
+
+
+# ----------------------------------------------------------------------
+# Slice samplers.
+# ----------------------------------------------------------------------
+
+
+def test_slice_coordinate_gaussian_moments(np_rng):
+    logp = lambda x: -0.5 * (x - 1.5) ** 2 / 0.25
+    x = 0.0
+    draws = []
+    for _ in range(4000):
+        x = slice_coordinate(np_rng, logp, x, width=1.0)
+        draws.append(x)
+    draws = np.asarray(draws)[400:]
+    assert draws.mean() == pytest.approx(1.5, abs=0.05)
+    assert draws.std() == pytest.approx(0.5, abs=0.05)
+
+
+def test_slice_requires_positive_density_start(np_rng):
+    with pytest.raises(ValueError):
+        slice_coordinate(np_rng, lambda x: -np.inf, 0.0)
+
+
+def test_elliptical_slice_conjugate_gaussian(np_rng):
+    # Prior N(0, 1), likelihood N(y | x, s2): posterior is conjugate.
+    y, s2 = 1.2, 0.5
+    loglik = lambda x: float(-0.5 * (y - x) ** 2 / s2)
+    x = 0.0
+    draws = []
+    for _ in range(6000):
+        nu = np_rng.normal(0.0, 1.0)
+        x = float(elliptical_slice(np_rng, loglik, x, 0.0, nu))
+        draws.append(x)
+    draws = np.asarray(draws)[500:]
+    post_var = 1 / (1 + 1 / s2)
+    post_mean = post_var * (y / s2)
+    assert draws.mean() == pytest.approx(post_mean, abs=0.05)
+    assert draws.var() == pytest.approx(post_var, rel=0.15)
+
+
+# ----------------------------------------------------------------------
+# MH proposals.
+# ----------------------------------------------------------------------
+
+
+def test_random_walk_gaussian_moments(np_rng):
+    logp = lambda x: float(-0.5 * np.sum(x**2))
+    x = np.zeros(1)
+    draws = []
+    for _ in range(8000):
+        x, _ = random_walk_step(np_rng, logp, x, scale=1.0)
+        draws.append(float(x[0]))
+    draws = np.asarray(draws)[800:]
+    assert draws.mean() == pytest.approx(0.0, abs=0.08)
+    assert draws.var() == pytest.approx(1.0, rel=0.15)
+
+
+def test_user_proposal_respects_q_ratio(np_rng):
+    logp = lambda x: float(-0.5 * np.sum(np.asarray(x) ** 2))
+
+    # A huge forward/backward proposal-density ratio kills acceptance
+    # even for a density-neutral move...
+    never = lambda x, rng: (x, 1e9)
+    x = np.zeros(1)
+    for _ in range(50):
+        x, accepted = user_proposal_step(np_rng, logp, x, never)
+        assert not accepted
+    # ...and a hugely negative one forces acceptance even downhill.
+    always = lambda x, rng: (x + 3.0, -1e9)
+    x, accepted = user_proposal_step(np_rng, logp, np.zeros(1), always)
+    assert accepted and x[0] == 3.0

@@ -1,0 +1,183 @@
+"""Binomial, Laplace, StudentT: densities, gradients, samplers, and the
+Beta-Binomial conjugate Gibbs path end to end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.stats as st
+
+from repro.core.compiler import compile_model
+from repro.runtime.distributions import lookup
+from repro.runtime.rng import Rng
+
+
+def finite_diff(f, x, eps=1e-6):
+    return (f(x + eps) - f(x - eps)) / (2 * eps)
+
+
+# ----------------------------------------------------------------------
+# Densities vs. scipy.
+# ----------------------------------------------------------------------
+
+
+def test_binomial_logpmf():
+    d = lookup("Binomial")
+    assert d.logpdf(3, 10, 0.4) == pytest.approx(st.binom(10, 0.4).logpmf(3))
+    assert d.logpdf(11, 10, 0.4) == -np.inf
+    assert d.logpdf(-1, 10, 0.4) == -np.inf
+
+
+def test_laplace_logpdf():
+    d = lookup("Laplace")
+    assert d.logpdf(0.7, 0.2, 1.5) == pytest.approx(
+        st.laplace(0.2, 1.5).logpdf(0.7), rel=1e-10
+    )
+
+
+def test_student_t_logpdf():
+    d = lookup("StudentT")
+    assert d.logpdf(1.1, 5.0, 0.3, 2.0) == pytest.approx(
+        st.t(5.0, 0.3, 2.0).logpdf(1.1), rel=1e-10
+    )
+
+
+# ----------------------------------------------------------------------
+# Gradients vs. finite differences.
+# ----------------------------------------------------------------------
+
+
+def test_binomial_grad_p():
+    d = lookup("Binomial")
+    num = finite_diff(lambda p: d.logpdf(4, 10, p), 0.35)
+    assert d.grad(2, 4, 10, 0.35) == pytest.approx(num, rel=1e-5)
+
+
+def test_laplace_grads():
+    d = lookup("Laplace")
+    args = (0.2, 1.5)
+    x = 0.9
+    assert d.grad(0, x, *args) == pytest.approx(
+        finite_diff(lambda v: d.logpdf(v, *args), x), rel=1e-5
+    )
+    assert d.grad(1, x, *args) == pytest.approx(
+        finite_diff(lambda m: d.logpdf(x, m, 1.5), 0.2), rel=1e-5
+    )
+    assert d.grad(2, x, *args) == pytest.approx(
+        finite_diff(lambda b: d.logpdf(x, 0.2, b), 1.5), rel=1e-5
+    )
+
+
+def test_student_t_grads():
+    d = lookup("StudentT")
+    x, nu, m, s = 0.8, 4.0, 0.1, 1.3
+    assert d.grad(0, x, nu, m, s) == pytest.approx(
+        finite_diff(lambda v: d.logpdf(v, nu, m, s), x), rel=1e-5
+    )
+    assert d.grad(1, x, nu, m, s) == pytest.approx(
+        finite_diff(lambda n: d.logpdf(x, n, m, s), nu), rel=1e-4
+    )
+    assert d.grad(2, x, nu, m, s) == pytest.approx(
+        finite_diff(lambda mm: d.logpdf(x, nu, mm, s), m), rel=1e-5
+    )
+    assert d.grad(3, x, nu, m, s) == pytest.approx(
+        finite_diff(lambda ss: d.logpdf(x, nu, m, ss), s), rel=1e-5
+    )
+
+
+# ----------------------------------------------------------------------
+# Samplers.
+# ----------------------------------------------------------------------
+
+
+def test_binomial_sampler_moments():
+    d = lookup("Binomial")
+    draws = d.sample(Rng(0), 20, 0.3, size=50_000)
+    assert draws.mean() == pytest.approx(6.0, rel=0.02)
+
+
+def test_laplace_sampler_moments():
+    d = lookup("Laplace")
+    draws = d.sample(Rng(1), 1.0, 2.0, size=100_000)
+    assert draws.mean() == pytest.approx(1.0, abs=0.03)
+    assert draws.var() == pytest.approx(2 * 4.0, rel=0.05)
+
+
+def test_student_t_sampler_moments():
+    d = lookup("StudentT")
+    draws = d.sample(Rng(2), 10.0, 0.5, 2.0, size=100_000)
+    assert draws.mean() == pytest.approx(0.5, abs=0.03)
+    # var = s^2 * nu / (nu - 2)
+    assert draws.var() == pytest.approx(4.0 * 10 / 8, rel=0.05)
+
+
+# ----------------------------------------------------------------------
+# Beta-Binomial conjugacy end to end.
+# ----------------------------------------------------------------------
+
+BETA_BINOMIAL = """
+(N, a, b, trials) => {
+  param p ~ Beta(a, b) ;
+  data y[n] ~ Binomial(trials[n], p)
+    for n <- 0 until N ;
+}
+"""
+
+
+def test_beta_binomial_gibbs_posterior():
+    rng = np.random.default_rng(3)
+    trials = rng.integers(5, 20, size=30)
+    y = rng.binomial(trials, 0.65)
+    sampler = compile_model(
+        BETA_BINOMIAL,
+        {"N": 30, "a": 1.0, "b": 1.0, "trials": trials},
+        {"y": y},
+    )
+    assert "Gibbs" in sampler.schedule_description()
+    res = sampler.sample(num_samples=3000, seed=0)
+    draws = res.array("p")
+    a_post = 1.0 + y.sum()
+    b_post = 1.0 + trials.sum() - y.sum()
+    assert draws.mean() == pytest.approx(a_post / (a_post + b_post), abs=0.01)
+
+
+def test_student_t_regression_via_hmc():
+    # Robust location estimation with heavy-tailed noise.
+    model = """
+    (N, s) => {
+      param loc ~ Normal(0.0, 100.0) ;
+      data y[n] ~ StudentT(4.0, loc, s)
+        for n <- 0 until N ;
+    }
+    """
+    rng = np.random.default_rng(4)
+    y = 3.0 + 0.5 * rng.standard_t(4, size=200)
+    y[:5] += 50.0  # outliers the heavy tails should shrug off
+    sampler = compile_model(
+        model, {"N": 200, "s": 0.5}, {"y": y},
+        schedule="HMC[steps=20, step_size=0.005] loc",
+    )
+    rng2 = Rng(5)
+    init = sampler.init_state(rng2)
+    init["loc"] = float(np.median(y))  # standard data-driven start
+    res = sampler.sample(num_samples=200, burn_in=100, seed=rng2, init=init)
+    acc = list(res.acceptance.values())[0]
+    assert acc > 0.5
+    assert res.array("loc").mean() == pytest.approx(2.95, abs=0.2)
+
+
+def test_laplace_prior_slice_sampling():
+    model = """
+    (N, b) => {
+      param w ~ Laplace(0.0, b) ;
+      data y[n] ~ Normal(w, 1.0)
+        for n <- 0 until N ;
+    }
+    """
+    rng = np.random.default_rng(6)
+    y = rng.normal(2.0, 1.0, size=50)
+    sampler = compile_model(
+        model, {"N": 50, "b": 1.0}, {"y": y}, schedule="Slice w"
+    )
+    res = sampler.sample(num_samples=500, burn_in=50, seed=7)
+    assert res.array("w").mean() == pytest.approx(y.mean(), abs=0.1)

@@ -1,0 +1,55 @@
+"""RNG substrate behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.rng import Rng
+
+
+def test_seeding_is_deterministic():
+    a, b = Rng(42), Rng(42)
+    assert a.uniform() == b.uniform()
+    np.testing.assert_array_equal(a.normal(size=5), b.normal(size=5))
+
+
+def test_fork_produces_independent_streams():
+    children = Rng(7).fork(3)
+    draws = [c.uniform(size=4) for c in children]
+    assert not np.allclose(draws[0], draws[1])
+    assert not np.allclose(draws[1], draws[2])
+
+
+def test_fork_is_reproducible():
+    a = [c.uniform() for c in Rng(7).fork(2)]
+    b = [c.uniform() for c in Rng(7).fork(2)]
+    assert a == b
+
+
+def test_categorical_logits_matches_probabilities():
+    rng = Rng(0)
+    logits = np.log(np.array([0.2, 0.5, 0.3]))
+    draws = rng.categorical_logits(np.tile(logits, (100_000, 1)))
+    freq = np.bincount(draws, minlength=3) / draws.size
+    np.testing.assert_allclose(freq, [0.2, 0.5, 0.3], atol=0.01)
+
+
+def test_categorical_logits_handles_extreme_values():
+    rng = Rng(1)
+    logits = np.array([-1e9, 0.0, -1e9])
+    draws = rng.categorical_logits(np.tile(logits, (1000, 1)))
+    assert np.all(draws == 1)
+
+
+def test_categorical_batched_rows():
+    rng = Rng(2)
+    probs = np.array([[1.0, 0.0], [0.0, 1.0]])
+    draws = rng.categorical(probs)
+    np.testing.assert_array_equal(draws, [0, 1])
+
+
+def test_dirichlet_batched():
+    rng = Rng(3)
+    out = rng.dirichlet(np.array([1.0, 2.0, 3.0]), size=10)
+    assert out.shape == (10, 3)
+    np.testing.assert_allclose(out.sum(axis=1), 1.0, atol=1e-12)

@@ -1,0 +1,124 @@
+"""Transform bijection and Jacobian correctness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hst
+
+from repro.runtime.transforms import (
+    IdentityTransform,
+    LogitTransform,
+    LogTransform,
+    StickBreakingTransform,
+    transform_for_support,
+)
+
+finite_reals = hst.floats(-20.0, 20.0, allow_nan=False)
+
+
+@pytest.mark.parametrize("t", [IdentityTransform(), LogTransform(), LogitTransform()])
+@given(z=finite_reals)
+@settings(max_examples=50, deadline=None)
+def test_scalar_roundtrip(t, z):
+    x = t.to_constrained(z)
+    z2 = t.to_unconstrained(x)
+    assert np.isclose(z2, z, atol=1e-6)
+
+
+@pytest.mark.parametrize("t", [LogTransform(), LogitTransform()])
+@given(z=hst.floats(-10.0, 10.0))
+@settings(max_examples=50, deadline=None)
+def test_log_jacobian_matches_numeric(t, z):
+    eps = 1e-6
+    numeric = np.log(
+        abs(t.to_constrained(z + eps) - t.to_constrained(z - eps)) / (2 * eps)
+    )
+    assert np.isclose(t.log_jacobian(z), numeric, atol=1e-4)
+
+
+@pytest.mark.parametrize("t", [LogTransform(), LogitTransform()])
+@given(z=hst.floats(-8.0, 8.0))
+@settings(max_examples=50, deadline=None)
+def test_grad_log_jacobian_matches_numeric(t, z):
+    eps = 1e-6
+    numeric = (t.log_jacobian(z + eps) - t.log_jacobian(z - eps)) / (2 * eps)
+    assert np.isclose(t.grad_log_jacobian(z), numeric, atol=1e-5)
+
+
+def test_log_transform_positivity():
+    t = LogTransform()
+    zs = np.linspace(-5, 5, 11)
+    assert np.all(t.to_constrained(zs) > 0)
+
+
+def test_logit_transform_range():
+    t = LogitTransform()
+    zs = np.linspace(-10, 10, 21)
+    x = t.to_constrained(zs)
+    assert np.all((x > 0) & (x < 1))
+
+
+class TestStickBreaking:
+    def test_roundtrip(self):
+        t = StickBreakingTransform(4)
+        x = np.array([0.1, 0.2, 0.3, 0.4])
+        z = t.to_unconstrained(x)
+        np.testing.assert_allclose(t.to_constrained(z), x, atol=1e-10)
+
+    def test_output_is_simplex(self):
+        t = StickBreakingTransform(5)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            z = rng.normal(size=4) * 3
+            x = t.to_constrained(z)
+            assert np.all(x > 0)
+            assert np.isclose(x.sum(), 1.0)
+
+    def test_uniform_point_maps_to_zero(self):
+        # Stan's offset convention: the barycentre maps to z = 0.
+        t = StickBreakingTransform(3)
+        z = t.to_unconstrained(np.full(3, 1.0 / 3.0))
+        np.testing.assert_allclose(z, 0.0, atol=1e-10)
+
+    def test_log_jacobian_matches_numeric_determinant(self):
+        t = StickBreakingTransform(3)
+        z = np.array([0.3, -0.5])
+        eps = 1e-6
+        jac = np.zeros((2, 2))
+        for i in range(2):
+            dz = np.zeros(2)
+            dz[i] = eps
+            diff = t.to_constrained(z + dz) - t.to_constrained(z - dz)
+            jac[:, i] = diff[:2] / (2 * eps)
+        numeric = np.log(abs(np.linalg.det(jac)))
+        assert np.isclose(t.log_jacobian(z), numeric, atol=1e-4)
+
+    def test_requires_dim_at_least_two(self):
+        with pytest.raises(ValueError):
+            StickBreakingTransform(1)
+
+
+@pytest.mark.parametrize(
+    "support,cls",
+    [
+        ("real", IdentityTransform),
+        ("pos_real", LogTransform),
+        ("unit_interval", LogitTransform),
+    ],
+)
+def test_transform_for_support(support, cls):
+    assert isinstance(transform_for_support(support), cls)
+
+
+def test_transform_for_simplex_needs_dim():
+    with pytest.raises(ValueError):
+        transform_for_support("simplex")
+    t = transform_for_support("simplex", dim=3)
+    assert isinstance(t, StickBreakingTransform)
+
+
+def test_transform_for_unknown_support():
+    with pytest.raises(ValueError):
+        transform_for_support("pos_def_mat")

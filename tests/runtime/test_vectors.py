@@ -1,0 +1,118 @@
+"""RaggedArray invariants, including hypothesis property tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hst
+
+from repro.runtime.vectors import RaggedArray, as_ragged
+
+row_lists = hst.lists(
+    hst.lists(hst.floats(-1e6, 1e6), min_size=0, max_size=8),
+    min_size=1,
+    max_size=10,
+)
+
+
+def test_from_rows_roundtrip():
+    rows = [[1.0, 2.0], [3.0], [], [4.0, 5.0, 6.0]]
+    ra = RaggedArray.from_rows(rows)
+    assert ra.n_rows == 4
+    assert ra.n_elems == 6
+    for i, r in enumerate(rows):
+        np.testing.assert_array_equal(ra[i], r)
+
+
+def test_rows_are_views_of_flat_buffer():
+    ra = RaggedArray.from_rows([[1.0, 2.0], [3.0]])
+    ra.row(0)[0] = 99.0
+    assert ra.flat[0] == 99.0
+
+
+def test_offsets_validation():
+    with pytest.raises(ValueError):
+        RaggedArray(np.zeros(3), np.array([1, 3]))  # doesn't start at 0
+    with pytest.raises(ValueError):
+        RaggedArray(np.zeros(3), np.array([0, 2]))  # doesn't cover flat
+    with pytest.raises(ValueError):
+        RaggedArray(np.zeros(3), np.array([0, 2, 1, 3]))  # decreasing
+
+
+def test_full_allocates_requested_lengths():
+    ra = RaggedArray.full([2, 0, 3], fill_value=7.0)
+    assert ra.row_lengths().tolist() == [2, 0, 3]
+    assert np.all(ra.flat == 7.0)
+
+
+def test_row_index_and_position_index():
+    ra = RaggedArray.from_rows([[10.0, 11.0], [20.0], [30.0, 31.0, 32.0]])
+    np.testing.assert_array_equal(ra.row_index(), [0, 0, 1, 2, 2, 2])
+    np.testing.assert_array_equal(ra.position_index(), [0, 1, 0, 0, 1, 2])
+
+
+def test_row_index_supports_gather_semantics():
+    # The LDA pattern: per-row parameters gathered onto the flat axis.
+    ra = RaggedArray.from_rows([[0.0, 0.0], [0.0, 0.0, 0.0]])
+    per_row = np.array([5.0, 9.0])
+    gathered = per_row[ra.row_index()]
+    np.testing.assert_array_equal(gathered, [5.0, 5.0, 9.0, 9.0, 9.0])
+
+
+@given(row_lists)
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_property(rows):
+    ra = RaggedArray.from_rows(rows)
+    back = ra.to_rows()
+    assert len(back) == len(rows)
+    for orig, got in zip(rows, back):
+        np.testing.assert_allclose(got, np.asarray(orig, dtype=np.float64))
+
+
+@given(row_lists)
+@settings(max_examples=60, deadline=None)
+def test_flat_is_concatenation_property(rows):
+    ra = RaggedArray.from_rows(rows)
+    expected = np.concatenate([np.asarray(r, dtype=np.float64) for r in rows]) if any(
+        len(r) for r in rows
+    ) else np.empty(0)
+    np.testing.assert_array_equal(ra.flat, expected)
+    assert ra.flat.flags["C_CONTIGUOUS"]
+
+
+@given(row_lists)
+@settings(max_examples=60, deadline=None)
+def test_index_structure_invariants(rows):
+    ra = RaggedArray.from_rows(rows)
+    assert ra.offsets[0] == 0
+    assert ra.offsets[-1] == ra.n_elems
+    assert np.all(np.diff(ra.offsets) >= 0)
+    # row_index is non-decreasing and covers only valid rows.
+    ri = ra.row_index()
+    assert ri.size == ra.n_elems
+    if ri.size:
+        assert ri.min() >= 0 and ri.max() < ra.n_rows
+        assert np.all(np.diff(ri) >= 0)
+
+
+def test_copy_is_independent():
+    ra = RaggedArray.from_rows([[1.0], [2.0]])
+    cp = ra.copy()
+    cp.flat[0] = -1.0
+    assert ra.flat[0] == 1.0
+    assert ra.same_shape(cp)
+
+
+def test_map_flat_preserves_structure():
+    ra = RaggedArray.from_rows([[1.0, 4.0], [9.0]])
+    sq = ra.map_flat(np.sqrt)
+    np.testing.assert_allclose(sq.flat, [1.0, 2.0, 3.0])
+    assert sq.same_shape(ra)
+
+
+def test_as_ragged_passthrough_and_coercion():
+    ra = RaggedArray.from_rows([[1.0]])
+    assert as_ragged(ra) is ra
+    ra2 = as_ragged([[1, 2], [3]])
+    assert ra2.n_elems == 3

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Repository hygiene: report unused imports across the source tree.
+
+A tiny AST-based checker (the environment has no external linters).
+Used by ``tests/core/test_hygiene.py`` so dead imports fail CI.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+
+def unused_imports(path: pathlib.Path) -> list[str]:
+    tree = ast.parse(path.read_text())
+    imported: dict[str, int] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                name = (alias.asname or alias.name).split(".")[0]
+                imported[name] = node.lineno
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue  # feature flags are used implicitly
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                imported[alias.asname or alias.name] = node.lineno
+
+    used: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            # Attribute chains use their base name.
+            base = node
+            while isinstance(base, ast.Attribute):
+                base = base.value
+            if isinstance(base, ast.Name):
+                used.add(base.id)
+    # Names re-exported via __all__ count as used.
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    if isinstance(node.value, (ast.List, ast.Tuple)):
+                        for elt in node.value.elts:
+                            if isinstance(elt, ast.Constant):
+                                used.add(str(elt.value))
+    # Docstring references like :mod:`x` are not code usage; ignore them.
+    out = []
+    for name, lineno in sorted(imported.items(), key=lambda kv: kv[1]):
+        if name not in used:
+            out.append(f"{path}:{lineno}: unused import {name!r}")
+    return out
+
+
+def main(root: str = "src") -> int:
+    problems: list[str] = []
+    for path in sorted(pathlib.Path(root).rglob("*.py")):
+        problems.extend(unused_imports(path))
+    for p in problems:
+        print(p)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(*sys.argv[1:]))
