@@ -1,0 +1,149 @@
+"""Chain-level parallelism: wall time vs worker count, plus cache rates.
+
+The paper (Section 7.2) contrasts AugurV2's within-chain parallelism
+with the chain-level parallelism of Jags/Stan; this benchmark measures
+our multi-chain engine doing the latter.  It runs the Figure-1 GMM with
+``executor="processes"`` at 1/2/4 workers against the sequential
+baseline, measures the compile cache cold/warm, and records everything
+to ``benchmarks/results/BENCH_chain_scaling.json`` (plus the usual
+table in ``results/latest.txt``).
+
+The >= 2x speedup-at-4-workers assertion only fires on a host with at
+least 4 CPUs; single-core CI still records the numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import clear_compile_cache, compile_cache_stats, compile_model
+from repro.eval import models
+from repro.eval.experiments.common import format_table
+
+FULL = os.environ.get("REPRO_FULL") == "1"
+N_CHAINS = 4
+NUM_SAMPLES = 400 if FULL else 120
+BURN_IN = 50 if FULL else 20
+RESULTS_JSON = pathlib.Path(__file__).parent / "results" / "BENCH_chain_scaling.json"
+
+
+def _gmm_problem(n=300, separation=4.0, seed=0):
+    rng = np.random.default_rng(seed)
+    true_mu = np.array([[-separation, 0.0], [separation, 0.0]])
+    z = rng.integers(0, 2, size=n)
+    x = true_mu[z] + rng.normal(0, 0.5, size=(n, 2))
+    hypers = {
+        "K": 2,
+        "N": n,
+        "mu_0": np.zeros(2),
+        "Sigma_0": np.eye(2) * 25.0,
+        "pis": np.full(2, 0.5),
+        "Sigma": np.eye(2) * 0.25,
+    }
+    return hypers, {"x": x}
+
+
+@pytest.fixture(scope="module")
+def scaling_rows():
+    hypers, data = _gmm_problem(n=600 if FULL else 300)
+
+    clear_compile_cache()
+    t0 = time.perf_counter()
+    sampler = compile_model(models.GMM, hypers, data)
+    cold_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    compile_model(models.GMM, hypers, data)
+    warm_s = time.perf_counter() - t0
+    stats = compile_cache_stats()
+    cache = {
+        "cold_compile_s": cold_s,
+        "warm_compile_s": warm_s,
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "hit_rate": stats.hit_rate,
+    }
+
+    rows = []
+    configs = [("sequential", None), ("processes", 1), ("processes", 2), ("processes", 4)]
+    for executor, n_workers in configs:
+        t0 = time.perf_counter()
+        results = sampler.sample_chains(
+            N_CHAINS,
+            num_samples=NUM_SAMPLES,
+            burn_in=BURN_IN,
+            seed=7,
+            executor=executor,
+            n_workers=n_workers,
+        )
+        wall = time.perf_counter() - t0
+        rows.append(
+            {
+                "executor": executor,
+                "n_workers": n_workers,
+                "wall_s": wall,
+                "chain_s": sum(r.wall_time for r in results),
+            }
+        )
+    return rows, cache
+
+
+def test_chain_scaling(scaling_rows, report):
+    rows, cache = scaling_rows
+    baseline = rows[0]["wall_s"]
+    table_rows = [
+        [
+            r["executor"],
+            str(r["n_workers"] or "-"),
+            f"{r['wall_s']:.2f}",
+            f"{baseline / r['wall_s']:.2f}x",
+        ]
+        for r in rows
+    ]
+    report(
+        f"Chain scaling -- GMM, {N_CHAINS} chains x {NUM_SAMPLES} samples "
+        f"({os.cpu_count()} CPUs)",
+        format_table(["executor", "workers", "wall s", "speedup"], table_rows)
+        + f"\ncompile cache: cold {cache['cold_compile_s']*1e3:.1f} ms, "
+        f"warm {cache['warm_compile_s']*1e3:.1f} ms, "
+        f"hit rate {cache['hit_rate']:.2f}",
+    )
+
+    RESULTS_JSON.parent.mkdir(exist_ok=True)
+    RESULTS_JSON.write_text(
+        json.dumps(
+            {
+                "host_cpus": os.cpu_count(),
+                "n_chains": N_CHAINS,
+                "num_samples": NUM_SAMPLES,
+                "burn_in": BURN_IN,
+                "rows": rows,
+                "compile_cache": cache,
+            },
+            indent=2,
+        )
+    )
+
+    # A warm compile skips the whole pipeline: it must beat cold handily.
+    assert cache["hits"] == 1 and cache["misses"] == 1
+    assert cache["warm_compile_s"] < cache["cold_compile_s"]
+    if (os.cpu_count() or 1) >= 4:
+        four = next(r for r in rows if r["n_workers"] == 4)
+        assert baseline / four["wall_s"] >= 2.0
+
+
+def test_parallel_chains_match_sequential(report):
+    """The engine's determinism contract, at benchmark scale."""
+    hypers, data = _gmm_problem(n=120)
+    sampler = compile_model(models.GMM, hypers, data)
+    seq = sampler.sample_chains(2, num_samples=30, seed=3)
+    par = sampler.sample_chains(2, num_samples=30, seed=3, executor="processes")
+    for a, b in zip(seq, par):
+        np.testing.assert_array_equal(a.array("mu"), b.array("mu"))
+        np.testing.assert_array_equal(a.array("z"), b.array("z"))
+    report("Chain determinism", "processes == sequential: bitwise identical")

@@ -135,6 +135,31 @@ class Infer:
             callback=callback,
         )
 
+    def sampleChains(
+        self,
+        nChains: int,
+        numSamples: int,
+        burnIn: int = 0,
+        thin: int = 1,
+        seed: int = 0,
+        collect: tuple[str, ...] | None = None,
+        executor: str = "sequential",
+        nWorkers: int | None = None,
+    ) -> list[SampleResult]:
+        """Run independent chains, optionally fanned out over a worker
+        pool (``executor="processes"``); draws are bitwise identical to
+        the sequential path for a given seed."""
+        return self.sampler.sample_chains(
+            n_chains=nChains,
+            num_samples=numSamples,
+            burn_in=burnIn,
+            thin=thin,
+            seed=seed,
+            collect=collect,
+            executor=executor,
+            n_workers=nWorkers,
+        )
+
     # -- introspection -----------------------------------------------------------
 
     @property

@@ -4,7 +4,13 @@
 
     python -m repro sample model.augur inputs.json --samples 500 \
         --schedule "ESlice mu (*) Gibbs z" --out draws.npz --summary
+    python -m repro sample model.augur inputs.json --samples 500 \
+        --chains 4 --executor processes --out draws.npz
     python -m repro inspect model.augur inputs.json --source
+
+With ``--chains N`` (N > 1) the chains fan out over the selected
+executor, an R-hat report is printed per collected parameter, and
+draws are saved under ``chainI__name`` keys.
 
 Inputs are a single ``.json`` or ``.npz`` file providing a value for
 every hyper-parameter and observed variable; the model's declarations
@@ -81,14 +87,28 @@ def split_inputs(source: str, values: dict) -> tuple[dict, dict]:
     return hypers, data
 
 
-def save_draws(path: str, samples: dict) -> None:
-    arrays = {}
+def _collect_arrays(out: dict, samples: dict, prefix: str = "") -> None:
     for name, draws in samples.items():
-        if draws and isinstance(draws[0], RaggedArray):
-            arrays[name + "__flat"] = np.stack([d.flat for d in draws])
-            arrays[name + "__offsets"] = draws[0].offsets
+        if isinstance(draws, np.ndarray):
+            out[prefix + name] = draws
+        elif draws and isinstance(draws[0], RaggedArray):
+            out[prefix + name + "__flat"] = np.stack([d.flat for d in draws])
+            out[prefix + name + "__offsets"] = draws[0].offsets
         else:
-            arrays[name] = np.asarray(draws)
+            out[prefix + name] = np.asarray(draws)
+
+
+def save_draws(path: str, samples: dict) -> None:
+    arrays: dict = {}
+    _collect_arrays(arrays, samples)
+    np.savez(path, **arrays)
+
+
+def save_chain_draws(path: str, results: list) -> None:
+    """Write every chain's draws to one ``.npz`` (``chainI__name`` keys)."""
+    arrays: dict = {}
+    for i, res in enumerate(results):
+        _collect_arrays(arrays, res.samples, prefix=f"chain{i}__")
     np.savez(path, **arrays)
 
 
@@ -105,7 +125,11 @@ def _build(args) -> "tuple":
 
 
 def cmd_sample(args) -> int:
+    if args.chains < 1:
+        raise ReproError(f"--chains must be positive, got {args.chains}")
     _, sampler = _build(args)
+    if args.chains > 1:
+        return _sample_chains(args, sampler)
     result = sampler.sample(
         num_samples=args.samples,
         burn_in=args.burn_in,
@@ -136,6 +160,39 @@ def cmd_sample(args) -> int:
 
         print()
         print(trace_plot(result.samples, args.trace))
+    return 0
+
+
+def _sample_chains(args, sampler) -> int:
+    collect = tuple(args.collect.split(",")) if args.collect else None
+    results = sampler.sample_chains(
+        n_chains=args.chains,
+        num_samples=args.samples,
+        burn_in=args.burn_in,
+        thin=args.thin,
+        seed=args.seed,
+        collect=collect,
+        executor=args.executor,
+        n_workers=args.workers,
+    )
+    total = sum(r.wall_time for r in results)
+    longest = max(r.wall_time for r in results)
+    print(
+        f"compiled in {sampler.compile_seconds*1e3:.1f} ms; "
+        f"schedule: {sampler.schedule_description()}"
+    )
+    print(
+        f"ran {args.chains} chains x {args.samples} samples "
+        f"({args.executor}): {total:.2f} s chain time, "
+        f"longest chain {longest:.2f} s"
+    )
+    from repro.eval.diagnostics import rhat_report
+
+    for name in collect or sampler.param_names:
+        print(rhat_report(results, name))
+    if args.out:
+        save_chain_draws(args.out, results)
+        print(f"wrote draws to {args.out}")
     return 0
 
 
@@ -170,6 +227,16 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--thin", type=int, default=1)
     ps.add_argument("--seed", type=int, default=0)
     ps.add_argument("--collect", default=None, help="comma-separated parameters")
+    ps.add_argument("--chains", type=int, default=1, help="number of chains")
+    ps.add_argument(
+        "--executor",
+        default="processes",
+        choices=["sequential", "processes", "threads"],
+        help="how multi-chain runs fan out (with --chains > 1)",
+    )
+    ps.add_argument(
+        "--workers", type=int, default=None, help="worker pool size for --chains"
+    )
     ps.add_argument("--out", default=None, help="write draws to this .npz")
     ps.add_argument("--summary", action="store_true", help="print posterior summary")
     ps.add_argument("--trace", default=None, help="ASCII trace plot of a parameter")

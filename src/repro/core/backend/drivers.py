@@ -47,6 +47,11 @@ class UpdateDriver:
     def __init__(self) -> None:
         self.stats = UpdateStats()
 
+    @property
+    def label(self) -> str:
+        """Human-readable update label, e.g. ``"Gibbs z"``."""
+        return f"{type(self).__name__.removesuffix('Driver')} {','.join(self.targets)}"
+
     def step(self, env: dict, ws: dict, rng) -> None:
         raise NotImplementedError
 

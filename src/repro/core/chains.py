@@ -1,0 +1,142 @@
+"""Parallel multi-chain execution engine (the Jags/Stan-style fan-out).
+
+The paper's Section 7.2 contrasts AugurV2's *within-chain* parallelism
+with the *chain-level* parallelism of Jags/Stan.  This module supplies
+the latter as a first-class runtime concern: ``run_chains`` fans N
+chains out over a process (or thread) pool while keeping the draws
+bitwise identical to the sequential path for a given seed.
+
+Two facts shape the design:
+
+- Chain streams come from :meth:`repro.runtime.rng.Rng.fork`, which is
+  deterministic in the parent seed.  The parent forks once and ships
+  each child stream to its worker, so the stream a chain consumes does
+  not depend on which executor runs it.
+- A :class:`~repro.core.sampler.CompiledSampler` owns a live
+  ``exec``'d namespace and is **not** picklable.  Workers instead
+  receive a :class:`SamplerSpec` -- the model source text plus the
+  runtime values, schedule and options that produced the sampler --
+  and rebuild it with :func:`repro.core.compiler.compile_model`.  The
+  compile cache (keyed on exactly those ingredients) makes repeated
+  rehydration inside one worker process skip codegen entirely.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import RuntimeFailure
+from repro.runtime.rng import Rng
+
+EXECUTORS = ("sequential", "processes", "threads")
+
+
+@dataclass
+class SamplerSpec:
+    """A picklable recipe for rebuilding a compiled sampler.
+
+    Carries the model source text, the runtime values that size the
+    allocation plan, and the schedule/options pair -- exactly the
+    inputs of :func:`repro.core.compiler.compile_model`, and exactly
+    the compile-cache key, so rebuilding in a warm process is cheap.
+
+    ``proposals`` (user MH proposal callables) ride along when present;
+    they must be picklable (module-level functions) for the process
+    executor.
+    """
+
+    source: str
+    hyper_values: dict
+    data_values: dict
+    schedule: str | None = None
+    options: object = None
+    proposals: dict | None = field(default=None, repr=False)
+
+    def build(self):
+        """Recompile the sampler this spec describes."""
+        from repro.core.compiler import compile_model
+
+        return compile_model(
+            self.source,
+            self.hyper_values,
+            self.data_values,
+            options=self.options,
+            schedule=self.schedule,
+            proposals=self.proposals,
+        )
+
+
+def _run_chain_worker(spec: SamplerSpec, rng: Rng, kwargs: dict):
+    """Worker-process entry point: rehydrate, then run one chain."""
+    sampler = spec.build()
+    return sampler.sample(seed=rng, **kwargs)
+
+
+def default_workers(n_chains: int) -> int:
+    return max(1, min(n_chains, os.cpu_count() or 1))
+
+
+def run_chains(
+    sampler,
+    n_chains: int,
+    num_samples: int,
+    burn_in: int = 0,
+    thin: int = 1,
+    seed: int = 0,
+    collect: tuple[str, ...] | None = None,
+    executor: str = "sequential",
+    n_workers: int | None = None,
+):
+    """Run ``n_chains`` independent chains, optionally in parallel.
+
+    Returns one :class:`~repro.core.sampler.SampleResult` per chain, in
+    chain order.  See :meth:`CompiledSampler.sample_chains` for the
+    executor semantics.
+    """
+    if n_chains < 1:
+        raise RuntimeFailure("need at least one chain")
+    if executor not in EXECUTORS:
+        raise RuntimeFailure(
+            f"unknown executor {executor!r}; use one of {', '.join(EXECUTORS)}"
+        )
+    rngs = Rng(seed).fork(n_chains)
+    kwargs = dict(
+        num_samples=num_samples, burn_in=burn_in, thin=thin, collect=collect
+    )
+
+    if executor == "sequential" or n_chains == 1:
+        return [sampler.sample(seed=rng, **kwargs) for rng in rngs]
+
+    spec = sampler.spec
+    if spec is None:
+        raise RuntimeFailure(
+            "this sampler has no SamplerSpec and cannot be rehydrated in "
+            "workers; build it with compile_model, or use executor='sequential'"
+        )
+    workers = n_workers if n_workers is not None else default_workers(n_chains)
+    if workers < 1:
+        raise RuntimeFailure(f"n_workers must be positive, got {workers}")
+
+    if executor == "processes":
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_run_chain_worker, spec, rng, kwargs) for rng in rngs
+            ]
+            return [f.result() for f in futures]
+
+    # Threads: the sampler's workspaces and sweep environment are
+    # mutable shared state, so every worker thread gets its own
+    # rehydrated instance (compile-cache hits after the first build).
+    local = threading.local()
+
+    def run_one(rng: Rng):
+        inst = getattr(local, "sampler", None)
+        if inst is None:
+            inst = local.sampler = spec.build()
+        return inst.sample(seed=rng, **kwargs)
+
+    with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(run_one, rngs))

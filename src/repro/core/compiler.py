@@ -13,14 +13,26 @@ Runs the full pipeline:
    source emission, ``compile()``/``exec()``, and synthesis of the
    complete MCMC algorithm by wiring generated primitives to the
    library drivers (Section 5.5).
+
+A keyed **compile cache** (model source + schedule + options + runtime
+value fingerprint) short-circuits steps 1-2 and the source emission of
+step 3 for repeated compilations of an unchanged model: a cache hit
+re-``exec``s the cached code object into a fresh namespace, allocates
+fresh workspaces, and rewires drivers.  Worker processes rehydrating a
+sampler from its :class:`~repro.core.chains.SamplerSpec` lean on this,
+as does any serving loop that recompiles per request.
 """
 
 from __future__ import annotations
 
+import hashlib
 import time
+from collections import OrderedDict
+from dataclasses import dataclass
 
+import numpy as np
 
-from repro.core.backend.cpu import compile_cpu_module
+from repro.core.backend.cpu import emit_cpu_source, exec_cpu_module
 from repro.core.backend.drivers import (
     ESliceDriver,
     GibbsDriver,
@@ -30,6 +42,7 @@ from repro.core.backend.drivers import (
     UpdateDriver,
 )
 from repro.core.backend.gpu import compile_gpu_module
+from repro.core.chains import SamplerSpec
 from repro.core.density.conditionals import BlockConditional, Conditional
 from repro.core.density.lower import lower_and_factorize
 from repro.core.frontend.parser import parse_model
@@ -41,7 +54,11 @@ from repro.core.kernel.ir import KBase, UpdateMethod, flatten
 from repro.core.kernel.schedule import parse_schedule
 from repro.core.kernel.validate import validate_schedule
 from repro.core.lowmm.ir import LowDecl, lower_decl
-from repro.core.lowmm.size_inference import allocate_workspaces, build_plan
+from repro.core.lowmm.size_inference import (
+    AllocationPlan,
+    allocate_workspaces,
+    build_plan,
+)
 from repro.core.lowpp.ad import gen_grad
 from repro.core.lowpp.gen_gibbs import gen_gibbs_conjugate, gen_gibbs_enumeration
 from repro.core.lowpp.gen_init import gen_forward, gen_init
@@ -53,6 +70,113 @@ from repro.errors import ReproError
 from repro.gpusim import Device
 from repro.runtime.transforms import transform_for_support
 from repro.runtime.vectors import RaggedArray
+
+
+# ----------------------------------------------------------------------
+# Compile cache.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CompileCacheStats:
+    """Hit/miss counters for the keyed compile cache."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class _CacheEntry:
+    """Everything reusable from one compilation: the generated source
+    and its code object, the allocation plan, and the driver wiring
+    recipe.  All fields are treated as immutable; per-sampler mutable
+    state (namespace, workspaces, drivers) is rebuilt on every hit."""
+
+    source_text: str
+    code: object
+    plan: AllocationPlan
+    driver_specs: tuple
+    info: ModelInfo
+    param_names: tuple[str, ...]
+    data_names: frozenset[str]
+
+
+_CACHE_CAPACITY = 64
+_cache: OrderedDict[str, _CacheEntry] = OrderedDict()
+_cache_stats = CompileCacheStats()
+
+
+def compile_cache_stats() -> CompileCacheStats:
+    """The live hit/miss counters (process-wide)."""
+    return _cache_stats
+
+
+def clear_compile_cache() -> None:
+    """Drop every cached compilation and reset the counters."""
+    _cache.clear()
+    _cache_stats.hits = 0
+    _cache_stats.misses = 0
+
+
+def _hash_value(h, v) -> None:
+    if isinstance(v, RaggedArray):
+        h.update(b"ragged")
+        _hash_value(h, v.flat)
+        _hash_value(h, v.offsets)
+    elif isinstance(v, np.ndarray):
+        h.update(str(v.dtype).encode())
+        h.update(str(v.shape).encode())
+        h.update(np.ascontiguousarray(v).tobytes())
+    else:
+        h.update(repr(v).encode())
+
+
+def _cache_key(
+    source: str,
+    hyper_values: dict,
+    data_values: dict,
+    options: CompileOptions,
+    schedule: str | None,
+) -> str:
+    h = hashlib.sha256()
+    for part in (source, repr(schedule), repr(options)):
+        h.update(part.encode())
+        h.update(b"\x00")
+    for tag, values in (("hyper", hyper_values), ("data", data_values)):
+        h.update(tag.encode())
+        for name in sorted(values):
+            h.update(name.encode())
+            h.update(b"=")
+            _hash_value(h, values[name])
+            h.update(b";")
+    return h.hexdigest()
+
+
+def _cache_get(key: str) -> _CacheEntry | None:
+    entry = _cache.get(key)
+    if entry is not None:
+        _cache.move_to_end(key)
+        _cache_stats.hits += 1
+    else:
+        _cache_stats.misses += 1
+    return entry
+
+
+def _cache_put(key: str, entry: _CacheEntry) -> None:
+    _cache[key] = entry
+    _cache.move_to_end(key)
+    while len(_cache) > _CACHE_CAPACITY:
+        _cache.popitem(last=False)
+
+
+# ----------------------------------------------------------------------
+# The driver.
+# ----------------------------------------------------------------------
 
 
 def compile_model(
@@ -72,6 +196,17 @@ def compile_model(
     """
     options = options or CompileOptions()
     t_start = time.perf_counter()
+
+    cacheable = options.target == "cpu"
+    key = None
+    if cacheable:
+        key = _cache_key(source, hyper_values, data_values, options, schedule)
+        entry = _cache_get(key)
+        if entry is not None:
+            return _assemble(
+                entry, source, hyper_values, data_values, options, schedule,
+                proposals, t_start,
+            )
 
     # ---- Frontend -----------------------------------------------------
     model = parse_model(source)
@@ -125,42 +260,105 @@ def compile_model(
 
     # ---- Backend --------------------------------------------------------
     plan = build_plan(info, env, tuple(ws_specs))
-    workspaces = allocate_workspaces(plan)
     ragged = _ragged_names(plan, env)
 
-    device: Device | None = None
     if options.target == "gpu":
-        device = Device()
-        module = compile_gpu_module(
-            decls, env, ragged_names=ragged, cfg=options.blk_config()
+        return _assemble_gpu(
+            decls, env, ragged, plan, driver_specs, info, options,
+            source, hyper_values, data_values, schedule, proposals, t_start,
         )
-    else:
-        module = compile_cpu_module(
-            decls, ragged_names=ragged, vectorize=options.vectorize
-        )
+
+    source_text = emit_cpu_source(decls, ragged, vectorize=options.vectorize)
+    code = compile(source_text, "<augur_cpu>", "exec")
+    entry = _CacheEntry(
+        source_text=source_text,
+        code=code,
+        plan=plan,
+        driver_specs=tuple(driver_specs),
+        info=info,
+        param_names=tuple(info.param_names()),
+        data_names=frozenset(data_names),
+    )
+    if key is not None:
+        _cache_put(key, entry)
+    return _assemble(
+        entry, source, hyper_values, data_values, options, schedule,
+        proposals, t_start,
+    )
+
+
+def _assemble(
+    entry: _CacheEntry,
+    model_source: str,
+    hyper_values: dict,
+    data_values: dict,
+    options: CompileOptions,
+    schedule: str | None,
+    proposals: dict | None,
+    t_start: float,
+) -> CompiledSampler:
+    """Turn a (possibly cached) compilation into a fresh sampler:
+    re-``exec`` the code object, allocate fresh workspaces, and rewire
+    the update drivers.  Nothing mutable is shared between samplers."""
+    data = {k: v for k, v in data_values.items() if k in entry.data_names}
+    env = dict(hyper_values)
+    env.update(data)
+    module = exec_cpu_module(entry.source_text, code=entry.code)
+    workspaces = allocate_workspaces(entry.plan)
+    updates = _wire_drivers(
+        entry.driver_specs, module.fn, entry.plan, options, proposals
+    )
+    spec = SamplerSpec(
+        source=model_source,
+        hyper_values=dict(hyper_values),
+        data_values=data,
+        schedule=schedule,
+        options=options,
+        proposals=proposals,
+    )
+    return CompiledSampler(
+        module=module,
+        plan=entry.plan,
+        workspaces=workspaces,
+        updates=updates,
+        init_fn=module.fn("init_state"),
+        model_ll_fn=module.fn("model_ll"),
+        base_env=env,
+        param_names=entry.param_names,
+        device=None,
+        compile_seconds=time.perf_counter() - t_start,
+        forward_fn=module.fn("forward_data"),
+        info=entry.info,
+        spec=spec,
+    )
+
+
+def _assemble_gpu(
+    decls, env, ragged, plan, driver_specs, info, options,
+    model_source, hyper_values, data_values, schedule, proposals, t_start,
+) -> CompiledSampler:
+    """The (uncached) GPU-target assembly: the simulated device holds
+    per-sampler state, so every compilation builds a fresh module."""
+    device = Device()
+    module = compile_gpu_module(
+        decls, env, ragged_names=ragged, cfg=options.blk_config()
+    )
 
     def bind(name: str):
         fn = module.fn(name)
-        if device is not None:
-            return lambda e, w, r: fn(e, w, r, device)
-        return fn
+        return lambda e, w, r: fn(e, w, r, device)
 
-    updates: list[UpdateDriver] = []
-    proposals = proposals or {}
-    for upd, gen in driver_specs:
-        updates.append(_make_driver(upd, gen, bind, plan, options, proposals))
-    unused = set(proposals) - {
-        t for upd, _ in driver_specs
-        if upd.method is UpdateMethod.MH
-        for t in upd.unit.names
-    }
-    if unused:
-        raise ReproError(
-            f"proposals supplied for variables without an MH update: "
-            f"{sorted(unused)}"
-        )
-
-    compile_seconds = time.perf_counter() - t_start
+    workspaces = allocate_workspaces(plan)
+    updates = _wire_drivers(tuple(driver_specs), bind, plan, options, proposals)
+    data_names = frozenset(info.data_names())
+    spec = SamplerSpec(
+        source=model_source,
+        hyper_values=dict(hyper_values),
+        data_values={k: v for k, v in data_values.items() if k in data_names},
+        schedule=schedule,
+        options=options,
+        proposals=proposals,
+    )
     return CompiledSampler(
         module=module,
         plan=plan,
@@ -171,10 +369,32 @@ def compile_model(
         base_env=env,
         param_names=tuple(info.param_names()),
         device=device,
-        compile_seconds=compile_seconds,
+        compile_seconds=time.perf_counter() - t_start,
         forward_fn=bind("forward_data"),
         info=info,
+        spec=spec,
     )
+
+
+def _wire_drivers(
+    driver_specs: tuple, bind, plan, options: CompileOptions, proposals: dict | None
+) -> list[UpdateDriver]:
+    proposals = proposals or {}
+    updates = [
+        _make_driver(upd, gen, bind, plan, options, proposals)
+        for upd, gen in driver_specs
+    ]
+    unused = set(proposals) - {
+        t for upd, _ in driver_specs
+        if upd.method is UpdateMethod.MH
+        for t in upd.unit.names
+    }
+    if unused:
+        raise ReproError(
+            f"proposals supplied for variables without an MH update: "
+            f"{sorted(unused)}"
+        )
+    return updates
 
 
 # ----------------------------------------------------------------------

@@ -4,8 +4,8 @@ A :class:`CompiledSampler` owns the compiled backend module, the
 up-front allocation plan, the composed update drivers, and the runtime
 environment (hyper-parameters and data).  Its ``sample`` method runs
 the chain: initialise from the prior (or a supplied state), apply every
-base update in schedule order per sweep, and collect copies of the
-requested parameters.
+base update in schedule order per sweep, and write the requested
+parameters into draw storage preallocated from the allocation plan.
 """
 
 from __future__ import annotations
@@ -32,19 +32,71 @@ def _copy_value(v):
     return v
 
 
+class VersionedEnv(dict):
+    """A dict that counts its mutations.
+
+    ``CompiledSampler`` keeps a persistent sweep environment instead of
+    rebuilding ``dict(base_env)`` every sweep; callers that re-bind data
+    between sweeps (e.g. the Geweke successive-conditional simulator
+    writing ``sampler.base_env[name] = ...``) bump the version, which
+    invalidates that persistent environment.
+    """
+
+    __slots__ = ("version",)
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.version = 0
+
+    def __setitem__(self, key, value):
+        super().__setitem__(key, value)
+        self.version += 1
+
+    def __delitem__(self, key):
+        super().__delitem__(key)
+        self.version += 1
+
+    def update(self, *args, **kwargs):
+        super().update(*args, **kwargs)
+        self.version += 1
+
+    def pop(self, *args):
+        self.version += 1
+        return super().pop(*args)
+
+    def setdefault(self, key, default=None):
+        self.version += 1
+        return super().setdefault(key, default)
+
+    def clear(self):
+        super().clear()
+        self.version += 1
+
+
 @dataclass
 class SampleResult:
-    """Posterior samples plus run metadata."""
+    """Posterior samples plus run metadata.
 
-    samples: dict[str, list]
+    Dense parameters are stored in one preallocated
+    ``(num_samples, *shape)`` array each (written in place per kept
+    sweep); ragged parameters fall back to a list of per-draw copies.
+    """
+
+    samples: dict[str, np.ndarray | list]
     wall_time: float
     sweep_times: np.ndarray
     acceptance: dict[str, float]
     device_time: float | None = None
 
     def array(self, name: str) -> np.ndarray:
-        """Samples of ``name`` stacked on a leading draw axis (dense only)."""
+        """Samples of ``name`` with a leading draw axis (dense only).
+
+        For densely stored parameters this is a zero-copy view of the
+        preallocated draw storage, not a re-stack.
+        """
         vals = self.samples[name]
+        if isinstance(vals, np.ndarray):
+            return vals.view()
         if vals and isinstance(vals[0], RaggedArray):
             return np.stack([v.flat for v in vals])
         return np.asarray(vals)
@@ -68,6 +120,7 @@ class CompiledSampler:
         compile_seconds: float = 0.0,
         forward_fn=None,
         info=None,
+        spec=None,
     ):
         self.module = module
         self.plan = plan
@@ -77,10 +130,19 @@ class CompiledSampler:
         self._model_ll_fn = model_ll_fn
         self._forward_fn = forward_fn
         self._info = info
-        self.base_env = base_env
+        self.base_env = VersionedEnv(base_env)
         self.param_names = param_names
         self.device = device
         self.compile_seconds = compile_seconds
+        #: Picklable rebuild recipe (:class:`repro.core.chains.SamplerSpec`)
+        #: used by worker processes to rehydrate this sampler.
+        self.spec = spec
+        # Persistent sweep environment: built once per (state object,
+        # base_env version) instead of dict(base_env) + update on every
+        # sweep.
+        self._env: dict | None = None
+        self._env_state: dict | None = None
+        self._env_base_version: int = -1
 
     # ------------------------------------------------------------------
 
@@ -90,10 +152,7 @@ class CompiledSampler:
         return self.module.source
 
     def schedule_description(self) -> str:
-        return " (*) ".join(
-            f"{type(u).__name__.removesuffix('Driver')} {','.join(u.targets)}"
-            for u in self.updates
-        )
+        return " (*) ".join(u.label for u in self.updates)
 
     # ------------------------------------------------------------------
 
@@ -127,15 +186,49 @@ class CompiledSampler:
         (val,) = self._model_ll_fn(env, self.workspaces, rng or Rng(0))
         return float(val)
 
+    def _sweep_env(self, state: dict) -> dict:
+        """The persistent per-state sweep environment.
+
+        The full ``dict(base_env)`` rebuild only happens when the caller
+        supplies a *new* state object (a fresh ``init`` or an external
+        ``step`` call) or mutates ``base_env`` (version bump); steady-
+        state sweeps pay one small ``update`` of the parameter entries.
+        """
+        if (
+            self._env is None
+            or self._env_state is not state
+            or self._env_base_version != self.base_env.version
+        ):
+            self._env = dict(self.base_env)
+            self._env_state = state
+            self._env_base_version = self.base_env.version
+        self._env.update(state)
+        return self._env
+
     def step(self, state: dict, rng: Rng) -> dict:
         """One full sweep of the composed kernel (in place)."""
-        env = dict(self.base_env)
-        env.update(state)
+        env = self._sweep_env(state)
         for upd in self.updates:
             upd.step(env, self.workspaces, rng)
         for p in self.param_names:
             state[p] = env[p]
         return state
+
+    def _allocate_draws(self, collect: tuple[str, ...], num_samples: int) -> dict:
+        """Draw storage from the allocation plan: one dense
+        ``(num_samples, *shape)`` array per parameter; ragged parameters
+        keep the list-of-copies fallback (signalled by an empty list)."""
+        storage: dict[str, np.ndarray | list] = {}
+        for name in collect:
+            shape = self.plan.state.get(name)
+            if shape is not None and not shape.is_ragged:
+                storage[name] = np.empty(
+                    (num_samples,) + shape.lead + shape.event,
+                    dtype=np.dtype(shape.dtype),
+                )
+            else:
+                storage[name] = []
+        return storage
 
     def sample(
         self,
@@ -162,18 +255,22 @@ class CompiledSampler:
             raise RuntimeFailure(f"cannot collect non-parameters: {sorted(unknown)}")
 
         state = init if init is not None else self.init_state(rng)
-        samples: dict[str, list] = {name: [] for name in collect}
-        sweep_times = []
+        samples = self._allocate_draws(collect, num_samples)
+        sweep_times = np.empty(burn_in + num_samples * thin, dtype=np.float64)
         start = time.perf_counter()
         total_sweeps = burn_in + num_samples * thin
         kept = 0
         for sweep in range(total_sweeps):
             t0 = time.perf_counter()
             self.step(state, rng)
-            sweep_times.append(time.perf_counter() - t0)
+            sweep_times[sweep] = time.perf_counter() - t0
             if sweep >= burn_in and (sweep - burn_in) % thin == 0:
                 for name in collect:
-                    samples[name].append(_copy_value(state[name]))
+                    store = samples[name]
+                    if isinstance(store, np.ndarray):
+                        store[kept] = state[name]
+                    else:
+                        store.append(_copy_value(state[name]))
                 if callback is not None:
                     callback(kept, state)
                 kept += 1
@@ -181,11 +278,8 @@ class CompiledSampler:
         return SampleResult(
             samples=samples,
             wall_time=wall,
-            sweep_times=np.asarray(sweep_times),
-            acceptance={
-                f"{type(u).__name__.removesuffix('Driver')} {','.join(u.targets)}": u.stats.acceptance_rate
-                for u in self.updates
-            },
+            sweep_times=sweep_times,
+            acceptance={u.label: u.stats.acceptance_rate for u in self.updates},
             device_time=self.device.elapsed if self.device is not None else None,
         )
 
@@ -197,25 +291,38 @@ class CompiledSampler:
         thin: int = 1,
         seed: int = 0,
         collect: tuple[str, ...] | None = None,
+        executor: str = "sequential",
+        n_workers: int | None = None,
     ) -> list[SampleResult]:
         """Run several independent chains from forked RNG streams.
 
         This is the Jags/Stan style of parallelism the paper contrasts
-        with AugurV2's within-chain parallelism (Section 7.2); here the
-        chains run sequentially but with statistically independent
-        streams, which is what chain-level diagnostics like
-        :func:`repro.eval.metrics.potential_scale_reduction` need.
+        with AugurV2's within-chain parallelism (Section 7.2).  Chains
+        always use streams forked deterministically from ``seed``, so
+        for a given seed the per-chain draws are bitwise identical
+        whichever ``executor`` runs them:
+
+        - ``"sequential"``: chains run one after another in this process;
+        - ``"processes"``: chains fan out over a worker-process pool,
+          each worker rehydrating the sampler from its picklable
+          :class:`~repro.core.chains.SamplerSpec` (the compile cache
+          makes rehydration cheap);
+        - ``"threads"``: a thread pool with one rehydrated sampler per
+          worker thread (bounded by the GIL; useful for testing the
+          pool machinery without process start-up cost).
+
+        ``n_workers`` defaults to ``min(n_chains, cpu_count)``.
         """
-        if n_chains < 1:
-            raise RuntimeFailure("need at least one chain")
-        rngs = Rng(seed).fork(n_chains)
-        return [
-            self.sample(
-                num_samples=num_samples,
-                burn_in=burn_in,
-                thin=thin,
-                seed=rng,
-                collect=collect,
-            )
-            for rng in rngs
-        ]
+        from repro.core.chains import run_chains
+
+        return run_chains(
+            self,
+            n_chains=n_chains,
+            num_samples=num_samples,
+            burn_in=burn_in,
+            thin=thin,
+            seed=seed,
+            collect=collect,
+            executor=executor,
+            n_workers=n_workers,
+        )

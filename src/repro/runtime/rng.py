@@ -27,8 +27,45 @@ class Rng:
         return self._gen
 
     def fork(self, n: int) -> list["Rng"]:
-        """Split off ``n`` independent child streams (for parallel chains)."""
+        """Split off ``n`` independent child streams (for parallel chains).
+
+        Forking is deterministic in the parent stream's state, so the
+        child streams do not depend on where (or in which process) they
+        are later consumed -- the property the parallel chain engine
+        relies on for bitwise-reproducible multi-chain runs.
+        """
         return [Rng(np.random.default_rng(s)) for s in self._gen.spawn(n)]
+
+    # ------------------------------------------------------------------
+    # Serialization: ship forked streams to worker processes.
+    # ------------------------------------------------------------------
+
+    def state_spec(self) -> dict:
+        """A picklable description of the exact stream position.
+
+        The spec names the bit-generator class and carries its state
+        dict, so :meth:`from_spec` rebuilds a stream that continues
+        bit-for-bit from the same point in another process.
+        """
+        bg = self._gen.bit_generator
+        return {"bit_generator": type(bg).__name__, "state": bg.state}
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "Rng":
+        """Rebuild a stream from :meth:`state_spec` output."""
+        bg_cls = getattr(np.random, spec["bit_generator"])
+        bg = bg_cls()
+        bg.state = spec["state"]
+        return cls(np.random.Generator(bg))
+
+    def __getstate__(self) -> dict:
+        return self.state_spec()
+
+    def __setstate__(self, spec: dict) -> None:
+        bg_cls = getattr(np.random, spec["bit_generator"])
+        bg = bg_cls()
+        bg.state = spec["state"]
+        self._gen = np.random.Generator(bg)
 
     # ------------------------------------------------------------------
     # Scalar / batch primitives used by generated sampler code.

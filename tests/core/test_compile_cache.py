@@ -1,0 +1,86 @@
+"""The keyed compile cache: hits skip codegen but share nothing mutable."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.chains import SamplerSpec
+from repro.core.compiler import (
+    clear_compile_cache,
+    compile_cache_stats,
+    compile_model,
+)
+from repro.core.options import CompileOptions
+from repro.eval import models
+
+HYPERS = {"N": 40, "mu_0": 0.0, "v_0": 25.0, "v": 1.0}
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(0)
+    return {"y": rng.normal(2.0, 1.0, size=40)}
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_compile_cache()
+    yield
+    clear_compile_cache()
+
+
+def test_second_compile_is_a_hit(data):
+    compile_model(models.NORMAL_NORMAL, HYPERS, data)
+    stats = compile_cache_stats()
+    assert (stats.hits, stats.misses) == (0, 1)
+    compile_model(models.NORMAL_NORMAL, HYPERS, data)
+    assert (stats.hits, stats.misses) == (1, 1)
+    assert stats.hit_rate == pytest.approx(0.5)
+
+
+def test_hit_shares_no_mutable_state(data):
+    s1 = compile_model(models.NORMAL_NORMAL, HYPERS, data)
+    s2 = compile_model(models.NORMAL_NORMAL, HYPERS, data)
+    assert s1.workspaces is not s2.workspaces
+    assert s1.module.namespace is not s2.module.namespace
+    assert s1.updates[0] is not s2.updates[0]
+    # ...and the cached compilation samples identically to the original.
+    a = s1.sample(num_samples=25, seed=3)
+    b = s2.sample(num_samples=25, seed=3)
+    np.testing.assert_array_equal(a.array("mu"), b.array("mu"))
+
+
+def test_changed_inputs_miss(data):
+    compile_model(models.NORMAL_NORMAL, HYPERS, data)
+    # A different schedule, different options, and different data each
+    # key a fresh compilation.
+    compile_model(models.NORMAL_NORMAL, HYPERS, data, schedule="Gibbs mu")
+    compile_model(
+        models.NORMAL_NORMAL, HYPERS, data, options=CompileOptions(vectorize=False)
+    )
+    other = {"y": data["y"] + 1.0}
+    compile_model(models.NORMAL_NORMAL, HYPERS, other)
+    stats = compile_cache_stats()
+    assert stats.hits == 0
+    assert stats.misses == 4
+
+
+def test_gpu_target_bypasses_cache(data):
+    opts = CompileOptions(target="gpu")
+    compile_model(models.NORMAL_NORMAL, HYPERS, data, options=opts)
+    compile_model(models.NORMAL_NORMAL, HYPERS, data, options=opts)
+    stats = compile_cache_stats()
+    assert stats.hits == 0 and stats.misses == 0
+
+
+def test_sampler_spec_pickles_and_rebuilds(data):
+    s1 = compile_model(models.NORMAL_NORMAL, HYPERS, data)
+    spec = s1.spec
+    assert isinstance(spec, SamplerSpec)
+    rebuilt = pickle.loads(pickle.dumps(spec)).build()
+    a = s1.sample(num_samples=20, seed=5)
+    b = rebuilt.sample(num_samples=20, seed=5)
+    np.testing.assert_array_equal(a.array("mu"), b.array("mu"))

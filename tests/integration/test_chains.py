@@ -44,6 +44,52 @@ def test_chains_validate_count(nn_sampler):
         nn_sampler.sample_chains(0, num_samples=5)
 
 
+def test_chains_validate_executor(nn_sampler):
+    with pytest.raises(RuntimeFailure):
+        nn_sampler.sample_chains(2, num_samples=5, executor="fibers")
+
+
+def test_process_executor_is_bitwise_identical(nn_sampler):
+    seq = nn_sampler.sample_chains(3, num_samples=25, burn_in=5, seed=11)
+    par = nn_sampler.sample_chains(
+        3, num_samples=25, burn_in=5, seed=11, executor="processes", n_workers=2
+    )
+    assert len(par) == 3
+    for a, b in zip(seq, par):
+        np.testing.assert_array_equal(a.array("mu"), b.array("mu"))
+
+
+def test_thread_executor_is_bitwise_identical(nn_sampler):
+    seq = nn_sampler.sample_chains(3, num_samples=25, seed=13)
+    thr = nn_sampler.sample_chains(
+        3, num_samples=25, seed=13, executor="threads", n_workers=2
+    )
+    for a, b in zip(seq, thr):
+        np.testing.assert_array_equal(a.array("mu"), b.array("mu"))
+
+
+def test_parallel_chains_feed_rhat(nn_sampler):
+    results = nn_sampler.sample_chains(
+        4, num_samples=200, burn_in=50, seed=2, executor="processes", n_workers=2
+    )
+    chains = np.stack([r.array("mu") for r in results])
+    assert chains.shape == (4, 200)
+    assert potential_scale_reduction(chains) < 1.1
+
+
+def test_dense_draw_storage_is_preallocated(nn_sampler):
+    res = nn_sampler.sample(num_samples=30, seed=0)
+    # Dense parameters live in one (num_samples, *shape) array written
+    # in place per kept sweep, and array() is a view of it, not a
+    # re-stack.
+    store = res.samples["mu"]
+    assert isinstance(store, np.ndarray)
+    assert store.shape == (30,)
+    view = res.array("mu")
+    assert np.shares_memory(view, store)
+    assert view.base is store
+
+
 def test_gibbs_chain_has_high_ess(nn_sampler):
     res = nn_sampler.sample(num_samples=500, burn_in=50, seed=3)
     # A conjugate Gibbs chain on a single parameter draws exact

@@ -26,6 +26,33 @@ def test_fork_is_reproducible():
     assert a == b
 
 
+def test_state_spec_roundtrip_continues_stream():
+    rng = Rng(5)
+    rng.normal(size=3)  # advance past the seed state
+    clone = Rng.from_spec(rng.state_spec())
+    np.testing.assert_array_equal(rng.normal(size=8), clone.normal(size=8))
+
+
+def test_pickle_roundtrip_continues_stream():
+    import pickle
+
+    rng = Rng(6)
+    rng.uniform(size=4)
+    clone = pickle.loads(pickle.dumps(rng))
+    np.testing.assert_array_equal(rng.normal(size=8), clone.normal(size=8))
+
+
+def test_forked_streams_survive_pickling():
+    import pickle
+
+    direct = [c.uniform(size=3) for c in Rng(9).fork(3)]
+    shipped = [
+        pickle.loads(pickle.dumps(c)).uniform(size=3) for c in Rng(9).fork(3)
+    ]
+    for a, b in zip(direct, shipped):
+        np.testing.assert_array_equal(a, b)
+
+
 def test_categorical_logits_matches_probabilities():
     rng = Rng(0)
     logits = np.log(np.array([0.2, 0.5, 0.3]))
