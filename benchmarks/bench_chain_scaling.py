@@ -5,8 +5,9 @@ with the chain-level parallelism of Jags/Stan; this benchmark measures
 our multi-chain engine doing the latter.  It runs the Figure-1 GMM with
 ``executor="processes"`` at 1/2/4 workers against the sequential
 baseline, measures the compile cache cold/warm, and records everything
-to ``benchmarks/results/BENCH_chain_scaling.json`` (plus the usual
-table in ``results/latest.txt``).
+to ``BENCH_chain_scaling.json`` at the repository root -- where CI
+picks the ``BENCH_*.json`` files up as artifacts -- plus the usual
+table in ``results/latest.txt``.
 
 The >= 2x speedup-at-4-workers assertion only fires on a host with at
 least 4 CPUs; single-core CI still records the numbers.
@@ -30,7 +31,7 @@ FULL = os.environ.get("REPRO_FULL") == "1"
 N_CHAINS = 4
 NUM_SAMPLES = 400 if FULL else 120
 BURN_IN = 50 if FULL else 20
-RESULTS_JSON = pathlib.Path(__file__).parent / "results" / "BENCH_chain_scaling.json"
+RESULTS_JSON = pathlib.Path(__file__).resolve().parents[1] / "BENCH_chain_scaling.json"
 
 
 def _gmm_problem(n=300, separation=4.0, seed=0):
@@ -114,7 +115,6 @@ def test_chain_scaling(scaling_rows, report):
         f"hit rate {cache['hit_rate']:.2f}",
     )
 
-    RESULTS_JSON.parent.mkdir(exist_ok=True)
     RESULTS_JSON.write_text(
         json.dumps(
             {

@@ -124,7 +124,11 @@ class Infer:
         collect: tuple[str, ...] | None = None,
         init: dict | None = None,
         callback=None,
+        collect_stats: bool = False,
     ) -> SampleResult:
+        """Draw posterior samples; ``collect_stats=True`` additionally
+        records per-sweep statistics for every base update of the
+        composed kernel (``result.stats`` / ``result.sample_stats``)."""
         return self.sampler.sample(
             num_samples=numSamples,
             burn_in=burnIn,
@@ -133,6 +137,7 @@ class Infer:
             collect=collect,
             init=init,
             callback=callback,
+            collect_stats=collect_stats,
         )
 
     def sampleChains(
@@ -145,10 +150,14 @@ class Infer:
         collect: tuple[str, ...] | None = None,
         executor: str = "sequential",
         nWorkers: int | None = None,
+        collect_stats: bool = False,
+        monitor=None,
     ) -> list[SampleResult]:
         """Run independent chains, optionally fanned out over a worker
         pool (``executor="processes"``); draws are bitwise identical to
-        the sequential path for a given seed."""
+        the sequential path for a given seed.  ``collect_stats`` and
+        ``monitor`` behave as in
+        :meth:`repro.core.sampler.CompiledSampler.sample_chains`."""
         return self.sampler.sample_chains(
             n_chains=nChains,
             num_samples=numSamples,
@@ -158,6 +167,8 @@ class Infer:
             collect=collect,
             executor=executor,
             n_workers=nWorkers,
+            collect_stats=collect_stats,
+            monitor=monitor,
         )
 
     # -- introspection -----------------------------------------------------------

@@ -12,6 +12,13 @@ With ``--chains N`` (N > 1) the chains fan out over the selected
 executor, an R-hat report is printed per collected parameter, and
 draws are saved under ``chainI__name`` keys.
 
+Telemetry flags: ``--stats`` records per-sweep sampler statistics and
+prints a summary; ``--monitor`` streams online convergence diagnostics
+(split R-hat / ESS / divergence rates) during multi-chain runs;
+``--trace FILE`` writes a chrome://tracing JSON covering every compiler
+stage and runtime phase (open via ``chrome://tracing`` or Perfetto);
+``--trace-plot NAME`` prints an ASCII trace plot of a parameter.
+
 Inputs are a single ``.json`` or ``.npz`` file providing a value for
 every hyper-parameter and observed variable; the model's declarations
 decide which is which.  JSON nested lists with unequal row lengths load
@@ -124,9 +131,20 @@ def _build(args) -> "tuple":
     return source, sampler
 
 
+def _write_pipeline_trace(path: str) -> None:
+    from repro.telemetry.trace import get_tracer, write_trace
+
+    write_trace(path)
+    print(f"wrote pipeline trace ({len(get_tracer().events)} events) to {path}")
+
+
 def cmd_sample(args) -> int:
     if args.chains < 1:
         raise ReproError(f"--chains must be positive, got {args.chains}")
+    if args.trace:
+        from repro.telemetry.trace import enable_tracing
+
+        enable_tracing()
     _, sampler = _build(args)
     if args.chains > 1:
         return _sample_chains(args, sampler)
@@ -136,6 +154,7 @@ def cmd_sample(args) -> int:
         thin=args.thin,
         seed=args.seed,
         collect=tuple(args.collect.split(",")) if args.collect else None,
+        collect_stats=args.stats,
     )
     print(
         f"compiled in {sampler.compile_seconds*1e3:.1f} ms; "
@@ -147,6 +166,10 @@ def cmd_sample(args) -> int:
     )
     for upd, rate in result.acceptance.items():
         print(f"  acceptance {upd}: {rate:.3f}")
+    if args.stats and result.stats is not None:
+        print("sample stats (per-sweep means):")
+        for line in result.stats.summary_lines():
+            print(line)
     if args.out:
         save_draws(args.out, result.samples)
         print(f"wrote draws to {args.out}")
@@ -155,16 +178,29 @@ def cmd_sample(args) -> int:
 
         print()
         print(trace_summary(result.samples))
-    if args.trace:
+    if args.trace_plot:
         from repro.eval.diagnostics import trace_plot
 
         print()
-        print(trace_plot(result.samples, args.trace))
+        print(trace_plot(result.samples, args.trace_plot))
+    if args.trace:
+        _write_pipeline_trace(args.trace)
     return 0
 
 
 def _sample_chains(args, sampler) -> int:
     collect = tuple(args.collect.split(",")) if args.collect else None
+    monitor = None
+    if args.monitor:
+        from repro.telemetry.monitors import ConvergenceMonitor
+
+        kept = max(0, (args.samples - args.burn_in) // max(args.thin, 1))
+        monitor = ConvergenceMonitor(
+            param_names=collect or sampler.param_names,
+            n_chains=args.chains,
+            total_draws=max(kept, 4),
+            emit=lambda line: print(line, file=sys.stderr),
+        )
     results = sampler.sample_chains(
         n_chains=args.chains,
         num_samples=args.samples,
@@ -174,6 +210,8 @@ def _sample_chains(args, sampler) -> int:
         collect=collect,
         executor=args.executor,
         n_workers=args.workers,
+        collect_stats=args.stats or args.monitor,
+        monitor=monitor,
     )
     total = sum(r.wall_time for r in results)
     longest = max(r.wall_time for r in results)
@@ -190,9 +228,22 @@ def _sample_chains(args, sampler) -> int:
 
     for name in collect or sampler.param_names:
         print(rhat_report(results, name))
+    if args.stats:
+        from repro.telemetry.stats import stack_chain_stats
+
+        merged = stack_chain_stats(results)
+        if merged:
+            print("sample stats (cross-chain per-sweep means):")
+            for key in sorted(merged):
+                vals = np.asarray(merged[key], dtype=np.float64)
+                print(f"  {key:32s} mean {np.nanmean(vals):10.4f}")
+    if monitor is not None:
+        print(monitor.report())
     if args.out:
         save_chain_draws(args.out, results)
         print(f"wrote draws to {args.out}")
+    if args.trace:
+        _write_pipeline_trace(args.trace)
     return 0
 
 
@@ -239,7 +290,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ps.add_argument("--out", default=None, help="write draws to this .npz")
     ps.add_argument("--summary", action="store_true", help="print posterior summary")
-    ps.add_argument("--trace", default=None, help="ASCII trace plot of a parameter")
+    ps.add_argument(
+        "--stats",
+        action="store_true",
+        help="collect per-sweep sampler statistics and print a summary",
+    )
+    ps.add_argument(
+        "--monitor",
+        action="store_true",
+        help="online convergence monitoring for multi-chain runs",
+    )
+    ps.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a chrome://tracing JSON of the compile + run pipeline",
+    )
+    ps.add_argument(
+        "--trace-plot", default=None, help="ASCII trace plot of a parameter"
+    )
     ps.set_defaults(fn=cmd_sample)
 
     pi = sub.add_parser("inspect", help="show the compiled sampler's plan")

@@ -7,6 +7,17 @@ declarations to the corresponding library routine.  Every driver's
 Rejectable updates (HMC, NUTS, MH) maintain the paper's dual-state
 invariant: the proposal is computed on a copy and only written back on
 acceptance, so subsequent updates always read the most current state.
+
+Telemetry: every driver declares a typed per-sweep stat schema
+(:meth:`UpdateDriver.stat_fields`) and, between ``begin_sweep`` /
+``end_sweep`` calls, accumulates one record per sweep -- acceptance and
+log-alpha, NaN-rejected proposals, leapfrog counts, divergence flags and
+energies, slice bracket expansions/shrinks.  Recording is off unless the
+sampler turns it on (``collect_stats=True``), so the plain sampling path
+pays only a ``self._sweep is None`` check per element.  NaN rejections
+are the exception: they are counted unconditionally (into
+``UpdateStats.nan_rejected``) because a silently NaN-rejecting chain is
+a correctness hazard the sampler warns about even with stats off.
 """
 
 from __future__ import annotations
@@ -26,16 +37,25 @@ from repro.runtime.mcmc.mh import random_walk_step, user_proposal_step
 from repro.runtime.mcmc.slice_sampler import elliptical_slice, slice_coordinate
 from repro.runtime.transforms import Transform
 from repro.runtime.vectors import RaggedArray
+from repro.telemetry.stats import BASE_FIELDS, StatField
 
 
 @dataclass
 class UpdateStats:
     proposed: int = 0
     accepted: int = 0
+    nan_rejected: int = 0
 
     @property
     def acceptance_rate(self) -> float:
         return self.accepted / self.proposed if self.proposed else float("nan")
+
+    @property
+    def nan_reject_rate(self) -> float:
+        return self.nan_rejected / self.proposed if self.proposed else 0.0
+
+    def snapshot(self) -> tuple[int, int, int]:
+        return (self.proposed, self.accepted, self.nan_rejected)
 
 
 class UpdateDriver:
@@ -44,13 +64,46 @@ class UpdateDriver:
     name: str
     targets: tuple[str, ...]
 
+    #: Per-sweep stat columns beyond :data:`BASE_FIELDS`.
+    EXTRA_FIELDS: tuple[StatField, ...] = ()
+
     def __init__(self) -> None:
         self.stats = UpdateStats()
+        self._sweep: dict | None = None
 
     @property
     def label(self) -> str:
         """Human-readable update label, e.g. ``"Gibbs z"``."""
         return f"{type(self).__name__.removesuffix('Driver')} {','.join(self.targets)}"
+
+    def stat_fields(self) -> tuple[StatField, ...]:
+        """The typed schema of this update's per-sweep stat record."""
+        return BASE_FIELDS + self.EXTRA_FIELDS
+
+    # -- per-sweep recording ----------------------------------------------
+
+    def begin_sweep(self) -> None:
+        """Arm per-sweep recording for the next ``step`` call."""
+        self._sweep = {f.name: 0 for f in self.EXTRA_FIELDS}
+        self._sweep.update(proposed=0, accepted=0, nan=0)
+
+    def end_sweep(self) -> dict:
+        """The sweep's stat record; disarms recording."""
+        s, self._sweep = self._sweep, None
+        proposed = s.pop("proposed")
+        accepted = s.pop("accepted")
+        nan = s.pop("nan")
+        record = {
+            "accept_rate": accepted / proposed if proposed else float("nan"),
+            "n_proposed": proposed,
+            "nan_rejects": nan,
+        }
+        record.update(self._finish_sweep(s, proposed))
+        return record
+
+    def _finish_sweep(self, s: dict, proposed: int) -> dict:
+        """Subclass hook: turn accumulated extras into record fields."""
+        return s
 
     def step(self, env: dict, ws: dict, rng) -> None:
         raise NotImplementedError
@@ -72,10 +125,26 @@ class GibbsDriver(UpdateDriver):
         self._fn(env, ws, rng)
         self.stats.proposed += 1
         self.stats.accepted += 1
+        if self._sweep is not None:
+            self._sweep["proposed"] += 1
+            self._sweep["accepted"] += 1
 
 
 class GradBlockDriver(UpdateDriver):
     """HMC / NUTS over a block of transformed continuous variables."""
+
+    _HMC_FIELDS = (
+        StatField("log_alpha", "f8", "log acceptance ratio of the trajectory"),
+        StatField("energy", "f8", "Hamiltonian at the proposal"),
+        StatField("divergent", "i8", "trajectory flagged divergent"),
+        StatField("n_leapfrog", "i8", "leapfrog steps taken"),
+    )
+    _NUTS_FIELDS = (
+        StatField("energy", "f8", "initial Hamiltonian of the trajectory"),
+        StatField("divergent", "i8", "a tree leaf exceeded the energy bound"),
+        StatField("n_leapfrog", "i8", "leapfrog steps taken"),
+        StatField("tree_depth", "i8", "doublings performed"),
+    )
 
     def __init__(
         self,
@@ -97,6 +166,34 @@ class GradBlockDriver(UpdateDriver):
         self._method = method
         self.step_size = step_size
         self.n_steps = n_steps
+        self._info: dict = {}
+
+    @property
+    def label(self) -> str:
+        kind = "NUTS" if self._method == "nuts" else "HMC"
+        return f"{kind} {','.join(self.targets)}"
+
+    def stat_fields(self) -> tuple[StatField, ...]:
+        extra = self._NUTS_FIELDS if self._method == "nuts" else self._HMC_FIELDS
+        return BASE_FIELDS + extra
+
+    def begin_sweep(self) -> None:
+        self._sweep = {"proposed": 0, "accepted": 0, "nan": 0}
+
+    def _finish_sweep(self, s: dict, proposed: int) -> dict:
+        # The whole-block update runs once per sweep: the last info
+        # record *is* the sweep record.
+        info = self._info
+        out = {
+            "energy": info.get("energy", float("nan")),
+            "divergent": int(info.get("divergent", False)),
+            "n_leapfrog": info.get("n_leapfrog", 0),
+        }
+        if self._method == "nuts":
+            out["tree_depth"] = info.get("tree_depth", 0)
+        else:
+            out["log_alpha"] = info.get("log_alpha", float("nan"))
+        return out
 
     def _target_density(self, env, ws, rng) -> TransformedLogDensity:
         def ll(x):
@@ -118,17 +215,31 @@ class GradBlockDriver(UpdateDriver):
         x = {t: np.asarray(env[t], dtype=np.float64) for t in self.targets}
         z = target.unconstrain(x)
         self.stats.proposed += 1
+        info = self._info
+        info.clear()
         if self._method == "nuts":
-            z_next, _, _ = nuts_step(rng, target, z, self.step_size)
+            z_next, _, accept_stat = nuts_step(
+                rng, target, z, self.step_size, info=info
+            )
             accepted = any(
                 not np.array_equal(z_next[k], z[k]) for k in z
             )
         else:
             z_next, accepted = hmc_step(
-                rng, target, z, self.step_size, self.n_steps
+                rng, target, z, self.step_size, self.n_steps, info=info
             )
+            if info.get("nan"):
+                self.stats.nan_rejected += 1
         if accepted:
             self.stats.accepted += 1
+        if self._sweep is not None:
+            self._sweep["proposed"] += 1
+            self._sweep["accepted"] += int(accepted)
+            self._sweep["nan"] += int(bool(info.get("nan")))
+            if self._method == "nuts":
+                # NUTS has no accept/reject; report the dual-averaging
+                # accept statistic as the sweep's acceptance rate.
+                self._sweep["accepted"] = accept_stat
         x_next = target.constrain(z_next)
         for t in self.targets:
             env[t] = _shape_like(x_next[t], env[t])
@@ -189,6 +300,7 @@ class ElementDriver(UpdateDriver):
         self.cond = cond
         self.shape = shape
         self._ll_fn = ll_fn
+        self._info: dict = {}
 
     def _bind_idx(self, env, idx) -> None:
         for var, i in zip(self.cond.idx_vars, idx):
@@ -208,11 +320,25 @@ class ElementDriver(UpdateDriver):
 class SliceDriver(ElementDriver):
     """Coordinate-wise stepping-out slice sampling of each element."""
 
+    EXTRA_FIELDS = (
+        StatField("expansions", "i8", "bracket step-out widenings this sweep"),
+        StatField("shrinks", "i8", "rejected candidates that shrank a bracket"),
+    )
+
     def __init__(self, name, cond, shape, ll_fn, width: float = 1.0):
         super().__init__(name, cond, shape, ll_fn)
         self.width = width
 
+    def _record_element(self) -> None:
+        s = self._sweep
+        s["proposed"] += 1
+        s["accepted"] += 1
+        s["expansions"] += self._info.get("expansions", 0)
+        s["shrinks"] += self._info.get("shrinks", 0)
+
     def step(self, env, ws, rng) -> None:
+        recording = self._sweep is not None
+        info = self._info if recording else None
         for idx in element_indices(self.shape):
             self._bind_idx(env, idx)
             current = np.array(
@@ -220,8 +346,12 @@ class SliceDriver(ElementDriver):
             )
             if current.ndim == 0:
                 logp = self._logp_fn(env, ws, rng, idx)
-                new = slice_coordinate(rng.generator, logp, float(current), self.width)
+                new = slice_coordinate(
+                    rng.generator, logp, float(current), self.width, info=info
+                )
                 _set_element(env, self.cond.target, idx, new)
+                if recording:
+                    self._record_element()
             else:
                 value = current.copy()
                 for c in range(value.shape[0]):
@@ -232,8 +362,13 @@ class SliceDriver(ElementDriver):
                         return float(val)
 
                     value[c] = slice_coordinate(
-                        rng.generator, logp, float(value[c]), self.width
+                        rng.generator, logp, float(value[c]), self.width, info=info
                     )
+                    if recording:
+                        self._record_element()
+                        # The per-coordinate records were already
+                        # counted; the element itself is not re-counted
+                        # below.
                 _set_element(env, self.cond.target, idx, value)
             self.stats.proposed += 1
             self.stats.accepted += 1
@@ -243,7 +378,13 @@ class ESliceDriver(ElementDriver):
     """Elliptical slice sampling: Gaussian prior handled by rotation,
     the generated likelihood-only conditional scores candidates."""
 
+    EXTRA_FIELDS = (
+        StatField("shrinks", "i8", "rejected ellipse angles this sweep"),
+    )
+
     def step(self, env, ws, rng) -> None:
+        recording = self._sweep is not None
+        info = self._info if recording else None
         prior = lookup(self.cond.prior.dist)
         for idx in element_indices(self.shape):
             self._bind_idx(env, idx)
@@ -256,21 +397,43 @@ class ESliceDriver(ElementDriver):
                 _get_element(env, self.cond.target, idx), dtype=np.float64, copy=True
             )
             loglik = self._logp_fn(env, ws, rng, idx)
-            x1 = elliptical_slice(rng.generator, loglik, x0, mean, nu)
+            x1 = elliptical_slice(rng.generator, loglik, x0, mean, nu, info=info)
             _set_element(env, self.cond.target, idx, x1)
             self.stats.proposed += 1
             self.stats.accepted += 1
+            if recording:
+                s = self._sweep
+                s["proposed"] += 1
+                s["accepted"] += 1
+                s["shrinks"] += info.get("shrinks", 0)
 
 
 class MHDriver(ElementDriver):
     """Random-walk (or user-proposal) Metropolis-Hastings per element."""
+
+    EXTRA_FIELDS = (
+        StatField("mean_log_alpha", "f8", "mean finite log-alpha this sweep"),
+    )
 
     def __init__(self, name, cond, shape, ll_fn, scale: float = 0.5, proposal=None):
         super().__init__(name, cond, shape, ll_fn)
         self.scale = scale
         self.proposal = proposal
 
+    def begin_sweep(self) -> None:
+        super().begin_sweep()
+        self._sweep["mean_log_alpha"] = 0.0
+        self._sweep["_n_finite"] = 0
+
+    def _finish_sweep(self, s: dict, proposed: int) -> dict:
+        n = s.pop("_n_finite")
+        total = s.pop("mean_log_alpha")
+        return {"mean_log_alpha": total / n if n else float("nan")}
+
     def step(self, env, ws, rng) -> None:
+        # The info record is always requested: NaN-rejected proposals
+        # must be counted (and warned about) even with stats off.
+        info = self._info
         for idx in element_indices(self.shape):
             self._bind_idx(env, idx)
             x0 = _get_element(env, self.cond.target, idx)
@@ -278,12 +441,23 @@ class MHDriver(ElementDriver):
             logp = self._logp_fn(env, ws, rng, idx)
             if self.proposal is not None:
                 x1, accepted = user_proposal_step(
-                    rng.generator, logp, x0, self.proposal
+                    rng.generator, logp, x0, self.proposal, info=info
                 )
             else:
                 x1, accepted = random_walk_step(
-                    rng.generator, logp, x0, self.scale
+                    rng.generator, logp, x0, self.scale, info=info
                 )
             _set_element(env, self.cond.target, idx, x1)
             self.stats.proposed += 1
             self.stats.accepted += int(accepted)
+            if info["nan"]:
+                self.stats.nan_rejected += 1
+            if self._sweep is not None:
+                s = self._sweep
+                s["proposed"] += 1
+                s["accepted"] += int(accepted)
+                s["nan"] += int(info["nan"])
+                la = info["log_alpha"]
+                if np.isfinite(la):
+                    s["mean_log_alpha"] += la
+                    s["_n_finite"] += 1

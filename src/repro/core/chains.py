@@ -89,12 +89,23 @@ def run_chains(
     collect: tuple[str, ...] | None = None,
     executor: str = "sequential",
     n_workers: int | None = None,
+    collect_stats: bool = False,
+    monitor=None,
 ):
     """Run ``n_chains`` independent chains, optionally in parallel.
 
     Returns one :class:`~repro.core.sampler.SampleResult` per chain, in
     chain order.  See :meth:`CompiledSampler.sample_chains` for the
     executor semantics.
+
+    ``collect_stats`` turns on per-sweep stat recording inside every
+    chain; each worker writes into its own preallocated buffers (nothing
+    is shared across processes) and the per-chain
+    ``SampleResult.stats`` merge via
+    :func:`repro.telemetry.stats.stack_chain_stats`.  A ``monitor``
+    (:class:`repro.telemetry.monitors.ConvergenceMonitor`) is fed
+    incrementally: per kept draw on the sequential path, per completed
+    chain -- in completion order -- on the pooled paths.
     """
     if n_chains < 1:
         raise RuntimeFailure("need at least one chain")
@@ -104,11 +115,24 @@ def run_chains(
         )
     rngs = Rng(seed).fork(n_chains)
     kwargs = dict(
-        num_samples=num_samples, burn_in=burn_in, thin=thin, collect=collect
+        num_samples=num_samples, burn_in=burn_in, thin=thin, collect=collect,
+        collect_stats=collect_stats,
     )
 
     if executor == "sequential" or n_chains == 1:
-        return [sampler.sample(seed=rng, **kwargs) for rng in rngs]
+        results = []
+        for i, rng in enumerate(rngs):
+            callback = None
+            if monitor is not None:
+                callback = (
+                    lambda kept, state, _i=i: monitor.observe(_i, kept, state)
+                )
+            res = sampler.sample(seed=rng, callback=callback, **kwargs)
+            if monitor is not None:
+                monitor.observe_stats(res.stats)
+                monitor.chain_done()
+            results.append(res)
+        return results
 
     spec = sampler.spec
     if spec is None:
@@ -125,7 +149,7 @@ def run_chains(
             futures = [
                 pool.submit(_run_chain_worker, spec, rng, kwargs) for rng in rngs
             ]
-            return [f.result() for f in futures]
+            return _gather(futures, monitor)
 
     # Threads: the sampler's workspaces and sweep environment are
     # mutable shared state, so every worker thread gets its own
@@ -139,4 +163,16 @@ def run_chains(
         return inst.sample(seed=rng, **kwargs)
 
     with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(run_one, rngs))
+        futures = [pool.submit(run_one, rng) for rng in rngs]
+        return _gather(futures, monitor)
+
+
+def _gather(futures, monitor) -> list:
+    """Collect chain results in chain order, feeding the monitor in
+    *completion* order so cross-chain diagnostics update as soon as any
+    worker finishes."""
+    if monitor is not None:
+        index = {f: i for i, f in enumerate(futures)}
+        for f in concurrent.futures.as_completed(futures):
+            monitor.chain_finished(index[f], f.result())
+    return [f.result() for f in futures]

@@ -70,6 +70,7 @@ from repro.errors import ReproError
 from repro.gpusim import Device
 from repro.runtime.transforms import transform_for_support
 from repro.runtime.vectors import RaggedArray
+from repro.telemetry import trace
 
 
 # ----------------------------------------------------------------------
@@ -200,8 +201,13 @@ def compile_model(
     cacheable = options.target == "cpu"
     key = None
     if cacheable:
-        key = _cache_key(source, hyper_values, data_values, options, schedule)
-        entry = _cache_get(key)
+        with trace.span("cache.lookup", cat="compile"):
+            key = _cache_key(source, hyper_values, data_values, options, schedule)
+            entry = _cache_get(key)
+        trace.instant(
+            "cache.hit" if entry is not None else "cache.miss", cat="compile",
+            key=key[:16],
+        )
         if entry is not None:
             return _assemble(
                 entry, source, hyper_values, data_values, options, schedule,
@@ -209,58 +215,67 @@ def compile_model(
             )
 
     # ---- Frontend -----------------------------------------------------
-    model = parse_model(source)
+    with trace.span("frontend.parse", cat="compile"):
+        model = parse_model(source)
     missing = [h for h in model.hypers if h not in hyper_values]
     if missing:
         raise ReproError(f"missing hyper-parameter values: {missing}")
-    hyper_types = {k: type_of_value(v) for k, v in hyper_values.items()}
-    info = analyze_model(model, hyper_types)
+    with trace.span("frontend.analyze", cat="compile"):
+        hyper_types = {k: type_of_value(v) for k, v in hyper_values.items()}
+        info = analyze_model(model, hyper_types)
     data_names = set(info.data_names())
     missing_data = data_names - set(data_values)
     if missing_data:
         raise ReproError(f"missing data values: {sorted(missing_data)}")
-    fd = lower_and_factorize(model)
+    with trace.span("density.extract", cat="compile"):
+        fd = lower_and_factorize(model)
 
     env = dict(hyper_values)
     env.update({k: v for k, v in data_values.items() if k in data_names})
 
     # ---- Middle-end ----------------------------------------------------
-    if schedule is not None:
-        kernel = validate_schedule(
-            parse_schedule(schedule), fd, info,
-            categorical_rule=options.categorical_rule,
-        )
-    else:
-        kernel = heuristic_schedule(
-            fd, info, categorical_rule=options.categorical_rule
-        )
+    with trace.span(
+        "kernel.select", cat="compile", user_schedule=schedule is not None
+    ):
+        if schedule is not None:
+            kernel = validate_schedule(
+                parse_schedule(schedule), fd, info,
+                categorical_rule=options.categorical_rule,
+            )
+        else:
+            kernel = heuristic_schedule(
+                fd, info, categorical_rule=options.categorical_rule
+            )
 
     decls: list[LowDecl] = []
     driver_specs: list[tuple] = []
     ws_specs: list = []
 
-    for upd in flatten(kernel):
-        decl_infos = _generate_update(upd, fd, info, options)
-        for low in decl_infos["decls"]:
-            decls.append(low)
-        ws_specs.extend(decl_infos["workspaces"])
-        driver_specs.append((upd, decl_infos))
+    with trace.span("codegen.updates", cat="compile"):
+        for upd in flatten(kernel):
+            decl_infos = _generate_update(upd, fd, info, options)
+            for low in decl_infos["decls"]:
+                decls.append(low)
+            ws_specs.extend(decl_infos["workspaces"])
+            driver_specs.append((upd, decl_infos))
 
-    init_decl = gen_init(info, fd)
-    forward_decl = gen_forward(info, fd)
-    model_ll_decl = gen_model_ll(fd)
-    decls.append(lower_decl(init_decl, writes=tuple(info.param_names())))
-    decls.append(lower_decl(forward_decl, writes=tuple(info.data_names())))
-    decls.append(lower_decl(model_ll_decl))
+        init_decl = gen_init(info, fd)
+        forward_decl = gen_forward(info, fd)
+        model_ll_decl = gen_model_ll(fd)
+        decls.append(lower_decl(init_decl, writes=tuple(info.param_names())))
+        decls.append(lower_decl(forward_decl, writes=tuple(info.data_names())))
+        decls.append(lower_decl(model_ll_decl))
 
     # Well-formedness check on every generated declaration (turns code
     # generator bugs into named compile-time errors).
-    for low in decls:
-        verify_decl(low.decl)
+    with trace.span("codegen.verify", cat="compile", n_decls=len(decls)):
+        for low in decls:
+            verify_decl(low.decl)
 
     # ---- Backend --------------------------------------------------------
-    plan = build_plan(info, env, tuple(ws_specs))
-    ragged = _ragged_names(plan, env)
+    with trace.span("backend.plan", cat="compile"):
+        plan = build_plan(info, env, tuple(ws_specs))
+        ragged = _ragged_names(plan, env)
 
     if options.target == "gpu":
         return _assemble_gpu(
@@ -268,8 +283,9 @@ def compile_model(
             source, hyper_values, data_values, schedule, proposals, t_start,
         )
 
-    source_text = emit_cpu_source(decls, ragged, vectorize=options.vectorize)
-    code = compile(source_text, "<augur_cpu>", "exec")
+    with trace.span("backend.emit", cat="compile"):
+        source_text = emit_cpu_source(decls, ragged, vectorize=options.vectorize)
+        code = compile(source_text, "<augur_cpu>", "exec")
     entry = _CacheEntry(
         source_text=source_text,
         code=code,
@@ -303,11 +319,12 @@ def _assemble(
     data = {k: v for k, v in data_values.items() if k in entry.data_names}
     env = dict(hyper_values)
     env.update(data)
-    module = exec_cpu_module(entry.source_text, code=entry.code)
-    workspaces = allocate_workspaces(entry.plan)
-    updates = _wire_drivers(
-        entry.driver_specs, module.fn, entry.plan, options, proposals
-    )
+    with trace.span("backend.exec", cat="compile"):
+        module = exec_cpu_module(entry.source_text, code=entry.code)
+        workspaces = allocate_workspaces(entry.plan)
+        updates = _wire_drivers(
+            entry.driver_specs, module.fn, entry.plan, options, proposals
+        )
     spec = SamplerSpec(
         source=model_source,
         hyper_values=dict(hyper_values),

@@ -11,6 +11,7 @@ parameters into draw storage preallocated from the allocation plan.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -22,6 +23,12 @@ from repro.errors import RuntimeFailure
 from repro.gpusim import Device
 from repro.runtime.rng import Rng
 from repro.runtime.vectors import RaggedArray
+from repro.telemetry.stats import SampleStats, allocate_stat_buffers
+from repro.telemetry.trace import get_tracer
+
+#: Warn when more than this fraction of an update's proposals were
+#: rejected because the log acceptance ratio came out NaN.
+NAN_REJECT_WARN_RATE = 0.01
 
 
 def _copy_value(v):
@@ -87,6 +94,17 @@ class SampleResult:
     sweep_times: np.ndarray
     acceptance: dict[str, float]
     device_time: float | None = None
+    #: Per-sweep telemetry (``collect_stats=True``), one typed record
+    #: per base update per sweep; ``None`` when collection was off.
+    stats: SampleStats | None = None
+
+    @property
+    def sample_stats(self) -> dict[str, np.ndarray]:
+        """Nutpie-style flat stats: ``"<update label>.<field>" -> array``.
+
+        Empty when the run was made without ``collect_stats=True``.
+        """
+        return self.stats.to_dict() if self.stats is not None else {}
 
     def array(self, name: str) -> np.ndarray:
         """Samples of ``name`` with a leading draw axis (dense only).
@@ -230,6 +248,36 @@ class CompiledSampler:
                 storage[name] = []
         return storage
 
+    def _step_recorded(self, state: dict, rng: Rng, bufs, sweep: int) -> dict:
+        """One sweep with per-update stat recording into ``bufs``."""
+        env = self._sweep_env(state)
+        for upd, buf in zip(self.updates, bufs):
+            upd.begin_sweep()
+            upd.step(env, self.workspaces, rng)
+            buf.write(sweep, upd.end_sweep())
+        for p in self.param_names:
+            state[p] = env[p]
+        return state
+
+    def _warn_nan_rejections(self, before: list[tuple[int, int, int]]) -> None:
+        """One-line warning when NaN-rejected proposals exceed the
+        threshold rate for any update during this ``sample`` call."""
+        offenders = []
+        for upd, (p0, _, n0) in zip(self.updates, before):
+            proposed = upd.stats.proposed - p0
+            nan = upd.stats.nan_rejected - n0
+            if proposed and nan / proposed > NAN_REJECT_WARN_RATE:
+                offenders.append(f"{upd.label} ({nan}/{proposed} proposals)")
+        if offenders:
+            warnings.warn(
+                "NaN log-acceptance ratios silently rejected for "
+                + ", ".join(offenders)
+                + "; the posterior may be improper or the proposal leaves "
+                "the support",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
     def sample(
         self,
         num_samples: int,
@@ -239,12 +287,17 @@ class CompiledSampler:
         collect: tuple[str, ...] | None = None,
         init: dict | None = None,
         callback=None,
+        collect_stats: bool = False,
     ) -> SampleResult:
         """Draw posterior samples.
 
         ``collect`` restricts which parameters are stored (all by
         default); ``callback(sweep_index, state)`` runs after every kept
-        sweep (used by the log-predictive benchmarks).
+        sweep (used by the log-predictive benchmarks).  With
+        ``collect_stats=True`` every base update records its typed
+        per-sweep stat record (acceptance/log-alpha, leapfrogs,
+        divergences, slice bracket activity, ...) into preallocated
+        buffers surfaced as ``SampleResult.stats``.
         """
         if num_samples <= 0:
             raise RuntimeFailure("num_samples must be positive")
@@ -254,16 +307,39 @@ class CompiledSampler:
         if unknown:
             raise RuntimeFailure(f"cannot collect non-parameters: {sorted(unknown)}")
 
+        tracer = get_tracer()
+        tracing = tracer.enabled
+        stats_before = [u.stats.snapshot() for u in self.updates]
+
+        t_init = time.perf_counter()
         state = init if init is not None else self.init_state(rng)
-        samples = self._allocate_draws(collect, num_samples)
-        sweep_times = np.empty(burn_in + num_samples * thin, dtype=np.float64)
-        start = time.perf_counter()
+        if tracing:
+            tracer.add_complete(
+                "init", "runtime", t_init, time.perf_counter() - t_init,
+                fresh=init is None,
+            )
         total_sweeps = burn_in + num_samples * thin
+        samples = self._allocate_draws(collect, num_samples)
+        stat_bufs = (
+            allocate_stat_buffers(self.updates, total_sweeps)
+            if collect_stats
+            else None
+        )
+        sweep_times = np.empty(total_sweeps, dtype=np.float64)
+        sweep_starts = np.empty(total_sweeps, dtype=np.float64) if tracing else None
+        collect_spans: list[tuple[float, float]] = []
+        start = time.perf_counter()
         kept = 0
         for sweep in range(total_sweeps):
             t0 = time.perf_counter()
-            self.step(state, rng)
-            sweep_times[sweep] = time.perf_counter() - t0
+            if stat_bufs is None:
+                self.step(state, rng)
+            else:
+                self._step_recorded(state, rng, stat_bufs, sweep)
+            t1 = time.perf_counter()
+            sweep_times[sweep] = t1 - t0
+            if sweep_starts is not None:
+                sweep_starts[sweep] = t0
             if sweep >= burn_in and (sweep - burn_in) % thin == 0:
                 for name in collect:
                     store = samples[name]
@@ -271,16 +347,46 @@ class CompiledSampler:
                         store[kept] = state[name]
                     else:
                         store.append(_copy_value(state[name]))
+                if tracing:
+                    collect_spans.append((t1, time.perf_counter() - t1))
                 if callback is not None:
                     callback(kept, state)
                 kept += 1
         wall = time.perf_counter() - start
+        if tracing:
+            for sweep in range(total_sweeps):
+                tracer.add_complete(
+                    "sweep", "runtime", float(sweep_starts[sweep]),
+                    float(sweep_times[sweep]), index=sweep,
+                )
+            for ts, dur in collect_spans:
+                tracer.add_complete("collect", "runtime", ts, dur)
+            tracer.add_complete(
+                "sample", "runtime", start, wall,
+                num_samples=num_samples, burn_in=burn_in, thin=thin,
+            )
+        self._warn_nan_rejections(stats_before)
+        # Acceptance is reported over *this call's* proposals, so the
+        # numbers agree across executors (cumulative counters would mix
+        # chains on the sequential path).
+        acceptance = {}
+        for upd, (p0, a0, _) in zip(self.updates, stats_before):
+            proposed = upd.stats.proposed - p0
+            accepted = upd.stats.accepted - a0
+            acceptance[upd.label] = (
+                accepted / proposed if proposed else float("nan")
+            )
         return SampleResult(
             samples=samples,
             wall_time=wall,
             sweep_times=sweep_times,
-            acceptance={u.label: u.stats.acceptance_rate for u in self.updates},
+            acceptance=acceptance,
             device_time=self.device.elapsed if self.device is not None else None,
+            stats=(
+                SampleStats(stat_bufs, burn_in=burn_in, thin=thin)
+                if stat_bufs is not None
+                else None
+            ),
         )
 
     def sample_chains(
@@ -293,6 +399,8 @@ class CompiledSampler:
         collect: tuple[str, ...] | None = None,
         executor: str = "sequential",
         n_workers: int | None = None,
+        collect_stats: bool = False,
+        monitor=None,
     ) -> list[SampleResult]:
         """Run several independent chains from forked RNG streams.
 
@@ -312,6 +420,13 @@ class CompiledSampler:
           pool machinery without process start-up cost).
 
         ``n_workers`` defaults to ``min(n_chains, cpu_count)``.
+
+        ``collect_stats=True`` records per-sweep update statistics in
+        every chain (each worker fills its own buffers; merge them with
+        :func:`repro.telemetry.stats.stack_chain_stats`).  ``monitor``
+        optionally takes a
+        :class:`repro.telemetry.monitors.ConvergenceMonitor` fed
+        incrementally as chains progress.
         """
         from repro.core.chains import run_chains
 
@@ -325,4 +440,6 @@ class CompiledSampler:
             collect=collect,
             executor=executor,
             n_workers=n_workers,
+            collect_stats=collect_stats,
+            monitor=monitor,
         )

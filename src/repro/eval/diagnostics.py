@@ -10,7 +10,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.eval.metrics import effective_sample_size, potential_scale_reduction
+from repro.eval.metrics import (
+    effective_sample_size,
+    ess_bulk,
+    ess_tail,
+    potential_scale_reduction,
+    split_potential_scale_reduction,
+)
 
 
 def ascii_series(
@@ -99,18 +105,34 @@ def trace_plot(samples: dict[str, np.ndarray], parameter: str, component=None) -
 
 
 def rhat_report(chain_results, parameter: str) -> str:
-    """R-hat for every scalar component of ``parameter`` across chains."""
+    """Rank-normalized split R-hat + bulk/tail ESS for every scalar
+    component of ``parameter`` across chains.
+
+    Chains shorter than 4 draws cannot be split; they fall back to the
+    classic Gelman-Rubin statistic (flagged in the header) with ESS
+    columns omitted.
+    """
     chains = [np.asarray(r[parameter], dtype=np.float64) for r in chain_results]
     stacked = np.stack(chains)  # (chains, draws, *shape)
     flat = stacked.reshape(stacked.shape[0], stacked.shape[1], -1)
-    lines = [f"R-hat for {parameter!r} over {flat.shape[0]} chains:"]
+    split = flat.shape[1] >= 4
+    kind = "split R-hat" if split else "R-hat (too few draws to split)"
+    lines = [f"{kind} for {parameter!r} over {flat.shape[0]} chains:"]
     worst = 0.0
     for j in range(flat.shape[2]):
-        r = potential_scale_reduction(flat[:, :, j])
-        worst = max(worst, r)
+        comp = flat[:, :, j]
         idx = np.unravel_index(j, stacked.shape[2:]) if stacked.ndim > 2 else ()
         tag = "[" + ",".join(map(str, idx)) + "]" if idx else ""
-        lines.append(f"  {parameter}{tag}: {r:.3f}")
+        if split:
+            r = split_potential_scale_reduction(comp)
+            lines.append(
+                f"  {parameter}{tag}: {r:.3f}  "
+                f"(bulk ESS {ess_bulk(comp):.0f}, tail ESS {ess_tail(comp):.0f})"
+            )
+        else:
+            r = potential_scale_reduction(comp)
+            lines.append(f"  {parameter}{tag}: {r:.3f}")
+        worst = max(worst, r)
     verdict = "OK (< 1.1)" if worst < 1.1 else "NOT CONVERGED"
     lines.append(f"  worst: {worst:.3f} -- {verdict}")
     return "\n".join(lines)

@@ -16,6 +16,10 @@ def mh_accept(rng, log_alpha: float) -> bool:
 
     NaN log-ratios (e.g. from an out-of-support proposal evaluating to
     ``-inf - -inf``) are rejected, keeping the chain on valid states.
+    Callers that need to *observe* NaN rejections (they are otherwise
+    indistinguishable from ordinary rejections) check ``log_alpha``
+    themselves and record the count in their telemetry ``info`` record;
+    the update drivers warn when the NaN-reject rate exceeds 1%.
     """
     if np.isnan(log_alpha):
         return False

@@ -85,19 +85,44 @@ def leapfrog(target: TransformedLogDensity, z: Tree, p: Tree, step: float, n: in
     return z, p
 
 
+#: |Delta H| above which a trajectory is flagged divergent (matches the
+#: NUTS ``_DELTA_MAX`` convention).
+DIVERGENCE_THRESHOLD = 1000.0
+
+
 def hmc_step(
     rng,
     target: TransformedLogDensity,
     z: Tree,
     step_size: float,
     n_steps: int,
+    info: dict | None = None,
 ) -> tuple[Tree, bool]:
-    """One HMC transition; returns (next position, accepted?)."""
+    """One HMC transition; returns (next position, accepted?).
+
+    When ``info`` is supplied it is filled with the per-transition
+    telemetry record: ``log_alpha``, the ``nan`` flag (NaN-rejected
+    trajectory), the proposal's Hamiltonian ``energy``, a ``divergent``
+    flag (energy error beyond :data:`DIVERGENCE_THRESHOLD` or
+    non-finite), and ``n_leapfrog``.
+    """
     p0 = tree_gaussian(rng, z)
     lp0 = target.logpdf(z)
     z1, p1 = leapfrog(target, z, p0, step_size, n_steps)
     lp1 = target.logpdf(z1)
-    log_alpha = (lp1 - 0.5 * tree_dot(p1, p1)) - (lp0 - 0.5 * tree_dot(p0, p0))
-    if mh_accept(rng, log_alpha):
+    energy0 = -(lp0 - 0.5 * tree_dot(p0, p0))
+    energy1 = -(lp1 - 0.5 * tree_dot(p1, p1))
+    log_alpha = energy0 - energy1
+    accepted = mh_accept(rng, log_alpha)
+    if info is not None:
+        info["log_alpha"] = float(log_alpha)
+        info["nan"] = bool(np.isnan(log_alpha))
+        info["energy"] = float(energy1)
+        info["divergent"] = bool(
+            not np.isfinite(log_alpha) or abs(log_alpha) > DIVERGENCE_THRESHOLD
+        )
+        info["n_leapfrog"] = n_steps
+        info["accepted"] = accepted
+    if accepted:
         return z1, True
     return z, False

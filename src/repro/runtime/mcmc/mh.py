@@ -4,6 +4,11 @@ The ``Prop`` base update: either a symmetric Gaussian random walk
 (continuous variables) or a user-supplied proposal callable returning
 ``(candidate, log_q_ratio)`` where ``log_q_ratio = log q(x'|x) -
 log q(x|x')`` enters the acceptance ratio with a negative sign.
+
+Both steppers take an optional ``info`` dict and fill it with the
+per-proposal telemetry record -- ``log_alpha`` and the ``nan`` flag for
+NaN-rejected proposals (which :func:`~repro.runtime.mcmc.accept
+.mh_accept` otherwise swallows silently).
 """
 
 from __future__ import annotations
@@ -13,20 +18,31 @@ import numpy as np
 from repro.runtime.mcmc.accept import mh_accept
 
 
-def random_walk_step(rng, logp, x0, scale: float = 0.5):
+def _note(info, log_alpha: float, accepted: bool) -> None:
+    if info is not None:
+        info["log_alpha"] = float(log_alpha)
+        info["nan"] = bool(np.isnan(log_alpha))
+        info["accepted"] = accepted
+
+
+def random_walk_step(rng, logp, x0, scale: float = 0.5, info: dict | None = None):
     """Symmetric Gaussian random-walk MH on a scalar or array value."""
     x0 = np.asarray(x0, dtype=np.float64)
     x1 = x0 + scale * rng.standard_normal(x0.shape)
     log_alpha = logp(x1) - logp(x0)
-    if mh_accept(rng, log_alpha):
+    accepted = mh_accept(rng, log_alpha)
+    _note(info, log_alpha, accepted)
+    if accepted:
         return x1, True
     return x0, False
 
 
-def user_proposal_step(rng, logp, x0, proposal):
+def user_proposal_step(rng, logp, x0, proposal, info: dict | None = None):
     """MH with a user proposal: ``proposal(x, rng) -> (x', log_q_ratio)``."""
     x1, log_q_ratio = proposal(x0, rng)
     log_alpha = logp(x1) - logp(x0) - log_q_ratio
-    if mh_accept(rng, log_alpha):
+    accepted = mh_accept(rng, log_alpha)
+    _note(info, log_alpha, accepted)
+    if accepted:
         return x1, True
     return x0, False

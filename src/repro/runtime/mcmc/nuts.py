@@ -32,17 +32,29 @@ def _no_uturn(z_minus, z_plus, p_minus, p_plus) -> bool:
     )
 
 
-def nuts_step(rng, target: TransformedLogDensity, z: Tree, step_size: float):
+def nuts_step(
+    rng,
+    target: TransformedLogDensity,
+    z: Tree,
+    step_size: float,
+    info: dict | None = None,
+):
     """One NUTS transition.
 
     Returns ``(next position, n_leapfrog, accept_stat)`` where
     ``accept_stat`` is the average Metropolis acceptance over the tree's
     leaf states -- the statistic dual-averaging step-size adaptation
     targets (Hoffman & Gelman 2014).
+
+    When ``info`` is supplied it is filled with the per-transition
+    telemetry record: ``tree_depth``, ``n_leapfrog``, ``accept_stat``,
+    the initial Hamiltonian ``energy``, and a ``divergent`` flag (a
+    leaf's energy error exceeded ``_DELTA_MAX``).
     """
     p0 = tree_gaussian(rng, z)
     joint0 = target.logpdf(z) - 0.5 * tree_dot(p0, p0)
     log_u = joint0 + np.log(rng.uniform())
+    divergent = False
 
     z_minus = tree_copy(z)
     z_plus = tree_copy(z)
@@ -56,7 +68,7 @@ def nuts_step(rng, target: TransformedLogDensity, z: Tree, step_size: float):
     n_alpha = 0
 
     def build(zb, pb, direction, depth):
-        nonlocal leapfrogs, alpha_sum, n_alpha
+        nonlocal leapfrogs, alpha_sum, n_alpha, divergent
         if depth == 0:
             z1, p1 = _leapfrog_one(target, zb, pb, direction * step_size)
             leapfrogs += 1
@@ -65,6 +77,8 @@ def nuts_step(rng, target: TransformedLogDensity, z: Tree, step_size: float):
             n_alpha += 1
             n1 = 1 if log_u <= joint else 0
             s1 = log_u < joint + _DELTA_MAX
+            if not s1:
+                divergent = True
             return z1, p1, z1, p1, z1, n1, s1
         zm, pm, zp, pp, zs, n1, s1 = build(zb, pb, direction, depth - 1)
         if s1:
@@ -95,4 +109,10 @@ def nuts_step(rng, target: TransformedLogDensity, z: Tree, step_size: float):
         keep_going = s_prime and _no_uturn(z_minus, z_plus, p_minus, p_plus)
         depth += 1
     accept_stat = alpha_sum / n_alpha if n_alpha else 0.0
+    if info is not None:
+        info["tree_depth"] = depth
+        info["n_leapfrog"] = leapfrogs
+        info["accept_stat"] = accept_stat
+        info["energy"] = float(-joint0)
+        info["divergent"] = divergent
     return z_sample, leapfrogs, accept_stat

@@ -25,14 +25,21 @@ def slice_coordinate(
     x0: float,
     width: float = 1.0,
     max_steps: int = 32,
+    info: dict | None = None,
 ) -> float:
-    """One stepping-out slice update of a scalar coordinate."""
+    """One stepping-out slice update of a scalar coordinate.
+
+    When ``info`` is supplied it is filled with the per-update telemetry
+    record: the number of bracket ``expansions`` (step-out widenings)
+    and ``shrinks`` (rejected candidates that narrowed the bracket).
+    """
     lp0 = logp(x0)
     if lp0 == -np.inf:
         raise ValueError("slice sampler started from a zero-density point")
     log_y = lp0 + np.log(rng.uniform())
 
     # Step out.
+    expansions = 0
     u = rng.uniform()
     lo = x0 - width * u
     hi = lo + width
@@ -40,22 +47,33 @@ def slice_coordinate(
     while steps > 0 and logp(lo) > log_y:
         lo -= width
         steps -= 1
+        expansions += 1
     steps = max_steps
     while steps > 0 and logp(hi) > log_y:
         hi += width
         steps -= 1
+        expansions += 1
 
     # Shrink.
+    shrinks = 0
+
+    def _done(x):
+        if info is not None:
+            info["expansions"] = expansions
+            info["shrinks"] = shrinks
+        return x
+
     while True:
         x1 = rng.uniform(lo, hi)
         if logp(x1) > log_y:
-            return x1
+            return _done(x1)
+        shrinks += 1
         if x1 < x0:
             lo = x1
         else:
             hi = x1
         if hi - lo < 1e-12:
-            return x0
+            return _done(x0)
 
 
 def elliptical_slice(
@@ -64,8 +82,13 @@ def elliptical_slice(
     x0: np.ndarray,
     prior_mean: np.ndarray,
     prior_draw: np.ndarray,
+    info: dict | None = None,
 ) -> np.ndarray:
-    """One elliptical slice update given a draw ``nu`` from the prior."""
+    """One elliptical slice update given a draw ``nu`` from the prior.
+
+    When ``info`` is supplied, ``shrinks`` records how many candidate
+    angles were rejected before the likelihood accepted.
+    """
     x0 = np.asarray(x0, dtype=np.float64)
     m = np.asarray(prior_mean, dtype=np.float64)
     nu = np.asarray(prior_draw, dtype=np.float64)
@@ -73,15 +96,22 @@ def elliptical_slice(
     log_y = loglik(x0) + np.log(rng.uniform())
     theta = rng.uniform(0.0, 2.0 * np.pi)
     lo, hi = theta - 2.0 * np.pi, theta
+    shrinks = 0
+
+    def _done(x):
+        if info is not None:
+            info["shrinks"] = shrinks
+        return x
 
     while True:
         x1 = m + (x0 - m) * np.cos(theta) + (nu - m) * np.sin(theta)
         if loglik(x1) > log_y:
-            return x1
+            return _done(x1)
+        shrinks += 1
         if theta < 0:
             lo = theta
         else:
             hi = theta
         theta = rng.uniform(lo, hi)
         if hi - lo < 1e-12:
-            return x0
+            return _done(x0)

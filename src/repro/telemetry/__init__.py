@@ -1,0 +1,60 @@
+"""repro.telemetry: sampler statistics, pipeline tracing, monitors.
+
+Three pillars of observability for compiled MCMC:
+
+- :mod:`repro.telemetry.stats` -- typed per-sweep statistics for every
+  base update of a composed kernel, captured into preallocated buffers
+  and surfaced as ``SampleResult.stats`` / ``sample_stats``.
+- :mod:`repro.telemetry.trace` -- a span API over compiler stages and
+  runtime phases, exportable as a ``chrome://tracing`` JSON file.
+- :mod:`repro.telemetry.monitors` -- streaming Welford moments, online
+  split R-hat / ESS across live chains, and divergence-rate warnings.
+"""
+
+from repro.telemetry.monitors import (
+    ConvergenceMonitor,
+    DivergenceMonitor,
+    OnlineEss,
+    SplitRhat,
+    Welford,
+)
+from repro.telemetry.stats import (
+    BASE_FIELDS,
+    SampleStats,
+    StatField,
+    UpdateStatsBuffer,
+    allocate_stat_buffers,
+    stack_chain_stats,
+)
+from repro.telemetry.trace import (
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    instant,
+    span,
+    tracing_enabled,
+    write_trace,
+)
+
+__all__ = [
+    "BASE_FIELDS",
+    "ConvergenceMonitor",
+    "DivergenceMonitor",
+    "OnlineEss",
+    "SampleStats",
+    "SplitRhat",
+    "StatField",
+    "Tracer",
+    "UpdateStatsBuffer",
+    "Welford",
+    "allocate_stat_buffers",
+    "disable_tracing",
+    "enable_tracing",
+    "get_tracer",
+    "instant",
+    "span",
+    "stack_chain_stats",
+    "tracing_enabled",
+    "write_trace",
+]

@@ -90,6 +90,80 @@ def test_dense_draw_storage_is_preallocated(nn_sampler):
     assert view.base is store
 
 
+def lda_ragged_sampler():
+    """LDA with unequal document lengths: ``z`` has ragged shape, so its
+    draw storage must take the list-of-copies fallback."""
+    from repro.runtime.vectors import RaggedArray
+
+    rng = np.random.default_rng(0)
+    k, v = 2, 6
+    lengths = [5, 9, 3, 7]
+    docs = [rng.integers(0, v, size=n) for n in lengths]
+    hypers = {
+        "K": k,
+        "D": len(docs),
+        "V": v,
+        "N": np.array(lengths),
+        "alpha": np.full(k, 0.5),
+        "beta": np.full(v, 0.5),
+    }
+    return compile_model(models.LDA, hypers, {"w": RaggedArray.from_rows(docs)})
+
+
+def test_ragged_draw_storage_falls_back_to_copies():
+    from repro.runtime.vectors import RaggedArray
+
+    sampler = lda_ragged_sampler()
+    res = sampler.sample(num_samples=12, burn_in=3, seed=0)
+    store = res.samples["z"]
+    # Ragged parameters cannot use the dense preallocated path.
+    assert isinstance(store, list)
+    assert len(store) == 12
+    assert all(isinstance(d, RaggedArray) for d in store)
+    # Each stored draw is an independent copy, not a view of the live
+    # state the sweep loop keeps mutating.
+    assert len({id(d.flat) for d in store}) == 12
+    flats = np.stack([d.flat for d in store])
+    assert not np.array_equal(flats[0], flats[-1])  # the chain moved
+    # array() flattens ragged draws to (draws, total_tokens).
+    assert res.array("z").shape == (12, sum([5, 9, 3, 7]))
+    np.testing.assert_array_equal(res.array("z"), flats)
+    # Dense parameters in the same run still use preallocated storage.
+    assert isinstance(res.samples["theta"], np.ndarray)
+    assert res.samples["theta"].shape == (12, 4, 2)
+
+
+def test_ragged_storage_respects_burn_in_and_thin():
+    sampler = lda_ragged_sampler()
+    res = sampler.sample(num_samples=4, burn_in=5, thin=3, seed=1)
+    assert len(res.samples["z"]) == 4
+    assert res.samples["theta"].shape[0] == 4
+
+
+def _flat_stats(results):
+    from repro.telemetry.stats import stack_chain_stats
+
+    return stack_chain_stats(results)
+
+
+def test_stat_buffers_bitwise_equal_across_executors(nn_sampler):
+    kwargs = dict(num_samples=20, burn_in=5, seed=17, collect_stats=True)
+    seq = _flat_stats(nn_sampler.sample_chains(3, **kwargs))
+    par = _flat_stats(
+        nn_sampler.sample_chains(
+            3, executor="processes", n_workers=2, **kwargs
+        )
+    )
+    thr = _flat_stats(
+        nn_sampler.sample_chains(3, executor="threads", n_workers=2, **kwargs)
+    )
+    assert seq and set(seq) == set(par) == set(thr)
+    for key in seq:
+        assert seq[key].shape == (3, 25)
+        np.testing.assert_array_equal(seq[key], par[key])
+        np.testing.assert_array_equal(seq[key], thr[key])
+
+
 def test_gibbs_chain_has_high_ess(nn_sampler):
     res = nn_sampler.sample(num_samples=500, burn_in=50, seed=3)
     # A conjugate Gibbs chain on a single parameter draws exact

@@ -45,7 +45,8 @@ def test_sample_command(gmm_files, capsys):
         [
             "sample", model, inputs,
             "--samples", "20", "--burn-in", "5", "--seed", "1",
-            "--collect", "mu", "--out", str(out), "--summary", "--trace", "mu",
+            "--collect", "mu", "--out", str(out), "--summary",
+            "--trace-plot", "mu",
         ]
     )
     assert code == 0
@@ -55,6 +56,58 @@ def test_sample_command(gmm_files, capsys):
     assert "trace of mu" in text
     with np.load(out) as draws:
         assert draws["mu"].shape == (20, 2, 2)
+
+
+def test_sample_trace_writes_chrome_json(gmm_files, capsys):
+    model, inputs, tmp = gmm_files
+    # Unique hyper value -> a guaranteed compile-cache miss, so every
+    # compiler stage actually runs (a hit would skip codegen spans).
+    vals = json.loads(open(inputs).read())
+    vals["Sigma_0"] = [[17.125, 0.0], [0.0, 17.125]]
+    fresh = tmp / "inputs_fresh.json"
+    fresh.write_text(json.dumps(vals))
+    trace = tmp / "trace.json"
+    code = main(
+        ["sample", model, str(fresh), "--samples", "8", "--trace", str(trace)]
+    )
+    assert code == 0
+    assert "wrote pipeline trace" in capsys.readouterr().out
+    doc = json.loads(trace.read_text())
+    names = [e["name"] for e in doc["traceEvents"]]
+    for stage in [
+        "frontend.parse", "density.extract", "kernel.select",
+        "codegen.updates", "backend.plan", "backend.emit", "backend.exec",
+    ]:
+        assert names.count(stage) == 1, stage
+    assert names.count("sweep") == 8
+    assert "sample" in names
+
+
+def test_sample_stats_flag_prints_summary(gmm_files, capsys):
+    model, inputs, _ = gmm_files
+    code = main(["sample", model, inputs, "--samples", "6", "--stats"])
+    assert code == 0
+    text = capsys.readouterr().out
+    assert "sample stats" in text
+    assert "Gibbs z: accept" in text
+
+
+def test_sample_chains_with_monitor_and_stats(gmm_files, capsys):
+    model, inputs, _ = gmm_files
+    code = main(
+        [
+            "sample", model, inputs, "--samples", "30", "--chains", "2",
+            "--executor", "sequential", "--collect", "mu",
+            "--monitor", "--stats",
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "online convergence report" in captured.out
+    assert "split R-hat" in captured.out
+    assert "cross-chain per-sweep means" in captured.out
+    # Incremental progress lines stream to stderr as chains finish.
+    assert captured.err.count("[monitor]") == 2
 
 
 def test_inspect_command(gmm_files, capsys):
