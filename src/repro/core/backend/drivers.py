@@ -29,12 +29,22 @@ import numpy as np
 
 from repro.core.density.conditionals import Conditional
 from repro.core.density.interp import eval_expr
+from repro.core.exprs import mentions
 from repro.core.lowmm.size_inference import BufferShape
 from repro.runtime.distributions import lookup
 from repro.runtime.mcmc.hmc import TransformedLogDensity, hmc_step
 from repro.runtime.mcmc.nuts import nuts_step
-from repro.runtime.mcmc.mh import random_walk_step, user_proposal_step
-from repro.runtime.mcmc.slice_sampler import elliptical_slice, slice_coordinate
+from repro.runtime.mcmc.mh import (
+    random_walk_step,
+    random_walk_sweep,
+    user_proposal_step,
+)
+from repro.runtime.mcmc.slice_sampler import (
+    elliptical_slice,
+    elliptical_slice_sweep,
+    slice_coordinate,
+    slice_sweep,
+)
 from repro.runtime.transforms import Transform
 from repro.runtime.vectors import RaggedArray
 from repro.telemetry.stats import BASE_FIELDS, StatField
@@ -66,6 +76,10 @@ class UpdateDriver:
 
     #: Per-sweep stat columns beyond :data:`BASE_FIELDS`.
     EXTRA_FIELDS: tuple[StatField, ...] = ()
+
+    #: True for the batched element drivers, which advance every lane of
+    #: the target in a handful of vectorised calls per sweep.
+    is_batched: bool = False
 
     def __init__(self) -> None:
         self.stats = UpdateStats()
@@ -196,14 +210,18 @@ class GradBlockDriver(UpdateDriver):
         return out
 
     def _target_density(self, env, ws, rng) -> TransformedLogDensity:
+        # One scope dict per step, shared by every ll/grad evaluation of
+        # the trajectory: the generated functions only read it, and the
+        # rest of the state cannot change mid-step, so the integrator's
+        # inner loop avoids re-copying the whole environment per call.
+        scope = dict(env)
+
         def ll(x):
-            scope = dict(env)
             scope.update(x)
             (val,) = self._ll_fn(scope, ws, rng)
             return float(val)
 
         def grad(x):
-            scope = dict(env)
             scope.update(x)
             grads = self._grad_fn(scope, ws, rng)
             return dict(zip(self.targets, grads))
@@ -301,6 +319,26 @@ class ElementDriver(UpdateDriver):
         self.shape = shape
         self._ll_fn = ll_fn
         self._info: dict = {}
+        self._elements: list[tuple[int, ...]] | None = None
+        self._elements_key = None
+
+    def _element_list(self) -> list[tuple[int, ...]]:
+        """The materialised element-index tuples, cached across sweeps.
+
+        Re-walking ``element_indices`` every sweep costs O(N) tuple
+        construction per update; the bound shape almost never changes, so
+        cache the list and invalidate on a shape-key mismatch (ragged
+        ``row_lengths`` content included).
+        """
+        shape = self.shape
+        if shape.is_ragged:
+            key = (id(shape), shape.row_lengths.tobytes())
+        else:
+            key = (id(shape), shape.lead)
+        if self._elements is None or self._elements_key != key:
+            self._elements = list(element_indices(shape))
+            self._elements_key = key
+        return self._elements
 
     def _bind_idx(self, env, idx) -> None:
         for var, i in zip(self.cond.idx_vars, idx):
@@ -339,7 +377,7 @@ class SliceDriver(ElementDriver):
     def step(self, env, ws, rng) -> None:
         recording = self._sweep is not None
         info = self._info if recording else None
-        for idx in element_indices(self.shape):
+        for idx in self._element_list():
             self._bind_idx(env, idx)
             current = np.array(
                 _get_element(env, self.cond.target, idx), dtype=np.float64, copy=True
@@ -382,13 +420,31 @@ class ESliceDriver(ElementDriver):
         StatField("shrinks", "i8", "rejected ellipse angles this sweep"),
     )
 
+    def _prior_args_constant(self) -> bool:
+        """Prior parameters free of element indices evaluate to the same
+        values for every element -- hoist them out of the sweep loop."""
+        return not any(
+            mentions(a, v)
+            for a in self.cond.prior.args
+            for v in self.cond.idx_vars
+        )
+
     def step(self, env, ws, rng) -> None:
         recording = self._sweep is not None
         info = self._info if recording else None
         prior = lookup(self.cond.prior.dist)
-        for idx in element_indices(self.shape):
+        const_args = (
+            [eval_expr(a, env) for a in self.cond.prior.args]
+            if self._prior_args_constant()
+            else None
+        )
+        for idx in self._element_list():
             self._bind_idx(env, idx)
-            args = [eval_expr(a, env) for a in self.cond.prior.args]
+            args = (
+                const_args
+                if const_args is not None
+                else [eval_expr(a, env) for a in self.cond.prior.args]
+            )
             mean = np.asarray(args[0], dtype=np.float64)
             nu = prior.sample(rng, *args)
             # Copy: the candidate evaluations below write through into the
@@ -434,7 +490,7 @@ class MHDriver(ElementDriver):
         # The info record is always requested: NaN-rejected proposals
         # must be counted (and warned about) even with stats off.
         info = self._info
-        for idx in element_indices(self.shape):
+        for idx in self._element_list():
             self._bind_idx(env, idx)
             x0 = _get_element(env, self.cond.target, idx)
             x0 = np.asarray(x0, dtype=np.float64).copy()
@@ -461,3 +517,168 @@ class MHDriver(ElementDriver):
                 if np.isfinite(la):
                     s["mean_log_alpha"] += la
                     s["_n_finite"] += 1
+
+
+# ----------------------------------------------------------------------
+# Batched element drivers (Section 4.4's Par/AtmPar parallelism at
+# runtime): every lane proposes / brackets / accepts in whole-vector
+# calls against the generated batched conditional.
+# ----------------------------------------------------------------------
+
+
+class _LaneMixin:
+    """Lane read/write plumbing shared by the batched drivers.
+
+    Lanes follow :func:`element_indices` order: C-order over the lead
+    dimensions for dense state, ``(row, position)`` order -- i.e. the
+    ``RaggedArray.flat`` layout -- for ragged state.  Trailing event
+    axes (vector elements) ride along after the lane axis.
+    """
+
+    is_batched = True
+
+    def _lane_values(self, env) -> np.ndarray:
+        v = env[self.cond.target]
+        ev = tuple(self.shape.event)
+        if isinstance(v, RaggedArray):
+            return np.array(v.flat, dtype=np.float64, copy=True)
+        return np.asarray(v, dtype=np.float64).reshape((-1,) + ev).copy()
+
+    def _write_lanes(self, env, values) -> None:
+        v = env[self.cond.target]
+        if isinstance(v, RaggedArray):
+            v.flat[...] = values
+        else:
+            v[...] = np.asarray(values).reshape(v.shape)
+
+    def _lane_ll_fn(self, env, ws, rng):
+        """Lane-value vector -> per-lane conditional log densities.
+
+        Writes the candidate lanes into the live state array (the same
+        in-place contract as the scalar drivers) and evaluates the
+        batched conditional once.  The returned buffer is the reused
+        workspace, so it is copied before the next evaluation can
+        clobber it.
+        """
+
+        def logp_all(values):
+            self._write_lanes(env, values)
+            (bll,) = self._bll_fn(env, ws, rng)
+            flat = bll.flat if isinstance(bll, RaggedArray) else bll
+            return np.array(flat, dtype=np.float64, copy=True).reshape(-1)
+
+        return logp_all
+
+
+class VectorizedMHDriver(_LaneMixin, MHDriver):
+    """Random-walk MH over all element lanes in one vectorised sweep."""
+
+    def __init__(self, name, cond, shape, ll_fn, bll_fn, scale: float = 0.5):
+        super().__init__(name, cond, shape, ll_fn, scale=scale, proposal=None)
+        self._bll_fn = bll_fn
+
+    @property
+    def label(self) -> str:
+        # Same label as the scalar driver: the batched path is an
+        # execution strategy, not a different update.
+        return f"MH {','.join(self.targets)}"
+
+    def step(self, env, ws, rng) -> None:
+        x0 = self._lane_values(env)
+        n = x0.shape[0]
+        if n == 0:
+            return
+        info = self._info
+        x1, accepted = random_walk_sweep(
+            rng.generator, self._lane_ll_fn(env, ws, rng), x0, self.scale,
+            info=info,
+        )
+        self._write_lanes(env, x1)
+        n_accepted = int(np.count_nonzero(accepted))
+        n_nan = int(np.count_nonzero(info["nan"]))
+        self.stats.proposed += n
+        self.stats.accepted += n_accepted
+        self.stats.nan_rejected += n_nan
+        if self._sweep is not None:
+            s = self._sweep
+            s["proposed"] += n
+            s["accepted"] += n_accepted
+            s["nan"] += n_nan
+            la = info["log_alpha"]
+            finite = np.isfinite(la)
+            s["mean_log_alpha"] += float(la[finite].sum())
+            s["_n_finite"] += int(np.count_nonzero(finite))
+
+
+class VectorizedSliceDriver(_LaneMixin, SliceDriver):
+    """Stepping-out slice sampling of all (scalar) lanes per call."""
+
+    def __init__(self, name, cond, shape, ll_fn, bll_fn, width: float = 1.0):
+        super().__init__(name, cond, shape, ll_fn, width=width)
+        self._bll_fn = bll_fn
+
+    @property
+    def label(self) -> str:
+        return f"Slice {','.join(self.targets)}"
+
+    def step(self, env, ws, rng) -> None:
+        x0 = self._lane_values(env)
+        n = x0.shape[0]
+        if n == 0:
+            return
+        recording = self._sweep is not None
+        info = self._info if recording else None
+        x1 = slice_sweep(
+            rng.generator, self._lane_ll_fn(env, ws, rng), x0, self.width,
+            info=info,
+        )
+        self._write_lanes(env, x1)
+        self.stats.proposed += n
+        self.stats.accepted += n
+        if recording:
+            s = self._sweep
+            s["proposed"] += n
+            s["accepted"] += n
+            s["expansions"] += info["expansions"]
+            s["shrinks"] += info["shrinks"]
+
+
+class VectorizedESliceDriver(_LaneMixin, ESliceDriver):
+    """Elliptical slice sampling of all lanes per call.
+
+    Only wired when the Gaussian prior's parameters are lane-invariant
+    (no element index in the args), so one prior draw of ``n`` variates
+    serves every lane.
+    """
+
+    def __init__(self, name, cond, shape, ll_fn, bll_fn):
+        super().__init__(name, cond, shape, ll_fn)
+        self._bll_fn = bll_fn
+
+    @property
+    def label(self) -> str:
+        return f"ESlice {','.join(self.targets)}"
+
+    def step(self, env, ws, rng) -> None:
+        x0 = self._lane_values(env)
+        n = x0.shape[0]
+        if n == 0:
+            return
+        prior = lookup(self.cond.prior.dist)
+        args = [eval_expr(a, env) for a in self.cond.prior.args]
+        mean = np.asarray(args[0], dtype=np.float64)
+        nu = np.asarray(prior.sample(rng, *args, size=n), dtype=np.float64)
+        recording = self._sweep is not None
+        info = self._info if recording else None
+        x1 = elliptical_slice_sweep(
+            rng.generator, self._lane_ll_fn(env, ws, rng), x0, mean, nu,
+            info=info,
+        )
+        self._write_lanes(env, x1)
+        self.stats.proposed += n
+        self.stats.accepted += n
+        if recording:
+            s = self._sweep
+            s["proposed"] += n
+            s["accepted"] += n
+            s["shrinks"] += info["shrinks"]

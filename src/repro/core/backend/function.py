@@ -83,6 +83,10 @@ class FnEmitter:
         self.ragged = ragged_names
         self.charge = charge or ChargePolicy()
         self.vectorize = vectorize
+        #: Par/AtmPar loops the vectoriser declined (emitted as Python
+        #: loops).  Zero means the declaration runs fully vectorised --
+        #: the eligibility signal for batched element drivers.
+        self.par_fallbacks = 0
 
     # -- statement dispatch ----------------------------------------------
 
@@ -145,6 +149,7 @@ class FnEmitter:
         hi = emit_scalar_expr(s.gen.hi)
         handled = False
         if s.kind in (LoopKind.PAR, LoopKind.ATM_PAR):
+            self.par_fallbacks += 1
             handled = self.charge.fallback_par_block(self.sb, s)
         inner = self
         if handled:

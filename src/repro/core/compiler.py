@@ -32,7 +32,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.backend.cpu import emit_cpu_source, exec_cpu_module
+from repro.core.backend.cpu import decl_vectorizes, emit_cpu_source, exec_cpu_module
 from repro.core.backend.drivers import (
     ESliceDriver,
     GibbsDriver,
@@ -40,11 +40,15 @@ from repro.core.backend.drivers import (
     MHDriver,
     SliceDriver,
     UpdateDriver,
+    VectorizedESliceDriver,
+    VectorizedMHDriver,
+    VectorizedSliceDriver,
 )
 from repro.core.backend.gpu import compile_gpu_module
 from repro.core.chains import SamplerSpec
 from repro.core.density.conditionals import BlockConditional, Conditional
 from repro.core.density.lower import lower_and_factorize
+from repro.core.exprs import mentions
 from repro.core.frontend.parser import parse_model
 from repro.core.frontend.symbols import ModelInfo, analyze_model
 from repro.core.frontend.typecheck import type_of_value
@@ -62,7 +66,12 @@ from repro.core.lowmm.size_inference import (
 from repro.core.lowpp.ad import gen_grad
 from repro.core.lowpp.gen_gibbs import gen_gibbs_conjugate, gen_gibbs_enumeration
 from repro.core.lowpp.gen_init import gen_forward, gen_init
-from repro.core.lowpp.gen_ll import gen_block_ll, gen_cond_ll, gen_model_ll
+from repro.core.lowpp.gen_ll import (
+    gen_block_ll,
+    gen_cond_ll,
+    gen_cond_ll_batch,
+    gen_model_ll,
+)
 from repro.core.lowpp.verify import verify_decl
 from repro.core.options import CompileOptions
 from repro.core.sampler import CompiledSampler
@@ -277,6 +286,19 @@ def compile_model(
         plan = build_plan(info, env, tuple(ws_specs))
         ragged = _ragged_names(plan, env)
 
+    # Probe each batched conditional: the batched driver is only wired
+    # when every parallel loop of the declaration actually vectorises
+    # (ragged gathers etc. fall back to the scalar per-element path).
+    for _upd, gen_info in driver_specs:
+        batch_low = gen_info.get("batch_low")
+        if batch_low is not None:
+            gen_info["batch_ok"] = decl_vectorizes(batch_low, ragged)
+            trace.instant(
+                "batch.vectorized" if gen_info["batch_ok"] else "batch.fallback",
+                cat="compile",
+                decl=batch_low.decl.name,
+            )
+
     if options.target == "gpu":
         return _assemble_gpu(
             decls, env, ragged, plan, driver_specs, info, options,
@@ -458,6 +480,22 @@ def _generate_update(upd: KBase, fd, info: ModelInfo, options: CompileOptions) -
     ll_decl = gen_cond_ll(cond, fd.lets, include_prior=include_prior, suffix=suffix)
     out["decls"].append(lower_decl(ll_decl))
     out["names"]["ll"] = ll_decl.name
+    if (
+        options.target == "cpu"
+        and options.vectorize
+        and options.batch_elements
+        and upd.opt("batch") != "off"
+    ):
+        batch = gen_cond_ll_batch(
+            cond, fd, include_prior=include_prior, suffix=suffix
+        )
+        if batch is not None:
+            batch_decl, batch_ws = batch
+            batch_low = lower_decl(batch_decl, workspaces=(batch_ws.name,))
+            out["decls"].append(batch_low)
+            out["workspaces"].append(batch_ws)
+            out["names"]["batch_ll"] = batch_decl.name
+            out["batch_low"] = batch_low
     return out
 
 
@@ -493,11 +531,26 @@ def _make_driver(
     target = target_list[0]
     shape = plan.state[target]
     ll_fn = bind(names["ll"])
+    # Batched drivers need the vectorisation probe to have passed; the
+    # per-method guards below add the runtime-shape conditions the
+    # symbolic eligibility check cannot see.
+    batched = gen.get("batch_ok", False)
     if method is UpdateMethod.SLICE:
-        return SliceDriver(
-            names["ll"], cond, shape, ll_fn, width=float(upd.opt("width", 1.0))
-        )
+        width = float(upd.opt("width", 1.0))
+        if batched and not shape.event:
+            return VectorizedSliceDriver(
+                names["ll"], cond, shape, ll_fn, bind(names["batch_ll"]),
+                width=width,
+            )
+        return SliceDriver(names["ll"], cond, shape, ll_fn, width=width)
     if method is UpdateMethod.ESLICE:
+        lane_varying_prior = any(
+            mentions(a, v) for a in cond.prior.args for v in cond.idx_vars
+        )
+        if batched and not lane_varying_prior:
+            return VectorizedESliceDriver(
+                names["ll"], cond, shape, ll_fn, bind(names["batch_ll"])
+            )
         return ESliceDriver(names["ll"], cond, shape, ll_fn)
     if method is UpdateMethod.MH:
         proposal = proposals.get(target)
@@ -508,13 +561,14 @@ def _make_driver(
                 f"MH {target}: the schedule requests a user proposal; pass "
                 "one via setProposal / compile_model(proposals=...)"
             )
+        scale = float(upd.opt("scale", 0.5))
+        if batched and proposal is None and not shape.event:
+            return VectorizedMHDriver(
+                names["ll"], cond, shape, ll_fn, bind(names["batch_ll"]),
+                scale=scale,
+            )
         return MHDriver(
-            names["ll"],
-            cond,
-            shape,
-            ll_fn,
-            scale=float(upd.opt("scale", 0.5)),
-            proposal=proposal,
+            names["ll"], cond, shape, ll_fn, scale=scale, proposal=proposal
         )
     raise ReproError(f"no driver for update method {method}")
 

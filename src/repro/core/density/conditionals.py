@@ -124,6 +124,36 @@ def occurrences_in_factor(factor: Factor, name: str) -> list[tuple[Expr, ...]]:
     return out
 
 
+def lane_occurrence(
+    factor: Factor, target: str, n_idx: int
+) -> tuple[Expr, ...] | None:
+    """The unique index path at which ``factor`` reads ``target``, when
+    every read of a factor instance touches exactly one element lane.
+
+    Batched element updates evaluate the conditional of *all* lanes of
+    ``target`` simultaneously, which is only sound when each factor
+    instance depends on a single element: the instance's contribution to
+    lane ``path(gens)`` then sees the same value whether the other lanes
+    hold their current or their candidate states.  Returns ``None`` when
+    the factor reads the target at several distinct paths (lane
+    coupling, e.g. an autoregressive prior), at a partial path (whole
+    rows/vectors), or through a comprehension bound.
+    """
+    from repro.core.exprs import mentions
+
+    occs = occurrences_in_factor(factor, target)
+    if len(set(occs)) != 1:
+        return None
+    occ = occs[0]
+    if len(occ) != n_idx:
+        return None
+    if any(
+        mentions(g.lo, target) or mentions(g.hi, target) for g in factor.gens
+    ):
+        return None
+    return occ
+
+
 def replace_expr(e: Expr, old: Expr, new: Expr) -> Expr:
     """Replace every occurrence of sub-expression ``old`` (by structural
     equality) with ``new``."""

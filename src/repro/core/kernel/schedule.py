@@ -9,7 +9,10 @@ composes them with ``(*)``::
 
 The optional bracket list attaches options (integers, floats, or bare
 identifiers) to the update, e.g. HMC integrator settings or a MH
-proposal scale.
+proposal scale.  Element-wise updates (``MH``/``Slice``/``ESlice``)
+additionally accept ``batch=off`` to force the scalar per-element
+driver even when the compiler's batched (element-parallel) execution
+path would be eligible.
 """
 
 from __future__ import annotations

@@ -145,6 +145,12 @@ def _check_density_based(
             "mark the update as MH[proposal=user] and pass the callable via "
             "setProposal / compile_model(proposals=...)"
         )
+    batch = upd.opt("batch")
+    if batch not in (None, "on", "off"):
+        raise ScheduleError(
+            f"{upd.method.value} {name}: the batch option must be 'on' or "
+            f"'off', got {batch!r}"
+        )
     cond = conditional(fd, name, info, categorical_rule)
     if upd.method is UpdateMethod.ESLICE:
         if cond.prior.dist not in ("Normal", "MvNormal"):

@@ -10,16 +10,22 @@ optimiser later converts the accumulation into summation blocks.
 from __future__ import annotations
 
 
-from repro.core.density.conditionals import BlockConditional, Conditional
+from repro.core.density.conditionals import (
+    BlockConditional,
+    Conditional,
+    lane_occurrence,
+)
 from repro.core.density.ir import Factor, FactorizedDensity
 from repro.core.exprs import (
     Call,
     DistOp,
     DistOpKind,
     Expr,
+    Gen,
     RealLit,
     Var,
     free_vars,
+    mentions,
 )
 from repro.core.lowpp.ir import (
     AssignOp,
@@ -31,6 +37,7 @@ from repro.core.lowpp.ir import (
     SLoop,
     Stmt,
 )
+from repro.core.workspace import WorkspaceSpec
 
 _LL = "ll"
 
@@ -123,6 +130,142 @@ def gen_cond_ll(
     factors = cond.all_factors if include_prior else cond.likelihood
     name = f"cond_ll_{cond.target}{suffix}"
     return _ll_decl(name, factors, lets, extra_params=cond.idx_vars)
+
+
+def _lane_loop_nest(
+    stmts: tuple[Stmt, ...], gens: tuple[Gen, ...], occ_free: frozenset[str], kind: LoopKind
+) -> tuple[Stmt, ...]:
+    """Wrap ``stmts`` in ``gens`` with exactly one batchable axis.
+
+    The vectoriser collapses a single parallel loop (or a ragged pair
+    whose inner bound depends on the outer variable); any further
+    parallel nesting makes it decline the whole loop.  So: keep a ragged
+    pair parallel, make one other generator the parallel batch axis --
+    preferring a generator the lane path mentions, since that is the
+    axis the scatter distributes over -- and demote the rest to
+    sequential host loops.  Independent dense generators commute, so the
+    chosen axis is rotated outermost.
+    """
+    dependent = {
+        g.var
+        for i, g in enumerate(gens)
+        for h in gens[:i]
+        if mentions(g.lo, h.var) or mentions(g.hi, h.var)
+    }
+    independent = all(g.var not in dependent for g in gens)
+    order = list(gens)
+    if independent and len(gens) > 1:
+        par_pos = next(
+            (i for i, g in enumerate(gens) if g.var in occ_free), 0
+        )
+        order = [gens[par_pos]] + [g for i, g in enumerate(gens) if i != par_pos]
+
+    kinds: list[LoopKind] = []
+    for pos, g in enumerate(order):
+        if pos == 0:
+            kinds.append(kind)
+        elif pos == 1 and (
+            mentions(g.lo, order[0].var) or mentions(g.hi, order[0].var)
+        ):
+            kinds.append(kind)
+        else:
+            kinds.append(LoopKind.SEQ)
+    body = stmts
+    for g, k in reversed(list(zip(order, kinds))):
+        body = (SLoop(k, g, body),)
+    return body
+
+
+def gen_cond_ll_batch(
+    cond: Conditional,
+    fd: FactorizedDensity,
+    include_prior: bool = True,
+    suffix: str = "",
+) -> tuple[LDecl, WorkspaceSpec] | None:
+    """The batched conditional: per-lane log densities in one call.
+
+    Where :func:`gen_cond_ll` scores ``p(target[i...] | rest)`` for one
+    index tuple passed in as parameters, this declaration fills a
+    workspace ``_bll_<target>`` -- shaped like the target itself -- with
+    the conditional log density of *every* element lane in a single
+    evaluation: each original model factor scatter-accumulates its log
+    density into the lane its single target occurrence addresses.  The
+    caller evaluates it with candidate values for all lanes already
+    written into the state array.
+
+    Returns ``None`` when batching is unsound (lane-coupled factors,
+    imprecise or whole-vector conditionals, lets that mix lanes) --
+    callers then stay on the scalar per-element path.
+    """
+    target = cond.target
+    if not cond.idx_vars or cond.imprecise or cond.vector_dependence:
+        return None
+    factors: list[Factor] = []
+    for f in fd.factors:
+        if f.source == target:
+            if include_prior:
+                factors.append(f)
+        elif f.mentions(target):
+            factors.append(f)
+    if not factors:
+        return None
+    paths: list[tuple[Expr, ...]] = []
+    for f in factors:
+        occ = lane_occurrence(f, target, len(cond.idx_vars))
+        if occ is None:
+            return None
+        paths.append(occ)
+
+    free = _factors_free_names(factors)
+    let_stmts = _needed_lets(fd.lets, free)
+    if any(mentions(s.rhs, target) for s in let_stmts):
+        # A deterministic let reading the target would be recomputed from
+        # the all-lanes-proposed state, coupling the lanes.
+        return None
+
+    acc = f"_bll_{target}{suffix}"
+    body: list[Stmt] = list(let_stmts)
+    zero = SAssign(
+        LValue(acc, tuple(Var(v) for v in cond.idx_vars)),
+        AssignOp.SET,
+        RealLit(0.0),
+    )
+    body.extend(
+        _lane_loop_nest((zero,), cond.gens, frozenset(), LoopKind.PAR)
+    )
+    for f, occ in zip(factors, paths):
+        inc: Stmt = SAssign(
+            LValue(acc, occ),
+            AssignOp.INC,
+            DistOp(f.dist, f.args, DistOpKind.LL, value=f.at),
+        )
+        guard = _guard_expr(f.guards)
+        if guard is not None:
+            inc = SIf(guard, (inc,))
+        occ_free: set[str] = set()
+        for e in occ:
+            occ_free |= free_vars(e)
+        body.extend(
+            _lane_loop_nest(
+                (inc,), f.gens, frozenset(occ_free), LoopKind.ATM_PAR
+            )
+        )
+
+    bound = {s.lhs.name for s in let_stmts}
+    for s in let_stmts:
+        free |= free_vars(s.rhs)
+    for g in cond.gens:
+        free |= free_vars(g.lo) | free_vars(g.hi)
+    free -= {g.var for g in cond.gens}
+    params = tuple(sorted(frozenset(free) - bound))
+    decl = LDecl(
+        name=f"batch_cond_ll_{target}{suffix}",
+        params=params,
+        body=tuple(body),
+        ret=(Var(acc),),
+        locals_hint=(acc,),
+    )
+    return decl, WorkspaceSpec(acc, gens=cond.gens)
 
 
 def gen_block_ll(

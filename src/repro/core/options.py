@@ -30,6 +30,12 @@ class CompileOptions:
     sum_block_conversion: bool = True
     #: The categorical-indexing conditional rewrite (Section 3.3).
     categorical_rule: bool = True
+    #: Batched element-parallel MH/Slice/ESlice execution: emit a
+    #: vectorised per-lane conditional next to the scalar one and drive
+    #: all element lanes per sweep in whole-vector calls.  Off = the
+    #: scalar per-element drivers only (also overridable per update via
+    #: the ``batch=off`` schedule option).
+    batch_elements: bool = True
     #: Default HMC integrator settings (overridable per update via
     #: schedule options, e.g. ``HMC[steps=30, step_size=0.02] theta``).
     hmc_steps: int = 20

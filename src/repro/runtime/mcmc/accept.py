@@ -26,3 +26,16 @@ def mh_accept(rng, log_alpha: float) -> bool:
     if log_alpha >= 0:
         return True
     return bool(np.log(rng.uniform()) < log_alpha)
+
+
+def mh_accept_mask(u: np.ndarray, log_alpha: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`mh_accept`: one decision per element lane.
+
+    ``u`` holds one pre-drawn uniform per lane (drawn unconditionally;
+    unlike the scalar path there is no saving in skipping the draw for
+    sure-accept lanes).  NaN log-ratios fail both comparisons, so they
+    are rejected exactly as in the scalar routine.
+    """
+    la = np.asarray(log_alpha, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return (la >= 0.0) | (np.log(np.asarray(u)) < la)

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.runtime.mcmc.accept import mh_accept
+from repro.runtime.mcmc.accept import mh_accept, mh_accept_mask
 
 
 def _note(info, log_alpha: float, accepted: bool) -> None:
@@ -46,3 +46,31 @@ def user_proposal_step(rng, logp, x0, proposal, info: dict | None = None):
     if accepted:
         return x1, True
     return x0, False
+
+
+def random_walk_sweep(
+    rng, logp_all, x0: np.ndarray, scale: float = 0.5, info: dict | None = None
+):
+    """One Gaussian random-walk MH sweep over every element lane at once.
+
+    ``logp_all`` maps a full lane-value vector to the vector of per-lane
+    conditional log densities.  The lanes are conditionally independent
+    (the compiler's batching eligibility check guarantees it), so two
+    evaluations -- one at the current values, one with every lane's
+    candidate written -- score all proposals, and a single uniform vector
+    decides acceptance per lane.  Returns ``(x_next, accept_mask)``;
+    ``info`` (when supplied) receives the per-lane ``log_alpha`` and
+    ``nan`` arrays.
+    """
+    x0 = np.asarray(x0, dtype=np.float64)
+    x1 = x0 + scale * rng.standard_normal(x0.shape)
+    lp0 = logp_all(x0)
+    lp1 = logp_all(x1)
+    log_alpha = lp1 - lp0
+    u = rng.uniform(size=x0.shape[0])
+    accepted = mh_accept_mask(u, log_alpha)
+    if info is not None:
+        info["log_alpha"] = log_alpha
+        info["nan"] = np.isnan(log_alpha)
+        info["accepted"] = accepted
+    return np.where(accepted, x1, x0), accepted

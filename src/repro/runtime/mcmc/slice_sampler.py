@@ -76,6 +76,72 @@ def slice_coordinate(
             return _done(x0)
 
 
+def slice_sweep(
+    rng,
+    logp_all,  # callable: lane-value vector -> per-lane log density vector
+    x0: np.ndarray,
+    width: float = 1.0,
+    max_steps: int = 32,
+    info: dict | None = None,
+) -> np.ndarray:
+    """One stepping-out slice update of every (scalar) element lane.
+
+    The batched counterpart of :func:`slice_coordinate`: every lane
+    steps its bracket out and shrinks it simultaneously; an active-lane
+    mask retires lanes as their candidates are accepted, so the loop
+    iteration count is the *maximum* over lanes rather than the sum.
+    ``info`` receives lane-aggregated ``expansions``/``shrinks`` totals.
+    """
+    x0 = np.asarray(x0, dtype=np.float64)
+    n = x0.shape[0]
+    lp0 = logp_all(x0)
+    if np.any(lp0 == -np.inf):
+        raise ValueError("slice sampler started from a zero-density point")
+    log_y = lp0 + np.log(rng.uniform(size=n))
+
+    # Step out.  Each lane keeps widening its own edge while the edge
+    # density stays above the slice; retired lanes are masked off, so
+    # evaluating the whole edge vector each round scores only live work.
+    expansions = 0
+    lo = x0 - width * rng.uniform(size=n)
+    hi = lo + width
+
+    def _step_out(edge, delta):
+        nonlocal expansions
+        steps = max_steps
+        active = logp_all(edge) > log_y
+        while steps > 0 and np.any(active):
+            edge = np.where(active, edge + delta, edge)
+            expansions += int(np.count_nonzero(active))
+            steps -= 1
+            active &= logp_all(edge) > log_y
+        return edge
+
+    lo = _step_out(lo, -width)
+    hi = _step_out(hi, width)
+
+    # Shrink until every lane has accepted (or its bracket collapsed).
+    shrinks = 0
+    x1 = x0.copy()
+    active = np.ones(n, dtype=bool)
+    while np.any(active):
+        cand = rng.uniform(lo, hi)
+        lp = logp_all(np.where(active, cand, x1))
+        ok = active & (lp > log_y)
+        x1 = np.where(ok, cand, x1)
+        rejected = active & ~ok
+        shrinks += int(np.count_nonzero(rejected))
+        lo = np.where(rejected & (cand < x0), cand, lo)
+        hi = np.where(rejected & (cand >= x0), cand, hi)
+        # Collapsed brackets bail out to the current value, like the
+        # scalar routine (x1 still holds x0 for never-accepted lanes).
+        active = rejected & ~((hi - lo) < 1e-12)
+    if info is not None:
+        info["expansions"] = expansions
+        info["shrinks"] = shrinks
+    return x1
+
+
 def elliptical_slice(
     rng,
     loglik,  # callable: value (ndarray or float) -> float, prior excluded
@@ -115,3 +181,53 @@ def elliptical_slice(
         theta = rng.uniform(lo, hi)
         if hi - lo < 1e-12:
             return _done(x0)
+
+
+def elliptical_slice_sweep(
+    rng,
+    loglik_all,  # callable: lane-value array -> per-lane log likelihood vector
+    x0: np.ndarray,
+    prior_mean: np.ndarray,
+    prior_draws: np.ndarray,
+    info: dict | None = None,
+) -> np.ndarray:
+    """One elliptical slice update of every element lane at once.
+
+    Lanes are the leading axis of ``x0``; trailing axes are the
+    element's own (event) dimensions, so a batch of vector-valued
+    elements rotates whole vectors.  Each lane walks its own shrinking
+    angle bracket until its likelihood accepts; accepted lanes freeze
+    while the rest keep shrinking.  ``info`` receives the
+    lane-aggregated ``shrinks`` total.
+    """
+    x0 = np.asarray(x0, dtype=np.float64)
+    n = x0.shape[0]
+    m = np.asarray(prior_mean, dtype=np.float64)
+    nu = np.asarray(prior_draws, dtype=np.float64)
+
+    def _col(v):
+        # Broadcast a per-lane vector over the element's event axes.
+        return v.reshape(v.shape + (1,) * (x0.ndim - 1))
+
+    log_y = loglik_all(x0) + np.log(rng.uniform(size=n))
+    theta = rng.uniform(0.0, 2.0 * np.pi, size=n)
+    lo, hi = theta - 2.0 * np.pi, theta
+    shrinks = 0
+    x1 = x0.copy()
+    active = np.ones(n, dtype=bool)
+    while np.any(active):
+        cand = m + (x0 - m) * _col(np.cos(theta)) + (nu - m) * _col(np.sin(theta))
+        lp = loglik_all(np.where(_col(active), cand, x1))
+        ok = active & (lp > log_y)
+        x1 = np.where(_col(ok), cand, x1)
+        rejected = active & ~ok
+        shrinks += int(np.count_nonzero(rejected))
+        lo = np.where(rejected & (theta < 0), theta, lo)
+        hi = np.where(rejected & (theta >= 0), theta, hi)
+        theta = np.where(rejected, rng.uniform(lo, hi), theta)
+        # A collapsed angle bracket keeps the current state, like the
+        # scalar routine (x1 still holds x0 for never-accepted lanes).
+        active = rejected & ~((hi - lo) < 1e-12)
+    if info is not None:
+        info["shrinks"] = shrinks
+    return x1
