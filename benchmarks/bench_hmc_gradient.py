@@ -1,0 +1,131 @@
+"""Fused-gradient + flat-state HMC/NUTS throughput on hierarchical LR.
+
+The baseline path (``fuse_gradient=False, flat_state=False``) runs each
+gradient-based sweep with separate compiled log-density and gradient
+calls over dict-of-arrays states; the standalone adjoint function
+re-derives the forward pass (the sigmoid of the linear predictor) for
+every partial.  The fused path (PR 4 defaults) emits one
+``ll_grad_<block>`` declaration whose CSE'd body evaluates the forward
+pass once per call, integrates on a packed flat state vector with
+in-place whole-vector leapfrog, and serves every NUTS leaf with a
+single compiled evaluation instead of three.
+
+Results land in ``BENCH_hmc_gradient.json`` at the repository root.
+Acceptance: the combined HMC+NUTS sweep time must improve by at least
+``MIN_SPEEDUP_COMBINED`` (the PR's >=2x throughput target), with
+per-schedule regression floors on HMC and NUTS individually.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from repro.core.compiler import compile_model
+from repro.core.options import CompileOptions
+from repro.eval import models
+from repro.eval.datasets import german_credit_like
+from repro.eval.experiments.common import format_table
+from repro.eval.experiments.hlr import _hlr_inputs
+from repro.runtime.rng import Rng
+
+FULL = os.environ.get("REPRO_FULL") == "1"
+N, D = (8000, 64) if FULL else (4000, 48)
+HMC_SWEEPS = 30 if FULL else 15
+NUTS_SWEEPS = 16 if FULL else 8
+
+MIN_SPEEDUP_COMBINED = 2.0
+MIN_SPEEDUP_HMC = 1.5
+MIN_SPEEDUP_NUTS = 2.0
+
+RESULTS_JSON = (
+    pathlib.Path(__file__).resolve().parents[1] / "BENCH_hmc_gradient.json"
+)
+
+SCHEDULES = {
+    "HMC": ("HMC[steps=10, step_size=0.005] (sigma2, b, theta)", HMC_SWEEPS),
+    "NUTS": ("NUTS[step_size=0.005] (sigma2, b, theta)", NUTS_SWEEPS),
+}
+
+
+def _per_sweep_seconds(hypers, observed, schedule, sweeps, **opts) -> float:
+    options = CompileOptions(**opts) if opts else None
+    sampler = compile_model(
+        models.HLR, hypers, observed, schedule=schedule, options=options
+    )
+    rng = Rng(7)
+    state = sampler.init_state(rng)
+    for _ in range(3):  # warm up caches and allocators
+        sampler.step(state, rng)
+    t0 = time.perf_counter()
+    for _ in range(sweeps):
+        sampler.step(state, rng)
+    return (time.perf_counter() - t0) / sweeps
+
+
+def test_fused_gradient_speedup(report):
+    data = german_credit_like(n=N, d=D)
+    hypers, observed = _hlr_inputs(data)
+
+    results = {}
+    for label, (schedule, sweeps) in SCHEDULES.items():
+        base = _per_sweep_seconds(
+            hypers, observed, schedule, sweeps,
+            fuse_gradient=False, flat_state=False,
+        )
+        fused = _per_sweep_seconds(hypers, observed, schedule, sweeps)
+        results[label] = {
+            "baseline_s_per_sweep": base,
+            "fused_s_per_sweep": fused,
+            "speedup": base / fused,
+            "sweeps": sweeps,
+        }
+
+    base_total = sum(r["baseline_s_per_sweep"] for r in results.values())
+    fused_total = sum(r["fused_s_per_sweep"] for r in results.values())
+    combined = base_total / fused_total
+
+    report(
+        f"Fused ll+grad / flat-state HMC & NUTS -- HLR n={N} d={D}",
+        format_table(
+            ["schedule", "baseline s/sweep", "fused s/sweep", "speedup"],
+            [
+                [label,
+                 f"{r['baseline_s_per_sweep']:.4f}",
+                 f"{r['fused_s_per_sweep']:.4f}",
+                 f"{r['speedup']:.2f}x"]
+                for label, r in results.items()
+            ] + [["combined", f"{base_total:.4f}", f"{fused_total:.4f}",
+                  f"{combined:.2f}x"]],
+        ),
+    )
+
+    RESULTS_JSON.write_text(
+        json.dumps(
+            {
+                "n": N,
+                "d": D,
+                "schedules": results,
+                "combined_speedup": combined,
+                "min_speedup_combined": MIN_SPEEDUP_COMBINED,
+                "min_speedup_hmc": MIN_SPEEDUP_HMC,
+                "min_speedup_nuts": MIN_SPEEDUP_NUTS,
+            },
+            indent=2,
+        )
+    )
+
+    assert combined >= MIN_SPEEDUP_COMBINED, (
+        f"fused HMC+NUTS only {combined:.2f}x faster "
+        f"(required {MIN_SPEEDUP_COMBINED}x)"
+    )
+    assert results["HMC"]["speedup"] >= MIN_SPEEDUP_HMC, (
+        f"fused HMC only {results['HMC']['speedup']:.2f}x faster "
+        f"(required {MIN_SPEEDUP_HMC}x)"
+    )
+    assert results["NUTS"]["speedup"] >= MIN_SPEEDUP_NUTS, (
+        f"fused NUTS only {results['NUTS']['speedup']:.2f}x faster "
+        f"(required {MIN_SPEEDUP_NUTS}x)"
+    )

@@ -32,8 +32,14 @@ from repro.core.density.interp import eval_expr
 from repro.core.exprs import mentions
 from repro.core.lowmm.size_inference import BufferShape
 from repro.runtime.distributions import lookup
-from repro.runtime.mcmc.hmc import TransformedLogDensity, hmc_step
-from repro.runtime.mcmc.nuts import nuts_step
+from repro.runtime.mcmc.hmc import (
+    FlatLogDensity,
+    TransformedLogDensity,
+    hmc_step,
+    hmc_step_flat,
+)
+from repro.runtime.mcmc.nuts import nuts_step, nuts_step_flat
+from repro.runtime.mcmc.tree import tree_empty_like
 from repro.runtime.mcmc.mh import (
     random_walk_step,
     random_walk_sweep,
@@ -170,17 +176,35 @@ class GradBlockDriver(UpdateDriver):
         method: str = "hmc",
         step_size: float = 0.05,
         n_steps: int = 20,
+        ll_grad_fn=None,
+        pack_plan=None,
     ):
         super().__init__()
         self.name = name
         self.targets = tuple(targets)
         self._ll_fn = ll_fn
         self._grad_fn = grad_fn
+        self._ll_grad_fn = ll_grad_fn
         self._transforms = transforms
         self._method = method
         self.step_size = step_size
         self.n_steps = n_steps
         self._info: dict = {}
+        # Flat-state path: requires a dense pack plan and element-wise
+        # transforms (slice-wise application on the packed vector).
+        self._pack_plan = pack_plan
+        self._use_flat = pack_plan is not None and all(
+            getattr(t, "elementwise", False) for t in transforms.values()
+        )
+        self._flat: FlatLogDensity | None = None
+        self._flat_scope: dict = {}
+        self._flat_call = None  # (ws, rng) of the step in flight
+        self._z_buf: np.ndarray | None = None
+        self._flat_work = None
+        # Tree-path leapfrog work buffers (hoisted out of the per-call
+        # tree_copy), keyed by the block's shapes.
+        self._leap_work = None
+        self._leap_work_key = None
 
     @property
     def label(self) -> str:
@@ -228,26 +252,51 @@ class GradBlockDriver(UpdateDriver):
 
         return TransformedLogDensity(ll, grad, self._transforms)
 
+    def _flat_density(self) -> FlatLogDensity:
+        """The packed-vector density, built once; its compiled-call
+        closures read the persistent scope and the step-in-flight
+        ``(ws, rng)`` pair."""
+        if self._flat is not None:
+            return self._flat
+        scope = self._flat_scope
+
+        def ll():
+            (val,) = self._ll_fn(scope, *self._flat_call)
+            return float(val)
+
+        def grad():
+            grads = self._grad_fn(scope, *self._flat_call)
+            return dict(zip(self.targets, grads))
+
+        ll_grad = None
+        if self._ll_grad_fn is not None:
+            def ll_grad():
+                vals = self._ll_grad_fn(scope, *self._flat_call)
+                return float(vals[0]), dict(zip(self.targets, vals[1:]))
+
+        self._flat = FlatLogDensity(
+            ll, grad, self._transforms, self._pack_plan, ll_grad_fn=ll_grad
+        )
+        return self._flat
+
+    def _tree_work(self, z):
+        """Preallocated leapfrog (position, momentum) tree buffers."""
+        key = tuple((k, np.shape(v)) for k, v in z.items())
+        if self._leap_work is None or self._leap_work_key != key:
+            self._leap_work = (tree_empty_like(z), tree_empty_like(z))
+            self._leap_work_key = key
+        return self._leap_work
+
     def step(self, env, ws, rng) -> None:
-        target = self._target_density(env, ws, rng)
-        x = {t: np.asarray(env[t], dtype=np.float64) for t in self.targets}
-        z = target.unconstrain(x)
         self.stats.proposed += 1
         info = self._info
         info.clear()
-        if self._method == "nuts":
-            z_next, _, accept_stat = nuts_step(
-                rng, target, z, self.step_size, info=info
-            )
-            accepted = any(
-                not np.array_equal(z_next[k], z[k]) for k in z
-            )
+        if self._use_flat:
+            accepted, accept_stat = self._step_flat(env, ws, rng, info)
         else:
-            z_next, accepted = hmc_step(
-                rng, target, z, self.step_size, self.n_steps, info=info
-            )
-            if info.get("nan"):
-                self.stats.nan_rejected += 1
+            accepted, accept_stat = self._step_tree(env, ws, rng, info)
+        if info.get("nan"):
+            self.stats.nan_rejected += 1
         if accepted:
             self.stats.accepted += 1
         if self._sweep is not None:
@@ -258,9 +307,64 @@ class GradBlockDriver(UpdateDriver):
                 # NUTS has no accept/reject; report the dual-averaging
                 # accept statistic as the sweep's acceptance rate.
                 self._sweep["accepted"] = accept_stat
+
+    def _step_tree(self, env, ws, rng, info) -> tuple[bool, float]:
+        target = self._target_density(env, ws, rng)
+        x = {t: np.asarray(env[t], dtype=np.float64) for t in self.targets}
+        z = target.unconstrain(x)
+        accept_stat = 0.0
+        if self._method == "nuts":
+            z_next, _, accept_stat = nuts_step(
+                rng, target, z, self.step_size, info=info
+            )
+            accepted = any(
+                not np.array_equal(z_next[k], z[k]) for k in z
+            )
+        else:
+            z_next, accepted = hmc_step(
+                rng, target, z, self.step_size, self.n_steps, info=info,
+                work=self._tree_work(z),
+            )
         x_next = target.constrain(z_next)
         for t in self.targets:
-            env[t] = _shape_like(x_next[t], env[t])
+            # Copy before committing: the constrained point may be a view
+            # of a reused trajectory buffer (identity transform).
+            env[t] = _shape_like(np.array(x_next[t], copy=True), env[t])
+        return accepted, accept_stat
+
+    def _step_flat(self, env, ws, rng, info) -> tuple[bool, float]:
+        flat = self._flat_density()
+        layout = self._pack_plan
+        self._flat_call = (ws, rng)
+        scope = self._flat_scope
+        scope.clear()
+        scope.update(env)
+        # The compiled functions read the constrained state through the
+        # density's live views; splice them over the committed values.
+        scope.update(flat.x_views)
+        # Other updates moved the rest of the state since the last step;
+        # every cached density value is stale.
+        flat.invalidate()
+        if self._z_buf is None or self._z_buf.shape[0] != layout.total:
+            n = layout.total
+            self._z_buf = np.empty(n)
+            self._flat_work = (np.empty(n), np.empty(n), np.empty(n))
+        z = flat.unconstrain_into(env, self._z_buf)
+        accept_stat = 0.0
+        if self._method == "nuts":
+            z_next, _, accept_stat = nuts_step_flat(
+                rng, flat, z, self.step_size, info=info
+            )
+            accepted = not np.array_equal(z_next, z)
+        else:
+            z_next, accepted = hmc_step_flat(
+                rng, flat, z, self.step_size, self.n_steps, info=info,
+                work=self._flat_work,
+            )
+        x_next = flat.constrain_point(z_next)
+        for t in self.targets:
+            env[t] = _shape_like(np.array(x_next[t], copy=True), env[t])
+        return accepted, accept_stat
 
 
 def _shape_like(value, like):

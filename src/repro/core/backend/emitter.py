@@ -72,6 +72,25 @@ def mangle(name: str) -> str:
     return f"v_{name}"
 
 
+def _expr_ops(e: Expr) -> int:
+    return sum(1 for _ in walk(e))
+
+
+def _leaf_op_count(s: Stmt) -> int | None:
+    """Operation count of a straight-line statement, shared by both
+    cost walkers; ``None`` for loops/branches, whose trip-count handling
+    is walker-specific."""
+    match s:
+        case SAssign(lhs, _, rhs):
+            return 1 + _expr_ops(rhs) + sum(_expr_ops(i) for i in lhs.indices)
+        case SMultiAssign(_, rhs):
+            return 1 + _expr_ops(rhs)
+        case SIf() | SLoop():
+            return None
+        case _:
+            return 1
+
+
 def op_count_code(stmts: tuple[Stmt, ...]) -> str:
     """Per-thread operation count as a Python expression.
 
@@ -80,10 +99,10 @@ def op_count_code(stmts: tuple[Stmt, ...]) -> str:
     ops per thread.
     """
 
-    def expr_ops(e: Expr) -> int:
-        return sum(1 for _ in walk(e))
-
     def go(s: Stmt) -> str:
+        leaf = _leaf_op_count(s)
+        if leaf is not None:
+            return str(leaf)
         match s:
             case SLoop(_, gen, body):
                 lo = emit_scalar_expr(gen.lo)
@@ -91,41 +110,31 @@ def op_count_code(stmts: tuple[Stmt, ...]) -> str:
                 inner = " + ".join(go(b) for b in body) or "0"
                 return f"max(0, ({hi}) - ({lo})) * ({inner})"
             case SIf(cond, then, els):
-                parts = [str(expr_ops(cond))]
+                parts = [str(_expr_ops(cond))]
                 parts.extend(go(b) for b in then)
                 parts.extend(go(b) for b in els)
                 return "(" + " + ".join(parts) + ")"
-            case SAssign(lhs, _, rhs):
-                return str(1 + expr_ops(rhs) + sum(expr_ops(i) for i in lhs.indices))
-            case SMultiAssign(_, rhs):
-                return str(1 + expr_ops(rhs))
-            case _:
-                return "1"
 
     return "(" + (" + ".join(go(s) for s in stmts) or "0") + ")"
 
 
 def stmt_op_count(stmts: tuple[Stmt, ...]) -> int:
-    """Static operation count, used by the GPU cost model."""
-    total = 0
+    """Static operation count, used by the GPU cost model.
 
-    def expr_ops(e: Expr) -> int:
-        return sum(1 for _ in walk(e))
+    Loops count one bound evaluation plus the body *once* (no trip-count
+    multiplication -- that is :func:`op_count_code`'s job)."""
 
     def go(s: Stmt) -> int:
+        leaf = _leaf_op_count(s)
+        if leaf is not None:
+            return leaf
         match s:
-            case SAssign(lhs, _, rhs):
-                return 1 + expr_ops(rhs) + sum(expr_ops(i) for i in lhs.indices)
-            case SMultiAssign(_, rhs):
-                return 1 + expr_ops(rhs)
             case SIf(cond, then, els):
-                return expr_ops(cond) + sum(map(go, then)) + sum(map(go, els))
+                return _expr_ops(cond) + sum(map(go, then)) + sum(map(go, els))
             case SLoop(_, gen, body):
-                return expr_ops(gen.hi) + sum(map(go, body))
-            case _:
-                return 1
+                return _expr_ops(gen.hi) + sum(map(go, body))
 
-    return total + sum(map(go, stmts))
+    return sum(map(go, stmts))
 
 
 class SourceBuilder:

@@ -61,9 +61,10 @@ from repro.core.lowmm.ir import LowDecl, lower_decl
 from repro.core.lowmm.size_inference import (
     AllocationPlan,
     allocate_workspaces,
+    build_pack_plan,
     build_plan,
 )
-from repro.core.lowpp.ad import gen_grad
+from repro.core.lowpp.ad import gen_grad, gen_ll_grad
 from repro.core.lowpp.gen_gibbs import gen_gibbs_conjugate, gen_gibbs_enumeration
 from repro.core.lowpp.gen_init import gen_forward, gen_init
 from repro.core.lowpp.gen_ll import (
@@ -75,7 +76,7 @@ from repro.core.lowpp.gen_ll import (
 from repro.core.lowpp.verify import verify_decl
 from repro.core.options import CompileOptions
 from repro.core.sampler import CompiledSampler
-from repro.errors import ReproError
+from repro.errors import CodegenError, ReproError
 from repro.gpusim import Device
 from repro.runtime.transforms import transform_for_support
 from repro.runtime.vectors import RaggedArray
@@ -472,6 +473,24 @@ def _generate_update(upd: KBase, fd, info: ModelInfo, options: CompileOptions) -
         out["decls"].append(lower_decl(grad_decl))
         out["names"]["ll"] = ll_decl.name
         out["names"]["grad"] = grad_decl.name
+        if options.target == "cpu" and options.fuse_gradient:
+            # The fused value+gradient declaration shares the forward
+            # pass and accumulates adjoints into preallocated workspace
+            # buffers.  Decl-level gating: any block fusion cannot
+            # handle falls back to the separate pair above.
+            try:
+                fused_decl, fused_ws = gen_ll_grad(blk, fd.lets)
+            except CodegenError:
+                fused_decl = None
+            if fused_decl is not None:
+                out["decls"].append(
+                    lower_decl(
+                        fused_decl,
+                        workspaces=tuple(w.name for w in fused_ws),
+                    )
+                )
+                out["workspaces"].extend(fused_ws)
+                out["names"]["ll_grad"] = fused_decl.name
         return out
 
     cond: Conditional = payload
@@ -516,6 +535,11 @@ def _make_driver(
         for t in target_list:
             support = _support_of(t, plan, upd)
             transforms[t] = transform_for_support(support)
+        ll_grad_name = names.get("ll_grad")
+        pack_plan = None
+        if options.flat_state and options.target == "cpu":
+            # None for ragged blocks -- the driver stays on the tree path.
+            pack_plan = build_pack_plan(plan, target_list)
         return GradBlockDriver(
             name=names["ll"],
             targets=target_list,
@@ -525,6 +549,8 @@ def _make_driver(
             method="nuts" if method is UpdateMethod.NUTS else "hmc",
             step_size=float(upd.opt("step_size", options.hmc_step_size)),
             n_steps=int(upd.opt("steps", options.hmc_steps)),
+            ll_grad_fn=bind(ll_grad_name) if ll_grad_name else None,
+            pack_plan=pack_plan,
         )
 
     cond: Conditional = upd.payload

@@ -199,6 +199,22 @@ def allocate_state(layout: dict[str, BufferShape]) -> dict:
 
 
 def resolve_workspace(spec: WorkspaceSpec, env: dict) -> BufferShape:
+    if spec.like is not None:
+        if spec.like not in env:
+            raise SizeInferenceError(
+                f"{spec.name}: no buffer named {spec.like!r} to mirror"
+            )
+        v = env[spec.like]
+        if isinstance(v, RaggedArray):
+            return BufferShape(
+                spec.name,
+                (v.n_rows,),
+                np.asarray(v.row_lengths(), dtype=np.int64),
+                tuple(int(s) for s in v.flat.shape[1:]),
+                spec.dtype,
+            )
+        shape = tuple(int(s) for s in np.shape(v))
+        return BufferShape(spec.name, shape, None, (), spec.dtype)
     lead, row_lengths = _resolve_gens(spec.gens, env, spec.name)
     event = tuple(int(eval_expr(t, env)) for t in spec.trailing)
     return BufferShape(spec.name, lead, row_lengths, event, spec.dtype)
@@ -226,6 +242,70 @@ def allocate(specs, env: dict) -> dict:
             buf = np.zeros((), dtype=np.dtype(shape.dtype))
         out[spec.name] = buf
     return out
+
+
+# ----------------------------------------------------------------------
+# Flat-state pack plans (gradient-based block updates).
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PackSlot:
+    """One block variable's slice of the packed 1-D state vector."""
+
+    name: str
+    offset: int
+    size: int
+    shape: tuple[int, ...]
+
+    @property
+    def slice(self) -> slice:
+        return slice(self.offset, self.offset + self.size)
+
+
+@dataclass(frozen=True)
+class PackPlan:
+    """Compile-time layout mapping block variables onto one contiguous
+    1-D vector.
+
+    Built from the allocation plan's resolved shapes, so the layout is
+    fixed for the sampler's lifetime; gradient-based updates integrate
+    on the packed vector with whole-vector ops and unpack only at
+    compiled-function boundaries (via zero-copy reshaped views).
+    """
+
+    slots: tuple[PackSlot, ...]
+    total: int
+
+    def pack(self, values: dict, out: np.ndarray | None = None) -> np.ndarray:
+        """Concatenate per-variable values into the flat vector."""
+        flat = np.empty(self.total, dtype=np.float64) if out is None else out
+        for s in self.slots:
+            flat[s.slice] = np.asarray(values[s.name], dtype=np.float64).reshape(-1)
+        return flat
+
+    def unpack_views(self, flat: np.ndarray) -> dict[str, np.ndarray]:
+        """Per-variable *views* into ``flat`` (no copies), original shapes."""
+        return {s.name: flat[s.slice].reshape(s.shape) for s in self.slots}
+
+
+def build_pack_plan(plan: AllocationPlan, names) -> PackPlan | None:
+    """The flat layout for the given state variables, in order.
+
+    Returns ``None`` when any variable is ragged (no contiguous dense
+    layout exists) -- callers then stay on the dict-of-arrays tree path.
+    """
+    slots: list[PackSlot] = []
+    offset = 0
+    for name in names:
+        shape_info = plan.state.get(name)
+        if shape_info is None or shape_info.is_ragged:
+            return None
+        shape = tuple(shape_info.lead) + tuple(shape_info.event)
+        size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        slots.append(PackSlot(name, offset, size, shape))
+        offset += size
+    return PackPlan(tuple(slots), offset)
 
 
 def build_plan(

@@ -29,9 +29,12 @@ from repro.core.exprs import (
     IntLit,
     RealLit,
     Var,
+    free_vars,
+    map_children,
     mentions,
+    walk,
 )
-from repro.core.lowpp.gen_ll import _guard_expr, _needed_lets
+from repro.core.lowpp.gen_ll import _LL, _guard_expr, _needed_lets
 from repro.core.lowpp.ir import (
     AssignOp,
     LDecl,
@@ -42,6 +45,7 @@ from repro.core.lowpp.ir import (
     SLoop,
     Stmt,
 )
+from repro.core.workspace import WorkspaceSpec
 from repro.errors import CodegenError
 from repro.runtime.distributions import lookup
 
@@ -51,10 +55,16 @@ def _mentions_any(e: Expr, names: tuple[str, ...]) -> bool:
 
 
 class _AdjointEmitter:
-    """Emits adjoint statements for one gradient declaration."""
+    """Emits adjoint statements for one gradient declaration.
 
-    def __init__(self, targets: tuple[str, ...]):
+    ``prefix`` names the adjoint accumulation buffers (``adj_<target>``
+    for the standalone gradient, ``_adj_<target>`` workspace buffers for
+    the fused value+gradient declaration).
+    """
+
+    def __init__(self, targets: tuple[str, ...], prefix: str = "adj_"):
         self.targets = targets
+        self.prefix = prefix
         self._counter = 0
 
     def fresh(self) -> str:
@@ -68,7 +78,9 @@ class _AdjointEmitter:
         match e:
             case Var(name):
                 if name in self.targets:
-                    out.append(SAssign(LValue(f"adj_{name}"), AssignOp.INC, adj))
+                    out.append(
+                        SAssign(LValue(f"{self.prefix}{name}"), AssignOp.INC, adj)
+                    )
                 return
             case Index():
                 head, idxs = self._index_path(e)
@@ -80,7 +92,9 @@ class _AdjointEmitter:
                         )
                 if head in self.targets:
                     out.append(
-                        SAssign(LValue(f"adj_{head}", idxs), AssignOp.INC, adj)
+                        SAssign(
+                            LValue(f"{self.prefix}{head}", idxs), AssignOp.INC, adj
+                        )
                     )
                 return
             case Call(fn, args):
@@ -149,6 +163,22 @@ class _AdjointEmitter:
     # -- factor adjoints (Figure 8b) -------------------------------------
 
     def factor_stmts(self, factor: Factor) -> tuple[Stmt, ...]:
+        inner = self.factor_inner(factor)
+        if not inner:
+            return ()
+        for a, b in factor.guards:
+            if _mentions_any(a, self.targets) or _mentions_any(b, self.targets):
+                raise CodegenError("cannot differentiate through a guard")
+        cond = _guard_expr(factor.guards)
+        body: tuple[Stmt, ...] = inner
+        if cond is not None:
+            body = (SIf(cond, body),)
+        for g in reversed(factor.gens):
+            body = (SLoop(LoopKind.ATM_PAR, g, body),)
+        return body
+
+    def factor_inner(self, factor: Factor) -> tuple[Stmt, ...]:
+        """The factor's adjoint statements, without guard or loop wrappers."""
         dist = lookup(factor.dist)
         inner: list[Stmt] = []
         if _mentions_any(factor.at, self.targets):
@@ -183,18 +213,7 @@ class _AdjointEmitter:
                 )
             )
             self.backprop(arg, Var(t), inner)
-        if not inner:
-            return ()
-        for a, b in factor.guards:
-            if _mentions_any(a, self.targets) or _mentions_any(b, self.targets):
-                raise CodegenError("cannot differentiate through a guard")
-        cond = _guard_expr(factor.guards)
-        body: tuple[Stmt, ...] = tuple(inner)
-        if cond is not None:
-            body = (SIf(cond, body),)
-        for g in reversed(factor.gens):
-            body = (SLoop(LoopKind.ATM_PAR, g, body),)
-        return body
+        return tuple(inner)
 
 
 def gen_grad(
@@ -230,3 +249,202 @@ def gen_grad(
         body=tuple(body),
         ret=tuple(Var(f"adj_{t}") for t in targets),
     )
+
+
+def _merged_factor_stmts(
+    factor: Factor, emitter: _AdjointEmitter
+) -> tuple[Stmt, ...]:
+    """One loop nest accumulating a factor's log density *and* adjoints.
+
+    Fusing the likelihood statement into the adjoint loop puts both in
+    one scope, so the CSE pass can bind the factor's argument
+    expressions (the forward pass) once and share them -- the log
+    density and every distribution/chain-rule partial read the same
+    temps instead of re-evaluating the arguments.
+    """
+    adj_inner = emitter.factor_inner(factor)
+    if adj_inner:
+        for a, b in factor.guards:
+            if _mentions_any(a, emitter.targets) or _mentions_any(b, emitter.targets):
+                raise CodegenError("cannot differentiate through a guard")
+    ll_inc: Stmt = SAssign(
+        LValue(_LL),
+        AssignOp.INC,
+        DistOp(factor.dist, factor.args, DistOpKind.LL, value=factor.at),
+    )
+    inner: tuple[Stmt, ...] = (ll_inc,) + adj_inner
+    cond = _guard_expr(factor.guards)
+    if cond is not None:
+        inner = (SIf(cond, inner),)
+    for g in reversed(factor.gens):
+        inner = (SLoop(LoopKind.ATM_PAR, g, inner),)
+    return inner
+
+
+# ----------------------------------------------------------------------
+# Common-subexpression elimination over the fused body.
+# ----------------------------------------------------------------------
+
+
+def _hoistable(e: Expr) -> bool:
+    """Pure, non-leaf expressions worth binding to a temp when repeated."""
+    if isinstance(e, (Call, Index)):
+        return True
+    return isinstance(e, DistOp) and e.op is not DistOpKind.SAMP
+
+
+def _assigned_names(stmts) -> set[str]:
+    out: set[str] = set()
+    for s in stmts:
+        if isinstance(s, SAssign):
+            out.add(s.lhs.name)
+        elif isinstance(s, SIf):
+            out |= _assigned_names(s.then)
+            out |= _assigned_names(s.els)
+        elif isinstance(s, SLoop):
+            out |= _assigned_names(s.body)
+    return out
+
+
+def _count_subexprs(stmts, counts: dict) -> None:
+    for s in stmts:
+        exprs: tuple[Expr, ...] = ()
+        if isinstance(s, SAssign):
+            exprs = (s.rhs, *s.lhs.indices)
+        elif isinstance(s, SIf):
+            exprs = (s.cond,)
+            _count_subexprs(s.then, counts)
+            _count_subexprs(s.els, counts)
+        elif isinstance(s, SLoop):
+            _count_subexprs(s.body, counts)
+        for e in exprs:
+            for sub in walk(e):
+                if _hoistable(sub):
+                    counts[sub] = counts.get(sub, 0) + 1
+
+
+class _Cse:
+    """Bind repeated pure subexpressions to ``_fwd<n>`` temps.
+
+    Statements are rewritten in order; a temp's definition is inserted
+    immediately before the first statement that uses it, so evaluation
+    order (and hence every floating-point result) is unchanged -- the
+    shared value is simply not recomputed.  Scoping is conservative:
+    temps defined inside a guard or loop body never escape it, and
+    expressions mentioning names assigned within the region (the
+    accumulators and adjoint-chain temps) are never hoisted.
+    """
+
+    def __init__(self, counts: dict, protect: set[str]):
+        self.counts = counts
+        self.protect = protect
+        self._n = 0
+
+    def _fresh(self) -> str:
+        self._n += 1
+        return f"_fwd{self._n}"
+
+    def rewrite_stmts(self, stmts, memo: dict) -> tuple[Stmt, ...]:
+        out: list[Stmt] = []
+        for s in stmts:
+            defs: list[Stmt] = []
+            if isinstance(s, SAssign):
+                rhs = self.rewrite(s.rhs, memo, defs)
+                idxs = tuple(self.rewrite(i, memo, defs) for i in s.lhs.indices)
+                out.extend(defs)
+                out.append(SAssign(LValue(s.lhs.name, idxs), s.op, rhs))
+            elif isinstance(s, SIf):
+                cond = self.rewrite(s.cond, memo, defs)
+                out.extend(defs)
+                out.append(
+                    SIf(
+                        cond,
+                        self.rewrite_stmts(s.then, dict(memo)),
+                        self.rewrite_stmts(s.els, dict(memo)),
+                    )
+                )
+            elif isinstance(s, SLoop):
+                out.append(
+                    SLoop(s.kind, s.gen, self.rewrite_stmts(s.body, dict(memo)))
+                )
+            else:
+                out.append(s)
+        return tuple(out)
+
+    def rewrite(self, e: Expr, memo: dict, defs: list) -> Expr:
+        t = memo.get(e)
+        if t is not None:
+            return Var(t)
+        e2 = map_children(e, lambda c: self.rewrite(c, memo, defs))
+        if (
+            _hoistable(e)
+            and self.counts.get(e, 0) >= 2
+            and not (free_vars(e) & self.protect)
+        ):
+            t = self._fresh()
+            defs.append(SAssign(LValue(t), AssignOp.SET, e2))
+            memo[e] = t
+            return Var(t)
+        return e2
+
+
+def _cse_stmts(stmts: tuple[Stmt, ...]) -> tuple[Stmt, ...]:
+    counts: dict = {}
+    _count_subexprs(stmts, counts)
+    if not any(c >= 2 for c in counts.values()):
+        return stmts
+    cse = _Cse(counts, _assigned_names(stmts))
+    return cse.rewrite_stmts(stmts, {})
+
+
+def gen_ll_grad(
+    blk: BlockConditional,
+    lets: tuple[tuple[str, Expr], ...] = (),
+) -> tuple[LDecl, tuple[WorkspaceSpec, ...]]:
+    """Generate the fused value+gradient declaration for a block.
+
+    Returns ``ll_grad_<targets>`` computing the block log density *and*
+    ``d log p / d target`` for every target in one pass: each factor's
+    likelihood and adjoint statements share one loop nest, and a CSE
+    pass binds the repeated forward expressions (distribution arguments
+    and their chain-rule reconstructions) to temps evaluated once.  The
+    adjoint buffers are pre-allocated workspaces (shaped ``like`` their
+    target state buffer) zeroed in place with ``lib.fill_zero`` on
+    entry, so the fused call allocates nothing beyond the shared temps.
+
+    Return order is ``(ll, adj_<t0>, adj_<t1>, ...)`` in target order.
+    Raises :class:`CodegenError` exactly when :func:`gen_grad` would --
+    callers fall back to the separate ``ll``/``grad`` pair.
+    """
+    targets = blk.targets
+    emitter = _AdjointEmitter(targets, prefix="_adj_")
+    free: set[str] = set()
+    for f in blk.factors:
+        free |= f.free_names()
+    let_stmts = _needed_lets(lets, frozenset(free))
+    body: list[Stmt] = list(let_stmts)
+    body.append(SAssign(LValue(_LL), AssignOp.SET, RealLit(0.0)))
+    adj_names = tuple(f"_adj_{t}" for t in targets)
+    for a in adj_names:
+        body.append(
+            SAssign(LValue(a), AssignOp.SET, Call("lib.fill_zero", (Var(a),)))
+        )
+    factor_body: list[Stmt] = []
+    for f in blk.factors:
+        factor_body.extend(_merged_factor_stmts(f, emitter))
+    body.extend(_cse_stmts(tuple(factor_body)))
+    bound = {s.lhs.name for s in let_stmts}
+    for s in let_stmts:
+        free |= free_vars(s.rhs)
+    params = tuple(sorted((free | set(targets)) - bound))
+    decl = LDecl(
+        name="ll_grad_" + "_".join(targets),
+        params=params,
+        body=tuple(body),
+        ret=(Var(_LL),) + tuple(Var(a) for a in adj_names),
+        locals_hint=adj_names,
+    )
+    specs = tuple(
+        WorkspaceSpec(a, gens=(), like=t) for a, t in zip(adj_names, targets)
+    )
+    return decl, specs

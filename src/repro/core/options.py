@@ -36,6 +36,18 @@ class CompileOptions:
     #: scalar per-element drivers only (also overridable per update via
     #: the ``batch=off`` schedule option).
     batch_elements: bool = True
+    #: Emit a fused ``ll_grad_<block>`` declaration for gradient-based
+    #: updates (HMC/NUTS): one compiled call returns the block log
+    #: density and every adjoint, sharing the forward pass, with the
+    #: adjoint buffers as pre-allocated workspaces zeroed in place.  Off
+    #: (or when fusion is unsafe for a block) = the separate ``ll`` /
+    #: ``grad`` pair only.
+    fuse_gradient: bool = True
+    #: Run HMC/NUTS leapfrog on one packed contiguous 1-D state vector
+    #: (whole-vector in-place ops, constrained point cached between
+    #: value and gradient).  Off (or for ragged blocks) = the
+    #: dict-of-arrays tree path.
+    flat_state: bool = True
     #: Default HMC integrator settings (overridable per update via
     #: schedule options, e.g. ``HMC[steps=30, step_size=0.02] theta``).
     hmc_steps: int = 20

@@ -24,13 +24,20 @@ class WorkspaceSpec:
     (e.g. ``j <- 0 until N[d]``), the buffer is ragged and is allocated
     as a :class:`~repro.runtime.vectors.RaggedArray`; otherwise it is a
     dense ndarray.
+
+    ``like`` names a state buffer whose resolved shape this workspace
+    mirrors exactly (the form adjoint accumulators need); when set,
+    ``gens``/``trailing`` are ignored.
     """
 
     name: str
     gens: tuple[Gen, ...]
     trailing: tuple[Expr, ...] = ()
     dtype: str = "f8"
+    like: str | None = None
 
     def __str__(self) -> str:
+        if self.like is not None:
+            return f"{self.name}: [like {self.like}] {self.dtype}"
         dims = [f"|{g}|" for g in self.gens] + [str(t) for t in self.trailing]
         return f"{self.name}: [{' x '.join(dims) or 'scalar'}] {self.dtype}"

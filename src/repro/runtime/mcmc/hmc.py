@@ -7,6 +7,19 @@ element-wise transforms and adding their log-Jacobians (the standard
 change of variables).  This is the library half of the paper's HMC
 update; the Leapfrog integrator here corresponds to the ~30 lines of C
 the paper cites for adding HMC (Section 7.1).
+
+Two state representations coexist:
+
+- :class:`TransformedLogDensity` works on dict-of-arrays ``Tree``
+  points, one entry per block variable -- the general path, required
+  for ragged blocks and non-elementwise transforms.
+- :class:`FlatLogDensity` works on one packed contiguous 1-D vector
+  laid out by a compile-time :class:`~repro.core.lowmm.size_inference.PackPlan`;
+  leapfrog then reduces to whole-vector in-place axpy ops
+  (:func:`hmc_step_flat`), the constrained point and log-Jacobian are
+  computed once per distinct point and shared between value and
+  gradient, and a fused value+gradient compiled call (when available)
+  serves both in a single evaluation.
 """
 
 from __future__ import annotations
@@ -16,7 +29,9 @@ import numpy as np
 from repro.runtime.mcmc.accept import mh_accept
 from repro.runtime.mcmc.tree import (
     Tree,
+    tree_axpy_,
     tree_copy,
+    tree_copy_into,
     tree_dot,
     tree_gaussian,
 )
@@ -30,6 +45,12 @@ class TransformedLogDensity:
         self._ll = ll_fn
         self._grad = grad_fn
         self.transforms = transforms
+        # The constrained point + summed log-Jacobian at the last
+        # unconstrained point seen: ``logpdf`` then ``grad`` at the same
+        # ``z`` (every trajectory endpoint) pays the transforms once.
+        self._cache_z: Tree | None = None
+        self._cache_x: Tree | None = None
+        self._cache_ljac: float = 0.0
 
     def constrain(self, z: Tree) -> Tree:
         return {
@@ -42,15 +63,37 @@ class TransformedLogDensity:
             for k, v in x.items()
         }
 
-    def logpdf(self, z: Tree) -> float:
-        x = self.constrain(z)
-        lp = float(self._ll(x))
+    def _constrained(self, z: Tree) -> tuple[Tree, float]:
+        """``(constrain(z), sum log-Jacobian)``, cached by content.
+
+        The cache key is a copy of ``z`` (identity alone is unsafe: the
+        in-place integrator mutates positions between calls).  NaN
+        positions never compare equal, so diverged points recompute --
+        which is the correct, conservative behaviour.
+        """
+        zc = self._cache_z
+        if (
+            zc is not None
+            and len(zc) == len(z)
+            and all(np.array_equal(zc[k], z[k]) for k in z)
+        ):
+            return self._cache_x, self._cache_ljac
+        x: Tree = {}
+        ljac = 0.0
         for k, t in self.transforms.items():
-            lp += float(np.sum(t.log_jacobian(z[k])))
-        return lp
+            x[k] = t.to_constrained(z[k])
+            ljac += float(np.sum(t.log_jacobian(z[k])))
+        self._cache_z = tree_copy(z)
+        self._cache_x = x
+        self._cache_ljac = ljac
+        return x, ljac
+
+    def logpdf(self, z: Tree) -> float:
+        x, ljac = self._constrained(z)
+        return float(self._ll(x)) + ljac
 
     def grad(self, z: Tree) -> Tree:
-        x = self.constrain(z)
+        x, _ = self._constrained(z)
         gx = self._grad(x)
         out: Tree = {}
         # Diverged trajectories can produce inf/NaN here; the leapfrog
@@ -63,31 +106,55 @@ class TransformedLogDensity:
         return out
 
 
-def leapfrog(target: TransformedLogDensity, z: Tree, p: Tree, step: float, n: int):
+def leapfrog(
+    target: TransformedLogDensity,
+    z: Tree,
+    p: Tree,
+    step: float,
+    n: int,
+    work: tuple[Tree, Tree] | None = None,
+):
     """Standard leapfrog integration; returns (z', p').
 
-    Divergent trajectories produce inf/NaN positions; arithmetic on them
-    is left to propagate (quietly) and the resulting state is rejected
-    by the acceptance test.
+    The inputs are never mutated: the trajectory runs on ``work`` (a
+    pair of preallocated position/momentum trees, reused across calls by
+    the driver) or on fresh copies when ``work`` is omitted.  Divergent
+    trajectories produce inf/NaN positions; arithmetic on them is left
+    to propagate (quietly) and the resulting state is rejected by the
+    acceptance test.
     """
-    z = tree_copy(z)
-    p = tree_copy(p)
+    if work is None:
+        z = tree_copy(z)
+        p = tree_copy(p)
+    else:
+        zb, pb = work
+        z = tree_copy_into(zb, z)
+        p = tree_copy_into(pb, p)
+    half = 0.5 * step
     with np.errstate(invalid="ignore", over="ignore"):
         grad = target.grad(z)
         for _ in range(n):
-            for k in p:
-                p[k] = p[k] + 0.5 * step * grad[k]
-            for k in z:
-                z[k] = z[k] + step * p[k]
+            tree_axpy_(p, grad, half)
+            tree_axpy_(z, p, step)
             grad = target.grad(z)
-            for k in p:
-                p[k] = p[k] + 0.5 * step * grad[k]
+            tree_axpy_(p, grad, half)
     return z, p
 
 
 #: |Delta H| above which a trajectory is flagged divergent (matches the
 #: NUTS ``_DELTA_MAX`` convention).
 DIVERGENCE_THRESHOLD = 1000.0
+
+
+def _fill_info(info: dict, log_alpha, energy1, n_leapfrog: int, accepted) -> None:
+    info["log_alpha"] = float(log_alpha)
+    info["nan"] = bool(np.isnan(log_alpha))
+    info["energy"] = float(energy1)
+    info["divergent"] = bool(
+        not np.isfinite(log_alpha) or abs(log_alpha) > DIVERGENCE_THRESHOLD
+    )
+    info["n_leapfrog"] = n_leapfrog
+    info["accepted"] = accepted
 
 
 def hmc_step(
@@ -97,6 +164,7 @@ def hmc_step(
     step_size: float,
     n_steps: int,
     info: dict | None = None,
+    work: tuple[Tree, Tree] | None = None,
 ) -> tuple[Tree, bool]:
     """One HMC transition; returns (next position, accepted?).
 
@@ -104,25 +172,222 @@ def hmc_step(
     telemetry record: ``log_alpha``, the ``nan`` flag (NaN-rejected
     trajectory), the proposal's Hamiltonian ``energy``, a ``divergent``
     flag (energy error beyond :data:`DIVERGENCE_THRESHOLD` or
-    non-finite), and ``n_leapfrog``.
+    non-finite), and ``n_leapfrog``.  ``work`` forwards preallocated
+    trajectory buffers to :func:`leapfrog`.
     """
     p0 = tree_gaussian(rng, z)
     lp0 = target.logpdf(z)
-    z1, p1 = leapfrog(target, z, p0, step_size, n_steps)
+    z1, p1 = leapfrog(target, z, p0, step_size, n_steps, work=work)
     lp1 = target.logpdf(z1)
     energy0 = -(lp0 - 0.5 * tree_dot(p0, p0))
     energy1 = -(lp1 - 0.5 * tree_dot(p1, p1))
     log_alpha = energy0 - energy1
     accepted = mh_accept(rng, log_alpha)
     if info is not None:
-        info["log_alpha"] = float(log_alpha)
-        info["nan"] = bool(np.isnan(log_alpha))
-        info["energy"] = float(energy1)
-        info["divergent"] = bool(
-            not np.isfinite(log_alpha) or abs(log_alpha) > DIVERGENCE_THRESHOLD
-        )
-        info["n_leapfrog"] = n_steps
-        info["accepted"] = accepted
+        _fill_info(info, log_alpha, energy1, n_steps, accepted)
+    if accepted:
+        return z1, True
+    return z, False
+
+
+# ----------------------------------------------------------------------
+# Flat-state path: one packed 1-D vector, whole-vector leapfrog.
+# ----------------------------------------------------------------------
+
+
+class FlatLogDensity:
+    """log p / grad log p on a packed 1-D unconstrained state vector.
+
+    The compiled block functions read the *constrained* state; this
+    class owns one flat constrained buffer whose per-variable reshaped
+    views (:attr:`x_views`) the driver splices into the evaluation
+    scope once -- unpacking at the compiled-function boundary is then a
+    slice-wise transform into those views, with no dict or array
+    construction per call.
+
+    Per distinct unconstrained point the transforms run once
+    (``_ensure_point``), shared by value, gradient, and the fused
+    value+gradient compiled call (``ll_grad_fn``, when the compiler
+    emitted one).  ``invalidate`` must be called whenever the rest of
+    the environment may have changed (the start of every driver step):
+    the cached density values are conditional on it.
+    """
+
+    def __init__(
+        self,
+        ll_fn,
+        grad_fn,
+        transforms: dict[str, Transform],
+        layout,
+        ll_grad_fn=None,
+    ):
+        self.layout = layout
+        self.transforms = transforms
+        self._ll = ll_fn            # () -> float, reads the live views
+        self._grad = grad_fn        # () -> {name: d ll / d constrained}
+        self._ll_grad = ll_grad_fn  # () -> (float, {name: adjoint}) | None
+        n = layout.total
+        self._x = np.zeros(n, dtype=np.float64)
+        #: Per-variable reshaped views into the flat constrained buffer.
+        self.x_views = layout.unpack_views(self._x)
+        self._z = np.full(n, np.nan)
+        self._g = np.zeros(n, dtype=np.float64)
+        self._ljac = 0.0
+        self._lp = 0.0
+        self._have_point = False
+        self._have_lp = False
+        self._have_grad = False
+
+    def invalidate(self) -> None:
+        """Drop every cached evaluation (the environment may have moved)."""
+        self._have_point = False
+        self._have_lp = False
+        self._have_grad = False
+
+    def unconstrain_into(self, env: dict, out: np.ndarray) -> np.ndarray:
+        """Pack the environment's constrained values as a flat z vector."""
+        for s in self.layout.slots:
+            t = self.transforms[s.name]
+            out[s.slice] = np.asarray(
+                t.to_unconstrained(env[s.name]), dtype=np.float64
+            ).reshape(-1)
+        return out
+
+    def constrain_point(self, z: np.ndarray) -> dict[str, np.ndarray]:
+        """The constrained views at ``z`` (refreshing the cache if needed)."""
+        self._ensure_point(z)
+        return self.x_views
+
+    def _ensure_point(self, z: np.ndarray) -> None:
+        if self._have_point and np.array_equal(z, self._z):
+            return
+        ljac = 0.0
+        for s in self.layout.slots:
+            t = self.transforms[s.name]
+            zi = z[s.slice]
+            xi = self.x_views[s.name]
+            xi[...] = t.to_constrained(zi.reshape(s.shape))
+            ljac += float(np.sum(t.log_jacobian(zi)))
+        self._z[...] = z
+        self._ljac = ljac
+        self._have_point = True
+        self._have_lp = False
+        self._have_grad = False
+
+    def _chain(self, gx: dict) -> None:
+        """Constrained-space adjoints -> flat unconstrained gradient."""
+        g = self._g
+        with np.errstate(over="ignore", invalid="ignore"):
+            for s in self.layout.slots:
+                t = self.transforms[s.name]
+                zi = self._z[s.slice]
+                gi = np.asarray(gx[s.name], dtype=np.float64).reshape(-1)
+                g[s.slice] = (
+                    gi * np.asarray(t.grad_constrained_wrt_z(zi)).reshape(-1)
+                    + np.asarray(t.grad_log_jacobian(zi)).reshape(-1)
+                )
+        self._have_grad = True
+
+    def _eval_fused(self) -> None:
+        ll_raw, gx = self._ll_grad()
+        self._lp = ll_raw + self._ljac
+        self._have_lp = True
+        self._chain(gx)
+
+    def value(self, z: np.ndarray) -> float:
+        self._ensure_point(z)
+        if not self._have_lp:
+            self._lp = float(self._ll()) + self._ljac
+            self._have_lp = True
+        return self._lp
+
+    def grad(self, z: np.ndarray) -> np.ndarray:
+        """The gradient at ``z``; returns the *internal* buffer (read it
+        before the next evaluation, or copy).
+
+        Prefers the fused compiled call even for gradient-only requests:
+        the fused body evaluates the shared forward pass once, which is
+        cheaper than the standalone adjoint function re-deriving it, and
+        the log density rides along for free (cached for a later
+        ``value`` at the same point).
+        """
+        self._ensure_point(z)
+        if not self._have_grad:
+            if self._ll_grad is not None:
+                self._eval_fused()
+            else:
+                self._chain(self._grad())
+        return self._g
+
+    def value_and_grad(self, z: np.ndarray) -> tuple[float, np.ndarray]:
+        """Both in one pass -- a single compiled call when fused code is
+        available, the separate pair otherwise (identical numerics)."""
+        self._ensure_point(z)
+        if self._have_lp and self._have_grad:
+            return self._lp, self._g
+        if self._ll_grad is not None:
+            self._eval_fused()
+            return self._lp, self._g
+        return self.value(z), self.grad(z)
+
+
+def flat_gaussian(rng, layout, out: np.ndarray) -> np.ndarray:
+    """Standard-normal momentum on the packed vector.
+
+    Draws slot by slot with the state's original shapes, consuming the
+    RNG stream exactly as :func:`~repro.runtime.mcmc.tree.tree_gaussian`
+    does on the tree path.
+    """
+    for s in layout.slots:
+        out[s.slice] = np.asarray(rng.standard_normal(s.shape)).reshape(-1)
+    return out
+
+
+def hmc_step_flat(
+    rng,
+    target: FlatLogDensity,
+    z: np.ndarray,
+    step_size: float,
+    n_steps: int,
+    info: dict | None = None,
+    work: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+) -> tuple[np.ndarray, bool]:
+    """One HMC transition on the packed flat state; returns (z', accepted?).
+
+    ``z`` is never mutated.  The whole trajectory runs in place on three
+    preallocated vectors (position, momentum, scratch): each leapfrog
+    step is two axpy updates, and the endpoints evaluate value and
+    gradient in one fused call.  Telemetry matches :func:`hmc_step`.
+    """
+    n = z.shape[0]
+    if work is None:
+        work = (np.empty(n), np.empty(n), np.empty(n))
+    z1, p, scratch = work
+    flat_gaussian(rng, target.layout, out=p)
+    kin0 = 0.5 * float(np.dot(p, p))
+    lp0, g = target.value_and_grad(z)
+    np.copyto(z1, z)
+    half = 0.5 * step_size
+    lp1 = lp0
+    with np.errstate(invalid="ignore", over="ignore"):
+        for i in range(n_steps):
+            np.multiply(g, half, out=scratch)
+            np.add(p, scratch, out=p)
+            np.multiply(p, step_size, out=scratch)
+            np.add(z1, scratch, out=z1)
+            if i == n_steps - 1:
+                lp1, g = target.value_and_grad(z1)
+            else:
+                g = target.grad(z1)
+            np.multiply(g, half, out=scratch)
+            np.add(p, scratch, out=p)
+        kin1 = 0.5 * float(np.dot(p, p))
+    energy0 = -(lp0 - kin0)
+    energy1 = -(lp1 - kin1)
+    log_alpha = energy0 - energy1
+    accepted = mh_accept(rng, log_alpha)
+    if info is not None:
+        _fill_info(info, log_alpha, energy1, n_steps, accepted)
     if accepted:
         return z1, True
     return z, False

@@ -17,6 +17,18 @@ def tree_copy(t: Tree) -> Tree:
     return {k: np.array(v, dtype=np.float64, copy=True) for k, v in t.items()}
 
 
+def tree_copy_into(dst: Tree, src: Tree) -> Tree:
+    """Copy ``src`` into the preallocated buffers of ``dst`` (returned)."""
+    for k, v in src.items():
+        np.copyto(dst[k], v)
+    return dst
+
+
+def tree_empty_like(t: Tree) -> Tree:
+    """Uninitialised buffers shaped like ``t`` (0-d arrays for scalars)."""
+    return {k: np.empty(np.shape(v), dtype=np.float64) for k, v in t.items()}
+
+
 def tree_add(a: Tree, b: Tree) -> Tree:
     return {k: a[k] + b[k] for k in a}
 
@@ -28,6 +40,23 @@ def tree_scale(a: Tree, s: float) -> Tree:
 def tree_axpy(a: Tree, x: Tree, alpha: float) -> Tree:
     """``a + alpha * x``."""
     return {k: a[k] + alpha * x[k] for k in a}
+
+
+def tree_axpy_(a: Tree, x: Tree, alpha: float) -> Tree:
+    """In-place ``a += alpha * x`` via ``out=`` ufuncs.
+
+    Entries that are not writable arrays (plain floats handed in by a
+    caller) are rebound instead; either way the numerics match
+    ``a[k] + alpha * x[k]`` bitwise.
+    """
+    for k in a:
+        v = a[k]
+        t = alpha * x[k]
+        if isinstance(v, np.ndarray):
+            np.add(v, t, out=v)
+        else:
+            a[k] = v + t
+    return a
 
 
 def tree_dot(a: Tree, b: Tree) -> float:

@@ -19,6 +19,11 @@ class Transform:
 
     name: str
 
+    #: True when the map is element-wise and size-preserving, so a
+    #: packed flat state vector can apply it slice-by-slice.  The
+    #: stick-breaking transform changes dimensionality and stays False.
+    elementwise: bool = False
+
     def to_unconstrained(self, x):
         raise NotImplementedError
 
@@ -40,6 +45,7 @@ class Transform:
 
 class IdentityTransform(Transform):
     name = "identity"
+    elementwise = True
 
     def to_unconstrained(self, x):
         return np.asarray(x, dtype=np.float64)
@@ -61,6 +67,7 @@ class LogTransform(Transform):
     """Positive reals <-> reals via ``x = exp(z)``."""
 
     name = "log"
+    elementwise = True
 
     def to_unconstrained(self, x):
         return np.log(np.asarray(x, dtype=np.float64))
@@ -86,6 +93,7 @@ class LogitTransform(Transform):
     """Open unit interval <-> reals via ``x = sigmoid(z)``."""
 
     name = "logit"
+    elementwise = True
 
     def to_unconstrained(self, x):
         x = np.asarray(x, dtype=np.float64)

@@ -1,0 +1,274 @@
+"""Flat-state HMC: pack plans, momentum parity, and integrator parity.
+
+The packed path must be a pure representation change: same RNG stream
+consumption as the tree path, bitwise pack/unpack round trips, and
+trajectories that agree with the dict-of-arrays integrator up to
+floating-point summation order in the kinetic-energy dot products.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lowmm.size_inference import (
+    PackPlan,
+    PackSlot,
+    build_pack_plan,
+    build_plan,
+)
+from repro.runtime.mcmc.hmc import (
+    FlatLogDensity,
+    TransformedLogDensity,
+    flat_gaussian,
+    hmc_step,
+    hmc_step_flat,
+)
+from repro.runtime.mcmc.tree import tree_gaussian
+from repro.runtime.rng import Rng
+from repro.runtime.transforms import (
+    IdentityTransform,
+    LogTransform,
+    LogitTransform,
+)
+
+from tests.lowpp.conftest import make_setup
+
+
+# ----------------------------------------------------------------------
+# Pack plans.
+# ----------------------------------------------------------------------
+
+
+def _hlr_plan():
+    fd, info = make_setup("hlr")
+    rng = np.random.default_rng(1)
+    env = {"N": 5, "D": 3, "lam": 1.0, "x": rng.normal(size=(5, 3)),
+           "y": rng.integers(0, 2, size=5)}
+    return build_plan(info, env, ())
+
+
+def test_build_pack_plan_hlr_layout():
+    plan = _hlr_plan()
+    pp = build_pack_plan(plan, ("sigma2", "b", "theta"))
+    assert pp is not None
+    assert [s.name for s in pp.slots] == ["sigma2", "b", "theta"]
+    assert [s.shape for s in pp.slots] == [(), (), (3,)]
+    assert [s.size for s in pp.slots] == [1, 1, 3]
+    assert pp.total == 5
+    # Slots tile the vector contiguously, in order.
+    off = 0
+    for s in pp.slots:
+        assert s.offset == off
+        off += s.size
+
+
+def test_pack_unpack_bitwise_round_trip():
+    plan = _hlr_plan()
+    pp = build_pack_plan(plan, ("sigma2", "b", "theta"))
+    rng = np.random.default_rng(7)
+    values = {
+        "sigma2": 1.7,
+        "b": float(rng.normal()),
+        "theta": rng.normal(size=3),
+    }
+    flat = pp.pack(values)
+    views = pp.unpack_views(flat)
+    for k, v in values.items():
+        np.testing.assert_array_equal(np.asarray(views[k]), np.asarray(v))
+        assert views[k].shape == np.shape(v)
+    # Views alias the flat buffer: writes through them land in ``flat``.
+    views["theta"][...] = 42.0
+    np.testing.assert_array_equal(flat[pp.slots[-1].slice], 42.0)
+
+
+def test_build_pack_plan_rejects_ragged():
+    fd, info = make_setup("lda")
+    from repro.runtime.vectors import RaggedArray
+
+    env = {
+        "K": 4, "D": 3, "V": 7, "N": np.array([5, 2, 6]),
+        "alpha": np.ones(4), "beta": np.ones(7),
+        "w": RaggedArray.full([5, 2, 6], 0, dtype=np.int64),
+    }
+    plan = build_plan(info, env, ())
+    assert build_pack_plan(plan, ("z",)) is None  # ragged
+    assert build_pack_plan(plan, ("theta", "missing")) is None
+
+
+# ----------------------------------------------------------------------
+# Momentum draws consume the RNG stream identically on both paths.
+# ----------------------------------------------------------------------
+
+
+def _toy_layout():
+    slots = (
+        PackSlot("a", 0, 1, ()),
+        PackSlot("b", 1, 3, (3,)),
+        PackSlot("c", 4, 2, (2,)),
+    )
+    return PackPlan(slots=slots, total=6)
+
+
+def test_flat_gaussian_matches_tree_gaussian():
+    layout = _toy_layout()
+    z_tree = {"a": np.float64(0.0), "b": np.zeros(3), "c": np.zeros(2)}
+    p_tree = tree_gaussian(Rng(11).generator, z_tree)
+    out = np.empty(6)
+    flat_gaussian(Rng(11).generator, layout, out)
+    np.testing.assert_array_equal(out, layout.pack(p_tree))
+
+
+# ----------------------------------------------------------------------
+# Integrator parity on an analytic target with all three elementwise
+# transform kinds (identity / log / logit).
+# ----------------------------------------------------------------------
+
+_TRANSFORMS = {
+    "a": LogTransform(),
+    "b": IdentityTransform(),
+    "c": LogitTransform(),
+}
+
+
+def _ll(x):
+    # A smooth, fully analytic density on the constrained space:
+    # Gamma(2,1)-ish in a > 0, Gaussian in b, Beta(2,2)-ish in c in (0,1).
+    a = float(x["a"])
+    b = np.asarray(x["b"])
+    c = np.asarray(x["c"])
+    return (
+        np.log(a) - a
+        - 0.5 * float(np.sum(b * b))
+        + float(np.sum(np.log(c) + np.log1p(-c)))
+    )
+
+
+def _grad(x):
+    a = float(x["a"])
+    b = np.asarray(x["b"])
+    c = np.asarray(x["c"])
+    return {
+        "a": 1.0 / a - 1.0,
+        "b": -b,
+        "c": 1.0 / c - 1.0 / (1.0 - c),
+    }
+
+
+def _make_flat():
+    layout = _toy_layout()
+    holder = {}
+
+    def ll():
+        return _ll(holder["views"])
+
+    def grad():
+        return _grad(holder["views"])
+
+    fld = FlatLogDensity(ll, grad, _TRANSFORMS, layout)
+    holder["views"] = fld.x_views
+    return fld, layout
+
+
+def _start_state():
+    return {"a": 0.9, "b": np.array([0.3, -0.2, 1.1]), "c": np.array([0.4, 0.7])}
+
+
+def test_flat_value_and_grad_match_tree():
+    tree_target = TransformedLogDensity(_ll, _grad, _TRANSFORMS)
+    fld, layout = _make_flat()
+    x0 = _start_state()
+    z_tree = tree_target.unconstrain(x0)
+    z_flat = fld.unconstrain_into(x0, np.empty(layout.total))
+    np.testing.assert_allclose(z_flat, layout.pack(z_tree))
+    assert fld.value(z_flat) == pytest.approx(tree_target.logpdf(z_tree))
+    np.testing.assert_allclose(
+        fld.grad(z_flat), layout.pack(tree_target.grad(z_tree))
+    )
+
+
+def test_value_and_grad_fused_matches_pair():
+    # With a fused callable supplied, value_and_grad must return exactly
+    # what the separate value/grad pair computes.
+    fld_pair, layout = _make_flat()
+    holder = {}
+
+    def ll():
+        return _ll(holder["views"])
+
+    def grad():
+        return _grad(holder["views"])
+
+    def ll_grad():
+        return _ll(holder["views"]), _grad(holder["views"])
+
+    fld_fused = FlatLogDensity(ll, grad, _TRANSFORMS, layout, ll_grad_fn=ll_grad)
+    holder["views"] = fld_fused.x_views
+    z = fld_pair.unconstrain_into(_start_state(), np.empty(layout.total))
+    lp_f, g_f = fld_fused.value_and_grad(z.copy())
+    lp_p, g_p = fld_pair.value_and_grad(z.copy())
+    assert lp_f == lp_p
+    np.testing.assert_array_equal(g_f, g_p)
+
+
+def test_hmc_step_flat_matches_tree_step():
+    tree_target = TransformedLogDensity(_ll, _grad, _TRANSFORMS)
+    fld, layout = _make_flat()
+    x0 = _start_state()
+    z_tree = tree_target.unconstrain(x0)
+    z_flat = fld.unconstrain_into(x0, np.empty(layout.total))
+
+    for seed in range(6):
+        info_t, info_f = {}, {}
+        zt, acc_t = hmc_step(
+            Rng(seed).generator, tree_target, z_tree, 0.05, 8, info=info_t
+        )
+        zf, acc_f = hmc_step_flat(
+            Rng(seed).generator, fld, z_flat, 0.05, 8, info=info_f
+        )
+        fld.invalidate()
+        assert acc_t == acc_f
+        np.testing.assert_allclose(zf, layout.pack(zt), rtol=1e-12, atol=1e-12)
+        assert info_f["log_alpha"] == pytest.approx(info_t["log_alpha"])
+        assert info_f["n_leapfrog"] == info_t["n_leapfrog"]
+        assert info_f["divergent"] == info_t["divergent"]
+
+
+def test_hmc_step_flat_never_mutates_input():
+    fld, layout = _make_flat()
+    z = fld.unconstrain_into(_start_state(), np.empty(layout.total))
+    z_before = z.copy()
+    z1, accepted = hmc_step_flat(Rng(3).generator, fld, z, 0.05, 8)
+    np.testing.assert_array_equal(z, z_before)
+    if accepted:
+        assert z1 is not z
+
+
+def test_flat_point_cache_reuses_transforms():
+    # value then grad at the same z runs the constrain pass once.
+    calls = {"n": 0}
+
+    class CountingLog(LogTransform):
+        def to_constrained(self, z):
+            calls["n"] += 1
+            return super().to_constrained(z)
+
+    transforms = dict(_TRANSFORMS)
+    transforms["a"] = CountingLog()
+    layout = _toy_layout()
+    holder = {}
+    fld = FlatLogDensity(
+        lambda: _ll(holder["views"]),
+        lambda: _grad(holder["views"]),
+        transforms,
+        layout,
+    )
+    holder["views"] = fld.x_views
+    z = fld.unconstrain_into(_start_state(), np.empty(layout.total))
+    fld.value(z)
+    fld.grad(z)
+    fld.value(z)
+    assert calls["n"] == 1
+    fld.invalidate()
+    fld.value(z)
+    assert calls["n"] == 2
