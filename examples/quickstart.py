@@ -7,7 +7,11 @@ Gibbs on the assignments), compile at runtime, and draw posterior
 samples.
 
 Run:  python examples/quickstart.py
+      python examples/quickstart.py --profile --explain --report report.html
 """
+
+import argparse
+import json
 
 import numpy as np
 
@@ -33,7 +37,26 @@ def load_gmm_data(seed=0, n=400):
     return centres[z] + rng.normal(0, 0.6, size=(n, 2)), centres
 
 
-def main():
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--profile", action="store_true",
+        help="attribute sweep wall-time per update / decl / model statement",
+    )
+    ap.add_argument(
+        "--explain", action="store_true",
+        help="print the compiler decision ledger after compilation",
+    )
+    ap.add_argument(
+        "--explain-json", metavar="FILE",
+        help="write the decision ledger as JSON to FILE",
+    )
+    ap.add_argument(
+        "--report", metavar="FILE",
+        help="write the self-contained HTML inference report (+ .json twin)",
+    )
+    args = ap.parse_args(argv)
+
     # Part 1: Load data.
     x, true_centres = load_gmm_data()
     N, D = x.shape
@@ -51,9 +74,26 @@ def main():
         aug.setUserSched(sched)
         aug.setSeed(42)
         aug.compile(K, N, mu0, S0, pis, S)(x)
-        samples = aug.sample(numSamples=200, burnIn=50)
+        if args.explain:
+            print(aug.explain())
+        if args.explain_json:
+            with open(args.explain_json, "w") as f:
+                json.dump(aug.explain_json(), f, indent=2)
+            print(f"wrote {args.explain_json}")
+        want_profile = args.profile or bool(args.report)
+        samples = aug.sample(
+            numSamples=200, burnIn=50,
+            collect_stats=bool(args.report), profile=want_profile,
+        )
 
     print(f"compiled in {aug.compile_seconds*1e3:.1f} ms; schedule: {sched}")
+    if args.profile and samples.profile is not None:
+        print(samples.profile.table(aug.sampler.source_map))
+    if args.report:
+        from repro.telemetry.report import write_report
+
+        write_report(args.report, aug.sampler, samples)
+        print(f"wrote {args.report}")
     mu_mean = samples.array("mu").mean(axis=0)
     print("posterior mean cluster centres:")
     for row in mu_mean:

@@ -125,10 +125,13 @@ class Infer:
         init: dict | None = None,
         callback=None,
         collect_stats: bool = False,
+        profile: bool = False,
     ) -> SampleResult:
         """Draw posterior samples; ``collect_stats=True`` additionally
         records per-sweep statistics for every base update of the
-        composed kernel (``result.stats`` / ``result.sample_stats``)."""
+        composed kernel (``result.stats`` / ``result.sample_stats``);
+        ``profile=True`` attributes sweep wall-time per update /
+        generated declaration / model statement (``result.profile``)."""
         return self.sampler.sample(
             num_samples=numSamples,
             burn_in=burnIn,
@@ -138,6 +141,7 @@ class Infer:
             init=init,
             callback=callback,
             collect_stats=collect_stats,
+            profile=profile,
         )
 
     def sampleChains(
@@ -152,6 +156,7 @@ class Infer:
         nWorkers: int | None = None,
         collect_stats: bool = False,
         monitor=None,
+        profile: bool = False,
     ) -> list[SampleResult]:
         """Run independent chains, optionally fanned out over a worker
         pool (``executor="processes"``); draws are bitwise identical to
@@ -169,6 +174,7 @@ class Infer:
             n_workers=nWorkers,
             collect_stats=collect_stats,
             monitor=monitor,
+            profile=profile,
         )
 
     # -- introspection -----------------------------------------------------------
@@ -184,3 +190,11 @@ class Infer:
 
     def schedule_description(self) -> str:
         return self.sampler.schedule_description()
+
+    def explain(self) -> str:
+        """The compiler decision ledger, human-readable."""
+        return self.sampler.explain()
+
+    def explain_json(self) -> list[dict]:
+        """The compiler decision ledger, machine-readable."""
+        return self.sampler.explain_json()

@@ -17,7 +17,12 @@ prints a summary; ``--monitor`` streams online convergence diagnostics
 (split R-hat / ESS / divergence rates) during multi-chain runs;
 ``--trace FILE`` writes a chrome://tracing JSON covering every compiler
 stage and runtime phase (open via ``chrome://tracing`` or Perfetto);
-``--trace-plot NAME`` prints an ASCII trace plot of a parameter.
+``--trace-plot NAME`` prints an ASCII trace plot of a parameter;
+``--profile`` attributes sweep wall-time to every update, generated
+declaration, and model statement; ``--explain`` prints the compiler
+decision ledger (``--explain-json FILE`` writes it machine-readable);
+``--report FILE`` -- or the ``repro report`` subcommand -- writes a
+self-contained HTML inference report with a ``.json`` twin.
 
 Inputs are a single ``.json`` or ``.npz`` file providing a value for
 every hyper-parameter and observed variable; the model's declarations
@@ -146,15 +151,23 @@ def cmd_sample(args) -> int:
 
         enable_tracing()
     _, sampler = _build(args)
+    if args.explain:
+        print(sampler.explain())
+    if args.explain_json:
+        with open(args.explain_json, "w") as f:
+            json.dump(sampler.explain_json(), f, indent=2)
+        print(f"wrote explain ledger to {args.explain_json}")
     if args.chains > 1:
         return _sample_chains(args, sampler)
+    want_profile = args.profile or bool(args.report)
     result = sampler.sample(
         num_samples=args.samples,
         burn_in=args.burn_in,
         thin=args.thin,
         seed=args.seed,
         collect=tuple(args.collect.split(",")) if args.collect else None,
-        collect_stats=args.stats,
+        collect_stats=args.stats or bool(args.report),
+        profile=want_profile,
     )
     print(
         f"compiled in {sampler.compile_seconds*1e3:.1f} ms; "
@@ -170,6 +183,13 @@ def cmd_sample(args) -> int:
         print("sample stats (per-sweep means):")
         for line in result.stats.summary_lines():
             print(line)
+    if args.profile and result.profile is not None:
+        print(result.profile.table(sampler.source_map))
+    if args.report:
+        from repro.telemetry.report import write_report
+
+        write_report(args.report, sampler, [result])
+        print(f"wrote inference report to {args.report}")
     if args.out:
         save_draws(args.out, result.samples)
         print(f"wrote draws to {args.out}")
@@ -201,6 +221,7 @@ def _sample_chains(args, sampler) -> int:
             total_draws=max(kept, 4),
             emit=lambda line: print(line, file=sys.stderr),
         )
+    want_profile = args.profile or bool(args.report)
     results = sampler.sample_chains(
         n_chains=args.chains,
         num_samples=args.samples,
@@ -210,8 +231,9 @@ def _sample_chains(args, sampler) -> int:
         collect=collect,
         executor=args.executor,
         n_workers=args.workers,
-        collect_stats=args.stats or args.monitor,
+        collect_stats=args.stats or args.monitor or bool(args.report),
         monitor=monitor,
+        profile=want_profile,
     )
     total = sum(r.wall_time for r in results)
     longest = max(r.wall_time for r in results)
@@ -229,7 +251,7 @@ def _sample_chains(args, sampler) -> int:
     for name in collect or sampler.param_names:
         print(rhat_report(results, name))
     if args.stats:
-        from repro.telemetry.stats import stack_chain_stats
+        from repro.telemetry.stats import acceptance_ranges, stack_chain_stats
 
         merged = stack_chain_stats(results)
         if merged:
@@ -237,8 +259,23 @@ def _sample_chains(args, sampler) -> int:
             for key in sorted(merged):
                 vals = np.asarray(merged[key], dtype=np.float64)
                 print(f"  {key:32s} mean {np.nanmean(vals):10.4f}")
+        ranges = acceptance_ranges(results)
+        if ranges:
+            print("acceptance rates (per sweep, all chains):")
+            for label, (lo, hi, mean) in sorted(ranges.items()):
+                print(
+                    f"  {label:32s} mean {mean:.3f} "
+                    f"(range {lo:.3f}-{hi:.3f})"
+                )
     if monitor is not None:
         print(monitor.report())
+    if args.profile and results and results[0].profile is not None:
+        print(results[0].profile.table(sampler.source_map))
+    if args.report:
+        from repro.telemetry.report import write_report
+
+        write_report(args.report, sampler, results)
+        print(f"wrote inference report to {args.report}")
     if args.out:
         save_chain_draws(args.out, results)
         print(f"wrote draws to {args.out}")
@@ -252,9 +289,35 @@ def cmd_inspect(args) -> int:
     print("schedule:", sampler.schedule_description())
     print()
     print(sampler.plan.describe())
+    if args.explain:
+        print()
+        print(sampler.explain())
     if args.source:
         print()
         print(sampler.source)
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Compile, run with profiling + stats on, and write the HTML
+    inference report (plus its JSON twin)."""
+    from repro.telemetry.report import write_report
+
+    _, sampler = _build(args)
+    result = sampler.sample(
+        num_samples=args.samples,
+        burn_in=args.burn_in,
+        thin=args.thin,
+        seed=args.seed,
+        collect_stats=True,
+        profile=True,
+    )
+    data = write_report(args.out, sampler, [result])
+    print(
+        f"wrote inference report to {args.out} "
+        f"({len(data['ledger'])} ledger entries, "
+        f"{len(data['profiles'])} profile table(s))"
+    )
     return 0
 
 
@@ -309,12 +372,53 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument(
         "--trace-plot", default=None, help="ASCII trace plot of a parameter"
     )
+    ps.add_argument(
+        "--profile",
+        action="store_true",
+        help="attribute sweep wall-time per update / decl / model statement",
+    )
+    ps.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the compiler decision ledger (what was chosen and why)",
+    )
+    ps.add_argument(
+        "--explain-json",
+        default=None,
+        metavar="FILE",
+        help="write the decision ledger as JSON",
+    )
+    ps.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="write a self-contained HTML inference report (+ .json twin)",
+    )
     ps.set_defaults(fn=cmd_sample)
 
     pi = sub.add_parser("inspect", help="show the compiled sampler's plan")
     common(pi)
     pi.add_argument("--source", action="store_true", help="print generated code")
+    pi.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the compiler decision ledger",
+    )
     pi.set_defaults(fn=cmd_inspect)
+
+    pr = sub.add_parser(
+        "report",
+        help="run with profiling on and write the HTML inference report",
+    )
+    common(pr)
+    pr.add_argument("--samples", type=int, default=500)
+    pr.add_argument("--burn-in", type=int, default=0)
+    pr.add_argument("--thin", type=int, default=1)
+    pr.add_argument("--seed", type=int, default=0)
+    pr.add_argument(
+        "--out", default="report.html", help="report path (default report.html)"
+    )
+    pr.set_defaults(fn=cmd_report)
     return parser
 
 

@@ -90,6 +90,11 @@ class UpdateDriver:
     def __init__(self) -> None:
         self.stats = UpdateStats()
         self._sweep: dict | None = None
+        #: Compiled-call attributes the profiler may wrap, mapped to the
+        #: generated declaration each one executes (set by the compiler
+        #: when wiring the driver): ``{"_ll_fn": "hmc_blk_ll", ...}``.
+        self.profile_fns: dict[str, str] = {}
+        self._saved_fns: dict | None = None
 
     @property
     def label(self) -> str:
@@ -124,6 +129,39 @@ class UpdateDriver:
     def _finish_sweep(self, s: dict, proposed: int) -> dict:
         """Subclass hook: turn accumulated extras into record fields."""
         return s
+
+    # -- profiling ---------------------------------------------------------
+
+    def instrument(self, profiler) -> None:
+        """Swap each bound compiled function for a timing wrapper.
+
+        Wrappers only read the clock around the original call -- never
+        the RNG -- so draws are identical with or without them.
+        Idempotent: a second call with wrappers installed is a no-op.
+        """
+        if self._saved_fns is not None:
+            return
+        saved = {}
+        for attr, decl_name in self.profile_fns.items():
+            fn = getattr(self, attr, None)
+            if fn is None:
+                continue
+            saved[attr] = fn
+            setattr(self, attr, profiler.wrap(decl_name, fn))
+        self._saved_fns = saved
+        self._invalidate_fn_caches()
+
+    def restore(self) -> None:
+        """Put the original compiled functions back after profiling."""
+        if self._saved_fns is None:
+            return
+        for attr, fn in self._saved_fns.items():
+            setattr(self, attr, fn)
+        self._saved_fns = None
+        self._invalidate_fn_caches()
+
+    def _invalidate_fn_caches(self) -> None:
+        """Subclass hook: drop closures that captured the swapped fns."""
 
     def step(self, env: dict, ws: dict, rng) -> None:
         raise NotImplementedError
@@ -214,6 +252,12 @@ class GradBlockDriver(UpdateDriver):
     def stat_fields(self) -> tuple[StatField, ...]:
         extra = self._NUTS_FIELDS if self._method == "nuts" else self._HMC_FIELDS
         return BASE_FIELDS + extra
+
+    def _invalidate_fn_caches(self) -> None:
+        # The cached FlatLogDensity closes over _ll_fn/_grad_fn/
+        # _ll_grad_fn; rebuild it so the flat path sees the (un)wrapped
+        # functions.
+        self._flat = None
 
     def begin_sweep(self) -> None:
         self._sweep = {"proposed": 0, "accepted": 0, "nan": 0}

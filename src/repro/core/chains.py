@@ -69,10 +69,25 @@ class SamplerSpec:
         )
 
 
-def _run_chain_worker(spec: SamplerSpec, rng: Rng, kwargs: dict):
-    """Worker-process entry point: rehydrate, then run one chain."""
+def _run_chain_worker(
+    spec: SamplerSpec, rng: Rng, kwargs: dict, ship_trace: bool = False
+):
+    """Worker-process entry point: rehydrate, then run one chain.
+
+    With ``ship_trace`` the worker's (fresh, disabled) tracer is turned
+    on around the run and its pid-stamped events ride back to the parent
+    on ``SampleResult.trace_events``, so a ``processes`` run still
+    produces one coherent ``--trace`` file with per-worker rows.
+    """
+    if ship_trace:
+        from repro.telemetry.trace import enable_tracing
+
+        tracer = enable_tracing()
     sampler = spec.build()
-    return sampler.sample(seed=rng, **kwargs)
+    result = sampler.sample(seed=rng, **kwargs)
+    if ship_trace:
+        result.trace_events = tracer.export_events()
+    return result
 
 
 def default_workers(n_chains: int) -> int:
@@ -91,6 +106,7 @@ def run_chains(
     n_workers: int | None = None,
     collect_stats: bool = False,
     monitor=None,
+    profile: bool = False,
 ):
     """Run ``n_chains`` independent chains, optionally in parallel.
 
@@ -116,7 +132,7 @@ def run_chains(
     rngs = Rng(seed).fork(n_chains)
     kwargs = dict(
         num_samples=num_samples, burn_in=burn_in, thin=thin, collect=collect,
-        collect_stats=collect_stats,
+        collect_stats=collect_stats, profile=profile,
     )
 
     if executor == "sequential" or n_chains == 1:
@@ -145,11 +161,21 @@ def run_chains(
         raise RuntimeFailure(f"n_workers must be positive, got {workers}")
 
     if executor == "processes":
+        from repro.telemetry.trace import get_tracer
+
+        tracer = get_tracer()
+        ship_trace = tracer.enabled
         with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
-                pool.submit(_run_chain_worker, spec, rng, kwargs) for rng in rngs
+                pool.submit(_run_chain_worker, spec, rng, kwargs, ship_trace)
+                for rng in rngs
             ]
-            return _gather(futures, monitor)
+            results = _gather(futures, monitor)
+        if ship_trace:
+            for res in results:
+                if res.trace_events:
+                    tracer.adopt(res.trace_events)
+        return results
 
     # Threads: the sampler's workspaces and sweep environment are
     # mutable shared state, so every worker thread gets its own

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.backend.cpu import decl_vectorizes, emit_cpu_source, exec_cpu_module
+from repro.core.backend.emitter import op_count_code
 from repro.core.backend.drivers import (
     ESliceDriver,
     GibbsDriver,
@@ -75,12 +76,14 @@ from repro.core.lowpp.gen_ll import (
 )
 from repro.core.lowpp.verify import verify_decl
 from repro.core.options import CompileOptions
+from repro.core.provenance import build_source_map
 from repro.core.sampler import CompiledSampler
 from repro.errors import CodegenError, ReproError
 from repro.gpusim import Device
 from repro.runtime.transforms import transform_for_support
 from repro.runtime.vectors import RaggedArray
 from repro.telemetry import trace
+from repro.telemetry.explain import CompileLedger
 
 
 # ----------------------------------------------------------------------
@@ -115,6 +118,17 @@ class _CacheEntry:
     info: ModelInfo
     param_names: tuple[str, ...]
     data_names: frozenset[str]
+    #: Codegen-time decision ledger: a cache hit replays these entries
+    #: (via clone) before the per-assembly wiring entries are appended.
+    ledger: CompileLedger
+    #: Model-statement name -> (line, source text) for rendering
+    #: provenance back to what the user wrote.
+    source_map: dict
+    #: Generated decl name -> op-count Python expression (the profiler
+    #: evaluates these against the live environment for ops/s).
+    op_count_exprs: dict
+    #: Generated decl name -> Provenance of its originating statements.
+    decl_provenance: dict
 
 
 _CACHE_CAPACITY = 64
@@ -221,7 +235,7 @@ def compile_model(
         if entry is not None:
             return _assemble(
                 entry, source, hyper_values, data_values, options, schedule,
-                proposals, t_start,
+                proposals, t_start, cache_status="hit",
             )
 
     # ---- Frontend -----------------------------------------------------
@@ -260,10 +274,13 @@ def compile_model(
     decls: list[LowDecl] = []
     driver_specs: list[tuple] = []
     ws_specs: list = []
+    ledger = CompileLedger()
+    source_map = build_source_map(model)
 
     with trace.span("codegen.updates", cat="compile"):
         for upd in flatten(kernel):
-            decl_infos = _generate_update(upd, fd, info, options)
+            _record_kernel_choice(ledger, upd, user_schedule=schedule is not None)
+            decl_infos = _generate_update(upd, fd, info, options, ledger)
             for low in decl_infos["decls"]:
                 decls.append(low)
             ws_specs.extend(decl_infos["workspaces"])
@@ -294,21 +311,52 @@ def compile_model(
         batch_low = gen_info.get("batch_low")
         if batch_low is not None:
             gen_info["batch_ok"] = decl_vectorizes(batch_low, ragged)
+            if not gen_info["batch_ok"]:
+                gen_info["batch_reason"] = (
+                    "the generated batched conditional does not fully "
+                    "vectorise (a parallel loop falls back to a Python "
+                    "loop), so the scalar per-element path is faster"
+                )
             trace.instant(
                 "batch.vectorized" if gen_info["batch_ok"] else "batch.fallback",
                 cat="compile",
                 decl=batch_low.decl.name,
             )
 
+    decl_provenance = {low.name: low.provenance for low in decls}
+    op_count_exprs = {low.name: op_count_code(low.decl.body) for low in decls}
+
     if options.target == "gpu":
         return _assemble_gpu(
             decls, env, ragged, plan, driver_specs, info, options,
             source, hyper_values, data_values, schedule, proposals, t_start,
+            ledger, source_map, op_count_exprs, decl_provenance,
         )
 
     with trace.span("backend.emit", cat="compile"):
-        source_text = emit_cpu_source(decls, ragged, vectorize=options.vectorize)
+        fallback_counts: dict[str, int] = {}
+        source_text = emit_cpu_source(
+            decls, ragged, vectorize=options.vectorize,
+            fallback_counts=fallback_counts,
+        )
         code = compile(source_text, "<augur_cpu>", "exec")
+    for name, n_fallbacks in fallback_counts.items():
+        if not options.vectorize:
+            choice, why = "python-loops", (
+                "whole-module vectorisation is disabled (vectorize=False)"
+            )
+        elif n_fallbacks:
+            choice, why = "python-loops", (
+                f"{n_fallbacks} parallel loop(s) fell back to interpreted "
+                "Python loops (ragged gather or data-dependent indexing)"
+            )
+        else:
+            choice, why = "vectorized", (
+                "every parallel loop emitted as whole-vector NumPy"
+            )
+        ledger.record(
+            "emit.vectorize", name, choice, why, decl_provenance.get(name)
+        )
     entry = _CacheEntry(
         source_text=source_text,
         code=code,
@@ -317,12 +365,16 @@ def compile_model(
         info=info,
         param_names=tuple(info.param_names()),
         data_names=frozenset(data_names),
+        ledger=ledger,
+        source_map=source_map,
+        op_count_exprs=op_count_exprs,
+        decl_provenance=decl_provenance,
     )
     if key is not None:
         _cache_put(key, entry)
     return _assemble(
         entry, source, hyper_values, data_values, options, schedule,
-        proposals, t_start,
+        proposals, t_start, cache_status="miss",
     )
 
 
@@ -335,6 +387,7 @@ def _assemble(
     schedule: str | None,
     proposals: dict | None,
     t_start: float,
+    cache_status: str = "miss",
 ) -> CompiledSampler:
     """Turn a (possibly cached) compilation into a fresh sampler:
     re-``exec`` the code object, allocate fresh workspaces, and rewire
@@ -342,11 +395,26 @@ def _assemble(
     data = {k: v for k, v in data_values.items() if k in entry.data_names}
     env = dict(hyper_values)
     env.update(data)
+    # Codegen-time decisions replay from the cached ledger; this
+    # assembly appends its own wiring decisions to an independent clone.
+    ledger = entry.ledger.clone()
+    ledger.record(
+        "compile.cache",
+        "compilation",
+        cache_status,
+        (
+            "an identical model+data+options compilation was served from "
+            "the cache (codegen skipped; code object re-exec'd)"
+            if cache_status == "hit"
+            else "first compilation of this model+data+options key"
+        ),
+    )
     with trace.span("backend.exec", cat="compile"):
         module = exec_cpu_module(entry.source_text, code=entry.code)
         workspaces = allocate_workspaces(entry.plan)
         updates = _wire_drivers(
-            entry.driver_specs, module.fn, entry.plan, options, proposals
+            entry.driver_specs, module.fn, entry.plan, options, proposals,
+            ledger,
         )
     spec = SamplerSpec(
         source=model_source,
@@ -370,12 +438,17 @@ def _assemble(
         forward_fn=module.fn("forward_data"),
         info=entry.info,
         spec=spec,
+        ledger=ledger,
+        source_map=entry.source_map,
+        op_count_exprs=entry.op_count_exprs,
+        decl_provenance=entry.decl_provenance,
     )
 
 
 def _assemble_gpu(
     decls, env, ragged, plan, driver_specs, info, options,
     model_source, hyper_values, data_values, schedule, proposals, t_start,
+    ledger, source_map, op_count_exprs, decl_provenance,
 ) -> CompiledSampler:
     """The (uncached) GPU-target assembly: the simulated device holds
     per-sampler state, so every compilation builds a fresh module."""
@@ -383,13 +456,22 @@ def _assemble_gpu(
     module = compile_gpu_module(
         decls, env, ragged_names=ragged, cfg=options.blk_config()
     )
+    ledger.record(
+        "compile.cache",
+        "compilation",
+        "disabled",
+        "the GPU target is uncacheable: the simulated device holds "
+        "per-sampler state",
+    )
 
     def bind(name: str):
         fn = module.fn(name)
         return lambda e, w, r: fn(e, w, r, device)
 
     workspaces = allocate_workspaces(plan)
-    updates = _wire_drivers(tuple(driver_specs), bind, plan, options, proposals)
+    updates = _wire_drivers(
+        tuple(driver_specs), bind, plan, options, proposals, ledger
+    )
     data_names = frozenset(info.data_names())
     spec = SamplerSpec(
         source=model_source,
@@ -413,15 +495,21 @@ def _assemble_gpu(
         forward_fn=bind("forward_data"),
         info=info,
         spec=spec,
+        ledger=ledger,
+        source_map=source_map,
+        op_count_exprs=op_count_exprs,
+        decl_provenance=decl_provenance,
     )
 
 
 def _wire_drivers(
-    driver_specs: tuple, bind, plan, options: CompileOptions, proposals: dict | None
+    driver_specs: tuple, bind, plan, options: CompileOptions,
+    proposals: dict | None, ledger: CompileLedger | None = None,
 ) -> list[UpdateDriver]:
     proposals = proposals or {}
+    ledger = ledger if ledger is not None else CompileLedger()
     updates = [
-        _make_driver(upd, gen, bind, plan, options, proposals)
+        _make_driver(upd, gen, bind, plan, options, proposals, ledger)
         for upd, gen in driver_specs
     ]
     unused = set(proposals) - {
@@ -442,7 +530,46 @@ def _wire_drivers(
 # ----------------------------------------------------------------------
 
 
-def _generate_update(upd: KBase, fd, info: ModelInfo, options: CompileOptions) -> dict:
+def _record_kernel_choice(
+    ledger: CompileLedger, upd: KBase, user_schedule: bool
+) -> None:
+    """One ``kernel.update`` ledger entry: which update kind this
+    variable (or block) got, and the structural reason."""
+    payload = upd.payload
+    subject = ",".join(upd.unit.names)
+    if isinstance(payload, ConjugacyMatch):
+        choice = "Gibbs (conjugate)"
+        reason = (
+            f"the prior/likelihood pair matches the '{payload.rule}' "
+            "conjugacy rule, so the conditional has closed form"
+        )
+    elif isinstance(payload, EnumerationMatch):
+        choice = "Gibbs (enumerate)"
+        reason = (
+            "the discrete target has finite support, so the conditional "
+            "is enumerated and normalised exactly"
+        )
+    elif isinstance(payload, BlockConditional):
+        choice = upd.method.name
+        reason = (
+            "the block is continuous and differentiable, so a "
+            "gradient-based update applies"
+        )
+    else:
+        choice = upd.method.name
+        reason = (
+            "no closed-form conditional was found; an element-wise "
+            "update targets the full conditional"
+        )
+    if user_schedule:
+        reason = "fixed by the user schedule; " + reason
+    ledger.record("kernel.update", subject, choice, reason, upd.provenance)
+
+
+def _generate_update(
+    upd: KBase, fd, info: ModelInfo, options: CompileOptions,
+    ledger: CompileLedger,
+) -> dict:
     method = upd.method
     payload = upd.payload
     out = {"decls": [], "workspaces": [], "names": {}}
@@ -467,21 +594,40 @@ def _generate_update(upd: KBase, fd, info: ModelInfo, options: CompileOptions) -
 
     if method in (UpdateMethod.HMC, UpdateMethod.NUTS):
         blk: BlockConditional = payload
+        subject = ",".join(upd.unit.names)
         ll_decl = gen_block_ll(blk, fd.lets)
         grad_decl = gen_grad(blk, fd.lets)
         out["decls"].append(lower_decl(ll_decl))
         out["decls"].append(lower_decl(grad_decl))
         out["names"]["ll"] = ll_decl.name
         out["names"]["grad"] = grad_decl.name
-        if options.target == "cpu" and options.fuse_gradient:
+        if options.target != "cpu":
+            ledger.record(
+                "gradient.fusion", subject, "pair",
+                "the fused value+gradient declaration is CPU-only; the "
+                "GPU target evaluates the separate pair",
+                upd.provenance,
+            )
+        elif not options.fuse_gradient:
+            ledger.record(
+                "gradient.fusion", subject, "pair",
+                "disabled by options (fuse_gradient=False)",
+                upd.provenance,
+            )
+        else:
             # The fused value+gradient declaration shares the forward
             # pass and accumulates adjoints into preallocated workspace
             # buffers.  Decl-level gating: any block fusion cannot
             # handle falls back to the separate pair above.
             try:
                 fused_decl, fused_ws = gen_ll_grad(blk, fd.lets)
-            except CodegenError:
+            except CodegenError as err:
                 fused_decl = None
+                ledger.record(
+                    "gradient.fusion", subject, "pair",
+                    f"fusion declined: {err}",
+                    upd.provenance,
+                )
             if fused_decl is not None:
                 out["decls"].append(
                     lower_decl(
@@ -491,6 +637,13 @@ def _generate_update(upd: KBase, fd, info: ModelInfo, options: CompileOptions) -
                 )
                 out["workspaces"].extend(fused_ws)
                 out["names"]["ll_grad"] = fused_decl.name
+                ledger.record(
+                    "gradient.fusion", subject, "fused",
+                    "the log density and its gradient share one forward "
+                    "pass with workspace adjoint buffers "
+                    f"('{fused_decl.name}')",
+                    upd.provenance,
+                )
         return out
 
     cond: Conditional = payload
@@ -499,14 +652,24 @@ def _generate_update(upd: KBase, fd, info: ModelInfo, options: CompileOptions) -
     ll_decl = gen_cond_ll(cond, fd.lets, include_prior=include_prior, suffix=suffix)
     out["decls"].append(lower_decl(ll_decl))
     out["names"]["ll"] = ll_decl.name
-    if (
-        options.target == "cpu"
-        and options.vectorize
-        and options.batch_elements
-        and upd.opt("batch") != "off"
-    ):
+    # The first failing gate (or the batch generator's own refusal)
+    # becomes the "why scalar" reason recorded when the driver is wired.
+    if options.target != "cpu":
+        out["batch_reason"] = "batched element updates are CPU-only"
+    elif not options.vectorize:
+        out["batch_reason"] = (
+            "whole-module vectorisation is disabled (vectorize=False)"
+        )
+    elif not options.batch_elements:
+        out["batch_reason"] = "disabled by options (batch_elements=False)"
+    elif upd.opt("batch") == "off":
+        out["batch_reason"] = (
+            "disabled for this update by the schedule ([batch=off])"
+        )
+    else:
+        why: list[str] = []
         batch = gen_cond_ll_batch(
-            cond, fd, include_prior=include_prior, suffix=suffix
+            cond, fd, include_prior=include_prior, suffix=suffix, why=why
         )
         if batch is not None:
             batch_decl, batch_ws = batch
@@ -515,19 +678,28 @@ def _generate_update(upd: KBase, fd, info: ModelInfo, options: CompileOptions) -
             out["workspaces"].append(batch_ws)
             out["names"]["batch_ll"] = batch_decl.name
             out["batch_low"] = batch_low
+        else:
+            out["batch_reason"] = (
+                why[0] if why
+                else "the batched conditional could not be generated"
+            )
     return out
 
 
 def _make_driver(
-    upd: KBase, gen: dict, bind, plan, options: CompileOptions, proposals=None
+    upd: KBase, gen: dict, bind, plan, options: CompileOptions,
+    proposals=None, ledger: CompileLedger | None = None,
 ):
     proposals = proposals or {}
+    ledger = ledger if ledger is not None else CompileLedger()
     method = upd.method
     names = gen["names"]
     target_list = upd.unit.names
 
     if method is UpdateMethod.GIBBS:
-        return GibbsDriver(names["update"], target_list, bind(names["update"]))
+        drv = GibbsDriver(names["update"], target_list, bind(names["update"]))
+        drv.profile_fns = {"_fn": names["update"]}
+        return drv
 
     if method in (UpdateMethod.HMC, UpdateMethod.NUTS):
         blk: BlockConditional = upd.payload
@@ -540,7 +712,7 @@ def _make_driver(
         if options.flat_state and options.target == "cpu":
             # None for ragged blocks -- the driver stays on the tree path.
             pack_plan = build_pack_plan(plan, target_list)
-        return GradBlockDriver(
+        drv = GradBlockDriver(
             name=names["ll"],
             targets=target_list,
             ll_fn=bind(names["ll"]),
@@ -552,6 +724,31 @@ def _make_driver(
             ll_grad_fn=bind(ll_grad_name) if ll_grad_name else None,
             pack_plan=pack_plan,
         )
+        drv.profile_fns = {"_ll_fn": names["ll"], "_grad_fn": names["grad"]}
+        if ll_grad_name:
+            drv.profile_fns["_ll_grad_fn"] = ll_grad_name
+        if drv._use_flat:
+            choice, why = "flat", (
+                f"the block packs into {pack_plan.total} contiguous slots "
+                "with element-wise transforms; leapfrog integrates on the "
+                "packed vector"
+            )
+        elif options.target != "cpu":
+            choice, why = "tree", "the flat-state leapfrog path is CPU-only"
+        elif not options.flat_state:
+            choice, why = "tree", "disabled by options (flat_state=False)"
+        elif pack_plan is None:
+            choice, why = "tree", (
+                "the block contains a ragged buffer, so no dense pack "
+                "plan exists"
+            )
+        else:
+            choice, why = "tree", (
+                "a non-element-wise transform in the block prevents "
+                "slice-wise application on the packed vector"
+            )
+        ledger.record("leapfrog.state", drv.label, choice, why, upd.provenance)
+        return drv
 
     cond: Conditional = upd.payload
     target = target_list[0]
@@ -561,23 +758,55 @@ def _make_driver(
     # per-method guards below add the runtime-shape conditions the
     # symbolic eligibility check cannot see.
     batched = gen.get("batch_ok", False)
+
+    def record_batch(drv, guard_reason=None):
+        if drv.is_batched:
+            choice, why = "batched", (
+                "every element lane advances per whole-vector library "
+                f"call against '{names['batch_ll']}'"
+            )
+        else:
+            choice = "scalar"
+            why = guard_reason or gen.get("batch_reason") or (
+                "the batched conditional was not wired"
+            )
+        ledger.record("batch.elements", drv.label, choice, why, upd.provenance)
+        drv.profile_fns = {"_ll_fn": names["ll"]}
+        if drv.is_batched:
+            drv.profile_fns["_bll_fn"] = names["batch_ll"]
+        return drv
+
     if method is UpdateMethod.SLICE:
         width = float(upd.opt("width", 1.0))
         if batched and not shape.event:
-            return VectorizedSliceDriver(
+            return record_batch(VectorizedSliceDriver(
                 names["ll"], cond, shape, ll_fn, bind(names["batch_ll"]),
                 width=width,
-            )
-        return SliceDriver(names["ll"], cond, shape, ll_fn, width=width)
+            ))
+        return record_batch(
+            SliceDriver(names["ll"], cond, shape, ll_fn, width=width),
+            guard_reason=(
+                "the target's elements are vectors (trailing event axes), "
+                "which the per-lane bracketing cannot batch"
+                if batched and shape.event else None
+            ),
+        )
     if method is UpdateMethod.ESLICE:
         lane_varying_prior = any(
             mentions(a, v) for a in cond.prior.args for v in cond.idx_vars
         )
         if batched and not lane_varying_prior:
-            return VectorizedESliceDriver(
+            return record_batch(VectorizedESliceDriver(
                 names["ll"], cond, shape, ll_fn, bind(names["batch_ll"])
-            )
-        return ESliceDriver(names["ll"], cond, shape, ll_fn)
+            ))
+        return record_batch(
+            ESliceDriver(names["ll"], cond, shape, ll_fn),
+            guard_reason=(
+                "the Gaussian prior's parameters vary per lane, so one "
+                "shared prior draw cannot serve every lane"
+                if batched and lane_varying_prior else None
+            ),
+        )
     if method is UpdateMethod.MH:
         proposal = proposals.get(target)
         if proposal is None and upd.opt("proposal") is not None:
@@ -589,12 +818,26 @@ def _make_driver(
             )
         scale = float(upd.opt("scale", 0.5))
         if batched and proposal is None and not shape.event:
-            return VectorizedMHDriver(
+            return record_batch(VectorizedMHDriver(
                 names["ll"], cond, shape, ll_fn, bind(names["batch_ll"]),
                 scale=scale,
+            ))
+        guard = None
+        if batched and proposal is not None:
+            guard = (
+                "a user proposal function is registered, which the "
+                "batched random-walk path cannot apply"
             )
-        return MHDriver(
-            names["ll"], cond, shape, ll_fn, scale=scale, proposal=proposal
+        elif batched and shape.event:
+            guard = (
+                "the target's elements are vectors (trailing event axes), "
+                "which the lane-wise random walk cannot batch"
+            )
+        return record_batch(
+            MHDriver(
+                names["ll"], cond, shape, ll_fn, scale=scale, proposal=proposal
+            ),
+            guard_reason=guard,
         )
     raise ReproError(f"no driver for update method {method}")
 

@@ -117,6 +117,13 @@ class Factor:
     at: Expr
     source: str = ""
 
+    @property
+    def provenance(self):
+        """Source pointer: the model statement this factor scores."""
+        from repro.core.provenance import Provenance
+
+        return Provenance(stmt=self.source, stage="density")
+
     def mentions(self, name: str) -> bool:
         if any(mentions(e, name) for e in self.args) or mentions(self.at, name):
             return True

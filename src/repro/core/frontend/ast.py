@@ -20,7 +20,7 @@ under zero or more *parallel* comprehension generators.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.exprs import DistCall, Expr, Gen, free_vars
 
@@ -45,6 +45,10 @@ class Decl:
     idx_vars: tuple[str, ...]
     rhs: Expr
     gens: tuple[Gen, ...]
+    #: 1-based source line of the declaration keyword (0 when the Decl
+    #: was built programmatically); provenance metadata only, so it does
+    #: not participate in equality.
+    line: int = field(default=0, compare=False)
 
     def __post_init__(self) -> None:
         if len(self.idx_vars) != len(self.gens):

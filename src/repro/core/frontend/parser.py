@@ -107,6 +107,7 @@ class _Parser:
             "let",
         ):
             self.error("expected 'param', 'data', or 'let'")
+        line = self.cur.line
         kind = DeclKind(self.advance().text)
         name = self.eat_ident()
         idx_vars: list[str] = []
@@ -129,7 +130,7 @@ class _Parser:
                 f"{name}: right-hand side of '~' must be a distribution"
             )
         try:
-            return Decl(kind, name, tuple(idx_vars), rhs, tuple(gens))
+            return Decl(kind, name, tuple(idx_vars), rhs, tuple(gens), line=line)
         except ValueError as e:
             raise ParseError(str(e)) from None
 

@@ -101,6 +101,15 @@ class KBase(Kernel):
     def with_payload(self, payload: Any) -> "KBase":
         return KBase(self.method, self.unit, payload, self.options)
 
+    @property
+    def provenance(self):
+        """Source pointer: the model statements this update resamples."""
+        from repro.core.provenance import Provenance
+
+        return Provenance(
+            stmt=self.unit.names[0], stmts=self.unit.names, stage="kernel"
+        )
+
     def __str__(self) -> str:
         return f"{self.method.value} {self.unit}"
 

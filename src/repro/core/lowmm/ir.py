@@ -37,6 +37,12 @@ class LowDecl:
     def name(self) -> str:
         return self.decl.name
 
+    @property
+    def provenance(self):
+        """The Low++ declaration's source pointer, carried through the
+        memory-explicit lowering unchanged."""
+        return self.decl.provenance
+
 
 def lower_decl(
     decl: LDecl,

@@ -35,6 +35,7 @@ from repro.core.exprs import (
     walk,
 )
 from repro.core.lowpp.gen_ll import _LL, _guard_expr, _needed_lets
+from repro.core.provenance import Provenance, merge_stmts
 from repro.core.lowpp.ir import (
     AssignOp,
     LDecl,
@@ -248,6 +249,13 @@ def gen_grad(
         params=params,
         body=tuple(body),
         ret=tuple(Var(f"adj_{t}") for t in targets),
+        provenance=Provenance(
+            stmt=targets[0],
+            stmts=merge_stmts(
+                targets[0], targets, (f.source for f in blk.factors)
+            ),
+            stage="lowpp.ad",
+        ),
     )
 
 
@@ -443,6 +451,13 @@ def gen_ll_grad(
         body=tuple(body),
         ret=(Var(_LL),) + tuple(Var(a) for a in adj_names),
         locals_hint=adj_names,
+        provenance=Provenance(
+            stmt=targets[0],
+            stmts=merge_stmts(
+                targets[0], targets, (f.source for f in blk.factors)
+            ),
+            stage="lowpp.ad",
+        ),
     )
     specs = tuple(
         WorkspaceSpec(a, gens=(), like=t) for a, t in zip(adj_names, targets)

@@ -37,7 +37,7 @@ from repro.core.exprs import (
     subst,
 )
 from repro.core.kernel.conjugacy import ConjugacyMatch, EnumerationMatch
-from repro.core.lowpp.gen_ll import _guard_expr, _needed_lets
+from repro.core.lowpp.gen_ll import _factor_provenance, _guard_expr, _needed_lets
 from repro.core.lowpp.ir import (
     AssignOp,
     LDecl,
@@ -232,6 +232,9 @@ def _finish(
         body=tuple(body),
         ret=(),
         locals_hint=tuple(ws_names),
+        provenance=_factor_provenance(
+            cond.target, cond.all_factors, stage="lowpp.gen_gibbs"
+        ),
     )
     return GibbsCode(decl=decl, workspaces=tuple(specs))
 

@@ -23,6 +23,7 @@ from repro.core.lowpp.ir import (
     SLoop,
     Stmt,
 )
+from repro.core.provenance import Provenance
 
 
 def _gen_sampling_decl(
@@ -32,9 +33,11 @@ def _gen_sampling_decl(
     name: str,
 ) -> LDecl:
     body: list[Stmt] = []
+    drawn: list[str] = []
     for decl in info.model.decls:
         if decl.kind is not kind:
             continue
+        drawn.append(decl.name)
         lv = LValue(decl.name, tuple(Var(v) for v in decl.idx_vars))
         draw: Stmt = SAssign(
             lv,
@@ -53,7 +56,12 @@ def _gen_sampling_decl(
     if let_names & set(params):
         body = list(_needed_lets(fd.lets, frozenset(set(params) & let_names))) + body
         params = _params_for(body, None, [])
-    return LDecl(name=name, params=params, body=tuple(body), ret=())
+    prov = None
+    if drawn:
+        prov = Provenance(
+            stmt=drawn[0], stmts=tuple(drawn), stage="lowpp.gen_init"
+        )
+    return LDecl(name=name, params=params, body=tuple(body), ret=(), provenance=prov)
 
 
 def gen_init(info: ModelInfo, fd: FactorizedDensity) -> LDecl:

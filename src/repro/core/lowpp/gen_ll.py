@@ -37,6 +37,7 @@ from repro.core.lowpp.ir import (
     SLoop,
     Stmt,
 )
+from repro.core.provenance import Provenance, merge_stmts
 from repro.core.workspace import WorkspaceSpec
 
 _LL = "ll"
@@ -93,11 +94,24 @@ def _factors_free_names(factors) -> frozenset[str]:
     return frozenset(out)
 
 
+def _factor_provenance(
+    primary: str, factors, stage: str = "lowpp.gen_ll"
+) -> Provenance:
+    """Provenance over a factor set: the primary statement plus every
+    model statement whose factor contributes a density term."""
+    return Provenance(
+        stmt=primary,
+        stmts=merge_stmts(primary, (f.source for f in factors)),
+        stage=stage,
+    )
+
+
 def _ll_decl(
     name: str,
     factors: tuple[Factor, ...],
     lets: tuple[tuple[str, Expr], ...],
     extra_params: tuple[str, ...] = (),
+    provenance: Provenance | None = None,
 ) -> LDecl:
     free = _factors_free_names(factors)
     let_stmts = _needed_lets(lets, free)
@@ -110,7 +124,10 @@ def _ll_decl(
         free |= free_vars(s.rhs)
     free = frozenset(free - bound)
     params = tuple(sorted(free)) + tuple(p for p in extra_params if p not in free)
-    return LDecl(name=name, params=params, body=tuple(body), ret=(Var(_LL),))
+    return LDecl(
+        name=name, params=params, body=tuple(body), ret=(Var(_LL),),
+        provenance=provenance,
+    )
 
 
 def gen_cond_ll(
@@ -129,7 +146,10 @@ def gen_cond_ll(
     """
     factors = cond.all_factors if include_prior else cond.likelihood
     name = f"cond_ll_{cond.target}{suffix}"
-    return _ll_decl(name, factors, lets, extra_params=cond.idx_vars)
+    return _ll_decl(
+        name, factors, lets, extra_params=cond.idx_vars,
+        provenance=_factor_provenance(cond.target, factors),
+    )
 
 
 def _lane_loop_nest(
@@ -181,6 +201,7 @@ def gen_cond_ll_batch(
     fd: FactorizedDensity,
     include_prior: bool = True,
     suffix: str = "",
+    why: list | None = None,
 ) -> tuple[LDecl, WorkspaceSpec] | None:
     """The batched conditional: per-lane log densities in one call.
 
@@ -195,11 +216,23 @@ def gen_cond_ll_batch(
 
     Returns ``None`` when batching is unsound (lane-coupled factors,
     imprecise or whole-vector conditionals, lets that mix lanes) --
-    callers then stay on the scalar per-element path.
+    callers then stay on the scalar per-element path.  ``why``, when
+    supplied, receives one human-readable reason per ``None`` return so
+    the decision ledger can name the gate that fired.
     """
-    target = cond.target
-    if not cond.idx_vars or cond.imprecise or cond.vector_dependence:
+
+    def declined(reason: str):
+        if why is not None:
+            why.append(reason)
         return None
+
+    target = cond.target
+    if not cond.idx_vars:
+        return declined("the target is a scalar statement with no element lanes")
+    if cond.imprecise:
+        return declined("the conditional approximation is imprecise")
+    if cond.vector_dependence:
+        return declined("a whole-vector dependence couples the element lanes")
     factors: list[Factor] = []
     for f in fd.factors:
         if f.source == target:
@@ -208,12 +241,15 @@ def gen_cond_ll_batch(
         elif f.mentions(target):
             factors.append(f)
     if not factors:
-        return None
+        return declined("no density factor mentions the target")
     paths: list[tuple[Expr, ...]] = []
     for f in factors:
         occ = lane_occurrence(f, target, len(cond.idx_vars))
         if occ is None:
-            return None
+            return declined(
+                f"the factor from '{f.source or f.at}' uses the target in "
+                "more than one lane per term"
+            )
         paths.append(occ)
 
     free = _factors_free_names(factors)
@@ -221,7 +257,9 @@ def gen_cond_ll_batch(
     if any(mentions(s.rhs, target) for s in let_stmts):
         # A deterministic let reading the target would be recomputed from
         # the all-lanes-proposed state, coupling the lanes.
-        return None
+        return declined(
+            "a deterministic let reads the target, coupling the lanes"
+        )
 
     acc = f"_bll_{target}{suffix}"
     body: list[Stmt] = list(let_stmts)
@@ -264,6 +302,7 @@ def gen_cond_ll_batch(
         body=tuple(body),
         ret=(Var(acc),),
         locals_hint=(acc,),
+        provenance=_factor_provenance(target, factors),
     )
     return decl, WorkspaceSpec(acc, gens=cond.gens)
 
@@ -273,9 +312,21 @@ def gen_block_ll(
 ) -> LDecl:
     """The joint conditional log density of a block of variables."""
     name = "block_ll_" + "_".join(blk.targets)
-    return _ll_decl(name, blk.factors, lets)
+    prov = Provenance(
+        stmt=blk.targets[0],
+        stmts=merge_stmts(blk.targets[0], blk.targets,
+                          (f.source for f in blk.factors)),
+        stage="lowpp.gen_ll",
+    )
+    return _ll_decl(name, blk.factors, lets, provenance=prov)
 
 
 def gen_model_ll(fd: FactorizedDensity) -> LDecl:
     """The full model log joint (used for diagnostics and MH at the top)."""
-    return _ll_decl("model_ll", fd.factors, fd.lets)
+    sources = tuple(dict.fromkeys(f.source for f in fd.factors if f.source))
+    prov = Provenance(
+        stmt=sources[0] if sources else "model",
+        stmts=sources or ("model",),
+        stage="lowpp.gen_ll",
+    )
+    return _ll_decl("model_ll", fd.factors, fd.lets, provenance=prov)

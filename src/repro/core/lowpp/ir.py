@@ -21,6 +21,7 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.core.exprs import Expr, Gen
+from repro.core.provenance import Provenance
 
 
 class LoopKind(enum.Enum):
@@ -111,6 +112,10 @@ class LDecl:
     body: tuple[Stmt, ...]
     ret: tuple[Expr, ...] = ()
     locals_hint: tuple[str, ...] = field(default=())
+    #: Source pointer to the model statement(s) the declaration was
+    #: generated from.  Metadata only: excluded from equality/hash so
+    #: structural comparisons of generated code stay provenance-blind.
+    provenance: Provenance | None = field(default=None, compare=False)
 
     def __str__(self) -> str:
         lines = [f"{self.name}({', '.join(self.params)}) {{"]

@@ -97,6 +97,13 @@ class SampleResult:
     #: Per-sweep telemetry (``collect_stats=True``), one typed record
     #: per base update per sweep; ``None`` when collection was off.
     stats: SampleStats | None = None
+    #: The sweep profiler's attribution table (``profile=True``);
+    #: ``None`` when profiling was off.
+    profile: object | None = None
+    #: Chrome-trace events shipped back from a worker process (the
+    #: multi-chain runner merges these into the parent tracer so a
+    #: ``processes`` run produces one coherent trace file).
+    trace_events: list | None = None
 
     @property
     def sample_stats(self) -> dict[str, np.ndarray]:
@@ -139,6 +146,10 @@ class CompiledSampler:
         forward_fn=None,
         info=None,
         spec=None,
+        ledger=None,
+        source_map=None,
+        op_count_exprs=None,
+        decl_provenance=None,
     ):
         self.module = module
         self.plan = plan
@@ -155,6 +166,13 @@ class CompiledSampler:
         #: Picklable rebuild recipe (:class:`repro.core.chains.SamplerSpec`)
         #: used by worker processes to rehydrate this sampler.
         self.spec = spec
+        #: The compiler decision ledger for this compilation
+        #: (:class:`repro.telemetry.explain.CompileLedger`) and the
+        #: provenance metadata the profiler and reports render against.
+        self.ledger = ledger
+        self.source_map = source_map or {}
+        self.op_count_exprs = op_count_exprs or {}
+        self.decl_provenance = decl_provenance or {}
         # Persistent sweep environment: built once per (state object,
         # base_env version) instead of dict(base_env) + update on every
         # sweep.
@@ -171,6 +189,18 @@ class CompiledSampler:
 
     def schedule_description(self) -> str:
         return " (*) ".join(u.label for u in self.updates)
+
+    def explain(self) -> str:
+        """The compiler decision ledger as a human-readable table: which
+        update each variable got, what was batched / fused / packed and
+        why, with provenance back to the model source."""
+        if self.ledger is None:
+            return "compiler decision ledger: unavailable for this sampler"
+        return self.ledger.render(self.source_map)
+
+    def explain_json(self) -> list[dict]:
+        """The decision ledger as a machine-readable list of entries."""
+        return self.ledger.to_json() if self.ledger is not None else []
 
     # ------------------------------------------------------------------
 
@@ -259,6 +289,27 @@ class CompiledSampler:
             state[p] = env[p]
         return state
 
+    def _step_profiled(self, state: dict, rng: Rng, profiler, bufs, sweep) -> dict:
+        """One sweep with per-update wall-time attribution (and,
+        optionally, stat recording).  The timers bracket each driver's
+        ``step`` and never touch the RNG, so the draws are identical to
+        an unprofiled run."""
+        env = self._sweep_env(state)
+        for i, upd in enumerate(self.updates):
+            if bufs is not None:
+                upd.begin_sweep()
+            t0 = time.perf_counter()
+            upd.step(env, self.workspaces, rng)
+            dt = time.perf_counter() - t0
+            cell = profiler.update_cells[i]
+            cell[0] += 1
+            cell[1] += dt
+            if bufs is not None:
+                bufs[i].write(sweep, upd.end_sweep())
+        for p in self.param_names:
+            state[p] = env[p]
+        return state
+
     def _warn_nan_rejections(self, before: list[tuple[int, int, int]]) -> None:
         """One-line warning when NaN-rejected proposals exceed the
         threshold rate for any update during this ``sample`` call."""
@@ -288,6 +339,7 @@ class CompiledSampler:
         init: dict | None = None,
         callback=None,
         collect_stats: bool = False,
+        profile: bool = False,
     ) -> SampleResult:
         """Draw posterior samples.
 
@@ -297,7 +349,11 @@ class CompiledSampler:
         ``collect_stats=True`` every base update records its typed
         per-sweep stat record (acceptance/log-alpha, leapfrogs,
         divergences, slice bracket activity, ...) into preallocated
-        buffers surfaced as ``SampleResult.stats``.
+        buffers surfaced as ``SampleResult.stats``.  With
+        ``profile=True`` the sweep profiler attributes wall-time to
+        every update, generated declaration, and model statement
+        (``SampleResult.profile``); the draws are bitwise identical
+        either way.
         """
         if num_samples <= 0:
             raise RuntimeFailure("num_samples must be positive")
@@ -325,33 +381,45 @@ class CompiledSampler:
             if collect_stats
             else None
         )
+        profiler = None
+        if profile:
+            from repro.telemetry.profile import SweepProfiler
+
+            profiler = SweepProfiler(self)
+            profiler.instrument()
         sweep_times = np.empty(total_sweeps, dtype=np.float64)
         sweep_starts = np.empty(total_sweeps, dtype=np.float64) if tracing else None
         collect_spans: list[tuple[float, float]] = []
         start = time.perf_counter()
         kept = 0
-        for sweep in range(total_sweeps):
-            t0 = time.perf_counter()
-            if stat_bufs is None:
-                self.step(state, rng)
-            else:
-                self._step_recorded(state, rng, stat_bufs, sweep)
-            t1 = time.perf_counter()
-            sweep_times[sweep] = t1 - t0
-            if sweep_starts is not None:
-                sweep_starts[sweep] = t0
-            if sweep >= burn_in and (sweep - burn_in) % thin == 0:
-                for name in collect:
-                    store = samples[name]
-                    if isinstance(store, np.ndarray):
-                        store[kept] = state[name]
-                    else:
-                        store.append(_copy_value(state[name]))
-                if tracing:
-                    collect_spans.append((t1, time.perf_counter() - t1))
-                if callback is not None:
-                    callback(kept, state)
-                kept += 1
+        try:
+            for sweep in range(total_sweeps):
+                t0 = time.perf_counter()
+                if profiler is not None:
+                    self._step_profiled(state, rng, profiler, stat_bufs, sweep)
+                elif stat_bufs is None:
+                    self.step(state, rng)
+                else:
+                    self._step_recorded(state, rng, stat_bufs, sweep)
+                t1 = time.perf_counter()
+                sweep_times[sweep] = t1 - t0
+                if sweep_starts is not None:
+                    sweep_starts[sweep] = t0
+                if sweep >= burn_in and (sweep - burn_in) % thin == 0:
+                    for name in collect:
+                        store = samples[name]
+                        if isinstance(store, np.ndarray):
+                            store[kept] = state[name]
+                        else:
+                            store.append(_copy_value(state[name]))
+                    if tracing:
+                        collect_spans.append((t1, time.perf_counter() - t1))
+                    if callback is not None:
+                        callback(kept, state)
+                    kept += 1
+        finally:
+            if profiler is not None:
+                profiler.restore()
         wall = time.perf_counter() - start
         if tracing:
             for sweep in range(total_sweeps):
@@ -387,6 +455,11 @@ class CompiledSampler:
                 if stat_bufs is not None
                 else None
             ),
+            profile=(
+                profiler.finish(float(sweep_times.sum()), total_sweeps)
+                if profiler is not None
+                else None
+            ),
         )
 
     def sample_chains(
@@ -401,6 +474,7 @@ class CompiledSampler:
         n_workers: int | None = None,
         collect_stats: bool = False,
         monitor=None,
+        profile: bool = False,
     ) -> list[SampleResult]:
         """Run several independent chains from forked RNG streams.
 
@@ -442,4 +516,5 @@ class CompiledSampler:
             n_workers=n_workers,
             collect_stats=collect_stats,
             monitor=monitor,
+            profile=profile,
         )

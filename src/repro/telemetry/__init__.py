@@ -9,8 +9,16 @@ Three pillars of observability for compiled MCMC:
   runtime phases, exportable as a ``chrome://tracing`` JSON file.
 - :mod:`repro.telemetry.monitors` -- streaming Welford moments, online
   split R-hat / ESS across live chains, and divergence-rate warnings.
+- :mod:`repro.telemetry.explain` -- the compiler decision ledger:
+  structured ``(decision, choice, reason, provenance)`` entries for
+  every silent choice the pipeline makes.
+- :mod:`repro.telemetry.profile` -- the sweep profiler: wall-time
+  attribution per update, generated declaration, and model statement.
+- :mod:`repro.telemetry.report` -- the self-contained HTML (+ JSON)
+  inference report bundling all of the above.
 """
 
+from repro.telemetry.explain import CompileLedger, Decision
 from repro.telemetry.monitors import (
     ConvergenceMonitor,
     DivergenceMonitor,
@@ -18,11 +26,14 @@ from repro.telemetry.monitors import (
     SplitRhat,
     Welford,
 )
+from repro.telemetry.profile import SweepProfile, SweepProfiler
+from repro.telemetry.report import render_html, report_data, write_report
 from repro.telemetry.stats import (
     BASE_FIELDS,
     SampleStats,
     StatField,
     UpdateStatsBuffer,
+    acceptance_ranges,
     allocate_stat_buffers,
     stack_chain_stats,
 )
@@ -39,22 +50,30 @@ from repro.telemetry.trace import (
 
 __all__ = [
     "BASE_FIELDS",
+    "CompileLedger",
     "ConvergenceMonitor",
+    "Decision",
     "DivergenceMonitor",
     "OnlineEss",
     "SampleStats",
     "SplitRhat",
     "StatField",
+    "SweepProfile",
+    "SweepProfiler",
     "Tracer",
     "UpdateStatsBuffer",
     "Welford",
+    "acceptance_ranges",
     "allocate_stat_buffers",
     "disable_tracing",
     "enable_tracing",
     "get_tracer",
     "instant",
+    "render_html",
+    "report_data",
     "span",
     "stack_chain_stats",
     "tracing_enabled",
+    "write_report",
     "write_trace",
 ]

@@ -191,6 +191,9 @@ class ConvergenceMonitor:
         self._rhat: dict[str, SplitRhat] = {}
         self._ess: dict[str, list[OnlineEss]] = {}
         self._divergence: dict[str, DivergenceMonitor] = {}
+        # Per-update acceptance-rate accumulators fed from the stats
+        # buffers: label -> [min, max, sum, count] over finite sweeps.
+        self._acceptance: dict[str, list[float]] = {}
         self._chains_done = 0
 
     # -- feeding -----------------------------------------------------------
@@ -236,6 +239,17 @@ class ConvergenceMonitor:
                     divergent=bool(divergent[i]) if divergent is not None else False,
                     nan_rejects=int(nan[i]) if nan is not None else 0,
                 )
+            rates = cols.get("accept_rate")
+            if rates is not None:
+                finite = rates[np.isfinite(rates)]
+                if finite.size:
+                    acc = self._acceptance.setdefault(
+                        label, [float("inf"), float("-inf"), 0.0, 0]
+                    )
+                    acc[0] = min(acc[0], float(finite.min()))
+                    acc[1] = max(acc[1], float(finite.max()))
+                    acc[2] += float(finite.sum())
+                    acc[3] += int(finite.size)
 
     def chain_finished(self, chain: int, result) -> None:
         """Replay a finished chain's draws + stats into the monitors and
@@ -305,6 +319,16 @@ class ConvergenceMonitor:
             f"worst split R-hat {rhat_s}, min ESS {ess_s}"
         )
 
+    def acceptance_summary(self) -> dict[str, tuple[float, float, float]]:
+        """Per-update acceptance ``(min, max, mean)`` over every finite
+        sweep observed via the stats buffers (matches
+        :func:`repro.telemetry.stats.acceptance_ranges` on the same
+        run, so console and report agree)."""
+        return {
+            label: (lo, hi, total / n if n else float("nan"))
+            for label, (lo, hi, total, n) in self._acceptance.items()
+        }
+
     def report(self) -> str:
         lines = ["online convergence report:"]
         for key in sorted(self._rhat):
@@ -320,6 +344,11 @@ class ConvergenceMonitor:
             lines.append(
                 f"  {mon.label:20s} divergence rate {mon.rate:.1%}, "
                 f"nan-rejects {mon.nan_rejects}"
+            )
+        for label, (lo, hi, mean) in sorted(self.acceptance_summary().items()):
+            lines.append(
+                f"  {label:20s} accept mean {mean:.3f} "
+                f"(range {lo:.3f}-{hi:.3f})"
             )
         warns = self.warnings()
         if warns:

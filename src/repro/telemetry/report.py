@@ -1,0 +1,232 @@
+"""The inference report: one self-contained HTML (+ JSON) artifact.
+
+Bundles everything the observability layer knows about a finished run
+-- the model source with per-statement provenance, the compiler
+decision ledger, the sweep profiler's attribution tables, per-update
+acceptance ranges, and per-chain run metadata -- into a single file
+with no external assets, so it can be archived as a CI artifact or
+mailed around.
+
+``repro report model.bug ...`` and ``repro sample --report out.html``
+produce it from the CLI; :func:`write_report` is the library entry
+point.  Next to every ``.html`` a machine-readable ``.json`` twin is
+written with the same payload.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import time
+
+
+def report_data(sampler, results) -> dict:
+    """The machine-readable report payload for one finished run.
+
+    ``results`` is the list of per-chain ``SampleResult``s (a single
+    ``sample`` call passes a one-element list).
+    """
+    from repro.telemetry.stats import acceptance_ranges
+
+    statements = [
+        {"name": sl.name, "line": sl.line, "text": sl.text}
+        for sl in sampler.source_map.values()
+    ]
+    chains = []
+    for i, r in enumerate(results):
+        n_draws = len(next(iter(r.samples.values()))) if r.samples else 0
+        chains.append(
+            {
+                "chain": i,
+                "n_draws": int(n_draws),
+                "wall_time": float(r.wall_time),
+                "acceptance": {
+                    k: (None if v != v else float(v))
+                    for k, v in r.acceptance.items()
+                },
+            }
+        )
+    profiles = [r.profile.to_dict() for r in results if r.profile is not None]
+    ranges = {
+        label: {"min": lo, "max": hi, "mean": mean}
+        for label, (lo, hi, mean) in acceptance_ranges(results).items()
+    }
+    spec = getattr(sampler, "spec", None)
+    return {
+        "generated_at": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "model_source": spec.source if spec is not None else "",
+        "statements": statements,
+        "schedule": sampler.schedule_description(),
+        "compile_seconds": float(sampler.compile_seconds),
+        "ledger": sampler.explain_json(),
+        "chains": chains,
+        "acceptance_ranges": ranges,
+        "profiles": profiles,
+    }
+
+
+def _esc(s) -> str:
+    return html.escape(str(s), quote=True)
+
+
+_STYLE = """
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2em auto; max-width: 70em; color: #222; }
+h1 { font-size: 1.5em; } h2 { font-size: 1.15em; margin-top: 2em; border-bottom: 1px solid #ddd; }
+table { border-collapse: collapse; width: 100%; margin: 0.5em 0; }
+th, td { text-align: left; padding: 0.25em 0.7em; border-bottom: 1px solid #eee; vertical-align: top; }
+th { background: #f6f6f6; }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+pre { background: #f6f6f6; padding: 0.8em; overflow-x: auto; border-radius: 4px; }
+.reason { color: #555; } .origin { color: #777; font-size: 0.92em; }
+.muted { color: #888; }
+"""
+
+
+def _pct(x: float | None) -> str:
+    return "-" if x is None or x != x else f"{100.0 * x:.1f}%"
+
+
+def _ledger_rows(ledger: list[dict]) -> str:
+    rows = []
+    for e in ledger:
+        prov = e.get("provenance") or {}
+        origin = prov.get("stmt", "")
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(e['decision'])}</td>"
+            f"<td>{_esc(e['subject'])}</td>"
+            f"<td><b>{_esc(e['choice'])}</b></td>"
+            f"<td class='reason'>{_esc(e['reason'])}</td>"
+            f"<td class='origin'>{_esc(origin)}</td>"
+            "</tr>"
+        )
+    return "".join(rows)
+
+
+def _profile_section(i: int, prof: dict, many: bool) -> str:
+    title = f"Sweep profile (chain {i})" if many else "Sweep profile"
+    head = (
+        f"<h2>{title}</h2>"
+        f"<p>{prof['n_sweeps']} sweeps, {prof['sweep_seconds']:.3f} s "
+        f"in-sweep, {_pct(prof['attributed_fraction'])} attributed.</p>"
+        "<table><tr><th>update / decl</th><th class='num'>calls</th>"
+        "<th class='num'>wall s</th><th class='num'>% sweep</th>"
+        "<th class='num'>ops/s</th><th>model statement</th></tr>"
+    )
+    total = prof["sweep_seconds"] or float("nan")
+    rows = []
+    decls_by_update: dict[str, list[dict]] = {}
+    for d in prof["decls"]:
+        decls_by_update.setdefault(d.get("update", ""), []).append(d)
+    for u in prof["updates"]:
+        rows.append(
+            f"<tr><td><b>{_esc(u['name'])}</b></td>"
+            f"<td class='num'>{u['calls']}</td>"
+            f"<td class='num'>{u['seconds']:.4f}</td>"
+            f"<td class='num'>{_pct(u['seconds'] / total)}</td>"
+            f"<td class='num'>-</td><td>{_esc(u.get('stmt', ''))}</td></tr>"
+        )
+        for d in decls_by_update.get(u["name"], []):
+            ops = d.get("ops_per_sec")
+            rows.append(
+                f"<tr><td class='muted'>&nbsp;&nbsp;{_esc(d['name'])}</td>"
+                f"<td class='num'>{d['calls']}</td>"
+                f"<td class='num'>{d['seconds']:.4f}</td>"
+                f"<td class='num'>{_pct(d['seconds'] / total)}</td>"
+                f"<td class='num'>{'-' if not ops else f'{ops:.3g}'}</td>"
+                f"<td>{_esc(d.get('stmt', ''))}</td></tr>"
+            )
+    stmt_rows = "".join(
+        f"<tr><td>{_esc(s['stmt'])}</td>"
+        f"<td class='num'>{s['seconds']:.4f}</td>"
+        f"<td class='num'>{_pct(s['seconds'] / total)}</td></tr>"
+        for s in prof["statements"]
+    )
+    stmts = (
+        "<h3>By model statement</h3><table><tr><th>statement</th>"
+        "<th class='num'>wall s</th><th class='num'>% sweep</th></tr>"
+        f"{stmt_rows}</table>"
+        if prof["statements"]
+        else ""
+    )
+    return head + "".join(rows) + "</table>" + stmts
+
+
+def render_html(data: dict) -> str:
+    """The report payload as one self-contained HTML page."""
+    ledger_html = ""
+    if data["ledger"]:
+        ledger_html = (
+            "<h2>Compiler decision ledger</h2>"
+            "<table><tr><th>decision</th><th>subject</th><th>choice</th>"
+            "<th>reason</th><th>origin</th></tr>"
+            f"{_ledger_rows(data['ledger'])}</table>"
+        )
+    profiles_html = "".join(
+        _profile_section(i, p, many=len(data["profiles"]) > 1)
+        for i, p in enumerate(data["profiles"])
+    )
+    accept_html = ""
+    if data["acceptance_ranges"]:
+        rows = "".join(
+            f"<tr><td>{_esc(label)}</td>"
+            f"<td class='num'>{r['mean']:.3f}</td>"
+            f"<td class='num'>{r['min']:.3f}</td>"
+            f"<td class='num'>{r['max']:.3f}</td></tr>"
+            for label, r in sorted(data["acceptance_ranges"].items())
+        )
+        accept_html = (
+            "<h2>Acceptance rates (per sweep)</h2>"
+            "<table><tr><th>update</th><th class='num'>mean</th>"
+            f"<th class='num'>min</th><th class='num'>max</th></tr>{rows}</table>"
+        )
+    chain_rows = "".join(
+        f"<tr><td class='num'>{c['chain']}</td>"
+        f"<td class='num'>{c['n_draws']}</td>"
+        f"<td class='num'>{c['wall_time']:.3f}</td><td>"
+        + ", ".join(
+            f"{_esc(k)} {'-' if v is None else f'{v:.3f}'}"
+            for k, v in c["acceptance"].items()
+        )
+        + "</td></tr>"
+        for c in data["chains"]
+    )
+    return f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8">
+<title>repro inference report</title>
+<style>{_STYLE}</style></head><body>
+<h1>Inference report</h1>
+<p class="muted">generated {_esc(data['generated_at'])} &middot;
+schedule: {_esc(data['schedule'])} &middot;
+compile {data['compile_seconds']:.3f} s</p>
+<h2>Model</h2>
+<pre>{_esc(data['model_source'])}</pre>
+{ledger_html}
+{accept_html}
+{profiles_html}
+<h2>Chains</h2>
+<table><tr><th class="num">chain</th><th class="num">draws</th>
+<th class="num">wall s</th><th>acceptance (this run)</th></tr>
+{chain_rows}</table>
+</body></html>
+"""
+
+
+def write_report(path: str, sampler, results) -> dict:
+    """Write the HTML report to ``path`` and its JSON twin next to it.
+
+    Returns the report payload.  ``results`` may be a single
+    ``SampleResult`` or a list of per-chain results.
+    """
+    if not isinstance(results, (list, tuple)):
+        results = [results]
+    data = report_data(sampler, list(results))
+    with open(path, "w") as f:
+        f.write(render_html(data))
+    json_path = (
+        path[: -len(".html")] + ".json" if path.endswith(".html")
+        else path + ".json"
+    )
+    with open(json_path, "w") as f:
+        json.dump(data, f, indent=2)
+    return data

@@ -149,6 +149,36 @@ def allocate_stat_buffers(updates, n_sweeps: int) -> list[UpdateStatsBuffer]:
     return buffers
 
 
+def acceptance_ranges(results) -> dict[str, tuple[float, float, float]]:
+    """Per-update acceptance-rate ``(min, max, mean)`` over every sweep
+    of every chain.
+
+    Takes the ``SampleResult`` list of a (multi-chain) run made with
+    ``collect_stats=True`` and reduces each update's per-sweep
+    ``accept_rate`` column, skipping NaN sweeps (no proposals).  This is
+    the number the console summary and the HTML report both print, so
+    they agree by construction.  Empty when no chain carried stats.
+    """
+    per_label: dict[str, list[np.ndarray]] = {}
+    for r in results:
+        if r.stats is None:
+            continue
+        for label in r.stats.update_labels:
+            col = r.stats[label]["accept_rate"]
+            per_label.setdefault(label, []).append(col)
+    out: dict[str, tuple[float, float, float]] = {}
+    for label, cols in per_label.items():
+        rates = np.concatenate(cols)
+        rates = rates[np.isfinite(rates)]
+        if rates.size == 0:
+            out[label] = (float("nan"), float("nan"), float("nan"))
+        else:
+            out[label] = (
+                float(rates.min()), float(rates.max()), float(rates.mean())
+            )
+    return out
+
+
 def stack_chain_stats(results) -> dict[str, np.ndarray]:
     """Merge per-chain :class:`SampleStats` into cross-chain arrays.
 

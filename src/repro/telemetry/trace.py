@@ -35,6 +35,10 @@ class TraceEvent:
     phase: str = "X"
     tid: int = 0
     args: dict = field(default_factory=dict)
+    #: Originating process id; 0 means "this process" and is stamped at
+    #: export.  Non-zero values come from worker processes whose events
+    #: were adopted into the parent tracer.
+    pid: int = 0
 
 
 class Tracer:
@@ -112,6 +116,30 @@ class Tracer:
         finally:
             self.add_complete(name, cat, t0, time.perf_counter() - t0, **args)
 
+    # -- cross-process merging --------------------------------------------
+
+    def export_events(self) -> list[TraceEvent]:
+        """The collected events, pid-stamped for shipping to a parent
+        process (worker side of the multi-chain trace merge)."""
+        pid = os.getpid()
+        out = []
+        for e in self.events:
+            if e.pid == 0:
+                e = TraceEvent(
+                    e.name, e.cat, e.ts, e.dur, e.phase, e.tid, e.args, pid
+                )
+            out.append(e)
+        return out
+
+    def adopt(self, events: list[TraceEvent]) -> None:
+        """Merge events shipped from a worker process into this tracer.
+
+        Adopted events keep their own ``pid``/``tid``, so the exported
+        trace shows each worker as a distinct process row.
+        """
+        for e in events:
+            self._append(e)
+
     # -- export ------------------------------------------------------------
 
     def to_chrome(self) -> dict:
@@ -124,7 +152,7 @@ class Tracer:
                 "cat": e.cat,
                 "ph": e.phase,
                 "ts": e.ts * 1e6,
-                "pid": pid,
+                "pid": e.pid or pid,
                 "tid": e.tid,
             }
             if e.phase == "X":

@@ -1,0 +1,127 @@
+"""The sweep profiler: attribution, draw identity, wrapper hygiene."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import compile_model
+from repro.eval import models
+
+
+def gmm_inputs(k=2, n=40, seed=0):
+    rng = np.random.default_rng(seed)
+    true_mu = np.array([[-3.0, 0.0], [3.0, 0.0]])
+    z = rng.integers(0, k, size=n)
+    x = true_mu[z] + rng.normal(0, 0.4, size=(n, 2))
+    hypers = {
+        "K": k,
+        "N": n,
+        "mu_0": np.zeros(2),
+        "Sigma_0": np.eye(2) * 16.0,
+        "pis": np.full(k, 1.0 / k),
+        "Sigma": np.eye(2) * 0.16,
+    }
+    return hypers, {"x": x}
+
+
+def gmm_sampler(schedule=None):
+    hypers, data = gmm_inputs()
+    return compile_model(models.GMM, hypers, data, schedule=schedule)
+
+
+def test_profile_attributes_sweep_time_per_update_and_statement():
+    sampler = gmm_sampler("ESlice mu (*) Gibbs z")
+    res = sampler.sample(num_samples=60, burn_in=10, seed=0, profile=True)
+    prof = res.profile
+    assert prof is not None
+    assert prof.n_sweeps == 70
+    labels = {u["name"] for u in prof.updates}
+    assert labels == {"ESlice mu", "Gibbs z"}
+    for u in prof.updates:
+        assert u["calls"] == 70
+        assert u["seconds"] >= 0.0
+    # >= 95% of in-sweep wall time lands on some update.
+    assert prof.attributed_fraction >= 0.95
+    # Every update row carries its model-statement provenance, and the
+    # by-statement rollup covers both scheduled variables.
+    stmts = {s["stmt"] for s in prof.statements}
+    assert {"mu", "z"} <= stmts
+    # Decl rows nest under their owning update and count calls.
+    decl_updates = {d["update"] for d in prof.decls}
+    assert decl_updates <= labels
+    assert any(d["calls"] > 0 for d in prof.decls)
+
+
+def test_profile_reports_op_throughput():
+    sampler = gmm_sampler("ESlice mu (*) Gibbs z")
+    res = sampler.sample(num_samples=40, seed=0, profile=True)
+    with_ops = [d for d in res.profile.decls if d["ops_per_sec"]]
+    assert with_ops, "no decl produced an op-count estimate"
+    for d in with_ops:
+        assert d["ops_per_sec"] > 0.0
+
+
+def test_profiling_does_not_change_draws():
+    sampler = gmm_sampler("MH mu (*) Gibbs z")
+    plain = sampler.sample(num_samples=30, burn_in=5, seed=42)
+    profiled = sampler.sample(num_samples=30, burn_in=5, seed=42, profile=True)
+    np.testing.assert_array_equal(plain.array("mu"), profiled.array("mu"))
+    np.testing.assert_array_equal(plain.array("z"), profiled.array("z"))
+    assert plain.profile is None and profiled.profile is not None
+
+
+def test_profile_composes_with_collect_stats():
+    sampler = gmm_sampler("MH mu (*) Gibbs z")
+    res = sampler.sample(
+        num_samples=20, seed=3, profile=True, collect_stats=True
+    )
+    assert res.profile is not None and res.stats is not None
+    assert res.stats.n_sweeps == 20
+
+
+def test_wrappers_are_removed_after_sampling():
+    sampler = gmm_sampler("MH mu (*) Gibbs z")
+    before = [
+        {attr: getattr(upd, attr, None) for attr in upd.profile_fns}
+        for upd in sampler.updates
+    ]
+    sampler.sample(num_samples=10, seed=0, profile=True)
+    after = [
+        {attr: getattr(upd, attr, None) for attr in upd.profile_fns}
+        for upd in sampler.updates
+    ]
+    assert before == after
+    for upd in sampler.updates:
+        assert upd._saved_fns is None
+
+
+def test_fused_gradient_path_is_attributed():
+    sampler = gmm_sampler("HMC[steps=3, step_size=0.05] mu (*) Gibbs z")
+    res = sampler.sample(num_samples=25, seed=0, profile=True)
+    by_name = {d["name"]: d for d in res.profile.decls}
+    fused = [n for n in by_name if n.startswith("ll_grad_")]
+    assert fused, f"no fused decl row in {sorted(by_name)}"
+    assert by_name[fused[0]]["calls"] > 0
+
+
+def test_profile_table_and_dict_round_trip():
+    sampler = gmm_sampler("ESlice mu (*) Gibbs z")
+    res = sampler.sample(num_samples=15, seed=0, profile=True)
+    text = res.profile.table(sampler.source_map)
+    assert "sweep profile" in text
+    assert "ESlice mu" in text and "Gibbs z" in text
+    d = res.profile.to_dict()
+    assert set(d) >= {
+        "n_sweeps", "sweep_seconds", "attributed_fraction",
+        "updates", "decls", "statements",
+    }
+
+
+def test_profile_through_sample_chains():
+    sampler = gmm_sampler("MH mu (*) Gibbs z")
+    results = sampler.sample_chains(2, num_samples=12, seed=5, profile=True)
+    assert all(r.profile is not None for r in results)
+    plain = sampler.sample_chains(2, num_samples=12, seed=5)
+    for a, b in zip(plain, results):
+        np.testing.assert_array_equal(a.array("mu"), b.array("mu"))

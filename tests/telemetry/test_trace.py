@@ -142,6 +142,48 @@ def test_runtime_spans_cover_init_sweeps_collect(tracing):
     assert sam.args == {"num_samples": 6, "burn_in": 2, "thin": 2}
 
 
+def test_process_executor_merges_worker_traces(tracing, tmp_path):
+    import os
+
+    sampler = nn_sampler(v0=23.0625)
+    tracing.reset()
+    sampler.sample_chains(
+        2, num_samples=4, seed=0, executor="processes", n_workers=2
+    )
+    events = tracing.events
+    # The parent's own events are stamped pid=0 until export; the
+    # adopted worker events arrive pre-stamped with the worker's pid.
+    worker_pids = {e.pid for e in events if e.pid}
+    assert worker_pids, "no worker events were merged"
+    assert os.getpid() not in worker_pids
+    # Each worker ran one whole chain: init + per-sweep spans.
+    worker_sweeps = [e for e in events if e.name == "sweep" and e.pid]
+    assert len(worker_sweeps) == 2 * 4
+    assert sum(1 for e in events if e.name == "init" and e.pid) == 2
+    # The chrome export keeps the rows distinct per process.
+    path = tmp_path / "trace.json"
+    tracing.write(str(path))
+    doc = json.loads(path.read_text())
+    pids = {e["pid"] for e in doc["traceEvents"]}
+    assert len(pids) >= 2  # parent row + at least one worker row
+
+
+def test_export_events_stamps_own_pid():
+    import os
+
+    t = Tracer()
+    t.enable()
+    t.instant("local")
+    shipped = t.export_events()
+    assert [e.pid for e in shipped] == [os.getpid()]
+    # adopt() appends even onto a disabled tracer's recording predicate
+    # -- the parent decides by enabling before the run.
+    t2 = Tracer()
+    t2.enable()
+    t2.adopt(shipped)
+    assert [e.name for e in t2.events] == ["local"]
+
+
 def test_tracing_toggle_is_global():
     assert not tracing_enabled()
     enable_tracing()
