@@ -157,12 +157,16 @@ class Infer:
         collect_stats: bool = False,
         monitor=None,
         profile: bool = False,
+        chunkSize: int | None = None,
+        earlyStopRhat: float | None = None,
     ) -> list[SampleResult]:
-        """Run independent chains, optionally fanned out over a worker
-        pool (``executor="processes"``); draws are bitwise identical to
-        the sequential path for a given seed.  ``collect_stats`` and
-        ``monitor`` behave as in
-        :meth:`repro.core.sampler.CompiledSampler.sample_chains`."""
+        """Run independent chains, optionally fanned out over the warm
+        worker pool (``executor="processes"``); draws are bitwise
+        identical to the sequential path for a given seed.
+        ``collect_stats`` and ``monitor`` behave as in
+        :meth:`repro.core.sampler.CompiledSampler.sample_chains`;
+        ``earlyStopRhat`` broadcasts a stop flag once the worst split
+        R-hat converges below the threshold."""
         return self.sampler.sample_chains(
             n_chains=nChains,
             num_samples=numSamples,
@@ -175,6 +179,44 @@ class Infer:
             collect_stats=collect_stats,
             monitor=monitor,
             profile=profile,
+            chunk_size=chunkSize,
+            early_stop_rhat=earlyStopRhat,
+        )
+
+    def streamChains(
+        self,
+        nChains: int,
+        numSamples: int,
+        burnIn: int = 0,
+        thin: int = 1,
+        seed: int = 0,
+        collect: tuple[str, ...] | None = None,
+        executor: str = "sequential",
+        nWorkers: int | None = None,
+        collect_stats: bool = False,
+        monitor=None,
+        profile: bool = False,
+        chunkSize: int | None = None,
+        earlyStopRhat: float | None = None,
+    ):
+        """The streaming form of :meth:`sampleChains`: returns a
+        :class:`repro.core.chains.ChainStream` yielding per-chain draw
+        chunks as workers post them; ``stream.results`` holds the
+        per-chain results once the iterator is exhausted."""
+        return self.sampler.stream_chains(
+            n_chains=nChains,
+            num_samples=numSamples,
+            burn_in=burnIn,
+            thin=thin,
+            seed=seed,
+            collect=collect,
+            executor=executor,
+            n_workers=nWorkers,
+            collect_stats=collect_stats,
+            monitor=monitor,
+            profile=profile,
+            chunk_size=chunkSize,
+            early_stop_rhat=earlyStopRhat,
         )
 
     # -- introspection -----------------------------------------------------------

@@ -211,18 +211,21 @@ def cmd_sample(args) -> int:
 def _sample_chains(args, sampler) -> int:
     collect = tuple(args.collect.split(",")) if args.collect else None
     monitor = None
-    if args.monitor:
+    if args.monitor or args.early_stop_rhat is not None:
         from repro.telemetry.monitors import ConvergenceMonitor
 
-        kept = max(0, (args.samples - args.burn_in) // max(args.thin, 1))
         monitor = ConvergenceMonitor(
             param_names=collect or sampler.param_names,
             n_chains=args.chains,
-            total_draws=max(kept, 4),
-            emit=lambda line: print(line, file=sys.stderr),
+            total_draws=max(args.samples, 4),
+            emit=(
+                (lambda line: print(line, file=sys.stderr))
+                if args.monitor
+                else None
+            ),
         )
     want_profile = args.profile or bool(args.report)
-    results = sampler.sample_chains(
+    common = dict(
         n_chains=args.chains,
         num_samples=args.samples,
         burn_in=args.burn_in,
@@ -234,7 +237,20 @@ def _sample_chains(args, sampler) -> int:
         collect_stats=args.stats or args.monitor or bool(args.report),
         monitor=monitor,
         profile=want_profile,
+        chunk_size=args.chunk_size,
+        early_stop_rhat=args.early_stop_rhat,
     )
+    if args.stream:
+        stream = sampler.stream_chains(**common)
+        for chunk in stream:
+            print(
+                f"[stream] chain {chunk.chain}: "
+                f"draws {chunk.start}..{chunk.stop}",
+                file=sys.stderr,
+            )
+        results = stream.results
+    else:
+        results = sampler.sample_chains(**common)
     total = sum(r.wall_time for r in results)
     longest = max(r.wall_time for r in results)
     print(
@@ -246,10 +262,25 @@ def _sample_chains(args, sampler) -> int:
         f"({args.executor}): {total:.2f} s chain time, "
         f"longest chain {longest:.2f} s"
     )
+    if any(r.stopped_early for r in results):
+        kept = [r.n_kept for r in results]
+        print(
+            f"early stop: split R-hat converged below "
+            f"{args.early_stop_rhat}; chains kept {kept} draws"
+        )
     from repro.eval.diagnostics import rhat_report
 
+    # Early-stopped chains can hold unequal draw counts; cross-chain
+    # reports use the common prefix.
+    report_results = results
+    min_kept = min(r.n_kept for r in results)
+    if any(r.n_kept != min_kept for r in results) and min_kept > 0:
+        report_results = [
+            {name: vals[:min_kept] for name, vals in r.samples.items()}
+            for r in results
+        ]
     for name in collect or sampler.param_names:
-        print(rhat_report(results, name))
+        print(rhat_report(report_results, name))
     if args.stats:
         from repro.telemetry.stats import acceptance_ranges, stack_chain_stats
 
@@ -350,6 +381,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ps.add_argument(
         "--workers", type=int, default=None, help="worker pool size for --chains"
+    )
+    ps.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream per-chain draw chunks to stderr as workers post them",
+    )
+    ps.add_argument(
+        "--early-stop-rhat",
+        type=float,
+        default=None,
+        metavar="R",
+        help="stop all chains once the worst split R-hat falls below R",
+    )
+    ps.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="kept draws per streamed chunk (with --chains > 1)",
     )
     ps.add_argument("--out", default=None, help="write draws to this .npz")
     ps.add_argument("--summary", action="store_true", help="print posterior summary")

@@ -2,36 +2,58 @@
 
 The paper's Section 7.2 contrasts AugurV2's *within-chain* parallelism
 with the *chain-level* parallelism of Jags/Stan.  This module supplies
-the latter as a first-class runtime concern: ``run_chains`` fans N
-chains out over a process (or thread) pool while keeping the draws
-bitwise identical to the sequential path for a given seed.
+the latter as a first-class runtime concern, built from three pieces:
 
-Two facts shape the design:
+- A **warm worker pool** (:class:`WarmPool`): worker processes are
+  spawned once per :class:`SamplerSpec` fingerprint
+  (:func:`repro.core.compiler.spec_cache_key`), rebuild the sampler
+  once at spawn (a fork inherits the parent's warm compile cache, so
+  this skips codegen), and then serve repeated chain requests over
+  per-worker task queues without the spec ever being re-shipped.
+- **Shared-memory draw buffers** (:class:`SharedDrawBuffers`): the
+  parent allocates every chain's preallocated draw storage inside one
+  ``multiprocessing.shared_memory`` segment described by a picklable
+  :class:`BufferPlan`; workers attach and write draws in place, so
+  results return zero-copy -- only stats/trace metadata crosses the
+  pipe.  Ownership rule: the *parent* creates and unlinks the segment
+  (a ``weakref.finalize`` tied to the owning ``SharedDrawBuffers``);
+  workers only ever attach and close.
+- A **streaming iterator** (:class:`ChainStream`): chains post
+  :class:`ChainChunk` ranges as they are written (nutpie's
+  ``do_sample``/``finalize`` shape), the parent feeds a
+  :class:`~repro.telemetry.monitors.ConvergenceMonitor` incrementally,
+  broadcasts a stop flag once R-hat converges (``early_stop_rhat``),
+  and finalizes partial results on ``KeyboardInterrupt`` instead of
+  losing the run.
 
-- Chain streams come from :meth:`repro.runtime.rng.Rng.fork`, which is
-  deterministic in the parent seed.  The parent forks once and ships
-  each child stream to its worker, so the stream a chain consumes does
-  not depend on which executor runs it.
-- A :class:`~repro.core.sampler.CompiledSampler` owns a live
-  ``exec``'d namespace and is **not** picklable.  Workers instead
-  receive a :class:`SamplerSpec` -- the model source text plus the
-  runtime values, schedule and options that produced the sampler --
-  and rebuild it with :func:`repro.core.compiler.compile_model`.  The
-  compile cache (keyed on exactly those ingredients) makes repeated
-  rehydration inside one worker process skip codegen entirely.
+Determinism is preserved throughout: chain streams come from
+:meth:`repro.runtime.rng.Rng.fork` (deterministic in the parent seed,
+forked once before dispatch), so for a given seed the per-chain draws
+are bitwise identical whichever executor runs them -- and an
+early-stopped chain's draws are a bitwise *prefix* of the full run.
 """
 
 from __future__ import annotations
 
+import atexit
 import concurrent.futures
 import os
+import queue as _queue
 import threading
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+
+import numpy as np
 
 from repro.errors import RuntimeFailure
 from repro.runtime.rng import Rng
 
 EXECUTORS = ("sequential", "processes", "threads")
+
+#: Kept draws per streamed chunk when the caller does not choose.
+DEFAULT_CHUNK = 25
 
 
 @dataclass
@@ -68,30 +90,770 @@ class SamplerSpec:
             proposals=self.proposals,
         )
 
+    def cache_key(self) -> str:
+        """The compile-cache fingerprint (also the warm-pool key)."""
+        from repro.core.compiler import spec_cache_key
 
-def _run_chain_worker(
-    spec: SamplerSpec, rng: Rng, kwargs: dict, ship_trace: bool = False
-):
-    """Worker-process entry point: rehydrate, then run one chain.
-
-    With ``ship_trace`` the worker's (fresh, disabled) tracer is turned
-    on around the run and its pid-stamped events ride back to the parent
-    on ``SampleResult.trace_events``, so a ``processes`` run still
-    produces one coherent ``--trace`` file with per-worker rows.
-    """
-    if ship_trace:
-        from repro.telemetry.trace import enable_tracing
-
-        tracer = enable_tracing()
-    sampler = spec.build()
-    result = sampler.sample(seed=rng, **kwargs)
-    if ship_trace:
-        result.trace_events = tracer.export_events()
-    return result
+        return spec_cache_key(self)
 
 
 def default_workers(n_chains: int) -> int:
-    return max(1, min(n_chains, os.cpu_count() or 1))
+    """Worker count bounded by the CPUs this process may actually use.
+
+    ``os.sched_getaffinity`` respects cgroup/container CPU masks;
+    ``os.cpu_count`` (which does not) is only the fallback for
+    platforms without affinity support.
+    """
+    try:
+        avail = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        avail = os.cpu_count() or 1
+    return max(1, min(n_chains, avail))
+
+
+# ----------------------------------------------------------------------
+# Shared-memory draw buffers.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BufferSlot:
+    """One dense parameter's draw storage for one chain: a typed view
+    of the run's shared segment at ``offset``."""
+
+    name: str
+    chain: int
+    offset: int
+    shape: tuple
+    dtype: str
+
+
+@dataclass(frozen=True)
+class BufferPlan:
+    """Picklable description of one run's shared draw segment.
+
+    ``slots`` lay every (chain, dense parameter) array out back to back
+    (8-byte aligned); ``ragged`` names the parameters that cannot use
+    dense storage and fall back to per-draw pickled lists shipped with
+    the chain's final metadata.  ``collect`` preserves the caller's
+    parameter order so rebuilt ``samples`` dicts iterate identically to
+    the sequential path's.
+    """
+
+    segment_name: str
+    total_bytes: int
+    slots: tuple[BufferSlot, ...]
+    ragged: tuple[str, ...]
+    collect: tuple[str, ...]
+
+
+def _plan_slots(plan_state, collect, n_chains, num_samples):
+    slots = []
+    ragged = []
+    offset = 0
+    for name in collect:
+        shape = plan_state.get(name)
+        if shape is None or shape.is_ragged:
+            ragged.append(name)
+            continue
+        full = (num_samples,) + tuple(shape.lead) + tuple(shape.event)
+        dt = np.dtype(shape.dtype)
+        nbytes = int(np.prod(full, dtype=np.int64)) * dt.itemsize
+        for chain in range(n_chains):
+            offset = (offset + 7) & ~7
+            slots.append(BufferSlot(name, chain, offset, full, dt.str))
+            offset += nbytes
+    return tuple(slots), tuple(ragged), offset
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Worker-side attach that opts out of the resource tracker: the
+    parent owns the segment's lifetime, and a tracked attach would make
+    every worker exit try to unlink it again."""
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        shm = shared_memory.SharedMemory(name=name)
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+        return shm
+
+
+def _release_segment(shm: shared_memory.SharedMemory) -> None:
+    try:
+        shm.close()
+    except BufferError:
+        # NumPy views of shm.buf are still alive; the mapping stays
+        # valid (unlink only removes the name) and the fd is reclaimed
+        # at process exit.
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+
+
+class SharedDrawBuffers:
+    """One run's shared draw segment plus the typed views into it.
+
+    **Ownership**: the parent process *creates* the segment and is the
+    only one that *unlinks* it -- automatically, via a
+    ``weakref.finalize`` that fires when the owning instance (kept
+    alive by every ``SampleResult.draw_buffers`` built on it) is
+    garbage collected.  Workers :meth:`attach` and must only
+    :meth:`close` their mapping.  Unlinking while workers still hold
+    mappings is safe on POSIX: the segment disappears when the last
+    mapping closes.
+    """
+
+    def __init__(self, plan: BufferPlan, shm, owner: bool):
+        self.plan = plan
+        self._shm = shm
+        self.owner = owner
+        if owner:
+            self._finalizer = weakref.finalize(self, _release_segment, shm)
+
+    @classmethod
+    def create(
+        cls, plan_state, collect, n_chains, num_samples
+    ) -> "SharedDrawBuffers":
+        """Parent side: lay out and allocate the segment."""
+        slots, ragged, total = _plan_slots(
+            plan_state, collect, n_chains, num_samples
+        )
+        shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        plan = BufferPlan(shm.name, max(total, 1), slots, ragged, tuple(collect))
+        return cls(plan, shm, owner=True)
+
+    @classmethod
+    def attach(cls, plan: BufferPlan) -> "SharedDrawBuffers":
+        """Worker side: map an existing segment (untracked)."""
+        return cls(plan, _attach_segment(plan.segment_name), owner=False)
+
+    def arrays(self, chain: int) -> dict:
+        """Draw storage for one chain, in ``collect`` order: dense
+        parameters as zero-copy views of the segment, ragged ones as
+        fresh list fallbacks."""
+        by_name = {
+            s.name: s for s in self.plan.slots if s.chain == chain
+        }
+        out: dict = {}
+        for name in self.plan.collect:
+            slot = by_name.get(name)
+            if slot is None:
+                out[name] = []
+            else:
+                out[name] = np.ndarray(
+                    slot.shape,
+                    dtype=np.dtype(slot.dtype),
+                    buffer=self._shm.buf,
+                    offset=slot.offset,
+                )
+        return out
+
+    def close(self) -> None:
+        """Drop this process's mapping (worker side; never unlinks)."""
+        try:
+            self._shm.close()
+        except BufferError:
+            pass
+
+    def release(self) -> None:
+        """Owner side: close + unlink now instead of at GC."""
+        if self.owner:
+            self._finalizer()
+
+
+# ----------------------------------------------------------------------
+# The warm worker pool.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _ChainTask:
+    """One chain assignment shipped to a pool worker."""
+
+    run_id: int
+    chain: int
+    rng: Rng
+    kwargs: dict
+    plan: BufferPlan | None
+    chunk_size: int
+    ship_trace: bool
+
+
+def _run_task(sampler, task: _ChainTask, result_q, stop_event) -> None:
+    tracer = None
+    if task.ship_trace:
+        from repro.telemetry.trace import enable_tracing
+
+        tracer = enable_tracing()
+    buffers = (
+        SharedDrawBuffers.attach(task.plan) if task.plan is not None else None
+    )
+    storage = buffers.arrays(task.chain) if buffers is not None else None
+    try:
+        it = sampler.sample_iter(
+            seed=task.rng,
+            storage=storage,
+            chunk_size=task.chunk_size,
+            stop=stop_event.is_set,
+            **task.kwargs,
+        )
+        for start, stop in it:
+            events = tracer.drain_events() if tracer is not None else None
+            result_q.put(
+                ("chunk", task.run_id, task.chain, start, stop, events)
+            )
+        result = it.result
+        # Dense draws already live in the shared segment; strip the
+        # worker-side views so only metadata (stats, ragged lists,
+        # timings) crosses the pipe.
+        result.samples = {
+            name: (None if isinstance(vals, np.ndarray) else vals)
+            for name, vals in result.samples.items()
+        }
+        result.draw_buffers = None
+        if tracer is not None:
+            result.trace_events = tracer.drain_events()
+            tracer.disable()
+        result_q.put(("done", task.run_id, task.chain, result))
+        del it, result
+    finally:
+        del storage
+        if buffers is not None:
+            buffers.close()
+
+
+def _pool_worker_main(spec: SamplerSpec, task_q, result_q, stop_event) -> None:
+    """Long-lived pool worker: build the sampler once, then serve chain
+    tasks until a ``None`` sentinel arrives."""
+    from repro.telemetry.trace import disable_tracing
+
+    disable_tracing()  # a fork inherits the parent's tracer state
+    sampler = spec.build()
+    while True:
+        task = task_q.get()
+        if task is None:
+            break
+        try:
+            _run_task(sampler, task, result_q, stop_event)
+        except Exception as e:  # ship, don't die: the pool is reusable
+            result_q.put(
+                ("error", task.run_id, task.chain, f"{type(e).__name__}: {e}")
+            )
+
+
+@dataclass
+class PoolWorker:
+    process: object
+    task_q: object
+
+
+class WarmPool:
+    """A persistent set of worker processes for one sampler fingerprint.
+
+    Workers compile once at spawn and then serve repeated multi-chain
+    requests; each worker has its own task queue (so ``n_workers``
+    genuinely bounds concurrency -- a shared queue would let every
+    spawned worker run at once) and all post to one results queue.
+    ``stop_event`` is the broadcast early-stop/interrupt flag workers
+    poll between sweeps.
+    """
+
+    def __init__(self, spec: SamplerSpec):
+        import multiprocessing as mp
+
+        try:
+            self._ctx = mp.get_context("fork")
+        except ValueError:  # platforms without fork
+            self._ctx = mp.get_context()
+        self.spec = spec
+        self.stop_event = self._ctx.Event()
+        self.result_q = self._ctx.Queue()
+        self.workers: list[PoolWorker] = []
+        self.run_lock = threading.Lock()
+        self._run_counter = 0
+
+    def _spawn_one(self) -> PoolWorker:
+        task_q = self._ctx.Queue()
+        p = self._ctx.Process(
+            target=_pool_worker_main,
+            args=(self.spec, task_q, self.result_q, self.stop_event),
+            daemon=True,
+        )
+        p.start()
+        return PoolWorker(p, task_q)
+
+    def ensure_workers(self, n: int) -> None:
+        """Grow to at least ``n`` live workers, reviving any that died."""
+        for i, w in enumerate(self.workers):
+            if not w.process.is_alive():
+                self.workers[i] = self._spawn_one()
+        while len(self.workers) < n:
+            self.workers.append(self._spawn_one())
+
+    def new_run_id(self) -> int:
+        self._run_counter += 1
+        return self._run_counter
+
+    def pids(self) -> list[int]:
+        return [w.process.pid for w in self.workers]
+
+    def shutdown(self) -> None:
+        for w in self.workers:
+            try:
+                w.task_q.put(None)
+            except Exception:
+                pass
+        for w in self.workers:
+            w.process.join(timeout=5)
+            if w.process.is_alive():
+                w.process.terminate()
+        self.workers = []
+
+
+_POOL_CAPACITY = 4
+_pools: OrderedDict[str, WarmPool] = OrderedDict()
+_pools_lock = threading.Lock()
+
+
+def get_worker_pool(spec: SamplerSpec, n_workers: int) -> WarmPool:
+    """The warm pool for this spec's compile-cache fingerprint,
+    spawning or growing it as needed (LRU-capped at ``_POOL_CAPACITY``
+    distinct fingerprints)."""
+    key = spec.cache_key()
+    evicted = []
+    with _pools_lock:
+        pool = _pools.get(key)
+        if pool is None:
+            pool = _pools[key] = WarmPool(spec)
+        _pools.move_to_end(key)
+        while len(_pools) > _POOL_CAPACITY:
+            _, old = _pools.popitem(last=False)
+            evicted.append(old)
+    for old in evicted:
+        old.shutdown()
+    pool.ensure_workers(n_workers)
+    return pool
+
+
+def shutdown_worker_pools() -> None:
+    """Tear down every warm pool (atexit hook; also handy in tests)."""
+    with _pools_lock:
+        pools = list(_pools.values())
+        _pools.clear()
+    for pool in pools:
+        pool.shutdown()
+
+
+atexit.register(shutdown_worker_pools)
+
+
+# ----------------------------------------------------------------------
+# The chain stream.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChainChunk:
+    """Kept draws ``start:stop`` of one chain just became readable.
+
+    ``samples`` is the chain's *full* draw storage (zero-copy views of
+    the shared segment on the process executor); index rows
+    ``start:stop`` for the new draws.
+    """
+
+    chain: int
+    start: int
+    stop: int
+    samples: dict
+
+
+class ChainStream:
+    """Streaming multi-chain execution: iterate :class:`ChainChunk`
+    items as workers post them; ``results`` holds the per-chain
+    :class:`~repro.core.sampler.SampleResult` list (in chain order)
+    once the iterator is exhausted.
+
+    The stream drives the unified monitor protocol documented on
+    :class:`~repro.telemetry.monitors.ConvergenceMonitor` --
+    ``observe_chunk`` per chunk, then ``observe_stats`` +
+    ``chain_done`` per finished chain -- identically for every
+    executor.  With ``early_stop_rhat`` set, the stream polls
+    ``monitor.converged`` after each chunk and broadcasts the stop
+    flag once it holds; a ``KeyboardInterrupt`` while iterating (or
+    :meth:`request_stop`) does the same, so partial results are always
+    finalized.
+    """
+
+    def __init__(
+        self,
+        sampler,
+        n_chains: int,
+        kwargs: dict,
+        rngs,
+        executor: str,
+        n_workers: int,
+        monitor,
+        early_stop_rhat: float | None,
+        chunk_size: int,
+    ):
+        self._sampler = sampler
+        self.n_chains = n_chains
+        self._kwargs = kwargs
+        self._rngs = rngs
+        self.executor = executor
+        self._workers = n_workers
+        self.monitor = monitor
+        self._early_stop = early_stop_rhat
+        self._chunk_size = chunk_size
+        self.results = [None] * n_chains
+        self.interrupted = False
+        self.stopped_early = False
+        self._stop_requested = False
+        self._pool: WarmPool | None = None
+        self.buffers: SharedDrawBuffers | None = None
+        if executor == "sequential":
+            self._gen = self._run_sequential()
+        elif executor == "threads":
+            self._gen = self._run_threads()
+        else:
+            self._gen = self._run_processes()
+
+    # -- control -----------------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Broadcast the stop flag: every chain finalizes at its next
+        sweep boundary, keeping the draws taken so far."""
+        self._stop_requested = True
+        if self._pool is not None:
+            self._pool.stop_event.set()
+
+    def _stop_flag(self) -> bool:
+        return self._stop_requested
+
+    # -- iteration ---------------------------------------------------------
+
+    def __iter__(self):
+        return self
+
+    def __next__(self) -> ChainChunk:
+        return next(self._gen)
+
+    def drain(self) -> list:
+        """Run to completion (KeyboardInterrupt finalizes partials) and
+        return the per-chain results."""
+        while True:
+            try:
+                next(self._gen)
+            except StopIteration:
+                return self.results
+            except KeyboardInterrupt:
+                self.interrupted = True
+                self.request_stop()
+
+    # -- shared plumbing ---------------------------------------------------
+
+    def _ingest(self, chunk: ChainChunk) -> None:
+        if self.monitor is not None:
+            self.monitor.observe_chunk(
+                chunk.chain, chunk.start, chunk.stop, chunk.samples
+            )
+            if (
+                self._early_stop is not None
+                and not self._stop_requested
+                and self.monitor.converged(self._early_stop)
+            ):
+                self.stopped_early = True
+                self.request_stop()
+
+    def _finish_chain(self, chain: int, result) -> None:
+        if self.interrupted:
+            result.interrupted = True
+        self.results[chain] = result
+        if self.monitor is not None:
+            self.monitor.observe_stats(result.stats)
+            self.monitor.chain_done()
+
+    # -- executors ---------------------------------------------------------
+
+    def _run_sequential(self):
+        sampler = self._sampler
+        collect = self._kwargs.get("collect")
+        num_samples = self._kwargs["num_samples"]
+        for i, rng in enumerate(self._rngs):
+            storage = sampler.allocate_draws(collect, num_samples)
+            it = sampler.sample_iter(
+                seed=rng,
+                storage=storage,
+                chunk_size=self._chunk_size,
+                stop=self._stop_flag,
+                **self._kwargs,
+            )
+            while True:
+                try:
+                    span = next(it)
+                except StopIteration:
+                    break
+                except KeyboardInterrupt:
+                    self.interrupted = True
+                    self.request_stop()
+                    continue
+                chunk = ChainChunk(i, span[0], span[1], storage)
+                self._ingest(chunk)
+                yield chunk
+            self._finish_chain(i, it.result)
+
+    def _run_threads(self):
+        spec = self._require_spec()
+        collect = self._kwargs.get("collect")
+        num_samples = self._kwargs["num_samples"]
+        q: _queue.Queue = _queue.Queue()
+        local = threading.local()
+
+        def run_one(i, rng):
+            try:
+                inst = getattr(local, "sampler", None)
+                if inst is None:
+                    inst = local.sampler = spec.build()
+                storage = inst.allocate_draws(collect, num_samples)
+                it = inst.sample_iter(
+                    seed=rng,
+                    storage=storage,
+                    chunk_size=self._chunk_size,
+                    stop=self._stop_flag,
+                    **self._kwargs,
+                )
+                for start, stop in it:
+                    q.put(("chunk", i, start, stop, storage))
+                q.put(("done", i, it.result))
+            except BaseException:
+                q.put(("error", i, None))
+                raise
+
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=self._workers
+        ) as pool:
+            futures = [
+                pool.submit(run_one, i, rng)
+                for i, rng in enumerate(self._rngs)
+            ]
+            pending = set(range(self.n_chains))
+            while pending:
+                try:
+                    msg = q.get(timeout=1.0)
+                except _queue.Empty:
+                    continue
+                except KeyboardInterrupt:
+                    self.interrupted = True
+                    self.request_stop()
+                    continue
+                kind = msg[0]
+                if kind == "chunk":
+                    _, chain, start, stop, storage = msg
+                    chunk = ChainChunk(chain, start, stop, storage)
+                    try:
+                        self._ingest(chunk)
+                        yield chunk
+                    except GeneratorExit:
+                        # Abandoned stream: stop the workers before the
+                        # executor's exit blocks on them.
+                        self.request_stop()
+                        raise
+                elif kind == "done":
+                    _, chain, result = msg
+                    self._finish_chain(chain, result)
+                    pending.discard(chain)
+                else:  # error: stop siblings fast, surface via _gather
+                    self.request_stop()
+                    pending.discard(msg[1])
+        _gather(futures, None)
+
+    def _run_processes(self):
+        from repro.telemetry.trace import get_tracer
+
+        spec = self._require_spec()
+        sampler = self._sampler
+        collect = self._kwargs.get("collect")
+        if collect is None:
+            collect = sampler.param_names
+        num_samples = self._kwargs["num_samples"]
+        tracer = get_tracer()
+        ship_trace = tracer.enabled
+        workers = min(self._workers, self.n_chains)
+        pool = get_worker_pool(spec, workers)
+        self._pool = pool
+        with pool.run_lock:
+            pool.stop_event.clear()
+            if self._stop_requested:  # stop arrived before dispatch
+                pool.stop_event.set()
+            run_id = pool.new_run_id()
+            self.buffers = SharedDrawBuffers.create(
+                sampler.plan.state, collect, self.n_chains, num_samples
+            )
+            storages = {
+                i: self.buffers.arrays(i) for i in range(self.n_chains)
+            }
+            kwargs = dict(self._kwargs)
+            kwargs["collect"] = tuple(collect)
+            for i, rng in enumerate(self._rngs):
+                task = _ChainTask(
+                    run_id, i, rng, kwargs, self.buffers.plan,
+                    self._chunk_size, ship_trace,
+                )
+                pool.workers[i % workers].task_q.put(task)
+            pending = set(range(self.n_chains))
+            error = None
+            while pending:
+                try:
+                    msg = pool.result_q.get(timeout=0.5)
+                except _queue.Empty:
+                    for i in list(pending):
+                        w = pool.workers[i % workers]
+                        if not w.process.is_alive():
+                            error = RuntimeFailure(
+                                f"worker process for chain {i} died "
+                                f"(pid {w.process.pid})"
+                            )
+                            pool.stop_event.set()
+                            pending.discard(i)
+                    continue
+                except KeyboardInterrupt:
+                    self.interrupted = True
+                    self.request_stop()
+                    continue
+                kind = msg[0]
+                if msg[1] != run_id:
+                    continue  # stale message from an aborted prior run
+                if kind == "chunk":
+                    _, _, chain, start, stop, events = msg
+                    if events:
+                        tracer.adopt(events)
+                    chunk = ChainChunk(chain, start, stop, storages[chain])
+                    try:
+                        self._ingest(chunk)
+                        yield chunk
+                    except GeneratorExit:
+                        pool.stop_event.set()
+                        raise
+                elif kind == "done":
+                    _, _, chain, result = msg
+                    storage = storages[chain]
+                    rebuilt = {}
+                    for name, vals in result.samples.items():
+                        if vals is None:
+                            arr = storage[name]
+                            rebuilt[name] = (
+                                arr[: result.n_kept]
+                                if result.n_kept < num_samples
+                                else arr
+                            )
+                        else:
+                            rebuilt[name] = vals
+                    result.samples = rebuilt
+                    result.draw_buffers = self.buffers
+                    if result.trace_events:
+                        tracer.adopt(result.trace_events)
+                    self._finish_chain(chain, result)
+                    pending.discard(chain)
+                else:  # "error"
+                    _, _, chain, desc = msg
+                    error = RuntimeFailure(
+                        f"chain {chain} failed in worker: {desc}"
+                    )
+                    pool.stop_event.set()
+                    pending.discard(chain)
+            if error is not None:
+                raise error
+
+    def _require_spec(self) -> SamplerSpec:
+        spec = self._sampler.spec
+        if spec is None:
+            raise RuntimeFailure(
+                "this sampler has no SamplerSpec and cannot be rehydrated "
+                "in workers; build it with compile_model, or use "
+                "executor='sequential'"
+            )
+        return spec
+
+
+# ----------------------------------------------------------------------
+# Entry points.
+# ----------------------------------------------------------------------
+
+
+def _validate(n_chains, executor, n_workers):
+    if n_chains < 1:
+        raise RuntimeFailure("need at least one chain")
+    if executor not in EXECUTORS:
+        raise RuntimeFailure(
+            f"unknown executor {executor!r}; use one of {', '.join(EXECUTORS)}"
+        )
+    workers = (
+        n_workers if n_workers is not None else default_workers(n_chains)
+    )
+    if workers < 1:
+        raise RuntimeFailure(f"n_workers must be positive, got {workers}")
+    return workers
+
+
+def stream_chains(
+    sampler,
+    n_chains: int,
+    num_samples: int,
+    burn_in: int = 0,
+    thin: int = 1,
+    seed: int = 0,
+    collect: tuple[str, ...] | None = None,
+    executor: str = "sequential",
+    n_workers: int | None = None,
+    collect_stats: bool = False,
+    monitor=None,
+    profile: bool = False,
+    chunk_size: int | None = None,
+    early_stop_rhat: float | None = None,
+) -> ChainStream:
+    """Run ``n_chains`` chains, streaming draw chunks as they land.
+
+    Returns a :class:`ChainStream`; see
+    :meth:`repro.core.sampler.CompiledSampler.stream_chains`.  With
+    ``early_stop_rhat`` and no ``monitor``, an internal
+    :class:`~repro.telemetry.monitors.ConvergenceMonitor` is created to
+    drive the convergence test.
+    """
+    workers = _validate(n_chains, executor, n_workers)
+    if executor != "sequential" and n_chains == 1:
+        executor = "sequential"
+    if executor != "sequential" and sampler.spec is None:
+        raise RuntimeFailure(
+            "this sampler has no SamplerSpec and cannot be rehydrated in "
+            "workers; build it with compile_model, or use "
+            "executor='sequential'"
+        )
+    if early_stop_rhat is not None and monitor is None:
+        from repro.telemetry.monitors import ConvergenceMonitor
+
+        monitor = ConvergenceMonitor(
+            param_names=tuple(collect) if collect else sampler.param_names,
+            n_chains=n_chains,
+            total_draws=max(num_samples, 4),
+        )
+    rngs = Rng(seed).fork(n_chains)
+    kwargs = dict(
+        num_samples=num_samples, burn_in=burn_in, thin=thin, collect=collect,
+        collect_stats=collect_stats, profile=profile,
+    )
+    if chunk_size is None or chunk_size <= 0:
+        chunk_size = max(1, min(DEFAULT_CHUNK, num_samples))
+    return ChainStream(
+        sampler, n_chains, kwargs, rngs, executor, workers,
+        monitor, early_stop_rhat, chunk_size,
+    )
 
 
 def run_chains(
@@ -107,98 +869,60 @@ def run_chains(
     collect_stats: bool = False,
     monitor=None,
     profile: bool = False,
+    chunk_size: int | None = None,
+    early_stop_rhat: float | None = None,
 ):
     """Run ``n_chains`` independent chains, optionally in parallel.
 
     Returns one :class:`~repro.core.sampler.SampleResult` per chain, in
     chain order.  See :meth:`CompiledSampler.sample_chains` for the
-    executor semantics.
-
-    ``collect_stats`` turns on per-sweep stat recording inside every
-    chain; each worker writes into its own preallocated buffers (nothing
-    is shared across processes) and the per-chain
-    ``SampleResult.stats`` merge via
-    :func:`repro.telemetry.stats.stack_chain_stats`.  A ``monitor``
-    (:class:`repro.telemetry.monitors.ConvergenceMonitor`) is fed
-    incrementally: per kept draw on the sequential path, per completed
-    chain -- in completion order -- on the pooled paths.
+    executor semantics.  This is the batch face of
+    :func:`stream_chains`: every executor drives the same streaming
+    engine and the same monitor protocol (``observe_chunk`` per chunk,
+    ``observe_stats`` + ``chain_done`` per chain), so monitors see
+    identical per-chain feeds whichever executor runs.
     """
-    if n_chains < 1:
-        raise RuntimeFailure("need at least one chain")
-    if executor not in EXECUTORS:
-        raise RuntimeFailure(
-            f"unknown executor {executor!r}; use one of {', '.join(EXECUTORS)}"
-        )
-    rngs = Rng(seed).fork(n_chains)
-    kwargs = dict(
-        num_samples=num_samples, burn_in=burn_in, thin=thin, collect=collect,
-        collect_stats=collect_stats, profile=profile,
+    if chunk_size is None and monitor is None and early_stop_rhat is None:
+        # Nothing consumes intermediate chunks: run whole chains per
+        # chunk to keep the batch path's overhead at zero.
+        chunk_size = num_samples
+    stream = stream_chains(
+        sampler,
+        n_chains=n_chains,
+        num_samples=num_samples,
+        burn_in=burn_in,
+        thin=thin,
+        seed=seed,
+        collect=collect,
+        executor=executor,
+        n_workers=n_workers,
+        collect_stats=collect_stats,
+        monitor=monitor,
+        profile=profile,
+        chunk_size=chunk_size,
+        early_stop_rhat=early_stop_rhat,
     )
-
-    if executor == "sequential" or n_chains == 1:
-        results = []
-        for i, rng in enumerate(rngs):
-            callback = None
-            if monitor is not None:
-                callback = (
-                    lambda kept, state, _i=i: monitor.observe(_i, kept, state)
-                )
-            res = sampler.sample(seed=rng, callback=callback, **kwargs)
-            if monitor is not None:
-                monitor.observe_stats(res.stats)
-                monitor.chain_done()
-            results.append(res)
-        return results
-
-    spec = sampler.spec
-    if spec is None:
-        raise RuntimeFailure(
-            "this sampler has no SamplerSpec and cannot be rehydrated in "
-            "workers; build it with compile_model, or use executor='sequential'"
-        )
-    workers = n_workers if n_workers is not None else default_workers(n_chains)
-    if workers < 1:
-        raise RuntimeFailure(f"n_workers must be positive, got {workers}")
-
-    if executor == "processes":
-        from repro.telemetry.trace import get_tracer
-
-        tracer = get_tracer()
-        ship_trace = tracer.enabled
-        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_run_chain_worker, spec, rng, kwargs, ship_trace)
-                for rng in rngs
-            ]
-            results = _gather(futures, monitor)
-        if ship_trace:
-            for res in results:
-                if res.trace_events:
-                    tracer.adopt(res.trace_events)
-        return results
-
-    # Threads: the sampler's workspaces and sweep environment are
-    # mutable shared state, so every worker thread gets its own
-    # rehydrated instance (compile-cache hits after the first build).
-    local = threading.local()
-
-    def run_one(rng: Rng):
-        inst = getattr(local, "sampler", None)
-        if inst is None:
-            inst = local.sampler = spec.build()
-        return inst.sample(seed=rng, **kwargs)
-
-    with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(run_one, rng) for rng in rngs]
-        return _gather(futures, monitor)
+    return stream.drain()
 
 
 def _gather(futures, monitor) -> list:
-    """Collect chain results in chain order, feeding the monitor in
-    *completion* order so cross-chain diagnostics update as soon as any
-    worker finishes."""
-    if monitor is not None:
-        index = {f: i for i, f in enumerate(futures)}
+    """Collect future results in submission order, feeding the monitor
+    in *completion* order.
+
+    Each future's ``result()`` is taken exactly once (during the
+    ``as_completed`` pass); on the first failure every outstanding
+    future is cancelled so one crashed chain cannot hang the run, and
+    the original exception is re-raised.
+    """
+    results: dict = {}
+    index = {f: i for i, f in enumerate(futures)}
+    try:
         for f in concurrent.futures.as_completed(futures):
-            monitor.chain_finished(index[f], f.result())
-    return [f.result() for f in futures]
+            results[index[f]] = f.result()
+            if monitor is not None:
+                monitor.chain_finished(index[f], results[index[f]])
+    except BaseException:
+        for f in futures:
+            f.cancel()
+        raise
+    return [results[i] for i in range(len(futures))]

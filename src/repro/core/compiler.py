@@ -182,6 +182,22 @@ def _cache_key(
     return h.hexdigest()
 
 
+def spec_cache_key(spec) -> str:
+    """The compile-cache fingerprint of a
+    :class:`repro.core.chains.SamplerSpec`.
+
+    The warm worker pool keys its pools on this: two samplers whose
+    specs fingerprint identically rebuild from the same cache entry, so
+    a pool spawned for one serves repeated chain requests for the other
+    without re-pickling or recompiling.
+    """
+    options = spec.options or CompileOptions()
+    return _cache_key(
+        spec.source, spec.hyper_values, spec.data_values, options,
+        spec.schedule,
+    )
+
+
 def _cache_get(key: str) -> _CacheEntry | None:
     entry = _cache.get(key)
     if entry is not None:

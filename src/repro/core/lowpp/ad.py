@@ -69,8 +69,11 @@ class _AdjointEmitter:
         self._counter = 0
 
     def fresh(self) -> str:
+        # Leading underscore: model variables are plain identifiers, so
+        # ``_t<n>`` can never shadow one (a model named ``t1`` would
+        # otherwise be clobbered by the first adjoint temp).
         self._counter += 1
-        return f"t{self._counter}"
+        return f"_t{self._counter}"
 
     # -- expression adjoints (Figure 8a) --------------------------------
 

@@ -104,6 +104,23 @@ class SampleResult:
     #: multi-chain runner merges these into the parent tracer so a
     #: ``processes`` run produces one coherent trace file).
     trace_events: list | None = None
+    #: Kept draws actually stored.  Equals the requested ``num_samples``
+    #: unless the run stopped early (converged R-hat broadcast) or was
+    #: interrupted; partial runs truncate ``samples``/``sweep_times``/
+    #: ``stats`` to this count.
+    n_kept: int = 0
+    #: Sweeps actually executed (burn-in included).
+    sweeps_run: int = 0
+    #: True when a broadcast stop flag ended the run before all
+    #: requested draws were taken (early stopping on convergence).
+    stopped_early: bool = False
+    #: True when ``KeyboardInterrupt`` ended the run; the draws taken
+    #: before the interrupt are finalized instead of lost.
+    interrupted: bool = False
+    #: When the draws live in shared-memory segments, the owning
+    #: :class:`repro.core.chains.SharedDrawBuffers` rides here so the
+    #: arrays in ``samples`` keep their backing segment alive.
+    draw_buffers: object = None
 
     @property
     def sample_stats(self) -> dict[str, np.ndarray]:
@@ -128,6 +145,47 @@ class SampleResult:
 
     def __getitem__(self, name: str):
         return self.samples[name]
+
+
+class SampleRun:
+    """A resumable sampling run: iterate kept-draw chunks, then read
+    ``result``.
+
+    Produced by :meth:`CompiledSampler.sample_iter`.  Iterating yields
+    ``(start, stop)`` kept-draw index ranges as soon as those draws have
+    been written into the run's draw storage — the nutpie-style
+    ``do_sample``/``finalize`` shape the streaming multi-chain engine
+    builds on.  After exhaustion ``result`` holds the finished
+    :class:`SampleResult` (possibly partial: see ``stopped_early`` /
+    ``interrupted``).  :meth:`request_stop` asks the sweep loop to stop
+    at the next sweep boundary; draws already taken are kept.
+    """
+
+    def __init__(self):
+        self._stop_requested = False
+        self.result: SampleResult | None = None
+        self._gen = None
+
+    def request_stop(self) -> None:
+        """Stop at the next sweep boundary, keeping the draws so far."""
+        self._stop_requested = True
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        try:
+            return next(self._gen)
+        except StopIteration as e:
+            if self.result is None:
+                self.result = e.value
+            raise StopIteration from None
+
+    def drain(self) -> SampleResult:
+        """Run to completion and return the final :class:`SampleResult`."""
+        for _ in self:
+            pass
+        return self.result
 
 
 class CompiledSampler:
@@ -278,6 +336,14 @@ class CompiledSampler:
                 storage[name] = []
         return storage
 
+    def allocate_draws(
+        self, collect: tuple[str, ...] | None, num_samples: int
+    ) -> dict:
+        """Public draw-storage allocator (the multi-chain engine uses
+        it to shape shared-memory segments identically)."""
+        collect = tuple(collect) if collect is not None else self.param_names
+        return self._allocate_draws(collect, num_samples)
+
     def _step_recorded(self, state: dict, rng: Rng, bufs, sweep: int) -> dict:
         """One sweep with per-update stat recording into ``bufs``."""
         env = self._sweep_env(state)
@@ -354,6 +420,52 @@ class CompiledSampler:
         every update, generated declaration, and model statement
         (``SampleResult.profile``); the draws are bitwise identical
         either way.
+
+        A ``KeyboardInterrupt`` during the sweep loop finalizes the
+        draws taken so far (``result.interrupted``) instead of losing
+        the run.
+        """
+        return self.sample_iter(
+            num_samples,
+            burn_in=burn_in,
+            thin=thin,
+            seed=seed,
+            collect=collect,
+            init=init,
+            callback=callback,
+            collect_stats=collect_stats,
+            profile=profile,
+        ).drain()
+
+    def sample_iter(
+        self,
+        num_samples: int,
+        burn_in: int = 0,
+        thin: int = 1,
+        seed: int | Rng = 0,
+        collect: tuple[str, ...] | None = None,
+        init: dict | None = None,
+        callback=None,
+        collect_stats: bool = False,
+        profile: bool = False,
+        storage: dict | None = None,
+        chunk_size: int | None = None,
+        stop=None,
+    ) -> SampleRun:
+        """The resumable form of :meth:`sample`: a :class:`SampleRun`
+        yielding ``(start, stop)`` kept-draw index ranges per chunk.
+
+        ``storage`` optionally supplies preallocated draw storage (the
+        multi-chain engine passes shared-memory-backed arrays so workers
+        write draws in place and results return zero-copy); by default
+        storage is allocated from the plan as in :meth:`sample`.
+        ``chunk_size`` sets how many kept draws each yielded chunk
+        covers (default: all of them, one chunk).  ``stop`` is an
+        optional zero-argument callable polled at every sweep boundary;
+        when it returns True the run finalizes early with the draws
+        taken so far (``result.stopped_early``) — the broadcast flag of
+        the early-stopping protocol.  Draws of a stopped run are a
+        bitwise prefix of the full run's draws for the same seed.
         """
         if num_samples <= 0:
             raise RuntimeFailure("num_samples must be positive")
@@ -362,7 +474,23 @@ class CompiledSampler:
         unknown = set(collect) - set(self.param_names)
         if unknown:
             raise RuntimeFailure(f"cannot collect non-parameters: {sorted(unknown)}")
+        if chunk_size is None or chunk_size <= 0:
+            chunk_size = num_samples
+        run = SampleRun()
 
+        def should_stop():
+            return run._stop_requested or (stop is not None and stop())
+
+        run._gen = self._sample_gen(
+            num_samples, burn_in, thin, rng, collect, init, callback,
+            collect_stats, profile, storage, chunk_size, should_stop,
+        )
+        return run
+
+    def _sample_gen(
+        self, num_samples, burn_in, thin, rng, collect, init, callback,
+        collect_stats, profile, storage, chunk_size, should_stop,
+    ):
         tracer = get_tracer()
         tracing = tracer.enabled
         stats_before = [u.stats.snapshot() for u in self.updates]
@@ -375,7 +503,10 @@ class CompiledSampler:
                 fresh=init is None,
             )
         total_sweeps = burn_in + num_samples * thin
-        samples = self._allocate_draws(collect, num_samples)
+        samples = (
+            storage if storage is not None
+            else self._allocate_draws(collect, num_samples)
+        )
         stat_bufs = (
             allocate_stat_buffers(self.updates, total_sweeps)
             if collect_stats
@@ -392,37 +523,53 @@ class CompiledSampler:
         collect_spans: list[tuple[float, float]] = []
         start = time.perf_counter()
         kept = 0
+        chunk_start = 0
+        sweeps_run = 0
+        stopped_early = False
+        interrupted = False
         try:
-            for sweep in range(total_sweeps):
-                t0 = time.perf_counter()
-                if profiler is not None:
-                    self._step_profiled(state, rng, profiler, stat_bufs, sweep)
-                elif stat_bufs is None:
-                    self.step(state, rng)
-                else:
-                    self._step_recorded(state, rng, stat_bufs, sweep)
-                t1 = time.perf_counter()
-                sweep_times[sweep] = t1 - t0
-                if sweep_starts is not None:
-                    sweep_starts[sweep] = t0
-                if sweep >= burn_in and (sweep - burn_in) % thin == 0:
-                    for name in collect:
-                        store = samples[name]
-                        if isinstance(store, np.ndarray):
-                            store[kept] = state[name]
-                        else:
-                            store.append(_copy_value(state[name]))
-                    if tracing:
-                        collect_spans.append((t1, time.perf_counter() - t1))
-                    if callback is not None:
-                        callback(kept, state)
-                    kept += 1
+            try:
+                for sweep in range(total_sweeps):
+                    if should_stop():
+                        stopped_early = True
+                        break
+                    t0 = time.perf_counter()
+                    if profiler is not None:
+                        self._step_profiled(state, rng, profiler, stat_bufs, sweep)
+                    elif stat_bufs is None:
+                        self.step(state, rng)
+                    else:
+                        self._step_recorded(state, rng, stat_bufs, sweep)
+                    t1 = time.perf_counter()
+                    sweep_times[sweep] = t1 - t0
+                    if sweep_starts is not None:
+                        sweep_starts[sweep] = t0
+                    sweeps_run = sweep + 1
+                    if sweep >= burn_in and (sweep - burn_in) % thin == 0:
+                        for name in collect:
+                            store = samples[name]
+                            if isinstance(store, np.ndarray):
+                                store[kept] = state[name]
+                            else:
+                                store.append(_copy_value(state[name]))
+                        if tracing:
+                            collect_spans.append((t1, time.perf_counter() - t1))
+                        if callback is not None:
+                            callback(kept, state)
+                        kept += 1
+                        if kept - chunk_start >= chunk_size:
+                            yield (chunk_start, kept)
+                            chunk_start = kept
+            except KeyboardInterrupt:
+                interrupted = True
         finally:
             if profiler is not None:
                 profiler.restore()
+        if kept > chunk_start:
+            yield (chunk_start, kept)
         wall = time.perf_counter() - start
         if tracing:
-            for sweep in range(total_sweeps):
+            for sweep in range(sweeps_run):
                 tracer.add_complete(
                     "sweep", "runtime", float(sweep_starts[sweep]),
                     float(sweep_times[sweep]), index=sweep,
@@ -444,6 +591,19 @@ class CompiledSampler:
             acceptance[upd.label] = (
                 accepted / proposed if proposed else float("nan")
             )
+        # Partial runs (early stop / interrupt) truncate storage and
+        # telemetry to what actually happened; full runs keep the exact
+        # preallocated objects (array() stays a view of them).
+        if sweeps_run < total_sweeps:
+            sweep_times = sweep_times[:sweeps_run]
+            if kept < num_samples:
+                for name in collect:
+                    store = samples[name]
+                    if isinstance(store, np.ndarray):
+                        samples[name] = store[:kept]
+            if stat_bufs is not None:
+                for buf in stat_bufs:
+                    buf.truncate(sweeps_run)
         return SampleResult(
             samples=samples,
             wall_time=wall,
@@ -456,10 +616,14 @@ class CompiledSampler:
                 else None
             ),
             profile=(
-                profiler.finish(float(sweep_times.sum()), total_sweeps)
+                profiler.finish(float(sweep_times.sum()), sweeps_run)
                 if profiler is not None
                 else None
             ),
+            n_kept=kept,
+            sweeps_run=sweeps_run,
+            stopped_early=stopped_early,
+            interrupted=interrupted,
         )
 
     def sample_chains(
@@ -475,6 +639,8 @@ class CompiledSampler:
         collect_stats: bool = False,
         monitor=None,
         profile: bool = False,
+        chunk_size: int | None = None,
+        early_stop_rhat: float | None = None,
     ) -> list[SampleResult]:
         """Run several independent chains from forked RNG streams.
 
@@ -500,7 +666,11 @@ class CompiledSampler:
         :func:`repro.telemetry.stats.stack_chain_stats`).  ``monitor``
         optionally takes a
         :class:`repro.telemetry.monitors.ConvergenceMonitor` fed
-        incrementally as chains progress.
+        incrementally as chains progress.  ``early_stop_rhat`` (needs a
+        monitor or creates one internally) broadcasts a stop flag to
+        every chain once the worst split R-hat falls below the
+        threshold; stopped chains keep the (bitwise-prefix) draws taken
+        so far.
         """
         from repro.core.chains import run_chains
 
@@ -517,4 +687,47 @@ class CompiledSampler:
             collect_stats=collect_stats,
             monitor=monitor,
             profile=profile,
+            chunk_size=chunk_size,
+            early_stop_rhat=early_stop_rhat,
+        )
+
+    def stream_chains(
+        self,
+        n_chains: int,
+        num_samples: int,
+        burn_in: int = 0,
+        thin: int = 1,
+        seed: int = 0,
+        collect: tuple[str, ...] | None = None,
+        executor: str = "sequential",
+        n_workers: int | None = None,
+        collect_stats: bool = False,
+        monitor=None,
+        profile: bool = False,
+        chunk_size: int | None = None,
+        early_stop_rhat: float | None = None,
+    ):
+        """The streaming form of :meth:`sample_chains`: returns a
+        :class:`repro.core.chains.ChainStream` yielding
+        :class:`~repro.core.chains.ChainChunk` items as workers post
+        them; ``stream.results`` holds the per-chain
+        :class:`SampleResult` list after the iterator is exhausted (or
+        after a ``KeyboardInterrupt``, with partial draws finalized)."""
+        from repro.core.chains import stream_chains
+
+        return stream_chains(
+            self,
+            n_chains=n_chains,
+            num_samples=num_samples,
+            burn_in=burn_in,
+            thin=thin,
+            seed=seed,
+            collect=collect,
+            executor=executor,
+            n_workers=n_workers,
+            collect_stats=collect_stats,
+            monitor=monitor,
+            profile=profile,
+            chunk_size=chunk_size,
+            early_stop_rhat=early_stop_rhat,
         )

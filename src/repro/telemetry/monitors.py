@@ -165,10 +165,25 @@ class ConvergenceMonitor:
 
     Monitors up to ``max_components`` scalar components per collected
     parameter: each gets a :class:`SplitRhat` across chains and one
-    :class:`OnlineEss` per chain.  ``observe`` is called per kept draw
-    (the sequential executor streams it live; parallel executors replay
-    each chain's draws as its worker finishes, still giving incremental
-    cross-chain reports).
+    :class:`OnlineEss` per chain.
+
+    **Feeding protocol** — every executor of
+    :func:`repro.core.chains.run_chains` drives the same three calls,
+    so the final monitor state is identical whichever executor ran
+    (the per-chain feed order is preserved and every accumulator is
+    per-(chain, scalar)):
+
+    1. :meth:`observe_chunk` (or :meth:`observe` per draw) as each
+       chain's kept draws become available — live on the sequential
+       path, per posted chunk on the streaming pooled paths;
+    2. :meth:`observe_stats` once per chain with its
+       :class:`~repro.telemetry.stats.SampleStats` (divergence /
+       acceptance accounting);
+    3. :meth:`chain_done` once per chain (progress line).
+
+    :meth:`chain_finished` composes all three for a completed chain
+    (the batch, replay-at-the-end form).  :meth:`converged` is the
+    early-stopping predicate the streaming engine polls.
     """
 
     def __init__(
@@ -195,10 +210,17 @@ class ConvergenceMonitor:
         # buffers: label -> [min, max, sum, count] over finite sweeps.
         self._acceptance: dict[str, list[float]] = {}
         self._chains_done = 0
+        #: Kept draws ingested so far, per chain (drives ``converged``).
+        self._draws_seen = [0] * n_chains
 
     # -- feeding -----------------------------------------------------------
 
     def _components(self, name: str, value) -> list[tuple[str, float]]:
+        # Ragged values carry their scalars in .flat; np.asarray would
+        # see an opaque object.
+        flat_src = getattr(value, "flat", None)
+        if flat_src is not None and not isinstance(value, np.ndarray):
+            value = flat_src
         flat = np.ravel(np.asarray(value, dtype=np.float64))
         out = []
         for j in range(min(flat.size, self.max_components)):
@@ -208,6 +230,8 @@ class ConvergenceMonitor:
 
     def observe(self, chain: int, draw_index: int, state: dict) -> None:
         """Ingest one kept draw of one chain."""
+        if draw_index >= self._draws_seen[chain]:
+            self._draws_seen[chain] = draw_index + 1
         for name in self.param_names:
             if name not in state:
                 continue
@@ -251,25 +275,32 @@ class ConvergenceMonitor:
                     acc[2] += float(finite.sum())
                     acc[3] += int(finite.size)
 
+    def observe_chunk(
+        self, chain: int, start: int, stop: int, samples: dict
+    ) -> None:
+        """Ingest kept draws ``start:stop`` of one chain from its draw
+        storage (the streaming executors call this per posted chunk;
+        dense parameters index straight into the shared-memory-backed
+        arrays, nothing is copied)."""
+        for d in range(start, stop):
+            state = {}
+            for name in self.param_names:
+                vals = samples.get(name)
+                if vals is not None and d < len(vals):
+                    state[name] = vals[d]
+            self.observe(chain, d, state)
+
     def chain_finished(self, chain: int, result) -> None:
         """Replay a finished chain's draws + stats into the monitors and
-        emit one incremental progress line."""
-        for name, draws in result.samples.items():
-            if name not in self.param_names:
-                continue
-            arr = result.array(name)
-            for d in range(arr.shape[0]):
-                for key, value in self._components(name, arr[d]):
-                    rh = self._rhat.get(key)
-                    if rh is None:
-                        rh = self._rhat[key] = SplitRhat(
-                            self.n_chains, self.total_draws
-                        )
-                        self._ess[key] = [
-                            OnlineEss() for _ in range(self.n_chains)
-                        ]
-                    rh.update(chain, d, value)
-                    self._ess[key][chain].update(value)
+        emit one incremental progress line (the batch form of the
+        observe_chunk -> observe_stats -> chain_done protocol)."""
+        n = 0
+        for name in self.param_names:
+            vals = result.samples.get(name)
+            if vals is not None:
+                n = max(n, len(vals))
+        if n:
+            self.observe_chunk(chain, 0, n, result.samples)
         self.observe_stats(result.stats)
         self.chain_done()
 
@@ -285,6 +316,17 @@ class ConvergenceMonitor:
         values = [m.rhat() for m in self._rhat.values()]
         finite = [v for v in values if math.isfinite(v)]
         return max(finite) if finite else float("nan")
+
+    def converged(self, threshold: float, min_draws: int = 8) -> bool:
+        """The early-stopping predicate: True once every chain has fed
+        at least ``min_draws`` kept draws and the worst split R-hat over
+        every monitored scalar is finite and at or below ``threshold``.
+        Deterministic in the monitor state, so the stop decision lands
+        on the same draw for the same feed whichever executor runs."""
+        if not self._rhat or min(self._draws_seen) < min_draws:
+            return False
+        worst = self.worst_rhat()
+        return math.isfinite(worst) and worst <= threshold
 
     def min_ess(self) -> float:
         totals = []

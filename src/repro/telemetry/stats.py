@@ -55,6 +55,14 @@ class UpdateStatsBuffer:
             if col is not None:
                 col[sweep] = value
 
+    def truncate(self, n_sweeps: int) -> None:
+        """Shrink to the ``n_sweeps`` sweeps that actually ran (early
+        stop / interrupt); a no-op when already that size or smaller."""
+        if n_sweeps >= self.n_sweeps:
+            return
+        self.columns = {k: v[:n_sweeps] for k, v in self.columns.items()}
+        self.n_sweeps = n_sweeps
+
     def __getitem__(self, field: str) -> np.ndarray:
         return self.columns[field]
 
@@ -191,4 +199,11 @@ def stack_chain_stats(results) -> dict[str, np.ndarray]:
     if len(per_chain) != len(results) or not per_chain:
         return {}
     keys = per_chain[0].keys()
-    return {k: np.stack([d[k] for d in per_chain]) for k in keys}
+    # Early-stopped runs may leave chains with unequal sweep counts;
+    # stack over the common prefix so the arrays stay rectangular.
+    out = {}
+    for k in keys:
+        cols = [d[k] for d in per_chain]
+        n = min(c.shape[0] for c in cols)
+        out[k] = np.stack([c[:n] for c in cols])
+    return out

@@ -131,6 +131,26 @@ class Tracer:
             out.append(e)
         return out
 
+    def drain_events(self) -> list[TraceEvent]:
+        """Atomically take (and clear) the collected events, pid-stamped.
+
+        The per-chunk variant of :meth:`export_events`: pool workers
+        drain after every chunk so trace events stream to the parent
+        incrementally instead of piling up until the chain ends, and a
+        later drain never re-ships what an earlier one already sent.
+        """
+        with self._lock:
+            events, self._events = self._events, []
+        pid = os.getpid()
+        out = []
+        for e in events:
+            if e.pid == 0:
+                e = TraceEvent(
+                    e.name, e.cat, e.ts, e.dur, e.phase, e.tid, e.args, pid
+                )
+            out.append(e)
+        return out
+
     def adopt(self, events: list[TraceEvent]) -> None:
         """Merge events shipped from a worker process into this tracer.
 

