@@ -159,6 +159,7 @@ class Infer:
         profile: bool = False,
         chunkSize: int | None = None,
         earlyStopRhat: float | None = None,
+        resume=None,
     ) -> list[SampleResult]:
         """Run independent chains, optionally fanned out over the warm
         worker pool (``executor="processes"``); draws are bitwise
@@ -166,7 +167,9 @@ class Infer:
         ``collect_stats`` and ``monitor`` behave as in
         :meth:`repro.core.sampler.CompiledSampler.sample_chains`;
         ``earlyStopRhat`` broadcasts a stop flag once the worst split
-        R-hat converges below the threshold."""
+        R-hat converges below the threshold; ``resume`` supplies one
+        :class:`repro.core.chains.ChainResume` (or ``None``) per chain
+        to continue checkpointed chains bit-for-bit."""
         return self.sampler.sample_chains(
             n_chains=nChains,
             num_samples=numSamples,
@@ -181,6 +184,7 @@ class Infer:
             profile=profile,
             chunk_size=chunkSize,
             early_stop_rhat=earlyStopRhat,
+            resume=resume,
         )
 
     def streamChains(
@@ -198,6 +202,7 @@ class Infer:
         profile: bool = False,
         chunkSize: int | None = None,
         earlyStopRhat: float | None = None,
+        resume=None,
     ):
         """The streaming form of :meth:`sampleChains`: returns a
         :class:`repro.core.chains.ChainStream` yielding per-chain draw
@@ -217,6 +222,7 @@ class Infer:
             profile=profile,
             chunk_size=chunkSize,
             early_stop_rhat=earlyStopRhat,
+            resume=resume,
         )
 
     # -- introspection -----------------------------------------------------------

@@ -234,7 +234,10 @@ def _sample_chains(args, sampler) -> int:
         collect=collect,
         executor=args.executor,
         n_workers=args.workers,
-        collect_stats=args.stats or args.monitor or bool(args.report),
+        # --stream wants per-chunk acceptance/divergence digests too.
+        collect_stats=(
+            args.stats or args.monitor or args.stream or bool(args.report)
+        ),
         monitor=monitor,
         profile=want_profile,
         chunk_size=args.chunk_size,
@@ -242,12 +245,34 @@ def _sample_chains(args, sampler) -> int:
     )
     if args.stream:
         stream = sampler.stream_chains(**common)
-        for chunk in stream:
-            print(
-                f"[stream] chain {chunk.chain}: "
-                f"draws {chunk.start}..{chunk.stop}",
-                file=sys.stderr,
-            )
+        if sys.stderr.isatty():
+            from repro.telemetry.progress import StreamProgress
+
+            progress = StreamProgress(args.chains, args.samples)
+            for chunk in stream:
+                progress.update(chunk, stream.monitor)
+            progress.close()
+        else:
+            for chunk in stream:
+                line = (
+                    f"[stream] chain {chunk.chain}: "
+                    f"draws {chunk.start}..{chunk.stop}"
+                )
+                if chunk.info:
+                    bits = []
+                    for label, entry in sorted(chunk.info.items()):
+                        rate = entry.get("accept_rate")
+                        if rate is not None and rate == rate:
+                            bits.append(f"{label} accept {rate:.2f}")
+                        div = entry.get("divergent", 0)
+                        if div:
+                            bits.append(f"{label} divergent {div}")
+                        nan = entry.get("nan_rejects", 0)
+                        if nan:
+                            bits.append(f"{label} nan-rejects {nan}")
+                    if bits:
+                        line += " | " + ", ".join(bits)
+                print(line, file=sys.stderr)
         results = stream.results
     else:
         results = sampler.sample_chains(**common)
@@ -349,6 +374,158 @@ def cmd_report(args) -> int:
         f"({len(data['ledger'])} ledger entries, "
         f"{len(data['profiles'])} profile table(s))"
     )
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the long-lived inference service (see docs/serving.md)."""
+    from repro.serve.server import ReproServer
+
+    server = ReproServer(
+        host=args.host,
+        port=args.port,
+        checkpoint_dir=args.checkpoint_dir,
+        artifact_dir=args.artifact_dir,
+        max_workers=args.request_workers,
+    )
+
+    def announce(srv):
+        # Machine-readable first line: the CI smoke harness (and shell
+        # scripts) read the bound port from it, so keep it stable.
+        print(f"serving on http://{srv.host}:{srv.port}", flush=True)
+        if args.checkpoint_dir:
+            print(f"checkpoints: {args.checkpoint_dir}", flush=True)
+        if args.artifact_dir:
+            print(f"report artifacts: {args.artifact_dir}", flush=True)
+
+    try:
+        server.run(announce=announce)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_request(args) -> int:
+    """Send one inference request to a running ``repro serve``."""
+    import http.client
+    import urllib.parse
+
+    with open(args.model) as f:
+        source = f.read()
+    with open(args.inputs) as f:
+        raw = json.load(f)
+    if not isinstance(raw, dict):
+        raise ReproError("the inputs file must hold an object at top level")
+
+    query: dict = {
+        "samples": args.samples,
+        "burn_in": args.burn_in,
+        "thin": args.thin,
+        "chains": args.chains,
+        "seed": args.seed,
+        "executor": args.executor,
+    }
+    if args.collect:
+        query["collect"] = args.collect.split(",")
+    if args.chunk_size is not None:
+        query["chunk_size"] = args.chunk_size
+    budget: dict = {}
+    if args.deadline is not None:
+        budget["deadline_s"] = args.deadline
+    if args.max_draws is not None:
+        budget["max_draws"] = args.max_draws
+    if args.target_rhat is not None:
+        budget["target_rhat"] = args.target_rhat
+    if args.schedule:
+        query["schedule"] = args.schedule
+    payload: dict = {
+        "model_source": source,
+        "data": raw,
+        "query": query,
+        "budget": budget,
+        "resume": not args.no_resume,
+        "return_draws": args.return_draws,
+    }
+    if args.request_id:
+        payload["request_id"] = args.request_id
+
+    parsed = urllib.parse.urlparse(args.url)
+    if parsed.scheme not in ("http", ""):
+        raise ReproError(f"unsupported URL scheme {parsed.scheme!r}")
+    host = parsed.hostname or "127.0.0.1"
+    port = parsed.port or 80
+    conn = http.client.HTTPConnection(host, port, timeout=args.timeout)
+    try:
+        conn.request(
+            "POST", "/v1/infer", body=json.dumps(payload),
+            headers={"Content-Type": "application/json"},
+        )
+        http_resp = conn.getresponse()
+        body = http_resp.read()
+    finally:
+        conn.close()
+    try:
+        response = json.loads(body)
+    except json.JSONDecodeError:
+        raise ReproError(
+            f"server returned non-JSON ({http_resp.status}): {body[:200]!r}"
+        )
+    if http_resp.status != 200 or response.get("status") != "ok":
+        raise ReproError(
+            f"request failed ({http_resp.status}): "
+            f"{response.get('error', body[:200])}"
+        )
+
+    draws = response.get("draws", {})
+    print(
+        f"verdict: {response.get('verdict')}  "
+        f"complete: {response.get('complete')}  "
+        f"stop: {response.get('stop_reason') or 'all draws taken'}"
+    )
+    print(
+        f"draws: kept {draws.get('kept')} of {draws.get('requested')} "
+        f"requested ({draws.get('new')} new this call)"
+    )
+    cache = response.get("cache", {})
+    timing = response.get("timing", {})
+    print(
+        f"compile cache hit: {cache.get('compile_cache_hit')}; "
+        f"compile {timing.get('compile_s', 0.0)*1e3:.1f} ms, "
+        f"sampling {timing.get('sampling_s', 0.0):.2f} s"
+    )
+    if response.get("checkpointed"):
+        print(
+            "checkpointed: rerun the same request id to continue "
+            "where it stopped"
+        )
+    for name, entry in response.get("summary", {}).items():
+        for comp, vals in entry.get("components", {}).items():
+            rhat = vals.get("rhat")
+            rhat_s = f"  rhat {rhat:.4f}" if rhat is not None else ""
+            print(
+                f"  {comp:24s} mean {vals['mean']:10.4f} "
+                f"std {vals['std']:9.4f}{rhat_s}"
+            )
+    if args.fetch_report:
+        conn = http.client.HTTPConnection(host, port, timeout=args.timeout)
+        try:
+            rid = payload.get("request_id")
+            if not rid:
+                raise ReproError("--fetch-report needs --request-id")
+            conn.request("GET", f"/v1/report/{urllib.parse.quote(rid)}")
+            rep = conn.getresponse()
+            data = rep.read()
+        finally:
+            conn.close()
+        if rep.status != 200:
+            raise ReproError(f"report fetch failed ({rep.status})")
+        with open(args.fetch_report, "wb") as f:
+            f.write(data)
+        print(f"wrote report artifact to {args.fetch_report}")
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(response, f, indent=2)
+        print(f"wrote full response to {args.out}")
     return 0
 
 
@@ -469,6 +646,83 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="report.html", help="report path (default report.html)"
     )
     pr.set_defaults(fn=cmd_report)
+
+    pv = sub.add_parser(
+        "serve",
+        help="run the long-lived inference service (HTTP + JSON)",
+    )
+    pv.add_argument("--host", default="127.0.0.1")
+    pv.add_argument(
+        "--port", type=int, default=8080,
+        help="TCP port (0 binds an ephemeral port, announced on stdout)",
+    )
+    pv.add_argument(
+        "--checkpoint-dir", default=None,
+        help="directory for request checkpoints (enables resume)",
+    )
+    pv.add_argument(
+        "--artifact-dir", default=None,
+        help="directory for per-request HTML/JSON reports",
+    )
+    pv.add_argument(
+        "--request-workers", type=int, default=4,
+        help="concurrent requests handled by the thread pool",
+    )
+    pv.set_defaults(fn=cmd_serve)
+
+    pq = sub.add_parser(
+        "request",
+        help="send one inference request to a running 'repro serve'",
+    )
+    pq.add_argument("url", help="service base URL, e.g. http://127.0.0.1:8080")
+    pq.add_argument("model", help="path to the model source file")
+    pq.add_argument("inputs", help=".json with hypers + data")
+    pq.add_argument("--schedule", default=None, help="user MCMC schedule")
+    pq.add_argument("--samples", type=int, default=500)
+    pq.add_argument("--burn-in", type=int, default=0)
+    pq.add_argument("--thin", type=int, default=1)
+    pq.add_argument("--chains", type=int, default=1)
+    pq.add_argument("--seed", type=int, default=0)
+    pq.add_argument("--collect", default=None, help="comma-separated parameters")
+    pq.add_argument(
+        "--executor", default="sequential",
+        choices=["sequential", "processes", "threads"],
+    )
+    pq.add_argument("--chunk-size", type=int, default=None, metavar="N")
+    pq.add_argument(
+        "--request-id", default=None,
+        help="stable id enabling checkpoint/resume across calls",
+    )
+    pq.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget; partial results checkpoint for resume",
+    )
+    pq.add_argument(
+        "--max-draws", type=int, default=None, metavar="N",
+        help="cap on new kept draws this call",
+    )
+    pq.add_argument(
+        "--target-rhat", type=float, default=None, metavar="R",
+        help="stop early once the worst split R-hat falls below R",
+    )
+    pq.add_argument(
+        "--no-resume", action="store_true",
+        help="ignore any existing checkpoint for this request id",
+    )
+    pq.add_argument(
+        "--return-draws", action="store_true",
+        help="embed the raw draws in the JSON response",
+    )
+    pq.add_argument(
+        "--fetch-report", default=None, metavar="PATH",
+        help="download the request's HTML report artifact to PATH",
+    )
+    pq.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the full JSON response to PATH",
+    )
+    pq.add_argument("--timeout", type=float, default=600.0)
+    pq.set_defaults(fn=cmd_request)
     return parser
 
 

@@ -97,6 +97,33 @@ class SamplerSpec:
         return spec_cache_key(self)
 
 
+def _copy_state_value(v):
+    from repro.core.sampler import _copy_value
+
+    return _copy_value(v)
+
+
+@dataclass(frozen=True)
+class ChainResume:
+    """One chain's resume point: where to pick the chain back up.
+
+    Built from a partial :class:`~repro.core.sampler.SampleResult`
+    (``final_state`` / ``rng_state`` / ``n_kept`` / ``sweeps_run``) --
+    usually via :class:`repro.serve.checkpoint.Checkpoint`.  ``draws``
+    optionally carries the kept draws of the interrupted leg so the
+    resumed run's storage covers the whole run; the engine splices them
+    into freshly allocated storage before sampling continues.  A
+    resumed chain's draws are bitwise identical to an uninterrupted run
+    with the same seed.
+    """
+
+    init: dict
+    rng_spec: dict
+    start_sweep: int
+    start_kept: int
+    draws: dict | None = None
+
+
 def default_workers(n_chains: int) -> int:
     """Worker count bounded by the CPUs this process may actually use.
 
@@ -304,10 +331,10 @@ def _run_task(sampler, task: _ChainTask, result_q, stop_event) -> None:
             stop=stop_event.is_set,
             **task.kwargs,
         )
-        for start, stop in it:
+        for start, stop, info in it:
             events = tracer.drain_events() if tracer is not None else None
             result_q.put(
-                ("chunk", task.run_id, task.chain, start, stop, events)
+                ("chunk", task.run_id, task.chain, start, stop, info, events)
             )
         result = it.result
         # Dense draws already live in the shared segment; strip the
@@ -378,6 +405,39 @@ class WarmPool:
         self.workers: list[PoolWorker] = []
         self.run_lock = threading.Lock()
         self._run_counter = 0
+        # In-flight accounting: eviction from the LRU registry must not
+        # tear down a pool another thread is actively running chains on
+        # (two model shapes alternating under the registry cap would
+        # otherwise kill a run mid-flight).  ``checkout``/``checkin``
+        # bracket a run; ``retire`` defers the shutdown until the last
+        # checkout drains.
+        self._state_lock = threading.Lock()
+        self._active = 0
+        self._retired = False
+
+    def checkout(self) -> None:
+        """Mark a run in flight; the pool will not be torn down (even
+        if evicted from the registry) until the matching :meth:`checkin`."""
+        with self._state_lock:
+            self._active += 1
+
+    def checkin(self) -> None:
+        """Release one in-flight run, completing a deferred retirement
+        once the last one drains."""
+        with self._state_lock:
+            self._active = max(0, self._active - 1)
+            tear_down = self._retired and self._active == 0
+        if tear_down:
+            self.shutdown()
+
+    def retire(self) -> None:
+        """Evicted from the registry: shut down now if idle, otherwise
+        after the in-flight runs drain."""
+        with self._state_lock:
+            self._retired = True
+            tear_down = self._active == 0
+        if tear_down:
+            self.shutdown()
 
     def _spawn_one(self) -> PoolWorker:
         task_q = self._ctx.Queue()
@@ -422,10 +482,19 @@ _pools: OrderedDict[str, WarmPool] = OrderedDict()
 _pools_lock = threading.Lock()
 
 
-def get_worker_pool(spec: SamplerSpec, n_workers: int) -> WarmPool:
+def get_worker_pool(
+    spec: SamplerSpec, n_workers: int, checkout: bool = False
+) -> WarmPool:
     """The warm pool for this spec's compile-cache fingerprint,
     spawning or growing it as needed (LRU-capped at ``_POOL_CAPACITY``
-    distinct fingerprints)."""
+    distinct fingerprints).
+
+    With ``checkout=True`` the pool is returned already checked out
+    (the caller must :meth:`~WarmPool.checkin` when its run drains);
+    evicted pools are *retired* rather than shut down, so an eviction
+    racing an in-flight run on another thread defers the teardown until
+    that run completes.
+    """
     key = spec.cache_key()
     evicted = []
     with _pools_lock:
@@ -433,11 +502,13 @@ def get_worker_pool(spec: SamplerSpec, n_workers: int) -> WarmPool:
         if pool is None:
             pool = _pools[key] = WarmPool(spec)
         _pools.move_to_end(key)
+        if checkout:
+            pool.checkout()
         while len(_pools) > _POOL_CAPACITY:
             _, old = _pools.popitem(last=False)
             evicted.append(old)
     for old in evicted:
-        old.shutdown()
+        old.retire()
     pool.ensure_workers(n_workers)
     return pool
 
@@ -465,13 +536,18 @@ class ChainChunk:
 
     ``samples`` is the chain's *full* draw storage (zero-copy views of
     the shared segment on the process executor); index rows
-    ``start:stop`` for the new draws.
+    ``start:stop`` for the new draws.  ``info`` carries the per-update
+    stats digest for the sweeps behind this chunk
+    (:func:`repro.telemetry.stats.chunk_stat_info`) when the run
+    collects stats, so consumers can report acceptance / divergences
+    live instead of only from the final result.
     """
 
     chain: int
     start: int
     stop: int
     samples: dict
+    info: dict | None = None
 
 
 class ChainStream:
@@ -502,6 +578,7 @@ class ChainStream:
         monitor,
         early_stop_rhat: float | None,
         chunk_size: int,
+        resume=None,
     ):
         self._sampler = sampler
         self.n_chains = n_chains
@@ -512,6 +589,7 @@ class ChainStream:
         self.monitor = monitor
         self._early_stop = early_stop_rhat
         self._chunk_size = chunk_size
+        self._resume = list(resume) if resume is not None else [None] * n_chains
         self.results = [None] * n_chains
         self.interrupted = False
         self.stopped_early = False
@@ -580,6 +658,35 @@ class ChainStream:
             self.monitor.observe_stats(result.stats)
             self.monitor.chain_done()
 
+    def _chain_kwargs(self, chain: int) -> dict:
+        """This chain's ``sample_iter`` kwargs: the shared run kwargs
+        plus, for a resumed chain, its checkpointed state and offsets.
+        The checkpointed state is deep-copied so in-place kernel updates
+        never corrupt the checkpoint it came from."""
+        kw = dict(self._kwargs)
+        r = self._resume[chain]
+        if r is not None:
+            kw["init"] = {k: _copy_state_value(v) for k, v in r.init.items()}
+            kw["start_sweep"] = r.start_sweep
+            kw["start_kept"] = r.start_kept
+        return kw
+
+    def _apply_resume(self, chain: int, storage: dict) -> None:
+        """Splice a resumed chain's prior kept draws into its freshly
+        allocated draw storage so the finished result covers the whole
+        run, not just the resumed leg."""
+        r = self._resume[chain]
+        if r is None or not r.draws:
+            return
+        for name, vals in r.draws.items():
+            store = storage.get(name)
+            if isinstance(store, np.ndarray):
+                n = min(len(vals), r.start_kept, len(store))
+                if n:
+                    store[:n] = vals[:n]
+            elif isinstance(store, list) and not store:
+                store.extend(vals)
+
     # -- executors ---------------------------------------------------------
 
     def _run_sequential(self):
@@ -588,12 +695,13 @@ class ChainStream:
         num_samples = self._kwargs["num_samples"]
         for i, rng in enumerate(self._rngs):
             storage = sampler.allocate_draws(collect, num_samples)
+            self._apply_resume(i, storage)
             it = sampler.sample_iter(
                 seed=rng,
                 storage=storage,
                 chunk_size=self._chunk_size,
                 stop=self._stop_flag,
-                **self._kwargs,
+                **self._chain_kwargs(i),
             )
             while True:
                 try:
@@ -604,7 +712,7 @@ class ChainStream:
                     self.interrupted = True
                     self.request_stop()
                     continue
-                chunk = ChainChunk(i, span[0], span[1], storage)
+                chunk = ChainChunk(i, span[0], span[1], storage, span[2])
                 self._ingest(chunk)
                 yield chunk
             self._finish_chain(i, it.result)
@@ -622,15 +730,16 @@ class ChainStream:
                 if inst is None:
                     inst = local.sampler = spec.build()
                 storage = inst.allocate_draws(collect, num_samples)
+                self._apply_resume(i, storage)
                 it = inst.sample_iter(
                     seed=rng,
                     storage=storage,
                     chunk_size=self._chunk_size,
                     stop=self._stop_flag,
-                    **self._kwargs,
+                    **self._chain_kwargs(i),
                 )
-                for start, stop in it:
-                    q.put(("chunk", i, start, stop, storage))
+                for start, stop, info in it:
+                    q.put(("chunk", i, start, stop, info, storage))
                 q.put(("done", i, it.result))
             except BaseException:
                 q.put(("error", i, None))
@@ -655,8 +764,8 @@ class ChainStream:
                     continue
                 kind = msg[0]
                 if kind == "chunk":
-                    _, chain, start, stop, storage = msg
-                    chunk = ChainChunk(chain, start, stop, storage)
+                    _, chain, start, stop, info, storage = msg
+                    chunk = ChainChunk(chain, start, stop, storage, info)
                     try:
                         self._ingest(chunk)
                         yield chunk
@@ -686,90 +795,111 @@ class ChainStream:
         tracer = get_tracer()
         ship_trace = tracer.enabled
         workers = min(self._workers, self.n_chains)
-        pool = get_worker_pool(spec, workers)
+        pool = get_worker_pool(spec, workers, checkout=True)
         self._pool = pool
-        with pool.run_lock:
-            pool.stop_event.clear()
-            if self._stop_requested:  # stop arrived before dispatch
-                pool.stop_event.set()
-            run_id = pool.new_run_id()
-            self.buffers = SharedDrawBuffers.create(
-                sampler.plan.state, collect, self.n_chains, num_samples
-            )
-            storages = {
-                i: self.buffers.arrays(i) for i in range(self.n_chains)
-            }
-            kwargs = dict(self._kwargs)
-            kwargs["collect"] = tuple(collect)
-            for i, rng in enumerate(self._rngs):
-                task = _ChainTask(
-                    run_id, i, rng, kwargs, self.buffers.plan,
-                    self._chunk_size, ship_trace,
-                )
-                pool.workers[i % workers].task_q.put(task)
-            pending = set(range(self.n_chains))
-            error = None
-            while pending:
-                try:
-                    msg = pool.result_q.get(timeout=0.5)
-                except _queue.Empty:
-                    for i in list(pending):
-                        w = pool.workers[i % workers]
-                        if not w.process.is_alive():
-                            error = RuntimeFailure(
-                                f"worker process for chain {i} died "
-                                f"(pid {w.process.pid})"
-                            )
-                            pool.stop_event.set()
-                            pending.discard(i)
-                    continue
-                except KeyboardInterrupt:
-                    self.interrupted = True
-                    self.request_stop()
-                    continue
-                kind = msg[0]
-                if msg[1] != run_id:
-                    continue  # stale message from an aborted prior run
-                if kind == "chunk":
-                    _, _, chain, start, stop, events = msg
-                    if events:
-                        tracer.adopt(events)
-                    chunk = ChainChunk(chain, start, stop, storages[chain])
-                    try:
-                        self._ingest(chunk)
-                        yield chunk
-                    except GeneratorExit:
-                        pool.stop_event.set()
-                        raise
-                elif kind == "done":
-                    _, _, chain, result = msg
-                    storage = storages[chain]
-                    rebuilt = {}
-                    for name, vals in result.samples.items():
-                        if vals is None:
-                            arr = storage[name]
-                            rebuilt[name] = (
-                                arr[: result.n_kept]
-                                if result.n_kept < num_samples
-                                else arr
-                            )
-                        else:
-                            rebuilt[name] = vals
-                    result.samples = rebuilt
-                    result.draw_buffers = self.buffers
-                    if result.trace_events:
-                        tracer.adopt(result.trace_events)
-                    self._finish_chain(chain, result)
-                    pending.discard(chain)
-                else:  # "error"
-                    _, _, chain, desc = msg
-                    error = RuntimeFailure(
-                        f"chain {chain} failed in worker: {desc}"
-                    )
+        try:
+            with pool.run_lock:
+                pool.stop_event.clear()
+                if self._stop_requested:  # stop arrived before dispatch
                     pool.stop_event.set()
-                    pending.discard(chain)
-            if error is not None:
-                raise error
+                run_id = pool.new_run_id()
+                self.buffers = SharedDrawBuffers.create(
+                    sampler.plan.state, collect, self.n_chains, num_samples
+                )
+                storages = {
+                    i: self.buffers.arrays(i) for i in range(self.n_chains)
+                }
+                for i in range(self.n_chains):
+                    self._apply_resume(i, storages[i])
+                for i, rng in enumerate(self._rngs):
+                    kwargs = self._chain_kwargs(i)
+                    kwargs["collect"] = tuple(collect)
+                    task = _ChainTask(
+                        run_id, i, rng, kwargs, self.buffers.plan,
+                        self._chunk_size, ship_trace,
+                    )
+                    pool.workers[i % workers].task_q.put(task)
+                pending = set(range(self.n_chains))
+                error = None
+                while pending:
+                    try:
+                        msg = pool.result_q.get(timeout=0.5)
+                    except _queue.Empty:
+                        for i in list(pending):
+                            w = pool.workers[i % workers]
+                            if not w.process.is_alive():
+                                error = RuntimeFailure(
+                                    f"worker process for chain {i} died "
+                                    f"(pid {w.process.pid})"
+                                )
+                                pool.stop_event.set()
+                                pending.discard(i)
+                        continue
+                    except KeyboardInterrupt:
+                        self.interrupted = True
+                        self.request_stop()
+                        continue
+                    kind = msg[0]
+                    if msg[1] != run_id:
+                        continue  # stale message from an aborted prior run
+                    if kind == "chunk":
+                        _, _, chain, start, stop, info, events = msg
+                        if events:
+                            tracer.adopt(events)
+                        chunk = ChainChunk(
+                            chain, start, stop, storages[chain], info
+                        )
+                        try:
+                            self._ingest(chunk)
+                            yield chunk
+                        except GeneratorExit:
+                            pool.stop_event.set()
+                            raise
+                    elif kind == "done":
+                        _, _, chain, result = msg
+                        storage = storages[chain]
+                        resume = self._resume[chain]
+                        rebuilt = {}
+                        for name, vals in result.samples.items():
+                            if vals is None:
+                                arr = storage[name]
+                                rebuilt[name] = (
+                                    arr[: result.n_kept]
+                                    if result.n_kept < num_samples
+                                    else arr
+                                )
+                            else:
+                                # Ragged fallback lists hold only the
+                                # draws this process took; a resumed
+                                # chain's prior draws are prepended so
+                                # the result covers the whole run.
+                                if (
+                                    resume is not None
+                                    and resume.draws is not None
+                                    and isinstance(vals, list)
+                                    and isinstance(
+                                        resume.draws.get(name), list
+                                    )
+                                ):
+                                    vals = list(resume.draws[name]) + vals
+                                rebuilt[name] = vals
+                        result.samples = rebuilt
+                        result.draw_buffers = self.buffers
+                        if result.trace_events:
+                            tracer.adopt(result.trace_events)
+                        self._finish_chain(chain, result)
+                        pending.discard(chain)
+                    else:  # "error"
+                        _, _, chain, desc = msg
+                        error = RuntimeFailure(
+                            f"chain {chain} failed in worker: {desc}"
+                        )
+                        pool.stop_event.set()
+                        pending.discard(chain)
+                if error is not None:
+                    raise error
+        finally:
+            pool.checkin()
 
     def _require_spec(self) -> SamplerSpec:
         spec = self._sampler.spec
@@ -817,6 +947,7 @@ def stream_chains(
     profile: bool = False,
     chunk_size: int | None = None,
     early_stop_rhat: float | None = None,
+    resume=None,
 ) -> ChainStream:
     """Run ``n_chains`` chains, streaming draw chunks as they land.
 
@@ -825,8 +956,18 @@ def stream_chains(
     ``early_stop_rhat`` and no ``monitor``, an internal
     :class:`~repro.telemetry.monitors.ConvergenceMonitor` is created to
     drive the convergence test.
+
+    ``resume`` optionally supplies one :class:`ChainResume` (or
+    ``None``) per chain; resumed chains continue bit-for-bit from their
+    checkpointed state/RNG position instead of starting fresh, and
+    their prior draws are spliced into the new run's storage.
     """
     workers = _validate(n_chains, executor, n_workers)
+    if resume is not None and len(resume) != n_chains:
+        raise RuntimeFailure(
+            f"resume must supply one entry per chain "
+            f"({len(resume)} != {n_chains})"
+        )
     if executor != "sequential" and n_chains == 1:
         executor = "sequential"
     if executor != "sequential" and sampler.spec is None:
@@ -844,6 +985,11 @@ def stream_chains(
             total_draws=max(num_samples, 4),
         )
     rngs = Rng(seed).fork(n_chains)
+    if resume is not None:
+        rngs = [
+            Rng.from_spec(r.rng_spec) if r is not None else rngs[i]
+            for i, r in enumerate(resume)
+        ]
     kwargs = dict(
         num_samples=num_samples, burn_in=burn_in, thin=thin, collect=collect,
         collect_stats=collect_stats, profile=profile,
@@ -852,7 +998,7 @@ def stream_chains(
         chunk_size = max(1, min(DEFAULT_CHUNK, num_samples))
     return ChainStream(
         sampler, n_chains, kwargs, rngs, executor, workers,
-        monitor, early_stop_rhat, chunk_size,
+        monitor, early_stop_rhat, chunk_size, resume=resume,
     )
 
 
@@ -871,6 +1017,7 @@ def run_chains(
     profile: bool = False,
     chunk_size: int | None = None,
     early_stop_rhat: float | None = None,
+    resume=None,
 ):
     """Run ``n_chains`` independent chains, optionally in parallel.
 
@@ -901,6 +1048,7 @@ def run_chains(
         profile=profile,
         chunk_size=chunk_size,
         early_stop_rhat=early_stop_rhat,
+        resume=resume,
     )
     return stream.drain()
 

@@ -121,6 +121,14 @@ class SampleResult:
     #: :class:`repro.core.chains.SharedDrawBuffers` rides here so the
     #: arrays in ``samples`` keep their backing segment alive.
     draw_buffers: object = None
+    #: The chain's parameter state after the last executed sweep (one
+    #: copied value per parameter) -- together with ``rng_state`` this
+    #: is exactly what a checkpoint needs to resume the chain
+    #: bit-for-bit from where it stopped.
+    final_state: dict | None = None
+    #: Picklable RNG position (:meth:`repro.runtime.rng.Rng.state_spec`)
+    #: after the last executed sweep.
+    rng_state: dict | None = None
 
     @property
     def sample_stats(self) -> dict[str, np.ndarray]:
@@ -451,9 +459,13 @@ class CompiledSampler:
         storage: dict | None = None,
         chunk_size: int | None = None,
         stop=None,
+        start_sweep: int = 0,
+        start_kept: int = 0,
     ) -> SampleRun:
         """The resumable form of :meth:`sample`: a :class:`SampleRun`
-        yielding ``(start, stop)`` kept-draw index ranges per chunk.
+        yielding ``(start, stop, info)`` kept-draw index ranges per
+        chunk (``info`` is a per-chunk stats digest when
+        ``collect_stats=True``, else ``None``).
 
         ``storage`` optionally supplies preallocated draw storage (the
         multi-chain engine passes shared-memory-backed arrays so workers
@@ -466,9 +478,34 @@ class CompiledSampler:
         taken so far (``result.stopped_early``) — the broadcast flag of
         the early-stopping protocol.  Draws of a stopped run are a
         bitwise prefix of the full run's draws for the same seed.
+
+        ``start_sweep``/``start_kept`` resume an interrupted run from a
+        checkpoint: sampling continues at absolute sweep index
+        ``start_sweep`` writing kept draws from row ``start_kept``, so a
+        resumed run's draws are bitwise identical to an uninterrupted
+        one given the checkpointed ``init`` state and RNG position
+        (``SampleResult.final_state`` / ``rng_state``).  The caller
+        supplies ``storage`` already holding the prior kept draws when
+        it wants the finished result to cover the whole run.  With
+        ``collect_stats=True`` the stat rows before ``start_sweep``
+        stay zero (each leg records only its own sweeps).
         """
         if num_samples <= 0:
             raise RuntimeFailure("num_samples must be positive")
+        total_sweeps = burn_in + num_samples * thin
+        if not 0 <= start_kept <= num_samples:
+            raise RuntimeFailure(
+                f"start_kept must lie in [0, {num_samples}], got {start_kept}"
+            )
+        if not 0 <= start_sweep <= total_sweeps:
+            raise RuntimeFailure(
+                f"start_sweep must lie in [0, {total_sweeps}], got {start_sweep}"
+            )
+        if start_sweep > 0 and init is None:
+            raise RuntimeFailure(
+                "resuming (start_sweep > 0) needs the checkpointed state "
+                "passed as init="
+            )
         rng = seed if isinstance(seed, Rng) else Rng(seed)
         collect = tuple(collect) if collect is not None else self.param_names
         unknown = set(collect) - set(self.param_names)
@@ -484,12 +521,14 @@ class CompiledSampler:
         run._gen = self._sample_gen(
             num_samples, burn_in, thin, rng, collect, init, callback,
             collect_stats, profile, storage, chunk_size, should_stop,
+            start_sweep, start_kept,
         )
         return run
 
     def _sample_gen(
         self, num_samples, burn_in, thin, rng, collect, init, callback,
         collect_stats, profile, storage, chunk_size, should_stop,
+        start_sweep=0, start_kept=0,
     ):
         tracer = get_tracer()
         tracing = tracer.enabled
@@ -522,14 +561,23 @@ class CompiledSampler:
         sweep_starts = np.empty(total_sweeps, dtype=np.float64) if tracing else None
         collect_spans: list[tuple[float, float]] = []
         start = time.perf_counter()
-        kept = 0
-        chunk_start = 0
-        sweeps_run = 0
+        kept = start_kept
+        chunk_start = start_kept
+        sweeps_run = start_sweep
+        chunk_sweep_lo = start_sweep
         stopped_early = False
         interrupted = False
+
+        def chunk_info():
+            if stat_bufs is None:
+                return None
+            from repro.telemetry.stats import chunk_stat_info
+
+            return chunk_stat_info(stat_bufs, chunk_sweep_lo, sweeps_run)
+
         try:
             try:
-                for sweep in range(total_sweeps):
+                for sweep in range(start_sweep, total_sweeps):
                     if should_stop():
                         stopped_early = True
                         break
@@ -558,7 +606,9 @@ class CompiledSampler:
                             callback(kept, state)
                         kept += 1
                         if kept - chunk_start >= chunk_size:
-                            yield (chunk_start, kept)
+                            info = chunk_info()
+                            chunk_sweep_lo = sweeps_run
+                            yield (chunk_start, kept, info)
                             chunk_start = kept
             except KeyboardInterrupt:
                 interrupted = True
@@ -566,10 +616,10 @@ class CompiledSampler:
             if profiler is not None:
                 profiler.restore()
         if kept > chunk_start:
-            yield (chunk_start, kept)
+            yield (chunk_start, kept, chunk_info())
         wall = time.perf_counter() - start
         if tracing:
-            for sweep in range(sweeps_run):
+            for sweep in range(start_sweep, sweeps_run):
                 tracer.add_complete(
                     "sweep", "runtime", float(sweep_starts[sweep]),
                     float(sweep_times[sweep]), index=sweep,
@@ -594,8 +644,8 @@ class CompiledSampler:
         # Partial runs (early stop / interrupt) truncate storage and
         # telemetry to what actually happened; full runs keep the exact
         # preallocated objects (array() stays a view of them).
+        sweep_times = sweep_times[start_sweep:sweeps_run]
         if sweeps_run < total_sweeps:
-            sweep_times = sweep_times[:sweeps_run]
             if kept < num_samples:
                 for name in collect:
                     store = samples[name]
@@ -604,6 +654,7 @@ class CompiledSampler:
             if stat_bufs is not None:
                 for buf in stat_bufs:
                     buf.truncate(sweeps_run)
+        final_state = {p: _copy_value(state[p]) for p in self.param_names}
         return SampleResult(
             samples=samples,
             wall_time=wall,
@@ -624,6 +675,8 @@ class CompiledSampler:
             sweeps_run=sweeps_run,
             stopped_early=stopped_early,
             interrupted=interrupted,
+            final_state=final_state,
+            rng_state=rng.state_spec(),
         )
 
     def sample_chains(
@@ -641,6 +694,7 @@ class CompiledSampler:
         profile: bool = False,
         chunk_size: int | None = None,
         early_stop_rhat: float | None = None,
+        resume=None,
     ) -> list[SampleResult]:
         """Run several independent chains from forked RNG streams.
 
@@ -689,6 +743,7 @@ class CompiledSampler:
             profile=profile,
             chunk_size=chunk_size,
             early_stop_rhat=early_stop_rhat,
+            resume=resume,
         )
 
     def stream_chains(
@@ -706,6 +761,7 @@ class CompiledSampler:
         profile: bool = False,
         chunk_size: int | None = None,
         early_stop_rhat: float | None = None,
+        resume=None,
     ):
         """The streaming form of :meth:`sample_chains`: returns a
         :class:`repro.core.chains.ChainStream` yielding
@@ -730,4 +786,5 @@ class CompiledSampler:
             profile=profile,
             chunk_size=chunk_size,
             early_stop_rhat=early_stop_rhat,
+            resume=resume,
         )

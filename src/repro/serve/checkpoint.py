@@ -1,0 +1,215 @@
+"""Checkpoint/resume for service requests.
+
+A :class:`Checkpoint` freezes a multi-chain run mid-flight: per chain
+the packed parameter state after the last executed sweep, the RNG
+state-spec, the kept-draw/sweep counters, and the draws taken so far —
+every piece already picklable (the same properties the worker-process
+executor relies on).  :class:`CheckpointStore` persists one checkpoint
+per request id, so a deadline-exhausted or interrupted request can be
+continued by a follow-up call with the same id and finish bit-for-bit
+identical to a single uninterrupted run.
+
+The ``spec_key`` (compile-cache fingerprint) rides along and is checked
+on resume: a checkpoint only resumes onto the exact model shape it was
+taken from.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def _copy_draws(samples: dict, n_kept: int) -> dict:
+    """Detach one chain's kept draws from their (possibly shared-memory)
+    storage: dense parameters copy the first ``n_kept`` rows, ragged
+    fallbacks copy the list."""
+    out: dict = {}
+    for name, vals in samples.items():
+        if isinstance(vals, np.ndarray):
+            out[name] = np.array(vals[:n_kept])
+        else:
+            out[name] = list(vals[:n_kept])
+    return out
+
+
+@dataclass
+class ChainCheckpoint:
+    """One chain's resume point plus the draws it already took."""
+
+    state: dict
+    rng_spec: dict
+    n_kept: int
+    sweeps_run: int
+    draws: dict = field(repr=False)
+
+
+@dataclass
+class Checkpoint:
+    """A whole request's frozen sampling state.
+
+    ``num_samples``/``burn_in``/``thin``/``seed`` pin the run geometry:
+    a resumed leg must target the same totals or the sweep/thinning
+    alignment (and therefore bitwise reproducibility) breaks.
+    """
+
+    request_id: str
+    spec_key: str
+    seed: int
+    n_chains: int
+    num_samples: int
+    burn_in: int
+    thin: int
+    collect: tuple | None
+    chains: list[ChainCheckpoint]
+    created_at: float = 0.0
+
+    @classmethod
+    def from_results(
+        cls,
+        request_id: str,
+        spec_key: str,
+        results,
+        *,
+        seed: int,
+        num_samples: int,
+        burn_in: int = 0,
+        thin: int = 1,
+        collect=None,
+    ) -> "Checkpoint":
+        """Freeze the per-chain ``SampleResult`` list of a (partial)
+        run.  Requires results carrying ``final_state``/``rng_state``
+        (every run since resume support does)."""
+        chains = []
+        for r in results:
+            if r.final_state is None or r.rng_state is None:
+                raise ReproError(
+                    "cannot checkpoint a result without final_state/rng_state"
+                )
+            chains.append(
+                ChainCheckpoint(
+                    state=r.final_state,
+                    rng_spec=r.rng_state,
+                    n_kept=r.n_kept,
+                    sweeps_run=r.sweeps_run,
+                    draws=_copy_draws(r.samples, r.n_kept),
+                )
+            )
+        return cls(
+            request_id=request_id,
+            spec_key=spec_key,
+            seed=seed,
+            n_chains=len(chains),
+            num_samples=num_samples,
+            burn_in=burn_in,
+            thin=thin,
+            collect=tuple(collect) if collect is not None else None,
+            chains=chains,
+            created_at=time.time(),
+        )
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def min_kept(self) -> int:
+        return min((c.n_kept for c in self.chains), default=0)
+
+    @property
+    def complete(self) -> bool:
+        """True when every chain already holds all requested draws."""
+        return all(c.n_kept >= self.num_samples for c in self.chains)
+
+    def resume_points(self):
+        """One :class:`repro.core.chains.ChainResume` per chain, ready
+        to pass to ``stream_chains(..., resume=...)``."""
+        from repro.core.chains import ChainResume
+
+        return [
+            ChainResume(
+                init=c.state,
+                rng_spec=c.rng_spec,
+                start_sweep=c.sweeps_run,
+                start_kept=c.n_kept,
+                draws=c.draws,
+            )
+            for c in self.chains
+        ]
+
+    def chain_samples(self) -> list[dict]:
+        """Per-chain draws-so-far dicts (for summaries of a checkpoint
+        that is already complete)."""
+        return [c.draws for c in self.chains]
+
+
+def _safe_name(request_id: str) -> str:
+    """A filesystem-safe, collision-resistant file stem for an
+    arbitrary request id."""
+    digest = hashlib.sha256(request_id.encode()).hexdigest()[:16]
+    stem = "".join(c if c.isalnum() or c in "-_." else "_" for c in request_id)
+    return f"{stem[:48]}-{digest}"
+
+
+class CheckpointStore:
+    """Pickle-per-request persistence under one directory.
+
+    Writes are atomic (temp file + rename) so a crash mid-save never
+    leaves a truncated checkpoint behind.
+    """
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def path(self, request_id: str) -> str:
+        return os.path.join(self.root, _safe_name(request_id) + ".ckpt")
+
+    def save(self, checkpoint: Checkpoint) -> str:
+        path = self.path(checkpoint.request_id)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                pickle.dump(checkpoint, f, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except FileNotFoundError:
+                pass
+            raise
+        return path
+
+    def load(self, request_id: str) -> Checkpoint | None:
+        path = self.path(request_id)
+        try:
+            with open(path, "rb") as f:
+                return pickle.load(f)
+        except FileNotFoundError:
+            return None
+
+    def delete(self, request_id: str) -> None:
+        try:
+            os.unlink(self.path(request_id))
+        except FileNotFoundError:
+            pass
+
+    def list_ids(self) -> list[str]:
+        """Request ids of every stored checkpoint (best effort: ids are
+        read back from the pickles)."""
+        out = []
+        for name in sorted(os.listdir(self.root)):
+            if not name.endswith(".ckpt"):
+                continue
+            try:
+                with open(os.path.join(self.root, name), "rb") as f:
+                    out.append(pickle.load(f).request_id)
+            except Exception:
+                continue
+        return out

@@ -1,0 +1,118 @@
+"""Request-level service metrics.
+
+The inference service records one entry per handled request: queue
+wait, compile cache hit/miss, sampling throughput, how the request
+stopped.  :class:`ServiceMetrics` aggregates them behind a lock (the
+server handles requests on a thread pool) and renders a snapshot for
+the ``/v1/metrics`` endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+
+class ServiceMetrics:
+    """Thread-safe rolling aggregates over handled requests."""
+
+    def __init__(self, recent: int = 32):
+        self._lock = threading.Lock()
+        self._recent: deque = deque(maxlen=recent)
+        self.requests = 0
+        self.errors = 0
+        self.compile_cache_hits = 0
+        self.compile_cache_misses = 0
+        self.deadline_stops = 0
+        self.draw_budget_stops = 0
+        self.converged_stops = 0
+        self.checkpoints_saved = 0
+        self.resumed_requests = 0
+        self.total_queue_wait_s = 0.0
+        self.total_sampling_s = 0.0
+        self.total_sweeps = 0
+        self.total_draws = 0
+
+    def record(
+        self,
+        *,
+        request_id: str | None,
+        queue_wait_s: float,
+        compile_s: float,
+        sampling_s: float,
+        cache_hit: bool,
+        sweeps: int,
+        draws: int,
+        stop_reason: str | None,
+        resumed: bool,
+        checkpointed: bool,
+    ) -> None:
+        with self._lock:
+            self.requests += 1
+            if cache_hit:
+                self.compile_cache_hits += 1
+            else:
+                self.compile_cache_misses += 1
+            if stop_reason == "deadline":
+                self.deadline_stops += 1
+            elif stop_reason == "draw_budget":
+                self.draw_budget_stops += 1
+            elif stop_reason == "converged":
+                self.converged_stops += 1
+            if resumed:
+                self.resumed_requests += 1
+            if checkpointed:
+                self.checkpoints_saved += 1
+            self.total_queue_wait_s += queue_wait_s
+            self.total_sampling_s += sampling_s
+            self.total_sweeps += sweeps
+            self.total_draws += draws
+            self._recent.append(
+                {
+                    "request_id": request_id,
+                    "queue_wait_s": round(queue_wait_s, 6),
+                    "compile_s": round(compile_s, 6),
+                    "sampling_s": round(sampling_s, 6),
+                    "cache_hit": cache_hit,
+                    "sweeps": sweeps,
+                    "draws": draws,
+                    "stop_reason": stop_reason,
+                    "resumed": resumed,
+                    "checkpointed": checkpointed,
+                }
+            )
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    def snapshot(self) -> dict:
+        """A JSON-ready view of the aggregates plus the recent ring."""
+        with self._lock:
+            n = self.requests
+            sampling = self.total_sampling_s
+            return {
+                "requests": n,
+                "errors": self.errors,
+                "compile_cache": {
+                    "hits": self.compile_cache_hits,
+                    "misses": self.compile_cache_misses,
+                },
+                "stops": {
+                    "deadline": self.deadline_stops,
+                    "draw_budget": self.draw_budget_stops,
+                    "converged": self.converged_stops,
+                },
+                "checkpoints_saved": self.checkpoints_saved,
+                "resumed_requests": self.resumed_requests,
+                "mean_queue_wait_s": (
+                    self.total_queue_wait_s / n if n else 0.0
+                ),
+                "total_sampling_s": sampling,
+                "total_sweeps": self.total_sweeps,
+                "total_draws": self.total_draws,
+                "sweeps_per_s": (
+                    self.total_sweeps / sampling if sampling > 0 else 0.0
+                ),
+                "recent": list(self._recent),
+            }

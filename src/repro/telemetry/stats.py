@@ -157,6 +157,32 @@ def allocate_stat_buffers(updates, n_sweeps: int) -> list[UpdateStatsBuffer]:
     return buffers
 
 
+def chunk_stat_info(
+    buffers: list[UpdateStatsBuffer], lo: int, hi: int
+) -> dict[str, dict[str, float]]:
+    """Per-update digest of the sweeps ``lo:hi`` of a run in flight.
+
+    This is the ``info`` payload that rides on every streamed chunk
+    (``ChainChunk.info``): acceptance over the chunk's sweeps plus
+    divergence / NaN-reject counts, so streaming consumers (the
+    ``--stream`` progress display, the inference service) can report
+    sampler health live instead of only at the end of the run.
+    """
+    out: dict[str, dict[str, float]] = {}
+    for buf in buffers:
+        cols = buf.columns
+        entry: dict[str, float] = {}
+        rates = cols["accept_rate"][lo:hi]
+        finite = rates[np.isfinite(rates)]
+        entry["accept_rate"] = float(finite.mean()) if finite.size else float("nan")
+        entry["n_proposed"] = int(cols["n_proposed"][lo:hi].sum())
+        entry["nan_rejects"] = int(cols["nan_rejects"][lo:hi].sum())
+        if "divergent" in cols:
+            entry["divergent"] = int((cols["divergent"][lo:hi] > 0).sum())
+        out[buf.label] = entry
+    return out
+
+
 def acceptance_ranges(results) -> dict[str, tuple[float, float, float]]:
     """Per-update acceptance-rate ``(min, max, mean)`` over every sweep
     of every chain.

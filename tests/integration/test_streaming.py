@@ -262,3 +262,63 @@ def test_gather_cancels_outstanding_on_failure():
     with pytest.raises(ValueError, match="boom"):
         _gather([failed, pending], None)
     assert pending.cancelled()
+
+
+# -- per-chunk stat digests -------------------------------------------------
+
+
+@pytest.mark.parametrize("executor", ["sequential", "threads", "processes"])
+def test_chunks_carry_stat_info(nn_sampler, executor):
+    from repro.core.chains import stream_chains
+
+    stream = stream_chains(
+        nn_sampler, n_chains=2, num_samples=20, seed=0, chunk_size=5,
+        executor=executor, collect_stats=True,
+    )
+    chunks = list(stream)
+    assert chunks and all(c.info is not None for c in chunks)
+    entry = next(iter(chunks[0].info.values()))
+    assert set(entry) >= {"accept_rate", "n_proposed", "nan_rejects"}
+    # The digests cover disjoint sweep windows: proposals across one
+    # chain's chunks sum to the whole run's count.
+    per_chain: dict[int, int] = {}
+    for c in chunks:
+        for e in c.info.values():
+            per_chain[c.chain] = per_chain.get(c.chain, 0) + e["n_proposed"]
+    assert set(per_chain) == {0, 1}
+    counts = set(per_chain.values())
+    assert len(counts) == 1
+
+
+def test_chunks_have_no_info_without_stats(nn_sampler):
+    from repro.core.chains import stream_chains
+
+    stream = stream_chains(
+        nn_sampler, n_chains=2, num_samples=10, seed=0, chunk_size=5,
+    )
+    assert all(c.info is None for c in stream)
+
+
+# -- warm-pool retirement vs in-flight runs ---------------------------------
+
+
+def test_evicted_pool_defers_shutdown_until_checkin(nn_sampler):
+    pool = get_worker_pool(nn_sampler.spec, 1, checkout=True)
+    assert pool.pids()
+    pool.retire()  # what registry eviction does to a busy pool
+    assert all(w.process.is_alive() for w in pool.workers), (
+        "retiring a checked-out pool must not kill its workers"
+    )
+    pool.checkin()
+    assert not pool.workers, "last checkin completes the deferred shutdown"
+    # The registry still maps this fingerprint; drop the dead pool so
+    # later tests respawn a fresh one.
+    shutdown_worker_pools()
+
+
+def test_idle_pool_retires_immediately(nn_sampler):
+    pool = get_worker_pool(nn_sampler.spec, 1)
+    assert pool.pids()
+    pool.retire()
+    assert not pool.workers
+    shutdown_worker_pools()

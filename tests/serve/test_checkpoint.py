@@ -1,0 +1,129 @@
+"""Checkpoint round-trips and bitwise-identical resume.
+
+The load-bearing guarantee: a run interrupted at any chunk boundary,
+checkpointed through a pickle round-trip, and resumed by a second call
+produces draws bitwise identical to one uninterrupted run — on every
+executor.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.chains import stream_chains
+from repro.errors import ReproError
+from repro.serve.checkpoint import Checkpoint, CheckpointStore
+
+N_CHAINS = 2
+SAMPLES = 24
+PARTIAL = 10
+RUN = dict(
+    n_chains=N_CHAINS, burn_in=4, thin=2, seed=11, chunk_size=5,
+)
+
+
+def _drain(stream):
+    for _ in stream:
+        pass
+    return stream.results
+
+
+def _full_run(nn_sampler, executor):
+    return _drain(
+        stream_chains(
+            nn_sampler, executor=executor, num_samples=SAMPLES, **RUN
+        )
+    )
+
+
+def _partial_run(nn_sampler, executor):
+    """The first leg: stop deterministically after PARTIAL kept draws
+    (what the service's draw budget produces, minus the stop-flag race
+    of ``request_stop`` on fast models)."""
+    return _drain(
+        stream_chains(
+            nn_sampler, executor=executor, num_samples=PARTIAL, **RUN
+        )
+    )
+
+
+@pytest.mark.parametrize("executor", ["sequential", "threads", "processes"])
+def test_resume_is_bitwise_identical(nn_sampler, executor, tmp_path):
+    reference = _full_run(nn_sampler, executor)
+    partial = _partial_run(nn_sampler, executor)
+    assert min(r.n_kept for r in partial) < SAMPLES
+
+    store = CheckpointStore(str(tmp_path))
+    store.save(
+        Checkpoint.from_results(
+            "job", "speckey", partial,
+            seed=RUN["seed"], num_samples=SAMPLES,
+            burn_in=RUN["burn_in"], thin=RUN["thin"],
+        )
+    )
+    loaded = store.load("job")
+    assert loaded is not None and not loaded.complete
+
+    resumed = _drain(
+        stream_chains(
+            nn_sampler, executor=executor, num_samples=SAMPLES,
+            resume=loaded.resume_points(), **RUN,
+        )
+    )
+    for ref, res in zip(reference, resumed):
+        assert res.n_kept == SAMPLES
+        for name in ref.samples:
+            np.testing.assert_array_equal(
+                np.asarray(res.samples[name]), np.asarray(ref.samples[name])
+            )
+
+
+def test_checkpoint_requires_resume_fields(nn_sampler):
+    results = _full_run(nn_sampler, "sequential")
+    results[0].final_state = None
+    with pytest.raises(ReproError):
+        Checkpoint.from_results(
+            "job", "k", results, seed=0, num_samples=SAMPLES
+        )
+
+
+def test_complete_flag(nn_sampler):
+    results = _full_run(nn_sampler, "sequential")
+    ckpt = Checkpoint.from_results(
+        "job", "k", results, seed=11, num_samples=SAMPLES
+    )
+    assert ckpt.complete
+    assert ckpt.min_kept == SAMPLES
+    assert len(ckpt.chain_samples()) == N_CHAINS
+
+
+class TestStore:
+    def test_missing_returns_none(self, tmp_path):
+        assert CheckpointStore(str(tmp_path)).load("ghost") is None
+
+    def test_delete_is_idempotent(self, tmp_path):
+        CheckpointStore(str(tmp_path)).delete("ghost")
+
+    def test_odd_request_ids_stay_on_filesystem(self, tmp_path, nn_sampler):
+        store = CheckpointStore(str(tmp_path))
+        results = _full_run(nn_sampler, "sequential")
+        rid = "../evil /job\x00name" + "x" * 300
+        path = store.save(
+            Checkpoint.from_results(
+                rid, "k", results, seed=11, num_samples=SAMPLES
+            )
+        )
+        assert os.path.dirname(path) == str(tmp_path)
+        assert store.load(rid).request_id == rid
+        assert store.list_ids() == [rid]
+        store.delete(rid)
+        assert store.list_ids() == []
+
+    def test_distinct_ids_do_not_collide(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        a = "x" * 100 + "a"
+        b = "x" * 100 + "b"
+        assert store.path(a) != store.path(b)

@@ -1,0 +1,96 @@
+"""The asyncio front end, exercised over real sockets."""
+
+from __future__ import annotations
+
+import copy
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.serve.server import ReproServer
+
+
+@pytest.fixture
+def server(tmp_path):
+    srv = ReproServer(
+        port=0,
+        checkpoint_dir=str(tmp_path / "ckpt"),
+        artifact_dir=str(tmp_path / "art"),
+    )
+    ready = threading.Event()
+    thread = threading.Thread(
+        target=srv.run, kwargs={"announce": lambda s: ready.set()},
+        daemon=True,
+    )
+    thread.start()
+    assert ready.wait(15), "server did not come up"
+    yield srv
+    _call(srv.port, "POST", "/v1/shutdown")
+    thread.join(15)
+
+
+def _call(port, method, path, body=None, raw=False):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    try:
+        conn.request(
+            method, path, body=json.dumps(body) if body is not None else None
+        )
+        resp = conn.getresponse()
+        data = resp.read()
+    finally:
+        conn.close()
+    return (resp.status, data) if raw else (resp.status, json.loads(data))
+
+
+def test_health_and_metrics(server):
+    status, body = _call(server.port, "GET", "/v1/health")
+    assert status == 200 and body["status"] == "ok"
+    status, body = _call(server.port, "GET", "/v1/metrics")
+    assert status == 200 and body["requests"] == 0
+
+
+def test_infer_roundtrip_and_artifacts(server, nn_payload):
+    payload = copy.deepcopy(nn_payload)
+    payload["request_id"] = "over-http"
+    status, body = _call(server.port, "POST", "/v1/infer", payload)
+    assert status == 200
+    assert body["complete"] is True
+    assert "mu" in body["summary"]
+
+    status, second = _call(server.port, "POST", "/v1/infer", payload)
+    assert status == 200
+    assert second["cache"]["compile_cache_hit"] is True
+
+    status, tracked = _call(server.port, "GET", "/v1/requests/over-http")
+    assert status == 200 and tracked["state"] == "done"
+
+    status, html = _call(
+        server.port, "GET", "/v1/report/over-http", raw=True
+    )
+    assert status == 200
+    assert html.lstrip().startswith(b"<!DOCTYPE html>")
+
+
+def test_error_mapping(server):
+    status, body = _call(server.port, "POST", "/v1/infer", {"data": {}})
+    assert status == 400 and "model_source" in body["error"]
+    status, _ = _call(server.port, "GET", "/v1/infer")
+    assert status == 405
+    status, _ = _call(server.port, "GET", "/nope")
+    assert status == 404
+    status, _ = _call(server.port, "GET", "/v1/requests/ghost")
+    assert status == 404
+    status, _ = _call(server.port, "GET", "/v1/report/ghost")
+    assert status == 404
+
+
+def test_compile_errors_return_400(server, nn_payload):
+    payload = copy.deepcopy(nn_payload)
+    payload["model_source"] = "this is not a model"
+    status, body = _call(server.port, "POST", "/v1/infer", payload)
+    assert status == 400 and body["status"] == "error"
+    # The service stays healthy afterwards.
+    status, body = _call(server.port, "GET", "/v1/health")
+    assert status == 200 and body["status"] == "ok"

@@ -1,0 +1,218 @@
+#!/usr/bin/env python
+"""CI smoke test for the inference service.
+
+Starts ``repro serve`` as a subprocess, then checks the three
+behaviours the service exists for:
+
+1. Two identical requests: the second must be a compile-cache hit
+   (verified from the response's ledger excerpt) and, on the process
+   executor, land on the same warm-pool worker pids.
+2. A deadline-limited request: returns a partial-but-valid result
+   (``stopped_early`` + checkpoint) within the budget plus slack.
+3. Resuming the deadline-limited request by id: completes it and the
+   finished draws match a never-interrupted reference bitwise.
+
+Leaves the per-request report artifact on disk for CI upload.
+
+Usage: PYTHONPATH=src python tools/service_smoke.py [--artifact-dir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+MODEL = """
+(K : int, N : int, mu_0 : real, v_0 : real, v : real) => {
+  param mu ~ Normal(mu_0, v_0) ;
+  data y[N] : real ;
+  y[i] ~ Normal(mu, v) for i <- 0 until N ;
+}
+"""
+
+
+def wait_for_port(proc) -> int:
+    """Read the announced port off the server's first stdout line."""
+    deadline = time.monotonic() + 60
+    line = ""
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if "serving on" in line:
+            return int(line.rsplit(":", 1)[1])
+        if proc.poll() is not None:
+            break
+        time.sleep(0.05)
+    raise SystemExit(f"server did not announce a port (last line: {line!r})")
+
+
+def call(port, method, path, body=None, timeout=120):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        conn.request(
+            method, path, body=json.dumps(body) if body is not None else None
+        )
+        resp = conn.getresponse()
+        data = resp.read()
+    finally:
+        conn.close()
+    if resp.headers.get("Content-Type", "").startswith("application/json"):
+        return resp.status, json.loads(data)
+    return resp.status, data
+
+
+def model_source():
+    try:
+        from repro.eval import models
+
+        return models.NORMAL_NORMAL
+    except Exception:
+        return MODEL
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--artifact-dir", default="SERVICE_artifacts")
+    args = parser.parse_args()
+    os.makedirs(args.artifact_dir, exist_ok=True)
+
+    rng = np.random.default_rng(0)
+    data = {
+        "N": 40, "mu_0": 0.0, "v_0": 25.0, "v": 1.0,
+        "y": rng.normal(2.0, 1.0, size=40).tolist(),
+    }
+    executor = "processes" if (os.cpu_count() or 1) >= 2 else "sequential"
+    payload = {
+        "model_source": model_source(),
+        "data": data,
+        "query": {
+            "samples": 200, "chains": 2, "seed": 7, "chunk_size": 25,
+            "executor": executor,
+        },
+    }
+
+    ckpt_dir = tempfile.mkdtemp(prefix="repro-smoke-ckpt-")
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", "--port", "0",
+            "--checkpoint-dir", ckpt_dir,
+            "--artifact-dir", args.artifact_dir,
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env={**os.environ, "PYTHONPATH": "src"},
+    )
+    try:
+        port = wait_for_port(server)
+        print(f"service up on port {port} (executor={executor})")
+
+        # 1. Identical requests: second is a compile-cache hit.
+        status, first = call(
+            port, "POST", "/v1/infer", dict(payload, request_id="warm-1")
+        )
+        assert status == 200 and first["complete"], first
+        status, second = call(
+            port, "POST", "/v1/infer", dict(payload, request_id="warm-2")
+        )
+        assert status == 200, second
+        assert second["cache"]["compile_cache_hit"], (
+            "second identical request recompiled"
+        )
+        ledger = second["cache"]["ledger"]
+        assert any(e["choice"] == "hit" for e in ledger), ledger
+        if executor == "processes":
+            assert (
+                second["cache"]["pool_pids"] == first["cache"]["pool_pids"]
+            ), "worker pool was respawned between identical requests"
+        print(
+            "compile cache: second request hit "
+            f"(pids {second['cache'].get('pool_pids')})"
+        )
+
+        # 2. Deadline-limited request: partial result inside budget+slack.
+        deadline_s = 0.05
+        big = dict(payload, request_id="deadline-1")
+        big["query"] = dict(
+            payload["query"], samples=2_000_000, chunk_size=200,
+            executor="sequential",
+        )
+        big["budget"] = {"deadline_s": deadline_s}
+        t0 = time.monotonic()
+        status, partial = call(port, "POST", "/v1/infer", big)
+        elapsed = time.monotonic() - t0
+        assert status == 200, partial
+        assert partial["stopped_early"] and partial["stop_reason"] == "deadline"
+        assert partial["checkpointed"], partial
+        sampling_s = partial["timing"]["sampling_s"]
+        slack = deadline_s * 1.1 + 0.5  # chunk-boundary + scheduling slack
+        assert sampling_s <= slack, (
+            f"deadline {deadline_s}s but sampled for {sampling_s:.3f}s"
+        )
+        print(
+            f"deadline: kept {partial['draws']['kept']} draws, "
+            f"sampling {sampling_s*1e3:.0f} ms "
+            f"(budget {deadline_s*1e3:.0f} ms, wall {elapsed:.2f} s)"
+        )
+
+        # 3. Bitwise resume: finish a budget-capped request and compare
+        # against a never-interrupted run of the same seed.
+        ref = dict(payload, return_draws=True)
+        status, reference = call(port, "POST", "/v1/infer", ref)
+        assert status == 200, reference
+        capped = dict(payload, request_id="resume-1")
+        capped["budget"] = {"max_draws": 60}
+        status, leg1 = call(port, "POST", "/v1/infer", capped)
+        assert status == 200 and leg1["stop_reason"] == "draw_budget", leg1
+        capped = dict(payload, request_id="resume-1", return_draws=True)
+        status, leg2 = call(port, "POST", "/v1/infer", capped)
+        assert status == 200 and leg2["complete"] and leg2["resumed"], leg2
+        for chain_ref, chain_res in zip(
+            reference["draws_data"], leg2["draws_data"]
+        ):
+            for name in chain_ref:
+                np.testing.assert_array_equal(
+                    np.asarray(chain_res[name]), np.asarray(chain_ref[name])
+                )
+        print("resume: draws bitwise-identical to uninterrupted run")
+
+        # Artifacts + metrics sanity.
+        status, report = call(port, "GET", "/v1/report/warm-1")
+        assert status == 200 and report.lstrip().startswith(b"<!DOCTYPE html>")
+        status, metrics = call(port, "GET", "/v1/metrics")
+        assert metrics["requests"] >= 5
+        assert metrics["compile_cache"]["hits"] >= 4
+        assert metrics["stops"]["deadline"] >= 1
+        with open(
+            os.path.join(args.artifact_dir, "SERVICE_metrics.json"), "w"
+        ) as f:
+            json.dump(metrics, f, indent=2)
+        print(
+            f"metrics: {metrics['requests']} requests, "
+            f"{metrics['compile_cache']['hits']} cache hits, "
+            f"{metrics['sweeps_per_s']:.0f} sweeps/s"
+        )
+
+        status, _ = call(port, "POST", "/v1/shutdown")
+        assert status == 200
+        server.wait(timeout=30)
+        print("service smoke: OK")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.terminate()
+            try:
+                server.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                server.kill()
+        else:
+            sys.stdout.write(server.stdout.read() or "")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
