@@ -126,12 +126,17 @@ class Infer:
         callback=None,
         collect_stats: bool = False,
         profile: bool = False,
+        warmup: int = 0,
+        targetAccept: float = 0.8,
     ) -> SampleResult:
         """Draw posterior samples; ``collect_stats=True`` additionally
         records per-sweep statistics for every base update of the
         composed kernel (``result.stats`` / ``result.sample_stats``);
         ``profile=True`` attributes sweep wall-time per update /
-        generated declaration / model statement (``result.profile``)."""
+        generated declaration / model statement (``result.profile``);
+        ``warmup=N`` prepends N adaptation sweeps during which HMC/NUTS
+        updates tune their step size (dual averaging toward
+        ``targetAccept``) and diagonal mass matrix."""
         return self.sampler.sample(
             num_samples=numSamples,
             burn_in=burnIn,
@@ -142,6 +147,8 @@ class Infer:
             callback=callback,
             collect_stats=collect_stats,
             profile=profile,
+            warmup=warmup,
+            target_accept=targetAccept,
         )
 
     def sampleChains(
@@ -160,6 +167,8 @@ class Infer:
         chunkSize: int | None = None,
         earlyStopRhat: float | None = None,
         resume=None,
+        warmup: int = 0,
+        targetAccept: float = 0.8,
     ) -> list[SampleResult]:
         """Run independent chains, optionally fanned out over the warm
         worker pool (``executor="processes"``); draws are bitwise
@@ -185,6 +194,8 @@ class Infer:
             chunk_size=chunkSize,
             early_stop_rhat=earlyStopRhat,
             resume=resume,
+            warmup=warmup,
+            target_accept=targetAccept,
         )
 
     def streamChains(
@@ -203,6 +214,8 @@ class Infer:
         chunkSize: int | None = None,
         earlyStopRhat: float | None = None,
         resume=None,
+        warmup: int = 0,
+        targetAccept: float = 0.8,
     ):
         """The streaming form of :meth:`sampleChains`: returns a
         :class:`repro.core.chains.ChainStream` yielding per-chain draw
@@ -223,6 +236,8 @@ class Infer:
             chunk_size=chunkSize,
             early_stop_rhat=earlyStopRhat,
             resume=resume,
+            warmup=warmup,
+            target_accept=targetAccept,
         )
 
     # -- introspection -----------------------------------------------------------

@@ -136,6 +136,26 @@ def _build(args) -> "tuple":
     return source, sampler
 
 
+def _resolve_warmup(args, sampler) -> int:
+    """The run's warmup sweep count.
+
+    ``--warmup N`` wins outright.  Left unset, warmup defaults *on*
+    (``min(samples, 1000)`` sweeps) whenever the schedule contains an
+    HMC/NUTS update whose step size was not pinned in the model text --
+    those are exactly the runs dual averaging exists for -- and off
+    everywhere else, keeping fixed-step runs bitwise identical.
+    """
+    if getattr(args, "warmup", None) is not None:
+        return args.warmup
+    from repro.core.backend.drivers import GradBlockDriver
+
+    adaptive = any(
+        isinstance(u, GradBlockDriver) and not u.user_step_size
+        for u in sampler.updates
+    )
+    return min(args.samples, 1000) if adaptive else 0
+
+
 def _write_pipeline_trace(path: str) -> None:
     from repro.telemetry.trace import get_tracer, write_trace
 
@@ -157,8 +177,9 @@ def cmd_sample(args) -> int:
         with open(args.explain_json, "w") as f:
             json.dump(sampler.explain_json(), f, indent=2)
         print(f"wrote explain ledger to {args.explain_json}")
+    warmup = _resolve_warmup(args, sampler)
     if args.chains > 1:
-        return _sample_chains(args, sampler)
+        return _sample_chains(args, sampler, warmup)
     want_profile = args.profile or bool(args.report)
     result = sampler.sample(
         num_samples=args.samples,
@@ -168,11 +189,21 @@ def cmd_sample(args) -> int:
         collect=tuple(args.collect.split(",")) if args.collect else None,
         collect_stats=args.stats or bool(args.report),
         profile=want_profile,
+        warmup=warmup,
+        target_accept=args.target_accept,
     )
     print(
         f"compiled in {sampler.compile_seconds*1e3:.1f} ms; "
         f"schedule: {sampler.schedule_description()}"
     )
+    if warmup:
+        print(
+            f"warmup: {warmup} adaptation sweeps "
+            f"(target accept {args.target_accept:.2f})"
+        )
+        for label, st in sorted((result.adapt_state or {}).items()):
+            if st.get("step_size") is not None:
+                print(f"  adapted step size {label}: {st['step_size']:.4g}")
     print(
         f"drew {args.samples} samples in {result.wall_time:.2f} s "
         f"({args.samples / max(result.wall_time, 1e-9):.1f} samples/s)"
@@ -208,7 +239,7 @@ def cmd_sample(args) -> int:
     return 0
 
 
-def _sample_chains(args, sampler) -> int:
+def _sample_chains(args, sampler, warmup: int = 0) -> int:
     collect = tuple(args.collect.split(",")) if args.collect else None
     monitor = None
     if args.monitor or args.early_stop_rhat is not None:
@@ -242,7 +273,15 @@ def _sample_chains(args, sampler) -> int:
         profile=want_profile,
         chunk_size=args.chunk_size,
         early_stop_rhat=args.early_stop_rhat,
+        warmup=warmup,
+        target_accept=args.target_accept,
     )
+    if warmup:
+        print(
+            f"warmup: {warmup} adaptation sweeps per chain "
+            f"(target accept {args.target_accept:.2f})",
+            file=sys.stderr,
+        )
     if args.stream:
         stream = sampler.stream_chains(**common)
         if sys.stderr.isatty():
@@ -254,6 +293,16 @@ def _sample_chains(args, sampler) -> int:
             progress.close()
         else:
             for chunk in stream:
+                phase = (chunk.info or {}).get("__phase__")
+                if phase is not None and phase.get("phase") == "warmup":
+                    line = (
+                        f"[stream] chain {chunk.chain}: warmup "
+                        f"{phase.get('sweep')}/{phase.get('warmup')}"
+                    )
+                    if phase.get("step_size") is not None:
+                        line += f" | step {phase['step_size']:.3g}"
+                    print(line, file=sys.stderr)
+                    continue
                 line = (
                     f"[stream] chain {chunk.chain}: "
                     f"draws {chunk.start}..{chunk.stop}"
@@ -261,6 +310,8 @@ def _sample_chains(args, sampler) -> int:
                 if chunk.info:
                     bits = []
                     for label, entry in sorted(chunk.info.items()):
+                        if label == "__phase__":
+                            continue
                         rate = entry.get("accept_rate")
                         if rate is not None and rate == rate:
                             bits.append(f"{label} accept {rate:.2f}")
@@ -360,6 +411,7 @@ def cmd_report(args) -> int:
     from repro.telemetry.report import write_report
 
     _, sampler = _build(args)
+    warmup = _resolve_warmup(args, sampler)
     result = sampler.sample(
         num_samples=args.samples,
         burn_in=args.burn_in,
@@ -367,6 +419,8 @@ def cmd_report(args) -> int:
         seed=args.seed,
         collect_stats=True,
         profile=True,
+        warmup=warmup,
+        target_accept=args.target_accept,
     )
     data = write_report(args.out, sampler, [result])
     print(
@@ -429,6 +483,10 @@ def cmd_request(args) -> int:
         query["collect"] = args.collect.split(",")
     if args.chunk_size is not None:
         query["chunk_size"] = args.chunk_size
+    if args.warmup is not None:
+        query["warmup"] = args.warmup
+    if args.target_accept is not None:
+        query["target_accept"] = args.target_accept
     budget: dict = {}
     if args.deadline is not None:
         budget["deadline_s"] = args.deadline
@@ -548,6 +606,16 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--burn-in", type=int, default=0)
     ps.add_argument("--thin", type=int, default=1)
     ps.add_argument("--seed", type=int, default=0)
+    ps.add_argument(
+        "--warmup", type=int, default=None, metavar="N",
+        help="adaptation sweeps before burn-in (dual-averaging step size "
+        "+ mass matrix for HMC/NUTS); defaults on for HMC/NUTS "
+        "schedules without a pinned step size, 0 otherwise",
+    )
+    ps.add_argument(
+        "--target-accept", type=float, default=0.8, metavar="A",
+        help="dual-averaging acceptance target (default 0.8)",
+    )
     ps.add_argument("--collect", default=None, help="comma-separated parameters")
     ps.add_argument("--chains", type=int, default=1, help="number of chains")
     ps.add_argument(
@@ -643,6 +711,15 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--thin", type=int, default=1)
     pr.add_argument("--seed", type=int, default=0)
     pr.add_argument(
+        "--warmup", type=int, default=None, metavar="N",
+        help="adaptation sweeps (defaults on for HMC/NUTS schedules "
+        "without a pinned step size)",
+    )
+    pr.add_argument(
+        "--target-accept", type=float, default=0.8, metavar="A",
+        help="dual-averaging acceptance target (default 0.8)",
+    )
+    pr.add_argument(
         "--out", default="report.html", help="report path (default report.html)"
     )
     pr.set_defaults(fn=cmd_report)
@@ -683,6 +760,14 @@ def build_parser() -> argparse.ArgumentParser:
     pq.add_argument("--thin", type=int, default=1)
     pq.add_argument("--chains", type=int, default=1)
     pq.add_argument("--seed", type=int, default=0)
+    pq.add_argument(
+        "--warmup", type=int, default=None, metavar="N",
+        help="adaptation sweeps before burn-in (HMC/NUTS)",
+    )
+    pq.add_argument(
+        "--target-accept", type=float, default=None, metavar="A",
+        help="dual-averaging acceptance target (default 0.8)",
+    )
     pq.add_argument("--collect", default=None, help="comma-separated parameters")
     pq.add_argument(
         "--executor", default="sequential",

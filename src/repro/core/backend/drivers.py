@@ -32,14 +32,24 @@ from repro.core.density.interp import eval_expr
 from repro.core.exprs import mentions
 from repro.core.lowmm.size_inference import BufferShape
 from repro.runtime.distributions import lookup
+from repro.runtime.mcmc.adapt import find_reasonable_step_size
 from repro.runtime.mcmc.hmc import (
     FlatLogDensity,
     TransformedLogDensity,
+    flat_gaussian,
     hmc_step,
     hmc_step_flat,
+    leapfrog,
 )
 from repro.runtime.mcmc.nuts import nuts_step, nuts_step_flat
-from repro.runtime.mcmc.tree import tree_empty_like
+from repro.runtime.mcmc.tree import (
+    TreeMetric,
+    tree_dot,
+    tree_empty_like,
+    tree_gaussian,
+    tree_ravel,
+    tree_split_flat,
+)
 from repro.runtime.mcmc.mh import (
     random_walk_step,
     random_walk_sweep,
@@ -191,18 +201,29 @@ class GibbsDriver(UpdateDriver):
 class GradBlockDriver(UpdateDriver):
     """HMC / NUTS over a block of transformed continuous variables."""
 
+    #: Adaptation telemetry shared by both methods: the uniform per-draw
+    #: acceptance statistic (min(1, alpha); tree-leaf average for NUTS)
+    #: that dual averaging consumes, the step size the draw actually
+    #: used, the running dual-averaging iterate, and the mass-matrix
+    #: window the sweep fell in.
+    _ADAPT_FIELDS = (
+        StatField("accept_stat", "f8", "dual-averaging acceptance statistic"),
+        StatField("step_size", "f8", "leapfrog step size used this sweep"),
+        StatField("step_size_bar", "f8", "dual-averaging averaged step size"),
+        StatField("adapt_window", "i8", "mass-matrix window index"),
+    )
     _HMC_FIELDS = (
         StatField("log_alpha", "f8", "log acceptance ratio of the trajectory"),
         StatField("energy", "f8", "Hamiltonian at the proposal"),
         StatField("divergent", "i8", "trajectory flagged divergent"),
         StatField("n_leapfrog", "i8", "leapfrog steps taken"),
-    )
+    ) + _ADAPT_FIELDS
     _NUTS_FIELDS = (
         StatField("energy", "f8", "initial Hamiltonian of the trajectory"),
         StatField("divergent", "i8", "a tree leaf exceeded the energy bound"),
         StatField("n_leapfrog", "i8", "leapfrog steps taken"),
         StatField("tree_depth", "i8", "doublings performed"),
-    )
+    ) + _ADAPT_FIELDS
 
     def __init__(
         self,
@@ -227,6 +248,9 @@ class GradBlockDriver(UpdateDriver):
         self._method = method
         self.step_size = step_size
         self.n_steps = n_steps
+        #: True when the model text pinned the step size; the CLI keeps
+        #: default warmup adaptation off for such schedules.
+        self.user_step_size = False
         self._info: dict = {}
         # Flat-state path: requires a dense pack plan and element-wise
         # transforms (slice-wise application on the packed vector).
@@ -243,6 +267,12 @@ class GradBlockDriver(UpdateDriver):
         # tree_copy), keyed by the block's shapes.
         self._leap_work = None
         self._leap_work_key = None
+        # Warmup adaptation: attached per run by the sampler, detached
+        # when the run finishes (the same driver instance is reused
+        # across chains and warm-pool tasks).
+        self._adapter = None
+        self._tree_metric = None
+        self._tree_metric_version = -1
 
     @property
     def label(self) -> str:
@@ -275,7 +305,95 @@ class GradBlockDriver(UpdateDriver):
             out["tree_depth"] = info.get("tree_depth", 0)
         else:
             out["log_alpha"] = info.get("log_alpha", float("nan"))
+        out["accept_stat"] = float(info.get("accept_stat", 0.0))
+        eps = float(info.get("step_size", self.step_size))
+        out["step_size"] = eps
+        adapter = self._adapter
+        out["step_size_bar"] = (
+            adapter.step_size_bar if adapter is not None else eps
+        )
+        out["adapt_window"] = (
+            adapter.window_index if adapter is not None else 0
+        )
         return out
+
+    # -- warmup adaptation -------------------------------------------
+
+    def attach_adapter(self, adapter) -> None:
+        """Install a per-run :class:`WarmupAdapter`.
+
+        The adapter supplies the step size and metric for every
+        subsequent step; ``detach_adapter`` must run when the sampling
+        run finishes (``self.step_size`` itself is never mutated, so a
+        detached driver behaves exactly as before the run).
+        """
+        self._adapter = adapter
+        self._tree_metric = None
+        self._tree_metric_version = -1
+
+    def detach_adapter(self) -> None:
+        self._adapter = None
+        self._tree_metric = None
+        self._tree_metric_version = -1
+
+    def _adapter_tree_metric(self, z) -> TreeMetric | None:
+        """The adapter's flat metric split into per-leaf arrays, cached
+        until the adapter closes another window."""
+        adapter = self._adapter
+        if adapter is None or adapter.metric is None:
+            return None
+        if (
+            self._tree_metric is None
+            or self._tree_metric_version != adapter.metric_version
+        ):
+            self._tree_metric = TreeMetric(
+                tree_split_flat(adapter.metric.inv_mass, z)
+            )
+            self._tree_metric_version = adapter.metric_version
+        return self._tree_metric
+
+    def _init_adapter_flat(self, flat, z, rng) -> None:
+        """Reasonable-step-size initialization on the packed state.
+
+        Draws one momentum (the only RNG consumption), then doubles or
+        halves the step until a single leapfrog step's log acceptance
+        ratio crosses log(1/2).  Skipped on mid-warmup resume: the
+        restored adapter is already initialized and the RNG stream has
+        already advanced past this draw.
+        """
+        p = np.empty_like(z)
+        flat_gaussian(rng, flat.layout, out=p)
+        with np.errstate(invalid="ignore", over="ignore"):
+            h0 = -(flat.value(z) - 0.5 * float(np.dot(p, p)))
+
+            def log_accept(eps: float) -> float:
+                z1 = z.copy()
+                p1 = p.copy()
+                half = 0.5 * eps
+                p1 += half * flat.grad(z1)
+                z1 += eps * p1
+                lp1, g1 = flat.value_and_grad(z1)
+                p1 += half * g1
+                return h0 - (-(lp1 - 0.5 * float(np.dot(p1, p1))))
+
+            self._adapter.initialize(
+                find_reasonable_step_size(log_accept, init=self.step_size)
+            )
+
+    def _init_adapter_tree(self, target, z, rng) -> None:
+        """Tree-path twin of :meth:`_init_adapter_flat`."""
+        p = tree_gaussian(rng, z)
+        with np.errstate(invalid="ignore", over="ignore"):
+            h0 = -(target.logpdf(z) - 0.5 * tree_dot(p, p))
+
+            def log_accept(eps: float) -> float:
+                z1, p1 = leapfrog(target, z, p, eps, 1)
+                lp1 = target.logpdf(z1)
+                return h0 - (-(lp1 - 0.5 * tree_dot(p1, p1)))
+
+            self._adapter.initialize(
+                find_reasonable_step_size(log_accept, init=self.step_size)
+            )
 
     def _target_density(self, env, ws, rng) -> TransformedLogDensity:
         # One scope dict per step, shared by every ll/grad evaluation of
@@ -356,19 +474,30 @@ class GradBlockDriver(UpdateDriver):
         target = self._target_density(env, ws, rng)
         x = {t: np.asarray(env[t], dtype=np.float64) for t in self.targets}
         z = target.unconstrain(x)
+        adapter = self._adapter
+        if adapter is None:
+            eps, metric = self.step_size, None
+        else:
+            if not adapter.initialized:
+                self._init_adapter_tree(target, z, rng)
+            eps = adapter.step_size
+            metric = self._adapter_tree_metric(z)
+        info["step_size"] = eps
         accept_stat = 0.0
         if self._method == "nuts":
             z_next, _, accept_stat = nuts_step(
-                rng, target, z, self.step_size, info=info
+                rng, target, z, eps, info=info, metric=metric
             )
             accepted = any(
                 not np.array_equal(z_next[k], z[k]) for k in z
             )
         else:
             z_next, accepted = hmc_step(
-                rng, target, z, self.step_size, self.n_steps, info=info,
-                work=self._tree_work(z),
+                rng, target, z, eps, self.n_steps, info=info,
+                work=self._tree_work(z), metric=metric,
             )
+        if adapter is not None and not adapter.finalized:
+            adapter.observe(info.get("accept_stat", 0.0), tree_ravel(z_next))
         x_next = target.constrain(z_next)
         for t in self.targets:
             # Copy before committing: the constrained point may be a view
@@ -394,17 +523,28 @@ class GradBlockDriver(UpdateDriver):
             self._z_buf = np.empty(n)
             self._flat_work = (np.empty(n), np.empty(n), np.empty(n))
         z = flat.unconstrain_into(env, self._z_buf)
+        adapter = self._adapter
+        if adapter is None:
+            eps, metric = self.step_size, None
+        else:
+            if not adapter.initialized:
+                self._init_adapter_flat(flat, z, rng)
+            eps = adapter.step_size
+            metric = adapter.metric
+        info["step_size"] = eps
         accept_stat = 0.0
         if self._method == "nuts":
             z_next, _, accept_stat = nuts_step_flat(
-                rng, flat, z, self.step_size, info=info
+                rng, flat, z, eps, info=info, metric=metric
             )
             accepted = not np.array_equal(z_next, z)
         else:
             z_next, accepted = hmc_step_flat(
-                rng, flat, z, self.step_size, self.n_steps, info=info,
-                work=self._flat_work,
+                rng, flat, z, eps, self.n_steps, info=info,
+                work=self._flat_work, metric=metric,
             )
+        if adapter is not None and not adapter.finalized:
+            adapter.observe(info.get("accept_stat", 0.0), z_next)
         x_next = flat.constrain_point(z_next)
         for t in self.targets:
             env[t] = _shape_like(np.array(x_next[t], copy=True), env[t])

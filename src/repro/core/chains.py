@@ -122,6 +122,11 @@ class ChainResume:
     start_sweep: int
     start_kept: int
     draws: dict | None = None
+    #: Checkpointed warmup adaptation state
+    #: (``SampleResult.adapt_state``): restored into the resumed leg's
+    #: :class:`~repro.runtime.mcmc.adapt.WarmupAdapter` so a chain
+    #: stopped mid-warmup continues adapting bitwise-identically.
+    adapt_state: dict | None = None
 
 
 def default_workers(n_chains: int) -> int:
@@ -669,6 +674,8 @@ class ChainStream:
             kw["init"] = {k: _copy_state_value(v) for k, v in r.init.items()}
             kw["start_sweep"] = r.start_sweep
             kw["start_kept"] = r.start_kept
+            if r.adapt_state is not None:
+                kw["adapt_state"] = r.adapt_state
         return kw
 
     def _apply_resume(self, chain: int, storage: dict) -> None:
@@ -948,6 +955,8 @@ def stream_chains(
     chunk_size: int | None = None,
     early_stop_rhat: float | None = None,
     resume=None,
+    warmup: int = 0,
+    target_accept: float = 0.8,
 ) -> ChainStream:
     """Run ``n_chains`` chains, streaming draw chunks as they land.
 
@@ -993,6 +1002,7 @@ def stream_chains(
     kwargs = dict(
         num_samples=num_samples, burn_in=burn_in, thin=thin, collect=collect,
         collect_stats=collect_stats, profile=profile,
+        warmup=warmup, target_accept=target_accept,
     )
     if chunk_size is None or chunk_size <= 0:
         chunk_size = max(1, min(DEFAULT_CHUNK, num_samples))
@@ -1018,6 +1028,8 @@ def run_chains(
     chunk_size: int | None = None,
     early_stop_rhat: float | None = None,
     resume=None,
+    warmup: int = 0,
+    target_accept: float = 0.8,
 ):
     """Run ``n_chains`` independent chains, optionally in parallel.
 
@@ -1049,6 +1061,8 @@ def run_chains(
         chunk_size=chunk_size,
         early_stop_rhat=early_stop_rhat,
         resume=resume,
+        warmup=warmup,
+        target_accept=target_accept,
     )
     return stream.drain()
 

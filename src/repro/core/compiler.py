@@ -764,6 +764,21 @@ def _make_driver(
                 "slice-wise application on the packed vector"
             )
         ledger.record("leapfrog.state", drv.label, choice, why, upd.provenance)
+        drv.user_step_size = upd.opt("step_size", None) is not None
+        if drv.user_step_size:
+            a_choice, a_why = "fixed step size", (
+                f"the schedule pins step_size={drv.step_size:g}; warmup "
+                "adaptation stays off unless explicitly requested"
+            )
+        else:
+            a_choice, a_why = "eligible", (
+                "no pinned step size: dual-averaging step-size adaptation "
+                "and windowed mass-matrix estimation engage when the run "
+                "requests warmup sweeps"
+            )
+        ledger.record(
+            "warmup.adaptation", drv.label, a_choice, a_why, upd.provenance
+        )
         return drv
 
     cond: Conditional = upd.payload

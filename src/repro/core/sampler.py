@@ -129,6 +129,12 @@ class SampleResult:
     #: Picklable RNG position (:meth:`repro.runtime.rng.Rng.state_spec`)
     #: after the last executed sweep.
     rng_state: dict | None = None
+    #: Warmup adaptation state per gradient update label
+    #: (``WarmupAdapter.state_dict()``): step size, dual-averaging
+    #: accumulators, window position, running variance, metric.  Rides
+    #: into checkpoints so a run stopped mid-warmup resumes
+    #: bitwise-identically; ``None`` when the run had no warmup.
+    adapt_state: dict | None = None
 
     @property
     def sample_stats(self) -> dict[str, np.ndarray]:
@@ -414,6 +420,8 @@ class CompiledSampler:
         callback=None,
         collect_stats: bool = False,
         profile: bool = False,
+        warmup: int = 0,
+        target_accept: float = 0.8,
     ) -> SampleResult:
         """Draw posterior samples.
 
@@ -429,6 +437,15 @@ class CompiledSampler:
         (``SampleResult.profile``); the draws are bitwise identical
         either way.
 
+        ``warmup`` runs that many adaptation sweeps before burn-in:
+        every HMC/NUTS update gets a per-run
+        :class:`~repro.runtime.mcmc.adapt.WarmupAdapter` (dual-averaging
+        step size toward ``target_accept`` + windowed diagonal
+        mass-matrix estimation), initialized by a reasonable-step-size
+        search; the tuned step size and metric are frozen for the kept
+        draws.  ``warmup=0`` (the default) is bitwise-identical to the
+        pre-adaptation sampler.
+
         A ``KeyboardInterrupt`` during the sweep loop finalizes the
         draws taken so far (``result.interrupted``) instead of losing
         the run.
@@ -443,6 +460,8 @@ class CompiledSampler:
             callback=callback,
             collect_stats=collect_stats,
             profile=profile,
+            warmup=warmup,
+            target_accept=target_accept,
         ).drain()
 
     def sample_iter(
@@ -461,11 +480,25 @@ class CompiledSampler:
         stop=None,
         start_sweep: int = 0,
         start_kept: int = 0,
+        warmup: int = 0,
+        target_accept: float = 0.8,
+        adapt_state: dict | None = None,
     ) -> SampleRun:
         """The resumable form of :meth:`sample`: a :class:`SampleRun`
         yielding ``(start, stop, info)`` kept-draw index ranges per
         chunk (``info`` is a per-chunk stats digest when
         ``collect_stats=True``, else ``None``).
+
+        ``warmup`` prepends that many adaptation sweeps (dual-averaging
+        step size toward ``target_accept`` plus windowed diagonal
+        mass-matrix estimation for every HMC/NUTS update); during
+        warmup the run yields zero-width progress chunks whose ``info``
+        carries a ``"__phase__"`` entry (phase, sweep, step size) so
+        streaming consumers can report adaptation progress.
+        ``adapt_state`` restores checkpointed
+        :class:`~repro.runtime.mcmc.adapt.WarmupAdapter` state (keyed by
+        update label) so a run resumed mid-warmup continues
+        bitwise-identically.
 
         ``storage`` optionally supplies preallocated draw storage (the
         multi-chain engine passes shared-memory-backed arrays so workers
@@ -492,7 +525,9 @@ class CompiledSampler:
         """
         if num_samples <= 0:
             raise RuntimeFailure("num_samples must be positive")
-        total_sweeps = burn_in + num_samples * thin
+        if warmup < 0:
+            raise RuntimeFailure("warmup must be non-negative")
+        total_sweeps = warmup + burn_in + num_samples * thin
         if not 0 <= start_kept <= num_samples:
             raise RuntimeFailure(
                 f"start_kept must lie in [0, {num_samples}], got {start_kept}"
@@ -521,14 +556,15 @@ class CompiledSampler:
         run._gen = self._sample_gen(
             num_samples, burn_in, thin, rng, collect, init, callback,
             collect_stats, profile, storage, chunk_size, should_stop,
-            start_sweep, start_kept,
+            start_sweep, start_kept, warmup, target_accept, adapt_state,
         )
         return run
 
     def _sample_gen(
         self, num_samples, burn_in, thin, rng, collect, init, callback,
         collect_stats, profile, storage, chunk_size, should_stop,
-        start_sweep=0, start_kept=0,
+        start_sweep=0, start_kept=0, warmup=0, target_accept=0.8,
+        adapt_state=None,
     ):
         tracer = get_tracer()
         tracing = tracer.enabled
@@ -541,11 +577,29 @@ class CompiledSampler:
                 "init", "runtime", t_init, time.perf_counter() - t_init,
                 fresh=init is None,
             )
-        total_sweeps = burn_in + num_samples * thin
+        total_sweeps = warmup + burn_in + num_samples * thin
         samples = (
             storage if storage is not None
             else self._allocate_draws(collect, num_samples)
         )
+        # Warmup adaptation: one WarmupAdapter per gradient-based update,
+        # attached to the driver for the duration of this run (the
+        # driver's own step_size stays untouched, so the sequential
+        # executor's sampler reuse across chains is safe).
+        adapters: list = []
+        if warmup > 0:
+            from repro.runtime.mcmc.adapt import WarmupAdapter
+
+            saved = adapt_state or {}
+            for upd in self.updates:
+                if hasattr(upd, "attach_adapter"):
+                    adapter = WarmupAdapter(warmup, target_accept)
+                    if upd.label in saved:
+                        adapter.load_state(saved[upd.label])
+                    if start_sweep >= warmup:
+                        adapter.finalize()
+                    upd.attach_adapter(adapter)
+                    adapters.append((upd, adapter))
         stat_bufs = (
             allocate_stat_buffers(self.updates, total_sweeps)
             if collect_stats
@@ -565,6 +619,7 @@ class CompiledSampler:
         chunk_start = start_kept
         sweeps_run = start_sweep
         chunk_sweep_lo = start_sweep
+        phase_mark = start_sweep
         stopped_early = False
         interrupted = False
 
@@ -575,12 +630,28 @@ class CompiledSampler:
 
             return chunk_stat_info(stat_bufs, chunk_sweep_lo, sweeps_run)
 
+        def phase_info(phase):
+            eps = None
+            for _, a in adapters:
+                if a.step_size is not None:
+                    eps = float(a.step_size)
+                    break
+            return {
+                "phase": phase,
+                "sweep": sweeps_run,
+                "warmup": warmup,
+                "step_size": eps,
+            }
+
         try:
             try:
                 for sweep in range(start_sweep, total_sweeps):
                     if should_stop():
                         stopped_early = True
                         break
+                    if adapters and sweep == warmup:
+                        for _, a in adapters:
+                            a.finalize()
                     t0 = time.perf_counter()
                     if profiler is not None:
                         self._step_profiled(state, rng, profiler, stat_bufs, sweep)
@@ -593,7 +664,21 @@ class CompiledSampler:
                     if sweep_starts is not None:
                         sweep_starts[sweep] = t0
                     sweeps_run = sweep + 1
-                    if sweep >= burn_in and (sweep - burn_in) % thin == 0:
+                    if warmup and sweeps_run <= warmup:
+                        # Zero-width progress chunk per chunk_size warmup
+                        # sweeps: streaming consumers (TTY progress, the
+                        # serving deadline poll) see adaptation advance
+                        # even though no draws are kept yet.
+                        if sweeps_run - phase_mark >= chunk_size:
+                            info = chunk_info() or {}
+                            info["__phase__"] = phase_info("warmup")
+                            chunk_sweep_lo = sweeps_run
+                            phase_mark = sweeps_run
+                            yield (kept, kept, info)
+                        continue
+                    if sweep >= warmup + burn_in and (
+                        sweep - warmup - burn_in
+                    ) % thin == 0:
                         for name in collect:
                             store = samples[name]
                             if isinstance(store, np.ndarray):
@@ -607,6 +692,9 @@ class CompiledSampler:
                         kept += 1
                         if kept - chunk_start >= chunk_size:
                             info = chunk_info()
+                            if warmup:
+                                info = info or {}
+                                info["__phase__"] = phase_info("sampling")
                             chunk_sweep_lo = sweeps_run
                             yield (chunk_start, kept, info)
                             chunk_start = kept
@@ -615,8 +703,14 @@ class CompiledSampler:
         finally:
             if profiler is not None:
                 profiler.restore()
+            for upd, _ in adapters:
+                upd.detach_adapter()
         if kept > chunk_start:
-            yield (chunk_start, kept, chunk_info())
+            info = chunk_info()
+            if warmup:
+                info = info or {}
+                info["__phase__"] = phase_info("sampling")
+            yield (chunk_start, kept, info)
         wall = time.perf_counter() - start
         if tracing:
             for sweep in range(start_sweep, sweeps_run):
@@ -662,7 +756,9 @@ class CompiledSampler:
             acceptance=acceptance,
             device_time=self.device.elapsed if self.device is not None else None,
             stats=(
-                SampleStats(stat_bufs, burn_in=burn_in, thin=thin)
+                SampleStats(
+                    stat_bufs, burn_in=burn_in, thin=thin, warmup=warmup
+                )
                 if stat_bufs is not None
                 else None
             ),
@@ -677,6 +773,11 @@ class CompiledSampler:
             interrupted=interrupted,
             final_state=final_state,
             rng_state=rng.state_spec(),
+            adapt_state=(
+                {upd.label: a.state_dict() for upd, a in adapters}
+                if adapters
+                else None
+            ),
         )
 
     def sample_chains(
@@ -695,6 +796,8 @@ class CompiledSampler:
         chunk_size: int | None = None,
         early_stop_rhat: float | None = None,
         resume=None,
+        warmup: int = 0,
+        target_accept: float = 0.8,
     ) -> list[SampleResult]:
         """Run several independent chains from forked RNG streams.
 
@@ -744,6 +847,8 @@ class CompiledSampler:
             chunk_size=chunk_size,
             early_stop_rhat=early_stop_rhat,
             resume=resume,
+            warmup=warmup,
+            target_accept=target_accept,
         )
 
     def stream_chains(
@@ -762,6 +867,8 @@ class CompiledSampler:
         chunk_size: int | None = None,
         early_stop_rhat: float | None = None,
         resume=None,
+        warmup: int = 0,
+        target_accept: float = 0.8,
     ):
         """The streaming form of :meth:`sample_chains`: returns a
         :class:`repro.core.chains.ChainStream` yielding
@@ -787,4 +894,6 @@ class CompiledSampler:
             chunk_size=chunk_size,
             early_stop_rhat=early_stop_rhat,
             resume=resume,
+            warmup=warmup,
+            target_accept=target_accept,
         )

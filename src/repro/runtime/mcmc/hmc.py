@@ -34,6 +34,9 @@ from repro.runtime.mcmc.tree import (
     tree_copy_into,
     tree_dot,
     tree_gaussian,
+    tree_metric_axpy_,
+    tree_metric_dot,
+    tree_metric_scale_,
 )
 from repro.runtime.transforms import Transform
 
@@ -113,6 +116,7 @@ def leapfrog(
     step: float,
     n: int,
     work: tuple[Tree, Tree] | None = None,
+    metric=None,
 ):
     """Standard leapfrog integration; returns (z', p').
 
@@ -121,7 +125,10 @@ def leapfrog(
     the driver) or on fresh copies when ``work`` is omitted.  Divergent
     trajectories produce inf/NaN positions; arithmetic on them is left
     to propagate (quietly) and the resulting state is rejected by the
-    acceptance test.
+    acceptance test.  ``metric`` (a
+    :class:`~repro.runtime.mcmc.tree.TreeMetric`, or ``None`` for the
+    identity) scales the position drift by ``M^-1``; the ``None``
+    branch is the exact pre-adaptation code path.
     """
     if work is None:
         z = tree_copy(z)
@@ -135,7 +142,10 @@ def leapfrog(
         grad = target.grad(z)
         for _ in range(n):
             tree_axpy_(p, grad, half)
-            tree_axpy_(z, p, step)
+            if metric is None:
+                tree_axpy_(z, p, step)
+            else:
+                tree_metric_axpy_(z, p, metric.inv_mass, step)
             grad = target.grad(z)
             tree_axpy_(p, grad, half)
     return z, p
@@ -147,14 +157,24 @@ DIVERGENCE_THRESHOLD = 1000.0
 
 
 def _fill_info(info: dict, log_alpha, energy1, n_leapfrog: int, accepted) -> None:
-    info["log_alpha"] = float(log_alpha)
-    info["nan"] = bool(np.isnan(log_alpha))
+    la = float(log_alpha)
+    info["log_alpha"] = la
+    info["nan"] = bool(np.isnan(la))
     info["energy"] = float(energy1)
     info["divergent"] = bool(
-        not np.isfinite(log_alpha) or abs(log_alpha) > DIVERGENCE_THRESHOLD
+        not np.isfinite(la) or abs(la) > DIVERGENCE_THRESHOLD
     )
     info["n_leapfrog"] = n_leapfrog
     info["accepted"] = accepted
+    # The same per-draw acceptance statistic NUTS emits -- min(1, alpha)
+    # -- so warmup adaptation consumes one uniform field from either
+    # kernel (NaN trajectories count as 0).
+    if np.isnan(la):
+        info["accept_stat"] = 0.0
+    elif la >= 0.0:
+        info["accept_stat"] = 1.0
+    else:
+        info["accept_stat"] = float(np.exp(la))
 
 
 def hmc_step(
@@ -165,6 +185,7 @@ def hmc_step(
     n_steps: int,
     info: dict | None = None,
     work: tuple[Tree, Tree] | None = None,
+    metric=None,
 ) -> tuple[Tree, bool]:
     """One HMC transition; returns (next position, accepted?).
 
@@ -172,15 +193,28 @@ def hmc_step(
     telemetry record: ``log_alpha``, the ``nan`` flag (NaN-rejected
     trajectory), the proposal's Hamiltonian ``energy``, a ``divergent``
     flag (energy error beyond :data:`DIVERGENCE_THRESHOLD` or
-    non-finite), and ``n_leapfrog``.  ``work`` forwards preallocated
-    trajectory buffers to :func:`leapfrog`.
+    non-finite), ``n_leapfrog``, and the dual-averaging ``accept_stat``.
+    ``work`` forwards preallocated trajectory buffers to
+    :func:`leapfrog`.  ``metric`` (``None`` = identity, the exact
+    pre-adaptation path) supplies the diagonal mass matrix; the
+    momentum is scaled *after* the standard-normal draw so the RNG
+    stream is identical with and without a metric.
     """
     p0 = tree_gaussian(rng, z)
+    if metric is not None:
+        tree_metric_scale_(p0, metric.momentum_scale)
     lp0 = target.logpdf(z)
-    z1, p1 = leapfrog(target, z, p0, step_size, n_steps, work=work)
+    z1, p1 = leapfrog(target, z, p0, step_size, n_steps, work=work,
+                      metric=metric)
     lp1 = target.logpdf(z1)
-    energy0 = -(lp0 - 0.5 * tree_dot(p0, p0))
-    energy1 = -(lp1 - 0.5 * tree_dot(p1, p1))
+    if metric is None:
+        kin0 = 0.5 * tree_dot(p0, p0)
+        kin1 = 0.5 * tree_dot(p1, p1)
+    else:
+        kin0 = 0.5 * tree_metric_dot(p0, metric.inv_mass)
+        kin1 = 0.5 * tree_metric_dot(p1, metric.inv_mass)
+    energy0 = -(lp0 - kin0)
+    energy1 = -(lp1 - kin1)
     log_alpha = energy0 - energy1
     accepted = mh_accept(rng, log_alpha)
     if info is not None:
@@ -351,6 +385,7 @@ def hmc_step_flat(
     n_steps: int,
     info: dict | None = None,
     work: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+    metric=None,
 ) -> tuple[np.ndarray, bool]:
     """One HMC transition on the packed flat state; returns (z', accepted?).
 
@@ -358,13 +393,23 @@ def hmc_step_flat(
     preallocated vectors (position, momentum, scratch): each leapfrog
     step is two axpy updates, and the endpoints evaluate value and
     gradient in one fused call.  Telemetry matches :func:`hmc_step`.
+    ``metric`` (a :class:`~repro.runtime.mcmc.adapt.DiagMetric`, or
+    ``None`` for the identity) is one contiguous array: the momentum is
+    scaled after the standard-normal draw (same RNG stream either way)
+    and the drift/kinetic terms pick up ``M^-1`` elementwise; the
+    ``None`` branch is the exact pre-adaptation code path.
     """
     n = z.shape[0]
     if work is None:
         work = (np.empty(n), np.empty(n), np.empty(n))
     z1, p, scratch = work
     flat_gaussian(rng, target.layout, out=p)
-    kin0 = 0.5 * float(np.dot(p, p))
+    if metric is None:
+        kin0 = 0.5 * float(np.dot(p, p))
+    else:
+        np.multiply(p, metric.momentum_scale, out=p)
+        np.multiply(p, metric.inv_mass, out=scratch)
+        kin0 = 0.5 * float(np.dot(p, scratch))
     lp0, g = target.value_and_grad(z)
     np.copyto(z1, z)
     half = 0.5 * step_size
@@ -373,7 +418,11 @@ def hmc_step_flat(
         for i in range(n_steps):
             np.multiply(g, half, out=scratch)
             np.add(p, scratch, out=p)
-            np.multiply(p, step_size, out=scratch)
+            if metric is None:
+                np.multiply(p, step_size, out=scratch)
+            else:
+                np.multiply(p, metric.inv_mass, out=scratch)
+                np.multiply(scratch, step_size, out=scratch)
             np.add(z1, scratch, out=z1)
             if i == n_steps - 1:
                 lp1, g = target.value_and_grad(z1)
@@ -381,7 +430,11 @@ def hmc_step_flat(
                 g = target.grad(z1)
             np.multiply(g, half, out=scratch)
             np.add(p, scratch, out=p)
-        kin1 = 0.5 * float(np.dot(p, p))
+        if metric is None:
+            kin1 = 0.5 * float(np.dot(p, p))
+        else:
+            np.multiply(p, metric.inv_mass, out=scratch)
+            kin1 = 0.5 * float(np.dot(p, scratch))
     energy0 = -(lp0 - kin0)
     energy1 = -(lp1 - kin1)
     log_alpha = energy0 - energy1

@@ -28,25 +28,42 @@ from repro.runtime.mcmc.tree import (
     tree_copy,
     tree_dot,
     tree_gaussian,
+    tree_metric_dot,
+    tree_metric_scale_,
+    tree_mul,
 )
 
 _MAX_DEPTH = 8
 _DELTA_MAX = 1000.0
 
 
-def _leapfrog_one(target, z, p, eps):
+def _leapfrog_one(target, z, p, eps, metric=None):
     half = 0.5 * eps
     grad = target.grad(z)
     p = tree_axpy(p, grad, half)
-    z = tree_axpy(z, p, eps)
+    if metric is None:
+        z = tree_axpy(z, p, eps)
+    else:
+        z = tree_axpy(z, tree_mul(metric.inv_mass, p), eps)
     grad = target.grad(z)
     # p and z are fresh trees here; finish the half-kick in place.
     p = tree_axpy_(p, grad, half)
     return z, p
 
 
-def _no_uturn(z_minus, z_plus, p_minus, p_plus) -> bool:
+def _tree_kin(p: Tree, metric) -> float:
+    """Kinetic energy; the ``None`` branch matches the pre-metric code."""
+    if metric is None:
+        return 0.5 * tree_dot(p, p)
+    return 0.5 * tree_metric_dot(p, metric.inv_mass)
+
+
+def _no_uturn(z_minus, z_plus, p_minus, p_plus, metric=None) -> bool:
     diff = {k: np.asarray(z_plus[k]) - np.asarray(z_minus[k]) for k in z_plus}
+    if metric is not None:
+        # The no-U-turn criterion compares against *velocities* M^-1 p.
+        p_minus = tree_mul(metric.inv_mass, p_minus)
+        p_plus = tree_mul(metric.inv_mass, p_plus)
     return (
         tree_dot(diff, p_minus) >= 0 and tree_dot(diff, p_plus) >= 0
     )
@@ -58,6 +75,7 @@ def nuts_step(
     z: Tree,
     step_size: float,
     info: dict | None = None,
+    metric=None,
 ):
     """One NUTS transition.
 
@@ -69,10 +87,15 @@ def nuts_step(
     When ``info`` is supplied it is filled with the per-transition
     telemetry record: ``tree_depth``, ``n_leapfrog``, ``accept_stat``,
     the initial Hamiltonian ``energy``, and a ``divergent`` flag (a
-    leaf's energy error exceeded ``_DELTA_MAX``).
+    leaf's energy error exceeded ``_DELTA_MAX``).  ``metric`` (a
+    :class:`~repro.runtime.mcmc.tree.TreeMetric`, ``None`` = identity)
+    scales momenta after the standard-normal draw so the RNG stream is
+    unchanged; the ``None`` branches are the exact pre-adaptation path.
     """
     p0 = tree_gaussian(rng, z)
-    joint0 = target.logpdf(z) - 0.5 * tree_dot(p0, p0)
+    if metric is not None:
+        tree_metric_scale_(p0, metric.momentum_scale)
+    joint0 = target.logpdf(z) - _tree_kin(p0, metric)
     log_u = joint0 + np.log(rng.uniform())
     divergent = False
 
@@ -90,10 +113,17 @@ def nuts_step(
     def build(zb, pb, direction, depth):
         nonlocal leapfrogs, alpha_sum, n_alpha, divergent
         if depth == 0:
-            z1, p1 = _leapfrog_one(target, zb, pb, direction * step_size)
+            z1, p1 = _leapfrog_one(
+                target, zb, pb, direction * step_size, metric=metric
+            )
             leapfrogs += 1
-            joint = target.logpdf(z1) - 0.5 * tree_dot(p1, p1)
-            alpha_sum += float(min(1.0, np.exp(min(0.0, joint - joint0))))
+            joint = target.logpdf(z1) - _tree_kin(p1, metric)
+            # NaN energies (overflowed trajectories) count as zero
+            # acceptance -- min(0.0, nan) would silently yield 1.0 and
+            # feed dual averaging a perfect score for a divergence.
+            delta = joint - joint0
+            if not np.isnan(delta):
+                alpha_sum += float(min(1.0, np.exp(min(0.0, delta))))
             n_alpha += 1
             n1 = 1 if log_u <= joint else 0
             s1 = log_u < joint + _DELTA_MAX
@@ -109,7 +139,7 @@ def nuts_step(
             if n2 > 0 and rng.uniform() < n2 / max(1, n1 + n2):
                 zs = zs2
             n1 += n2
-            s1 = s2 and _no_uturn(zm, zp, pm, pp)
+            s1 = s2 and _no_uturn(zm, zp, pm, pp, metric)
         return zm, pm, zp, pp, zs, n1, s1
 
     depth = 0
@@ -126,7 +156,9 @@ def nuts_step(
         if s_prime and rng.uniform() < min(1.0, n_prime / n):
             z_sample = z_prop
         n += n_prime
-        keep_going = s_prime and _no_uturn(z_minus, z_plus, p_minus, p_plus)
+        keep_going = s_prime and _no_uturn(
+            z_minus, z_plus, p_minus, p_plus, metric
+        )
         depth += 1
     accept_stat = alpha_sum / n_alpha if n_alpha else 0.0
     if info is not None:
@@ -143,19 +175,26 @@ def nuts_step(
 # ----------------------------------------------------------------------
 
 
-def _leapfrog_one_flat(target: FlatLogDensity, z, p, g, eps, scratch):
+def _leapfrog_one_flat(target: FlatLogDensity, z, p, g, eps, scratch,
+                       metric=None):
     """One leapfrog step from ``(z, p)`` with the gradient ``g`` at ``z``
     already known; returns fresh ``(z1, p1, g1, lp1)``.
 
     One fused compiled evaluation (value+gradient at the new point) per
     call -- the gradient at the start point rides in with the endpoint.
+    With a metric the drift picks up ``M^-1`` elementwise; the ``None``
+    branch is the exact pre-adaptation code path.
     """
     half = 0.5 * eps
     p1 = np.empty_like(p)
     z1 = np.empty_like(z)
     np.multiply(g, half, out=p1)
     np.add(p1, p, out=p1)
-    np.multiply(p1, eps, out=z1)
+    if metric is None:
+        np.multiply(p1, eps, out=z1)
+    else:
+        np.multiply(p1, metric.inv_mass, out=z1)
+        np.multiply(z1, eps, out=z1)
     np.add(z1, z, out=z1)
     lp1, g1 = target.value_and_grad(z1)
     g1 = g1.copy()  # detach from the density's internal buffer
@@ -164,8 +203,19 @@ def _leapfrog_one_flat(target: FlatLogDensity, z, p, g, eps, scratch):
     return z1, p1, g1, lp1
 
 
-def _no_uturn_flat(z_minus, z_plus, p_minus, p_plus) -> bool:
+def _flat_kin(p, metric) -> float:
+    """Kinetic energy; the ``None`` branch matches the pre-metric code."""
+    if metric is None:
+        return 0.5 * float(np.dot(p, p))
+    return 0.5 * float(np.dot(p, metric.inv_mass * p))
+
+
+def _no_uturn_flat(z_minus, z_plus, p_minus, p_plus, metric=None) -> bool:
     diff = z_plus - z_minus
+    if metric is not None:
+        # The no-U-turn criterion compares against *velocities* M^-1 p.
+        p_minus = metric.inv_mass * p_minus
+        p_plus = metric.inv_mass * p_plus
     return float(np.dot(diff, p_minus)) >= 0 and float(np.dot(diff, p_plus)) >= 0
 
 
@@ -175,6 +225,7 @@ def nuts_step_flat(
     z: np.ndarray,
     step_size: float,
     info: dict | None = None,
+    metric=None,
 ):
     """One NUTS transition on the packed flat state.
 
@@ -182,13 +233,20 @@ def nuts_step_flat(
     sites) with ``(position, momentum, gradient)`` vector triples as
     tree endpoints, whole-vector leapfrog/no-U-turn arithmetic, and one
     fused compiled evaluation per leaf.  ``z`` is never mutated.
+    ``metric`` (a :class:`~repro.runtime.mcmc.adapt.DiagMetric`,
+    ``None`` = identity) is one contiguous array applied in the momentum
+    scale, drift, kinetic energy, and U-turn test; the momentum is
+    scaled after the standard-normal draw (same RNG stream either way)
+    and the ``None`` branches are the exact pre-adaptation code path.
     """
     p0 = np.empty_like(z)
     flat_gaussian(rng, target.layout, out=p0)
+    if metric is not None:
+        np.multiply(p0, metric.momentum_scale, out=p0)
     scratch = np.empty_like(z)
     with np.errstate(invalid="ignore", over="ignore"):
         lp0, g0 = target.value_and_grad(z)
-    joint0 = lp0 - 0.5 * float(np.dot(p0, p0))
+    joint0 = lp0 - _flat_kin(p0, metric)
     log_u = joint0 + np.log(rng.uniform())
     divergent = False
 
@@ -210,11 +268,17 @@ def nuts_step_flat(
         if depth == 0:
             with np.errstate(invalid="ignore", over="ignore"):
                 z1, p1, g1, lp1 = _leapfrog_one_flat(
-                    target, zb, pb, gb, direction * step_size, scratch
+                    target, zb, pb, gb, direction * step_size, scratch,
+                    metric=metric,
                 )
-                joint = lp1 - 0.5 * float(np.dot(p1, p1))
+                joint = lp1 - _flat_kin(p1, metric)
             leapfrogs += 1
-            alpha_sum += float(min(1.0, np.exp(min(0.0, joint - joint0))))
+            # NaN energies (overflowed trajectories) count as zero
+            # acceptance -- min(0.0, nan) would silently yield 1.0 and
+            # feed dual averaging a perfect score for a divergence.
+            delta = joint - joint0
+            if not np.isnan(delta):
+                alpha_sum += float(min(1.0, np.exp(min(0.0, delta))))
             n_alpha += 1
             n1 = 1 if log_u <= joint else 0
             s1 = log_u < joint + _DELTA_MAX
@@ -234,7 +298,7 @@ def nuts_step_flat(
             if n2 > 0 and rng.uniform() < n2 / max(1, n1 + n2):
                 zs = zs2
             n1 += n2
-            s1 = s2 and _no_uturn_flat(zm, zp, pm, pp)
+            s1 = s2 and _no_uturn_flat(zm, zp, pm, pp, metric)
         return zm, pm, gm, zp, pp, gp, zs, n1, s1
 
     depth = 0
@@ -251,7 +315,9 @@ def nuts_step_flat(
         if s_prime and rng.uniform() < min(1.0, n_prime / n):
             z_sample = z_prop
         n += n_prime
-        keep_going = s_prime and _no_uturn_flat(z_minus, z_plus, p_minus, p_plus)
+        keep_going = s_prime and _no_uturn_flat(
+            z_minus, z_plus, p_minus, p_plus, metric
+        )
         depth += 1
     accept_stat = alpha_sum / n_alpha if n_alpha else 0.0
     if info is not None:

@@ -65,3 +65,94 @@ def tree_dot(a: Tree, b: Tree) -> float:
 
 def tree_gaussian(rng, like: Tree) -> Tree:
     return {k: rng.standard_normal(np.shape(v)) for k, v in like.items()}
+
+
+# ----------------------------------------------------------------------
+# Diagonal-metric arithmetic (warmup adaptation, tree fallback path).
+#
+# A tree metric is a pair of trees shaped like the state: ``inv_mass``
+# (the diagonal of M^-1) and ``momentum_scale`` (1/sqrt(inv_mass)).
+# ``None`` everywhere means the identity metric, and every helper's
+# ``None`` branch is bitwise-identical to the unscaled original.
+# ----------------------------------------------------------------------
+
+
+class TreeMetric:
+    """Diagonal metric split into per-leaf arrays (tree fallback path).
+
+    Mirrors :class:`repro.runtime.mcmc.adapt.DiagMetric`: ``inv_mass``
+    holds the diagonal of ``M^-1`` per leaf, ``momentum_scale`` its
+    reciprocal square root (momenta are ``std_normal * momentum_scale``).
+    """
+
+    __slots__ = ("inv_mass", "momentum_scale")
+
+    def __init__(self, inv_mass: Tree):
+        self.inv_mass = {
+            k: np.asarray(v, dtype=np.float64) for k, v in inv_mass.items()
+        }
+        self.momentum_scale = {
+            k: 1.0 / np.sqrt(v) for k, v in self.inv_mass.items()
+        }
+
+
+def tree_mul(a: Tree, b: Tree) -> Tree:
+    """Elementwise ``a * b`` (rebinds; inputs untouched)."""
+    return {k: a[k] * b[k] for k in a}
+
+
+def tree_metric_scale_(p: Tree, scale: Tree) -> Tree:
+    """In-place-ish ``p[k] *= scale[k]`` (rebinds non-array entries)."""
+    for k in p:
+        v = p[k]
+        if isinstance(v, np.ndarray) and v.ndim > 0:
+            np.multiply(v, scale[k], out=v)
+        else:
+            p[k] = v * scale[k]
+    return p
+
+
+def tree_metric_axpy_(a: Tree, x: Tree, m: Tree, alpha: float) -> Tree:
+    """In-place ``a += alpha * (m * x)`` -- the metric drift update."""
+    for k in a:
+        v = a[k]
+        t = alpha * (m[k] * x[k])
+        if isinstance(v, np.ndarray):
+            np.add(v, t, out=v)
+        else:
+            a[k] = v + t
+    return a
+
+
+def tree_metric_dot(p: Tree, m: Tree) -> float:
+    """``sum_k p[k] . (m[k] * p[k])`` -- twice the kinetic energy."""
+    return float(
+        sum(
+            np.sum(np.asarray(p[k]) * np.asarray(m[k]) * np.asarray(p[k]))
+            for k in p
+        )
+    )
+
+
+def tree_ravel(t: Tree) -> np.ndarray:
+    """Concatenate the tree's leaves (sorted by key) into one vector."""
+    return np.concatenate(
+        [np.ravel(np.asarray(t[k], dtype=np.float64)) for k in sorted(t)]
+    )
+
+
+def tree_split_flat(flat: np.ndarray, like: Tree) -> Tree:
+    """Split a flat vector back into leaves shaped like ``like``.
+
+    Inverse of :func:`tree_ravel` (same sorted-key order).
+    """
+    out: Tree = {}
+    pos = 0
+    for k in sorted(like):
+        shape = np.shape(like[k])
+        n = int(np.prod(shape)) if shape else 1
+        out[k] = np.asarray(flat[pos : pos + n], dtype=np.float64).reshape(
+            shape
+        )
+        pos += n
+    return out

@@ -50,15 +50,20 @@ class ChainCheckpoint:
     n_kept: int
     sweeps_run: int
     draws: dict = field(repr=False)
+    #: Warmup adaptation state (``SampleResult.adapt_state``), present
+    #: when the chain was frozen during or after an adaptive run; a
+    #: chain stopped mid-warmup resumes adapting bitwise-identically.
+    adapt_state: dict | None = None
 
 
 @dataclass
 class Checkpoint:
     """A whole request's frozen sampling state.
 
-    ``num_samples``/``burn_in``/``thin``/``seed`` pin the run geometry:
-    a resumed leg must target the same totals or the sweep/thinning
-    alignment (and therefore bitwise reproducibility) breaks.
+    ``num_samples``/``burn_in``/``thin``/``seed`` (and, for adaptive
+    runs, ``warmup``/``target_accept``) pin the run geometry: a resumed
+    leg must target the same totals or the sweep/thinning alignment
+    (and therefore bitwise reproducibility) breaks.
     """
 
     request_id: str
@@ -71,6 +76,8 @@ class Checkpoint:
     collect: tuple | None
     chains: list[ChainCheckpoint]
     created_at: float = 0.0
+    warmup: int = 0
+    target_accept: float = 0.8
 
     @classmethod
     def from_results(
@@ -84,6 +91,8 @@ class Checkpoint:
         burn_in: int = 0,
         thin: int = 1,
         collect=None,
+        warmup: int = 0,
+        target_accept: float = 0.8,
     ) -> "Checkpoint":
         """Freeze the per-chain ``SampleResult`` list of a (partial)
         run.  Requires results carrying ``final_state``/``rng_state``
@@ -101,6 +110,7 @@ class Checkpoint:
                     n_kept=r.n_kept,
                     sweeps_run=r.sweeps_run,
                     draws=_copy_draws(r.samples, r.n_kept),
+                    adapt_state=r.adapt_state,
                 )
             )
         return cls(
@@ -114,6 +124,8 @@ class Checkpoint:
             collect=tuple(collect) if collect is not None else None,
             chains=chains,
             created_at=time.time(),
+            warmup=warmup,
+            target_accept=target_accept,
         )
 
     # -- reading -----------------------------------------------------------
@@ -139,6 +151,7 @@ class Checkpoint:
                 start_sweep=c.sweeps_run,
                 start_kept=c.n_kept,
                 draws=c.draws,
+                adapt_state=getattr(c, "adapt_state", None),
             )
             for c in self.chains
         ]

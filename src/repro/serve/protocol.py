@@ -13,7 +13,8 @@ Request schema (``POST /v1/infer``)::
       "query": {
         "samples": 500, "burn_in": 0, "thin": 1, "chains": 2,
         "seed": 0, "collect": ["mu"], "schedule": null,
-        "executor": "processes", "chunk_size": 25
+        "executor": "processes", "chunk_size": 25,
+        "warmup": 500, "target_accept": 0.8   // HMC/NUTS adaptation
       },
       "budget": {
         "deadline_s": 2.0,     // wall-clock cap for the request
@@ -80,6 +81,8 @@ class InferRequest:
     schedule: str | None = None
     executor: str = "sequential"
     chunk_size: int | None = None
+    warmup: int = 0
+    target_accept: float = 0.8
     budget: Budget = field(default_factory=Budget)
     resume: bool = True
     return_draws: bool = False
@@ -141,6 +144,12 @@ def parse_infer_request(payload) -> InferRequest:
     chains = _get_int(query, "chains", 1, lo=1)
     seed = _get_int(query, "seed", 0)
     chunk_size = _get_int(query, "chunk_size", None, lo=1)
+    warmup = _get_int(query, "warmup", 0, lo=0)
+    target_accept = _get_num(query, "target_accept", 0.8)
+    _require(
+        0.0 < target_accept < 1.0,
+        "'target_accept' must lie strictly between 0 and 1",
+    )
     executor = query.get("executor", "sequential")
     _require(executor in EXECUTORS,
              f"'executor' must be one of {', '.join(EXECUTORS)}")
@@ -184,6 +193,8 @@ def parse_infer_request(payload) -> InferRequest:
         schedule=schedule,
         executor=executor,
         chunk_size=chunk_size,
+        warmup=warmup,
+        target_accept=target_accept,
         budget=Budget(deadline, max_draws, target_rhat),
         resume=flag("resume", True),
         return_draws=flag("return_draws", False),

@@ -144,7 +144,22 @@ class ReproServer:
                 },
             )
         if method == "GET" and path == "/v1/metrics":
-            return json_response(200, self.service.metrics.snapshot())
+            snap = self.service.metrics.snapshot()
+            # Live per-request view: which phase each in-flight request
+            # is in (warmup vs sampling) and the current adapted step
+            # size when warmup adaptation is running.
+            snap["active_requests"] = {
+                rid: {
+                    "phase": s.get("phase", "sampling"),
+                    "step_size": s.get("step_size"),
+                    "warmup_sweep": s.get("warmup_sweep"),
+                    "warmup_total": s.get("warmup_total"),
+                    "kept": s.get("kept"),
+                }
+                for rid, s in self._status.items()
+                if s.get("state") in ("sampling", "warmup")
+            }
+            return json_response(200, snap)
         if method == "GET" and path.startswith("/v1/requests/"):
             rid = path[len("/v1/requests/"):]
             status = self._status.get(rid)
@@ -222,8 +237,10 @@ class ReproServer:
         status = self._status.get(rid)
         if status is None or status.get("state") in ("done", "error"):
             return
+        phase = event.get("phase") or "sampling"
         status.update(
-            state="sampling",
+            state=phase if phase == "warmup" else "sampling",
+            phase=phase,
             kept=event.get("kept"),
             requested=event.get("requested"),
             worst_rhat=event.get("worst_rhat"),
@@ -234,6 +251,11 @@ class ReproServer:
                 "info": event.get("info"),
             },
         )
+        if event.get("step_size") is not None:
+            status["step_size"] = event["step_size"]
+        if event.get("warmup_sweep") is not None:
+            status["warmup_sweep"] = event["warmup_sweep"]
+            status["warmup_total"] = event.get("warmup_total")
 
     # -- /v1/report --------------------------------------------------------
 

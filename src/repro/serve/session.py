@@ -203,6 +203,8 @@ class InferenceService:
             chunk_size=req.chunk_size,
             early_stop_rhat=budget.target_rhat,
             resume=resume,
+            warmup=req.warmup,
+            target_accept=req.target_accept,
         )
         kept = [
             r.start_kept if r is not None else 0
@@ -250,6 +252,7 @@ class InferenceService:
                     req.request_id, spec_key or "", results,
                     seed=req.seed, num_samples=req.samples,
                     burn_in=req.burn_in, thin=req.thin, collect=req.collect,
+                    warmup=req.warmup, target_accept=req.target_accept,
                 )
             )
             checkpointed = True
@@ -330,8 +333,10 @@ class InferenceService:
             ("burn_in", req.burn_in),
             ("thin", req.thin),
             ("seed", req.seed),
+            ("warmup", req.warmup),
+            ("target_accept", req.target_accept),
         ):
-            if getattr(ckpt, attr) != want:
+            if getattr(ckpt, attr, want) != want:
                 mismatches.append(attr)
         if (ckpt.collect or None) != (req.collect or None):
             mismatches.append("collect")
@@ -407,7 +412,16 @@ class InferenceService:
             "requested": req.samples,
         }
         if chunk.info:
-            event["info"] = chunk.info
+            phase = chunk.info.get("__phase__")
+            if phase is not None:
+                event["phase"] = phase.get("phase")
+                event["warmup_sweep"] = phase.get("sweep")
+                event["warmup_total"] = phase.get("warmup")
+                if phase.get("step_size") is not None:
+                    event["step_size"] = phase["step_size"]
+            info = {k: v for k, v in chunk.info.items() if k != "__phase__"}
+            if info:
+                event["info"] = info
         if stream.monitor is not None:
             event["worst_rhat"] = stream.monitor.worst_rhat()
         return event

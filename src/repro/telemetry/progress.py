@@ -51,6 +51,10 @@ class StreamProgress:
         self.divergent = 0
         self.nan_rejects = 0
         self._accept_last: float | None = None
+        self._step_size: float | None = None
+        self._phase: str | None = None
+        self._warmup_sweep = [0] * n_chains
+        self._warmup_total = 0
         self._width = 0
 
     # -- feeding -----------------------------------------------------------
@@ -59,9 +63,19 @@ class StreamProgress:
         self.kept[chunk.chain] = chunk.stop
         if chunk.info:
             accepts = []
-            for entry in chunk.info.values():
+            for key, entry in chunk.info.items():
+                if key == "__phase__":
+                    self._phase = entry.get("phase")
+                    if entry.get("step_size") is not None:
+                        self._step_size = entry["step_size"]
+                    if self._phase == "warmup":
+                        self._warmup_sweep[chunk.chain] = entry.get("sweep", 0)
+                        self._warmup_total = entry.get("warmup", 0)
+                    continue
                 self.divergent += entry.get("divergent", 0)
                 self.nan_rejects += entry.get("nan_rejects", 0)
+                if entry.get("step_size") is not None:
+                    self._step_size = entry["step_size"]
                 rate = entry.get("accept_rate")
                 if rate is not None and rate == rate:
                     accepts.append(rate)
@@ -79,6 +93,19 @@ class StreamProgress:
         elapsed = max(self._clock() - self._start, 1e-9)
         done = sum(self.kept)
         rate = done / elapsed
+        if self._phase == "warmup":
+            chains = " ".join(
+                f"c{i}:{s}/{self._warmup_total}"
+                for i, s in enumerate(self._warmup_sweep)
+            )
+            line = f"[stream] warmup {chains}"
+            if self._step_size is not None:
+                line += f" | step {self._step_size:.3g}"
+            pad = max(0, self._width - len(line))
+            self._width = len(line)
+            self.out.write("\r" + line + " " * pad)
+            self.out.flush()
+            return
         chains = " ".join(
             f"c{i}:{k}/{self.total}" for i, k in enumerate(self.kept)
         )
@@ -90,6 +117,8 @@ class StreamProgress:
         )
         if self._accept_last is not None:
             line += f" | accept {self._accept_last:.2f}"
+        if self._step_size is not None:
+            line += f" | step {self._step_size:.3g}"
         if self.divergent:
             line += f" | divergent {self.divergent}"
         if self.nan_rejects:

@@ -51,6 +51,7 @@ def report_data(sampler, results) -> dict:
         label: {"min": lo, "max": hi, "mean": mean}
         for label, (lo, hi, mean) in acceptance_ranges(results).items()
     }
+    adaptation = _adaptation_data(results)
     spec = getattr(sampler, "spec", None)
     return {
         "generated_at": time.strftime("%Y-%m-%d %H:%M:%S"),
@@ -61,8 +62,64 @@ def report_data(sampler, results) -> dict:
         "ledger": sampler.explain_json(),
         "chains": chains,
         "acceptance_ranges": ranges,
+        "adaptation": adaptation,
         "profiles": profiles,
     }
+
+
+#: Longest step-size trace embedded in the report; longer warmups are
+#: strided down so the artifact stays small.
+_TRACE_POINTS = 256
+
+
+def _adaptation_data(results) -> list[dict]:
+    """Per-chain, per-update warmup adaptation summaries.
+
+    Final state comes from ``SampleResult.adapt_state``; the per-sweep
+    step-size trace rides in the stats buffers when the run collected
+    them (``collect_stats=True``).
+    """
+    out: list[dict] = []
+    for i, r in enumerate(results):
+        saved = getattr(r, "adapt_state", None)
+        if not saved:
+            continue
+        stats = getattr(r, "stats", None)
+        for label, st in sorted(saved.items()):
+            warmup = int(st.get("warmup", 0))
+            trace: list[float] = []
+            if stats is not None and label in stats.update_labels:
+                cols = stats[label]
+                if "step_size" in cols:
+                    raw = cols["step_size"][:warmup]
+                    stride = max(1, len(raw) // _TRACE_POINTS)
+                    trace = [
+                        float(v) for v in raw[::stride] if v == v and v > 0
+                    ]
+            inv_mass = st.get("inv_mass")
+            step = st.get("step_size")
+            out.append(
+                {
+                    "chain": i,
+                    "update": label,
+                    "warmup": warmup,
+                    "target_accept": float(st.get("target_accept", 0.8)),
+                    "step_size": None if step is None else float(step),
+                    "windows_closed": int(st.get("window_index", 0)),
+                    "n_windows": int(st.get("n_windows", 0)),
+                    "inv_mass": (
+                        None
+                        if inv_mass is None
+                        else {
+                            "dim": int(len(inv_mass)),
+                            "min": float(inv_mass.min()),
+                            "max": float(inv_mass.max()),
+                        }
+                    ),
+                    "step_size_trace": trace,
+                }
+            )
+    return out
 
 
 def _esc(s) -> str:
@@ -101,6 +158,88 @@ def _ledger_rows(ledger: list[dict]) -> str:
             "</tr>"
         )
     return "".join(rows)
+
+
+def _sparkline(values: list, width: int = 560, height: int = 64) -> str:
+    """An inline SVG polyline of the (log-scale) step-size trace."""
+    import math
+
+    vals = [v for v in values if v == v and v > 0]
+    if len(vals) < 2:
+        return ""
+    logs = [math.log(v) for v in vals]
+    lo, hi = min(logs), max(logs)
+    span = (hi - lo) or 1.0
+    n = len(logs)
+    pts = " ".join(
+        f"{width * i / (n - 1):.1f},"
+        f"{height - 4 - (height - 8) * (v - lo) / span:.1f}"
+        for i, v in enumerate(logs)
+    )
+    return (
+        f"<svg width='{width}' height='{height}' viewBox='0 0 {width} "
+        f"{height}' role='img' aria-label='step-size trace'>"
+        f"<rect width='{width}' height='{height}' fill='#f6f6f6'/>"
+        f"<polyline points='{pts}' fill='none' stroke='#36c' "
+        "stroke-width='1.5'/></svg>"
+    )
+
+
+def _fmt_step(x) -> str:
+    return "-" if x is None else f"{x:.4g}"
+
+
+def _adaptation_section(entries: list[dict]) -> str:
+    """The warmup-adaptation summary table plus per-chain step-size
+    trace sparklines."""
+    if not entries:
+        return ""
+    rows = []
+    for e in entries:
+        im = e.get("inv_mass")
+        mass = (
+            "-" if im is None
+            else f"dim {im['dim']}: {im['min']:.3g} .. {im['max']:.3g}"
+        )
+        rows.append(
+            f"<tr><td class='num'>{e['chain']}</td>"
+            f"<td>{_esc(e['update'])}</td>"
+            f"<td class='num'>{e['warmup']}</td>"
+            f"<td class='num'>{e['target_accept']:.2f}</td>"
+            f"<td class='num'>{_fmt_step(e['step_size'])}</td>"
+            f"<td class='num'>{e['windows_closed']}/{e['n_windows']}</td>"
+            f"<td>{_esc(mass)}</td></tr>"
+        )
+    traces = []
+    for e in entries:
+        title = (
+            "<h3>Step-size trace "
+            f"(chain {e['chain']}, {_esc(e['update'])})</h3>"
+        )
+        trace = e.get("step_size_trace") or []
+        svg = _sparkline(trace)
+        if svg:
+            traces.append(
+                title + svg
+                + f"<p class='muted'>{len(trace)} warmup points, "
+                f"{_fmt_step(trace[0])} &rarr; "
+                f"{_fmt_step(e['step_size'])} (log scale)</p>"
+            )
+        else:
+            traces.append(
+                title
+                + "<p class='muted'>final adapted step size "
+                f"{_fmt_step(e['step_size'])}; rerun with per-sweep stats "
+                "collection for the full trace.</p>"
+            )
+    return (
+        "<h2>Warmup adaptation</h2>"
+        "<table><tr><th class='num'>chain</th><th>update</th>"
+        "<th class='num'>warmup</th><th class='num'>target accept</th>"
+        "<th class='num'>adapted step</th><th class='num'>windows</th>"
+        "<th>mass diag (M&#8315;&sup1;)</th></tr>"
+        + "".join(rows) + "</table>" + "".join(traces)
+    )
 
 
 def _profile_section(i: int, prof: dict, many: bool) -> str:
@@ -166,6 +305,7 @@ def render_html(data: dict) -> str:
         _profile_section(i, p, many=len(data["profiles"]) > 1)
         for i, p in enumerate(data["profiles"])
     )
+    adaptation_html = _adaptation_section(data.get("adaptation") or [])
     accept_html = ""
     if data["acceptance_ranges"]:
         rows = "".join(
@@ -203,6 +343,7 @@ compile {data['compile_seconds']:.3f} s</p>
 <pre>{_esc(data['model_source'])}</pre>
 {ledger_html}
 {accept_html}
+{adaptation_html}
 {profiles_html}
 <h2>Chains</h2>
 <table><tr><th class="num">chain</th><th class="num">draws</th>

@@ -73,14 +73,22 @@ class SampleStats:
     Indexable two ways: ``stats["Gibbs z"]`` gives one update's
     field->array dict, and :meth:`to_dict` flattens to the nutpie-style
     ``{"Gibbs z.accept_rate": array, ...}`` mapping.  Arrays cover every
-    sweep (burn-in included); ``kept_slice`` selects the post-warmup,
-    post-thinning sweeps that correspond to stored draws.
+    sweep (warmup and burn-in included); ``kept_slice`` selects the
+    post-warmup, post-burn-in, post-thinning sweeps that correspond to
+    stored draws.
     """
 
-    def __init__(self, buffers: list[UpdateStatsBuffer], burn_in: int, thin: int):
+    def __init__(
+        self,
+        buffers: list[UpdateStatsBuffer],
+        burn_in: int,
+        thin: int,
+        warmup: int = 0,
+    ):
         self._buffers = {b.label: b for b in buffers}
         self.burn_in = burn_in
         self.thin = thin
+        self.warmup = warmup
         self.n_sweeps = buffers[0].n_sweeps if buffers else 0
 
     @property
@@ -89,7 +97,7 @@ class SampleStats:
 
     @property
     def kept_slice(self) -> slice:
-        return slice(self.burn_in, None, self.thin)
+        return slice(self.warmup + self.burn_in, None, self.thin)
 
     def __getitem__(self, label: str) -> dict[str, np.ndarray]:
         return dict(self._buffers[label].columns)
@@ -134,6 +142,8 @@ class SampleStats:
                 parts.append(f"mean expansions {float(cols['expansions'].mean()):.1f}")
             if "shrinks" in cols:
                 parts.append(f"mean shrinks {float(cols['shrinks'].mean()):.1f}")
+            if "step_size" in cols and buf.n_sweeps and cols["step_size"][-1]:
+                parts.append(f"step size {float(cols['step_size'][-1]):.4g}")
             lines.append(f"  {label}: " + ", ".join(parts))
         return lines
 
@@ -179,6 +189,8 @@ def chunk_stat_info(
         entry["nan_rejects"] = int(cols["nan_rejects"][lo:hi].sum())
         if "divergent" in cols:
             entry["divergent"] = int((cols["divergent"][lo:hi] > 0).sum())
+        if "step_size" in cols and hi > lo:
+            entry["step_size"] = float(cols["step_size"][hi - 1])
         out[buf.label] = entry
     return out
 

@@ -46,12 +46,18 @@ KERNEL_CASES = [
     (
         "HMC[steps=5, step_size=0.05] mu (*) Gibbs z",
         "HMC mu",
-        {"log_alpha", "energy", "divergent", "n_leapfrog"},
+        {
+            "log_alpha", "energy", "divergent", "n_leapfrog",
+            "accept_stat", "step_size", "step_size_bar", "adapt_window",
+        },
     ),
     (
         "NUTS[step_size=0.05] mu (*) Gibbs z",
         "NUTS mu",
-        {"energy", "divergent", "n_leapfrog", "tree_depth"},
+        {
+            "energy", "divergent", "n_leapfrog", "tree_depth",
+            "accept_stat", "step_size", "step_size_bar", "adapt_window",
+        },
     ),
 ]
 

@@ -181,6 +181,48 @@ def main() -> int:
                 )
         print("resume: draws bitwise-identical to uninterrupted run")
 
+        # 4. Adaptive warmup through the deadline/checkpoint machinery:
+        # a NUTS request with warmup exhausts its deadline mid-warmup
+        # (zero kept draws), checkpoints the adaptation state, and the
+        # resumed leg finishes bitwise-identical to a never-interrupted
+        # run of the same geometry.
+        nuts_query = dict(
+            payload["query"], samples=40, chunk_size=5, seed=11,
+            executor="sequential", schedule="NUTS mu",
+            warmup=3000, target_accept=0.8,
+        )
+        nuts_ref = dict(payload, return_draws=True)
+        nuts_ref["query"] = nuts_query
+        status, nuts_reference = call(port, "POST", "/v1/infer", nuts_ref)
+        assert status == 200 and nuts_reference["complete"], nuts_reference
+        interrupted = dict(payload, request_id="adapt-1")
+        interrupted["query"] = nuts_query
+        interrupted["budget"] = {"deadline_s": 0.05}
+        status, mid = call(port, "POST", "/v1/infer", interrupted)
+        assert status == 200, mid
+        assert mid["stopped_early"] and mid["stop_reason"] == "deadline", mid
+        assert mid["checkpointed"], mid
+        kept = mid["draws"]["kept"]
+        kept_per_chain = kept if isinstance(kept, list) else [kept]
+        assert all(k == 0 for k in kept_per_chain), (
+            f"expected the deadline to land mid-warmup: {mid['draws']}"
+        )
+        resume_leg = dict(payload, request_id="adapt-1", return_draws=True)
+        resume_leg["query"] = nuts_query
+        status, done = call(port, "POST", "/v1/infer", resume_leg)
+        assert status == 200 and done["complete"] and done["resumed"], done
+        for chain_ref, chain_res in zip(
+            nuts_reference["draws_data"], done["draws_data"]
+        ):
+            for name in chain_ref:
+                np.testing.assert_array_equal(
+                    np.asarray(chain_res[name]), np.asarray(chain_ref[name])
+                )
+        print(
+            "adaptive warmup: deadline landed mid-warmup, "
+            "resumed draws bitwise-identical"
+        )
+
         # Artifacts + metrics sanity.
         status, report = call(port, "GET", "/v1/report/warm-1")
         assert status == 200 and report.lstrip().startswith(b"<!DOCTYPE html>")
