@@ -1,0 +1,130 @@
+"""Profile-guided schedule tuning: tuned vs heuristic throughput.
+
+On the grouped-means model the heuristic picks a scalar Gibbs update
+for ``mu`` (one conjugate draw per group per sweep, driven from
+Python), while the tournament discovers that the batched element-wise
+MH twin advances every group in a handful of vector calls.  This
+benchmark measures per-sweep wall time for the heuristic schedule and
+for the autotuned winner, and checks the shape-keyed verdict cache:
+the second ``autotune`` with the same shape fingerprint must skip the
+trial sweeps entirely.
+
+Results land in ``BENCH_schedule_tuning.json`` at the repository
+root.  The acceptance assertions: the tuned schedule is at least as
+fast per sweep as the heuristic one, the tournament actually changed
+the schedule, and the repeat tuning call is a cache hit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.core.compiler import compile_model
+from repro.eval.experiments.common import format_table
+from repro.runtime.rng import Rng
+from repro.tune import autotune, clear_tuning_cache, tuning_cache_stats
+
+FULL = os.environ.get("REPRO_FULL") == "1"
+N_GROUPS = 1500 if FULL else 400
+J_OBS = 4
+MEASURE_SWEEPS = 40 if FULL else 15
+HEURISTIC_SWEEPS = 10 if FULL else 6
+RESULTS_JSON = (
+    pathlib.Path(__file__).resolve().parents[1] / "BENCH_schedule_tuning.json"
+)
+
+MODEL = """
+(N, J, v0, v) => {
+  param mu[n] ~ Normal(0.0, v0)
+    for n <- 0 until N ;
+  data y[n][j] ~ Normal(mu[n], v)
+    for n <- 0 until N, j <- 0 until J ;
+}
+"""
+
+HYPERS = {"N": N_GROUPS, "J": J_OBS, "v0": 25.0, "v": 1.0}
+
+
+def _data():
+    rng = np.random.default_rng(0)
+    return {"y": rng.normal(1.0, 1.0, size=(N_GROUPS, J_OBS))}
+
+
+def _per_sweep_seconds(sampler, sweeps: int) -> float:
+    rng = Rng(7)
+    state = sampler.init_state(rng)
+    for _ in range(2):  # warm up allocator and caches
+        sampler.step(state, rng)
+    t0 = time.perf_counter()
+    for _ in range(sweeps):
+        sampler.step(state, rng)
+    return (time.perf_counter() - t0) / sweeps
+
+
+def test_tuned_schedule_beats_heuristic(report):
+    data = _data()
+    heuristic = compile_model(MODEL, HYPERS, data)
+
+    clear_tuning_cache()
+    t0 = time.perf_counter()
+    tuned = autotune(MODEL, HYPERS, data)
+    tuning_s = time.perf_counter() - t0
+    assert tuned.tune_report["cache"] == "miss"
+    heuristic_schedule = tuned.tune_report["baseline_schedule"]
+
+    t0 = time.perf_counter()
+    cached = autotune(MODEL, HYPERS, data)
+    cached_s = time.perf_counter() - t0
+    cache_hit = cached.tune_report["cache"] == "hit"
+    assert cache_hit, "second autotune with the same shapes must hit"
+    assert tuning_cache_stats().hits >= 1
+    assert cached.spec.schedule == tuned.spec.schedule
+
+    heuristic_s = _per_sweep_seconds(heuristic, HEURISTIC_SWEEPS)
+    tuned_s = _per_sweep_seconds(tuned, MEASURE_SWEEPS)
+    speedup = heuristic_s / tuned_s
+
+    report(
+        f"Schedule tuning -- {N_GROUPS} grouped means, {J_OBS} obs each",
+        format_table(
+            ["schedule", "s/sweep", "speedup", "tuning s"],
+            [
+                [heuristic_schedule, f"{heuristic_s:.5f}", "baseline", "-"],
+                [tuned.spec.schedule, f"{tuned_s:.5f}",
+                 f"{speedup:.1f}x", f"{tuning_s:.2f}"],
+                ["(cache hit)", "-", "-", f"{cached_s:.3f}"],
+            ],
+        ),
+    )
+
+    RESULTS_JSON.write_text(
+        json.dumps(
+            {
+                "n_groups": N_GROUPS,
+                "j_obs": J_OBS,
+                "heuristic_schedule": heuristic_schedule,
+                "tuned_schedule": tuned.spec.schedule,
+                "heuristic_s_per_sweep": heuristic_s,
+                "tuned_s_per_sweep": tuned_s,
+                "speedup": speedup,
+                "tuning_seconds": tuning_s,
+                "cached_tuning_seconds": cached_s,
+                "cache_hit": cache_hit,
+                "tournament": tuned.tune_report["candidates"],
+            },
+            indent=2,
+        )
+    )
+
+    assert tuned.spec.schedule != heuristic_schedule, (
+        "the tournament should discover a non-heuristic winner here"
+    )
+    assert tuned_s <= heuristic_s, (
+        f"tuned schedule slower than heuristic: "
+        f"{tuned_s:.5f} vs {heuristic_s:.5f} s/sweep"
+    )

@@ -50,6 +50,7 @@ class Infer:
         self._proposals: dict = {}
         self._sampler: CompiledSampler | None = None
         self._rng = Rng(0)
+        self._tune = False
 
     # -- context manager ---------------------------------------------------
 
@@ -75,6 +76,15 @@ class Infer:
         log_q_ratio)`` for a variable scheduled with the MH update."""
         self._proposals[name] = proposal
 
+    def setTune(self, flag: bool = True) -> None:
+        """Autotune the schedule at :meth:`compile` time: run the
+        trial-sweep tournament of :func:`repro.tune.autotune` around
+        the heuristic (or :meth:`setUserSched`) schedule and compile
+        the measured winner.  Draws are bitwise identical to pinning
+        the winning schedule directly; repeat compiles with the same
+        model shape reuse the cached verdict."""
+        self._tune = flag
+
     # -- compilation ---------------------------------------------------------
 
     def compile(self, *hyper_values):
@@ -96,14 +106,26 @@ class Infer:
                     f"{data_decls}, got {len(data_values)}"
                 )
             data = dict(zip(data_decls, data_values))
-            self._sampler = compile_model(
-                self._source,
-                bound,
-                data,
-                options=self._options,
-                schedule=self._schedule,
-                proposals=self._proposals or None,
-            )
+            if self._tune:
+                from repro.tune import autotune
+
+                self._sampler = autotune(
+                    self._source,
+                    bound,
+                    data,
+                    options=self._options,
+                    schedule=self._schedule,
+                    proposals=self._proposals or None,
+                )
+            else:
+                self._sampler = compile_model(
+                    self._source,
+                    bound,
+                    data,
+                    options=self._options,
+                    schedule=self._schedule,
+                    proposals=self._proposals or None,
+                )
             return self
 
         return with_data
@@ -128,6 +150,7 @@ class Infer:
         profile: bool = False,
         warmup: int = 0,
         targetAccept: float = 0.8,
+        tune: bool = False,
     ) -> SampleResult:
         """Draw posterior samples; ``collect_stats=True`` additionally
         records per-sweep statistics for every base update of the
@@ -149,6 +172,7 @@ class Infer:
             profile=profile,
             warmup=warmup,
             target_accept=targetAccept,
+            tune=tune,
         )
 
     def sampleChains(
@@ -169,6 +193,7 @@ class Infer:
         resume=None,
         warmup: int = 0,
         targetAccept: float = 0.8,
+        tune: bool = False,
     ) -> list[SampleResult]:
         """Run independent chains, optionally fanned out over the warm
         worker pool (``executor="processes"``); draws are bitwise
@@ -196,6 +221,7 @@ class Infer:
             resume=resume,
             warmup=warmup,
             target_accept=targetAccept,
+            tune=tune,
         )
 
     def streamChains(
@@ -216,6 +242,7 @@ class Infer:
         resume=None,
         warmup: int = 0,
         targetAccept: float = 0.8,
+        tune: bool = False,
     ):
         """The streaming form of :meth:`sampleChains`: returns a
         :class:`repro.core.chains.ChainStream` yielding per-chain draw
@@ -238,6 +265,7 @@ class Infer:
             resume=resume,
             warmup=warmup,
             target_accept=targetAccept,
+            tune=tune,
         )
 
     # -- introspection -----------------------------------------------------------

@@ -130,10 +130,26 @@ def _build(args) -> "tuple":
     values = load_inputs(args.inputs)
     hypers, data = split_inputs(source, values)
     options = CompileOptions(target=args.target)
-    sampler = compile_model(
-        source, hypers, data, options=options, schedule=args.schedule
-    )
+    if getattr(args, "tune", False):
+        from repro.tune import autotune
+
+        sampler = autotune(
+            source, hypers, data, options=options, schedule=args.schedule,
+            executor=getattr(args, "executor", None),
+            n_workers=getattr(args, "workers", None),
+        )
+    else:
+        sampler = compile_model(
+            source, hypers, data, options=options, schedule=args.schedule
+        )
     return source, sampler
+
+
+def _print_tournament(sampler) -> None:
+    if getattr(sampler, "tune_report", None) is not None:
+        from repro.tune import render_tournament
+
+        print(render_tournament(sampler.tune_report))
 
 
 def _resolve_warmup(args, sampler) -> int:
@@ -173,6 +189,7 @@ def cmd_sample(args) -> int:
     _, sampler = _build(args)
     if args.explain:
         print(sampler.explain())
+        _print_tournament(sampler)
     if args.explain_json:
         with open(args.explain_json, "w") as f:
             json.dump(sampler.explain_json(), f, indent=2)
@@ -399,6 +416,8 @@ def cmd_inspect(args) -> int:
     if args.explain:
         print()
         print(sampler.explain())
+        print()
+        _print_tournament(sampler)
     if args.source:
         print()
         print(sampler.source)
@@ -496,6 +515,8 @@ def cmd_request(args) -> int:
         budget["target_rhat"] = args.target_rhat
     if args.schedule:
         query["schedule"] = args.schedule
+    if args.tune:
+        query["tune"] = True
     payload: dict = {
         "model_source": source,
         "data": raw,
@@ -551,6 +572,14 @@ def cmd_request(args) -> int:
         f"compile {timing.get('compile_s', 0.0)*1e3:.1f} ms, "
         f"sampling {timing.get('sampling_s', 0.0):.2f} s"
     )
+    tuning = response.get("tuning")
+    if tuning:
+        margin = tuning.get("margin")
+        print(
+            f"tuning cache {tuning.get('cache')}; "
+            f"winner schedule: {tuning.get('schedule')}"
+            + (f" ({margin:+.1%} vs. baseline)" if margin else "")
+        )
     if response.get("checkpointed"):
         print(
             "checkpointed: rerun the same request id to continue "
@@ -599,6 +628,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("inputs", help=".json or .npz with hypers + data")
         p.add_argument("--schedule", default=None, help="user MCMC schedule")
         p.add_argument("--target", default="cpu", choices=["cpu", "gpu"])
+        p.add_argument(
+            "--tune",
+            action="store_true",
+            help="autotune the schedule: trial-sweep tournament around the "
+            "heuristic (or --schedule), compile the measured winner; "
+            "verdicts are cached by model shape",
+        )
 
     ps = sub.add_parser("sample", help="compile and draw posterior samples")
     common(ps)
@@ -755,6 +791,11 @@ def build_parser() -> argparse.ArgumentParser:
     pq.add_argument("model", help="path to the model source file")
     pq.add_argument("inputs", help=".json with hypers + data")
     pq.add_argument("--schedule", default=None, help="user MCMC schedule")
+    pq.add_argument(
+        "--tune", action="store_true",
+        help="ask the service to autotune the schedule (verdicts cached "
+        "server-side by model shape)",
+    )
     pq.add_argument("--samples", type=int, default=500)
     pq.add_argument("--burn-in", type=int, default=0)
     pq.add_argument("--thin", type=int, default=1)

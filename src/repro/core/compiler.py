@@ -198,6 +198,54 @@ def spec_cache_key(spec) -> str:
     )
 
 
+def _hash_shape(h, v) -> None:
+    """Hash a value's *shape signature* only: dtype + dimensions for
+    arrays, the raw value for scalars (scalars parameterize model sizes,
+    so two datasets agreeing on every scalar and every array shape
+    exercise the same generated code)."""
+    if isinstance(v, RaggedArray):
+        h.update(b"ragged")
+        h.update(str(v.flat.dtype).encode())
+        h.update(str(v.flat.shape).encode())
+        h.update(np.ascontiguousarray(v.offsets).tobytes())
+    elif isinstance(v, np.ndarray):
+        h.update(str(v.dtype).encode())
+        h.update(str(v.shape).encode())
+    else:
+        h.update(repr(v).encode())
+
+
+def shape_cache_key(
+    source: str,
+    hyper_values: dict,
+    data_values: dict,
+    options: CompileOptions | None = None,
+    schedule: str | None = None,
+) -> str:
+    """The *data-shape* fingerprint of a compile request.
+
+    Like :func:`_cache_key` but hashing array dtypes/shapes instead of
+    their contents.  The schedule autotuner keys its verdict cache on
+    this: a tuning tournament's winner depends on model structure and
+    data sizes, not the observed values, so all datasets sharing a
+    shape signature reuse one verdict.
+    """
+    options = options or CompileOptions()
+    h = hashlib.sha256()
+    h.update(b"shape\x00")
+    for part in (source, repr(schedule), repr(options)):
+        h.update(part.encode())
+        h.update(b"\x00")
+    for tag, values in (("hyper", hyper_values), ("data", data_values)):
+        h.update(tag.encode())
+        for name in sorted(values):
+            h.update(name.encode())
+            h.update(b"=")
+            _hash_shape(h, values[name])
+            h.update(b";")
+    return h.hexdigest()
+
+
 def _cache_get(key: str) -> _CacheEntry | None:
     entry = _cache.get(key)
     if entry is not None:

@@ -125,3 +125,32 @@ class _SchedParser:
 def parse_schedule(source: str) -> Kernel:
     """Parse a user schedule string into a Kernel-IL term."""
     return _SchedParser(source).parse()
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "on" if value else "off"
+    return str(value)
+
+
+def format_update(upd: KBase) -> str:
+    """Render one base update back into schedule-language syntax."""
+    opts = ""
+    if upd.options:
+        opts = "[" + ", ".join(
+            f"{name}={_format_value(value)}" for name, value in upd.options
+        ) + "]"
+    return f"{upd.method.value}{opts} {upd.unit}"
+
+
+def format_schedule(kernel: Kernel) -> str:
+    """Render a kernel term as a schedule string.
+
+    The inverse of :func:`parse_schedule` up to whitespace:
+    ``parse_schedule(format_schedule(k))`` reproduces ``k`` minus
+    payloads.  Used by the autotuner to turn candidate kernels back
+    into the user-facing schedule strings it compiles and records.
+    """
+    from repro.core.kernel.ir import flatten
+
+    return " (*) ".join(format_update(u) for u in flatten(kernel))

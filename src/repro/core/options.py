@@ -57,6 +57,12 @@ class CompileOptions:
         if self.target not in ("cpu", "gpu"):
             raise ValueError(f"unknown target {self.target!r}; use 'cpu' or 'gpu'")
 
+    def replace(self, **changes) -> "CompileOptions":
+        """A copy with the given fields swapped (tuner candidate variants)."""
+        import dataclasses
+
+        return dataclasses.replace(self, **changes)
+
     def blk_config(self) -> OptimizeConfig:
         return OptimizeConfig(
             commute_loops=self.commute_loops,

@@ -245,6 +245,9 @@ class CompiledSampler:
         self.source_map = source_map or {}
         self.op_count_exprs = op_count_exprs or {}
         self.decl_provenance = decl_provenance or {}
+        #: The autotuner's tournament record (:func:`repro.tune.autotune`
+        #: attaches it on the winning sampler); ``None`` when untuned.
+        self.tune_report: dict | None = None
         # Persistent sweep environment: built once per (state object,
         # base_env version) instead of dict(base_env) + update on every
         # sweep.
@@ -273,6 +276,34 @@ class CompiledSampler:
     def explain_json(self) -> list[dict]:
         """The decision ledger as a machine-readable list of entries."""
         return self.ledger.to_json() if self.ledger is not None else []
+
+    def tuned(self, **tune_kwargs) -> "CompiledSampler":
+        """A sampler recompiled with the autotuned schedule.
+
+        Runs (or, on a shape-cache hit, replays) the trial-sweep
+        tournament of :func:`repro.tune.autotune` around this sampler's
+        schedule and returns the winner, carrying the tournament as
+        ``tune_report`` plus ``tune.*`` ledger entries.  Trial sweeps
+        use their own fresh RNG streams, so sampling from the returned
+        sampler is bitwise identical to compiling the winning schedule
+        directly.
+        """
+        from repro.tune import autotune
+
+        if self.spec is None:
+            raise RuntimeFailure(
+                "this sampler carries no rebuild spec; autotuning needs one"
+            )
+        spec = self.spec
+        return autotune(
+            spec.source,
+            spec.hyper_values,
+            spec.data_values,
+            options=spec.options,
+            schedule=spec.schedule,
+            proposals=spec.proposals,
+            **tune_kwargs,
+        )
 
     # ------------------------------------------------------------------
 
@@ -422,6 +453,7 @@ class CompiledSampler:
         profile: bool = False,
         warmup: int = 0,
         target_accept: float = 0.8,
+        tune: bool = False,
     ) -> SampleResult:
         """Draw posterior samples.
 
@@ -449,7 +481,26 @@ class CompiledSampler:
         A ``KeyboardInterrupt`` during the sweep loop finalizes the
         draws taken so far (``result.interrupted``) instead of losing
         the run.
+
+        ``tune=True`` first autotunes the schedule (:meth:`tuned`) and
+        samples from the tournament winner; the draws are bitwise
+        identical to calling ``sample`` on the winner directly, because
+        trial sweeps never touch this call's RNG stream.
         """
+        if tune:
+            return self.tuned().sample(
+                num_samples,
+                burn_in=burn_in,
+                thin=thin,
+                seed=seed,
+                collect=collect,
+                init=init,
+                callback=callback,
+                collect_stats=collect_stats,
+                profile=profile,
+                warmup=warmup,
+                target_accept=target_accept,
+            )
         return self.sample_iter(
             num_samples,
             burn_in=burn_in,
@@ -798,6 +849,7 @@ class CompiledSampler:
         resume=None,
         warmup: int = 0,
         target_accept: float = 0.8,
+        tune: bool = False,
     ) -> list[SampleResult]:
         """Run several independent chains from forked RNG streams.
 
@@ -831,8 +883,12 @@ class CompiledSampler:
         """
         from repro.core.chains import run_chains
 
+        if tune:
+            sampler = self.tuned(executor=executor, n_workers=n_workers)
+        else:
+            sampler = self
         return run_chains(
-            self,
+            sampler,
             n_chains=n_chains,
             num_samples=num_samples,
             burn_in=burn_in,
@@ -869,6 +925,7 @@ class CompiledSampler:
         resume=None,
         warmup: int = 0,
         target_accept: float = 0.8,
+        tune: bool = False,
     ):
         """The streaming form of :meth:`sample_chains`: returns a
         :class:`repro.core.chains.ChainStream` yielding
@@ -878,8 +935,12 @@ class CompiledSampler:
         after a ``KeyboardInterrupt``, with partial draws finalized)."""
         from repro.core.chains import stream_chains
 
+        if tune:
+            sampler = self.tuned(executor=executor, n_workers=n_workers)
+        else:
+            sampler = self
         return stream_chains(
-            self,
+            sampler,
             n_chains=n_chains,
             num_samples=num_samples,
             burn_in=burn_in,

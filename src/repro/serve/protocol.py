@@ -14,7 +14,8 @@ Request schema (``POST /v1/infer``)::
         "samples": 500, "burn_in": 0, "thin": 1, "chains": 2,
         "seed": 0, "collect": ["mu"], "schedule": null,
         "executor": "processes", "chunk_size": 25,
-        "warmup": 500, "target_accept": 0.8   // HMC/NUTS adaptation
+        "warmup": 500, "target_accept": 0.8,  // HMC/NUTS adaptation
+        "tune": false            // autotune the schedule by measurement
       },
       "budget": {
         "deadline_s": 2.0,     // wall-clock cap for the request
@@ -83,6 +84,7 @@ class InferRequest:
     chunk_size: int | None = None
     warmup: int = 0
     target_accept: float = 0.8
+    tune: bool = False
     budget: Budget = field(default_factory=Budget)
     resume: bool = True
     return_draws: bool = False
@@ -153,6 +155,8 @@ def parse_infer_request(payload) -> InferRequest:
     executor = query.get("executor", "sequential")
     _require(executor in EXECUTORS,
              f"'executor' must be one of {', '.join(EXECUTORS)}")
+    tune = query.get("tune", False)
+    _require(isinstance(tune, bool), "'tune' must be a boolean")
     schedule = query.get("schedule")
     if schedule is not None:
         _require(isinstance(schedule, str), "'schedule' must be a string")
@@ -195,6 +199,7 @@ def parse_infer_request(payload) -> InferRequest:
         chunk_size=chunk_size,
         warmup=warmup,
         target_accept=target_accept,
+        tune=tune,
         budget=Budget(deadline, max_draws, target_rhat),
         resume=flag("resume", True),
         return_draws=flag("return_draws", False),

@@ -166,11 +166,25 @@ class InferenceService:
         from repro.cli import split_inputs
 
         hypers, data = split_inputs(req.model_source, values)
-        sampler = compile_model(
-            req.model_source, hypers, data,
-            options=CompileOptions(target="cpu"),
-            schedule=req.schedule,
-        )
+        tune_cache_hit = None
+        if req.tune:
+            from repro.tune import autotune, tuning_cache_stats
+
+            tune_stats = tuning_cache_stats()
+            tune_hits_before = tune_stats.hits
+            sampler = autotune(
+                req.model_source, hypers, data,
+                options=CompileOptions(target="cpu"),
+                schedule=req.schedule,
+                executor=req.executor,
+            )
+            tune_cache_hit = tune_stats.hits > tune_hits_before
+        else:
+            sampler = compile_model(
+                req.model_source, hypers, data,
+                options=CompileOptions(target="cpu"),
+                schedule=req.schedule,
+            )
         cache_hit = stats.hits > hits_before
         compile_s = time.monotonic() - t0
         spec_key = (
@@ -181,6 +195,7 @@ class InferenceService:
         if checkpoint is not None and checkpoint.complete:
             return self._finish_complete_checkpoint(
                 req, checkpoint, spec_key, cache_hit, compile_s, queue_wait,
+                tune_cache_hit,
             )
         resume = checkpoint.resume_points() if checkpoint is not None else None
         base_kept = checkpoint.min_kept if checkpoint is not None else 0
@@ -280,9 +295,20 @@ class InferenceService:
                 "sampling_s": sampling_s,
                 "total_s": time.monotonic() - t0,
             },
-            "cache": self._cache_block(sampler, stream, spec_key, cache_hit),
+            "cache": self._cache_block(
+                sampler, stream, spec_key, cache_hit, tune_cache_hit
+            ),
             "summary": summary,
         }
+        if req.tune and sampler.tune_report is not None:
+            report = sampler.tune_report
+            response["tuning"] = {
+                "cache": report["cache"],
+                "schedule": report["winner"]["schedule"],
+                "options": report["winner"]["options"],
+                "margin": report.get("margin"),
+                "tuning_seconds": report.get("tuning_seconds"),
+            }
         if stream.monitor is not None:
             response["monitor"] = {
                 "worst_rhat": stream.monitor.worst_rhat(),
@@ -307,6 +333,8 @@ class InferenceService:
             stop_reason=stop_reason,
             resumed=resume is not None,
             checkpointed=checkpointed,
+            tuned=req.tune,
+            tune_cache_hit=tune_cache_hit,
         )
         return response
 
@@ -350,6 +378,7 @@ class InferenceService:
 
     def _finish_complete_checkpoint(
         self, req, checkpoint, spec_key, cache_hit, compile_s, queue_wait,
+        tune_cache_hit=None,
     ) -> dict:
         """The checkpoint already holds every requested draw: answer
         from it without sampling."""
@@ -399,6 +428,8 @@ class InferenceService:
             stop_reason=None,
             resumed=True,
             checkpointed=False,
+            tuned=req.tune,
+            tune_cache_hit=tune_cache_hit,
         )
         return response
 
@@ -426,7 +457,9 @@ class InferenceService:
             event["worst_rhat"] = stream.monitor.worst_rhat()
         return event
 
-    def _cache_block(self, sampler, stream, spec_key, cache_hit) -> dict:
+    def _cache_block(
+        self, sampler, stream, spec_key, cache_hit, tune_cache_hit=None
+    ) -> dict:
         stats = compile_cache_stats()
         block = {
             "compile_cache_hit": cache_hit,
@@ -434,13 +467,19 @@ class InferenceService:
             "misses": stats.misses,
             "spec_key": spec_key[:16] if spec_key else None,
         }
+        if tune_cache_hit is not None:
+            from repro.tune import tuning_cache_stats
+
+            tune_stats = tuning_cache_stats()
+            block["tuning_cache_hit"] = tune_cache_hit
+            block["tuning_hits"] = tune_stats.hits
+            block["tuning_misses"] = tune_stats.misses
         if stream._pool is not None:
             block["pool_pids"] = stream._pool.pids()
         if sampler.ledger is not None:
-            block["ledger"] = [
-                e.to_dict()
-                for e in sampler.ledger.entries_for(decision="compile.cache")
-            ]
+            decisions = sampler.ledger.entries_for(decision="compile.cache")
+            decisions += sampler.ledger.entries_for(decision="tune.cache")
+            block["ledger"] = [e.to_dict() for e in decisions]
         return block
 
     def _write_report(self, req, sampler, results) -> dict:

@@ -64,6 +64,7 @@ def report_data(sampler, results) -> dict:
         "acceptance_ranges": ranges,
         "adaptation": adaptation,
         "profiles": profiles,
+        "tournament": getattr(sampler, "tune_report", None),
     }
 
 
@@ -242,6 +243,54 @@ def _adaptation_section(entries: list[dict]) -> str:
     )
 
 
+def _fmt_gain(gain) -> str:
+    return "-" if gain is None else f"{100.0 * gain:+.1f}%"
+
+
+def _tournament_section(report: dict | None) -> str:
+    """The autotuner's trial-sweep tournament: every candidate with its
+    measured score and verdict, plus the cache outcome."""
+    if not report:
+        return ""
+    rows = []
+    for c in report.get("candidates", []):
+        sps = c.get("s_per_sweep") or c.get("probe_s_per_sweep")
+        ess = c.get("ess_per_s")
+        style = " style='font-weight:bold'" if c["verdict"] == "winner" else ""
+        rows.append(
+            f"<tr{style}><td>{_esc(c['label'])}</td>"
+            f"<td><code>{_esc(c['schedule'])}</code></td>"
+            f"<td class='num'>{'-' if sps is None else f'{sps:.3g}'}</td>"
+            f"<td class='num'>{'-' if ess is None else f'{ess:.3g}'}</td>"
+            f"<td class='num'>{_fmt_gain(c.get('gain'))}</td>"
+            f"<td>{_esc(c['verdict'])}</td></tr>"
+        )
+    winner = report.get("winner") or {}
+    opts = winner.get("options") or {}
+    opts_note = (
+        f" with options {_esc(opts)}" if opts else ""
+    )
+    cache = report.get("cache", "miss")
+    cache_note = (
+        "cached verdict reused &mdash; trial sweeps skipped"
+        if cache == "hit"
+        else f"searched in {report.get('tuning_seconds', 0.0):.2f} s "
+        f"({report.get('probe_sweeps')} probe + "
+        f"{report.get('trial_sweeps')} trial sweeps per candidate)"
+    )
+    return (
+        "<h2>Schedule tournament</h2>"
+        f"<p>winner: <code>{_esc(winner.get('schedule', ''))}</code>"
+        f"{opts_note} &middot; margin {_fmt_gain(report.get('margin'))} "
+        f"&middot; {cache_note} &middot; shape key "
+        f"<code>{_esc((report.get('shape_key') or '')[:16])}</code></p>"
+        "<table><tr><th>candidate</th><th>schedule</th>"
+        "<th class='num'>s/sweep</th><th class='num'>ESS/s</th>"
+        "<th class='num'>gain</th><th>verdict</th></tr>"
+        + "".join(rows) + "</table>"
+    )
+
+
 def _profile_section(i: int, prof: dict, many: bool) -> str:
     title = f"Sweep profile (chain {i})" if many else "Sweep profile"
     head = (
@@ -306,6 +355,7 @@ def render_html(data: dict) -> str:
         for i, p in enumerate(data["profiles"])
     )
     adaptation_html = _adaptation_section(data.get("adaptation") or [])
+    tournament_html = _tournament_section(data.get("tournament"))
     accept_html = ""
     if data["acceptance_ranges"]:
         rows = "".join(
@@ -341,6 +391,7 @@ schedule: {_esc(data['schedule'])} &middot;
 compile {data['compile_seconds']:.3f} s</p>
 <h2>Model</h2>
 <pre>{_esc(data['model_source'])}</pre>
+{tournament_html}
 {ledger_html}
 {accept_html}
 {adaptation_html}

@@ -23,6 +23,9 @@ class ServiceMetrics:
         self.errors = 0
         self.compile_cache_hits = 0
         self.compile_cache_misses = 0
+        self.tuned_requests = 0
+        self.tuning_cache_hits = 0
+        self.tuning_cache_misses = 0
         self.deadline_stops = 0
         self.draw_budget_stops = 0
         self.converged_stops = 0
@@ -46,6 +49,8 @@ class ServiceMetrics:
         stop_reason: str | None,
         resumed: bool,
         checkpointed: bool,
+        tuned: bool = False,
+        tune_cache_hit: bool | None = None,
     ) -> None:
         with self._lock:
             self.requests += 1
@@ -53,6 +58,12 @@ class ServiceMetrics:
                 self.compile_cache_hits += 1
             else:
                 self.compile_cache_misses += 1
+            if tuned:
+                self.tuned_requests += 1
+                if tune_cache_hit:
+                    self.tuning_cache_hits += 1
+                else:
+                    self.tuning_cache_misses += 1
             if stop_reason == "deadline":
                 self.deadline_stops += 1
             elif stop_reason == "draw_budget":
@@ -79,6 +90,8 @@ class ServiceMetrics:
                     "stop_reason": stop_reason,
                     "resumed": resumed,
                     "checkpointed": checkpointed,
+                    "tuned": tuned,
+                    "tune_cache_hit": tune_cache_hit,
                 }
             )
 
@@ -97,6 +110,11 @@ class ServiceMetrics:
                 "compile_cache": {
                     "hits": self.compile_cache_hits,
                     "misses": self.compile_cache_misses,
+                },
+                "tuning_cache": {
+                    "requests": self.tuned_requests,
+                    "hits": self.tuning_cache_hits,
+                    "misses": self.tuning_cache_misses,
                 },
                 "stops": {
                     "deadline": self.deadline_stops,

@@ -223,13 +223,40 @@ def main() -> int:
             "resumed draws bitwise-identical"
         )
 
+        # 5. Per-request schedule tuning: two identical tuned requests;
+        # the first runs the trial-sweep tournament, the second must be
+        # answered from the shape-keyed verdict cache.
+        tuned = dict(payload, request_id="tuned-1")
+        tuned["query"] = dict(
+            payload["query"], samples=40, executor="sequential", tune=True,
+        )
+        status, tuned_1 = call(port, "POST", "/v1/infer", tuned)
+        assert status == 200 and tuned_1["complete"], tuned_1
+        assert tuned_1["tuning"]["cache"] == "miss", tuned_1["tuning"]
+        tuned["request_id"] = "tuned-2"
+        status, tuned_2 = call(port, "POST", "/v1/infer", tuned)
+        assert status == 200, tuned_2
+        assert tuned_2["tuning"]["cache"] == "hit", (
+            "second identical tuned request re-ran the tournament"
+        )
+        assert tuned_2["cache"]["tuning_cache_hit"], tuned_2["cache"]
+        assert tuned_2["tuning"]["schedule"] == tuned_1["tuning"]["schedule"]
+        print(
+            "schedule tuning: winner "
+            f"{tuned_1['tuning']['schedule']!r} "
+            f"(margin {tuned_1['tuning']['margin']:+.1%}), "
+            "second request hit the verdict cache"
+        )
+
         # Artifacts + metrics sanity.
         status, report = call(port, "GET", "/v1/report/warm-1")
         assert status == 200 and report.lstrip().startswith(b"<!DOCTYPE html>")
         status, metrics = call(port, "GET", "/v1/metrics")
-        assert metrics["requests"] >= 5
+        assert metrics["requests"] >= 7
         assert metrics["compile_cache"]["hits"] >= 4
         assert metrics["stops"]["deadline"] >= 1
+        assert metrics["tuning_cache"]["requests"] >= 2
+        assert metrics["tuning_cache"]["hits"] >= 1
         with open(
             os.path.join(args.artifact_dir, "SERVICE_metrics.json"), "w"
         ) as f:
