@@ -16,6 +16,11 @@ measures that contract on the Figure-1 GMM:
   profiler's *off* path -- the one ``is None`` check per sweep -- is
   part of the bare loop and therefore covered by the off-vs-off
   acceptance number.
+- a streamed run vs the same run with the structured event log armed
+  (JSON-lines sink) and a flight recorder fed per chunk gives the
+  price of the serve-path observability stack.  Its *off* path -- one
+  ``enabled`` check per chunk and per sampling run -- is again part of
+  the bare loop, covered by the off-vs-off number.
 
 Results land in ``BENCH_telemetry_overhead.json`` at the repository
 root.  The acceptance assertion is on the *median-of-repeats* off-path
@@ -27,6 +32,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import tempfile
 import time
 
 import numpy as np
@@ -34,6 +40,8 @@ import numpy as np
 from repro.core.compiler import compile_model
 from repro.eval import models
 from repro.eval.experiments.common import format_table
+from repro.telemetry.flight import FlightRecorder
+from repro.telemetry.obslog import configure_event_log, get_event_log
 from repro.telemetry.trace import disable_tracing, enable_tracing, get_tracer
 
 FULL = os.environ.get("REPRO_FULL") == "1"
@@ -70,6 +78,21 @@ def _timed_run(sampler, collect_stats=False, profile=False):
     return time.perf_counter() - t0
 
 
+def _timed_stream_run(sampler, recorder=None):
+    """One single-chain streamed run (the serve hot path); with
+    ``recorder`` every chunk also feeds the flight recorder, as
+    ``InferenceService._handle`` does."""
+    t0 = time.perf_counter()
+    stream = sampler.stream_chains(
+        n_chains=1, num_samples=NUM_SAMPLES, seed=3,
+        executor="sequential", collect_stats=True, chunk_size=25,
+    )
+    for chunk in stream:
+        if recorder is not None:
+            recorder.record_chunk(chunk)
+    return time.perf_counter() - t0
+
+
 def _median(xs):
     return float(np.median(xs))
 
@@ -81,20 +104,30 @@ def test_telemetry_off_overhead_within_budget(report):
     # Interleave the variants so drift (thermal, page cache) spreads
     # evenly instead of biasing whichever variant runs last.
     base, base2, stats_on, traced, profiled = [], [], [], [], []
-    for _ in range(REPEATS):
-        base.append(_timed_run(sampler))
-        stats_on.append(_timed_run(sampler, collect_stats=True))
-        tracer = enable_tracing()
-        traced.append(_timed_run(sampler))
-        disable_tracing()
-        trace_events = len(tracer.events)
-        tracer.reset()
-        profiled.append(_timed_run(sampler, profile=True))
-        base2.append(_timed_run(sampler))
+    stream_base, obs_on = [], []
+    with tempfile.TemporaryDirectory() as tmpdir:
+        obs_sink = os.path.join(tmpdir, "events.jsonl")
+        for _ in range(REPEATS):
+            base.append(_timed_run(sampler))
+            stats_on.append(_timed_run(sampler, collect_stats=True))
+            tracer = enable_tracing()
+            traced.append(_timed_run(sampler))
+            disable_tracing()
+            trace_events = len(tracer.events)
+            tracer.reset()
+            profiled.append(_timed_run(sampler, profile=True))
+            stream_base.append(_timed_stream_run(sampler))
+            configure_event_log(path=obs_sink, level="debug")
+            obs_on.append(
+                _timed_stream_run(sampler, recorder=FlightRecorder("bench"))
+            )
+            get_event_log().close()
+            base2.append(_timed_run(sampler))
 
     off_s, off2_s = _median(base), _median(base2)
     stats_s, trace_s = _median(stats_on), _median(traced)
     profile_s = _median(profiled)
+    stream_s, obs_s = _median(stream_base), _median(obs_on)
     noise_pct = abs(off2_s - off_s) / off_s * 100.0
     # "Telemetry off" overhead: the armed-but-disabled code paths, i.e.
     # the second off run measured against the first.
@@ -102,6 +135,9 @@ def test_telemetry_off_overhead_within_budget(report):
     stats_overhead_pct = (stats_s - off_s) / off_s * 100.0
     trace_overhead_pct = (trace_s - off_s) / off_s * 100.0
     profile_overhead_pct = (profile_s - off_s) / off_s * 100.0
+    # Event log + flight recorder are measured against the *streamed*
+    # baseline -- they only run on the serve path, which streams chunks.
+    obslog_overhead_pct = (obs_s - stream_s) / stream_s * 100.0
 
     report(
         f"Telemetry overhead -- GMM, {NUM_SAMPLES} sweeps, "
@@ -118,6 +154,10 @@ def test_telemetry_off_overhead_within_budget(report):
                  f"{trace_overhead_pct:+.2f}%"],
                 ["profile=True", f"{profile_s:.3f}",
                  f"{profile_overhead_pct:+.2f}%"],
+                ["streamed chunks (serve path)", f"{stream_s:.3f}",
+                 "stream baseline"],
+                ["event log + flight recorder", f"{obs_s:.3f}",
+                 f"{obslog_overhead_pct:+.2f}% vs stream"],
             ],
         ),
     )
@@ -143,6 +183,14 @@ def test_telemetry_off_overhead_within_budget(report):
                 # (the sweep loop's one `profiler is None` check); this
                 # is the on-path price of the timer brackets + wrappers.
                 "profile_overhead_pct": profile_overhead_pct,
+                # Serve-path observability: streamed-chunk baseline vs
+                # event log armed (JSON-lines sink, debug level) plus a
+                # flight recorder fed every chunk.  Their *off* path --
+                # one `enabled` check per chunk / per run -- is inside
+                # the off-vs-off acceptance number like the profiler's.
+                "stream_s": stream_s,
+                "obslog_flight_s": obs_s,
+                "obslog_flight_overhead_pct": obslog_overhead_pct,
                 "max_off_overhead_pct": MAX_OFF_OVERHEAD_PCT,
             },
             indent=2,
@@ -159,3 +207,8 @@ def test_telemetry_off_overhead_within_budget(report):
     # The profiler's on-path brackets are two perf_counter reads per
     # update plus one per wrapped decl call -- cheap, but not free.
     assert profile_overhead_pct <= 50.0
+    # The armed event log writes a handful of JSON lines per *chunk*
+    # (not per sweep) and the flight recorder appends one dict to a
+    # bounded deque per chunk -- amortised across chunk_size sweeps
+    # this must stay well under the per-sweep instrumentation costs.
+    assert obslog_overhead_pct <= 25.0

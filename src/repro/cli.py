@@ -186,6 +186,10 @@ def cmd_sample(args) -> int:
         from repro.telemetry.trace import enable_tracing
 
         enable_tracing()
+    if args.log_json:
+        from repro.telemetry.obslog import configure_event_log
+
+        configure_event_log(path=args.log_json, level="debug")
     _, sampler = _build(args)
     if args.explain:
         print(sampler.explain())
@@ -266,6 +270,7 @@ def _sample_chains(args, sampler, warmup: int = 0) -> int:
             param_names=collect or sampler.param_names,
             n_chains=args.chains,
             total_draws=max(args.samples, 4),
+            divergence_warn=args.divergence_warn,
             emit=(
                 (lambda line: print(line, file=sys.stderr))
                 if args.monitor
@@ -304,7 +309,10 @@ def _sample_chains(args, sampler, warmup: int = 0) -> int:
         if sys.stderr.isatty():
             from repro.telemetry.progress import StreamProgress
 
-            progress = StreamProgress(args.chains, args.samples)
+            progress = StreamProgress(
+                args.chains, args.samples,
+                divergence_warn=args.divergence_warn,
+            )
             for chunk in stream:
                 progress.update(chunk, stream.monitor)
             progress.close()
@@ -453,13 +461,20 @@ def cmd_report(args) -> int:
 def cmd_serve(args) -> int:
     """Run the long-lived inference service (see docs/serving.md)."""
     from repro.serve.server import ReproServer
+    from repro.serve.session import InferenceService
 
+    service = InferenceService(
+        checkpoint_dir=args.checkpoint_dir,
+        artifact_dir=args.artifact_dir,
+        divergence_warn=args.divergence_warn,
+    )
     server = ReproServer(
         host=args.host,
         port=args.port,
-        checkpoint_dir=args.checkpoint_dir,
-        artifact_dir=args.artifact_dir,
+        service=service,
         max_workers=args.request_workers,
+        log_path=args.log_json,
+        log_level=args.log_level,
     )
 
     def announce(srv):
@@ -470,6 +485,8 @@ def cmd_serve(args) -> int:
             print(f"checkpoints: {args.checkpoint_dir}", flush=True)
         if args.artifact_dir:
             print(f"report artifacts: {args.artifact_dir}", flush=True)
+        if args.log_json:
+            print(f"event log: {args.log_json}", flush=True)
 
     try:
         server.run(announce=announce)
@@ -725,6 +742,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write a self-contained HTML inference report (+ .json twin)",
     )
+    ps.add_argument(
+        "--log-json",
+        default=None,
+        metavar="FILE",
+        help="append structured JSON-lines events (all levels) to FILE",
+    )
+    ps.add_argument(
+        "--divergence-warn",
+        type=float,
+        default=0.05,
+        metavar="RATE",
+        help="divergence-rate threshold for the single WARNING line "
+        "(default 0.05)",
+    )
     ps.set_defaults(fn=cmd_sample)
 
     pi = sub.add_parser("inspect", help="show the compiled sampler's plan")
@@ -780,6 +811,20 @@ def build_parser() -> argparse.ArgumentParser:
     pv.add_argument(
         "--request-workers", type=int, default=4,
         help="concurrent requests handled by the thread pool",
+    )
+    pv.add_argument(
+        "--log-json", default=None, metavar="FILE",
+        help="append the structured JSON-lines event log to FILE",
+    )
+    pv.add_argument(
+        "--log-level", default="info",
+        choices=["debug", "info", "warning", "error"],
+        help="minimum level kept in the event log (default info)",
+    )
+    pv.add_argument(
+        "--divergence-warn", type=float, default=0.05, metavar="RATE",
+        help="per-request divergence-rate threshold: one WARNING event "
+        "and a flight-recorder dump when crossed (default 0.05)",
     )
     pv.set_defaults(fn=cmd_serve)
 

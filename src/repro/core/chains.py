@@ -316,6 +316,13 @@ class _ChainTask:
     plan: BufferPlan | None
     chunk_size: int
     ship_trace: bool
+    #: Correlation id of the request this chain serves; stamped on
+    #: every worker-side event log entry so one grep reconstructs the
+    #: request across processes.
+    rid: str | None = None
+    #: Event-log level to capture at in the worker, or ``None`` when
+    #: the parent's log is disabled (no capture, no shipping).
+    obs_level: str | None = None
 
 
 def _run_task(sampler, task: _ChainTask, result_q, stop_event) -> None:
@@ -324,6 +331,12 @@ def _run_task(sampler, task: _ChainTask, result_q, stop_event) -> None:
         from repro.telemetry.trace import enable_tracing
 
         tracer = enable_tracing()
+    obs = None
+    if task.obs_level is not None:
+        from repro.telemetry.obslog import get_event_log
+
+        obs = get_event_log()
+        obs.begin_capture(level=task.obs_level)
     buffers = (
         SharedDrawBuffers.attach(task.plan) if task.plan is not None else None
     )
@@ -338,8 +351,17 @@ def _run_task(sampler, task: _ChainTask, result_q, stop_event) -> None:
         )
         for start, stop, info in it:
             events = tracer.drain_events() if tracer is not None else None
+            if obs is not None:
+                obs.log(
+                    "chunk.emitted", rid=task.rid,
+                    chain=task.chain, start=start, stop=stop,
+                )
+            obs_events = obs.drain_capture() if obs is not None else None
             result_q.put(
-                ("chunk", task.run_id, task.chain, start, stop, info, events)
+                (
+                    "chunk", task.run_id, task.chain, start, stop, info,
+                    events, obs_events,
+                )
             )
         result = it.result
         # Dense draws already live in the shared segment; strip the
@@ -353,7 +375,16 @@ def _run_task(sampler, task: _ChainTask, result_q, stop_event) -> None:
         if tracer is not None:
             result.trace_events = tracer.drain_events()
             tracer.disable()
-        result_q.put(("done", task.run_id, task.chain, result))
+        obs_events = None
+        if obs is not None:
+            obs.log(
+                "chain.finished", rid=task.rid, chain=task.chain,
+                kept=result.n_kept, sweeps=result.sweeps_run,
+                stopped_early=result.stopped_early,
+            )
+            obs_events = obs.drain_capture()
+            obs.end_capture()
+        result_q.put(("done", task.run_id, task.chain, result, obs_events))
         del it, result
     finally:
         del storage
@@ -364,9 +395,11 @@ def _run_task(sampler, task: _ChainTask, result_q, stop_event) -> None:
 def _pool_worker_main(spec: SamplerSpec, task_q, result_q, stop_event) -> None:
     """Long-lived pool worker: build the sampler once, then serve chain
     tasks until a ``None`` sentinel arrives."""
+    from repro.telemetry.obslog import get_event_log
     from repro.telemetry.trace import disable_tracing
 
     disable_tracing()  # a fork inherits the parent's tracer state
+    get_event_log().reset_after_fork()  # ... and the parent's log sink
     sampler = spec.build()
     while True:
         task = task_q.get()
@@ -375,8 +408,20 @@ def _pool_worker_main(spec: SamplerSpec, task_q, result_q, stop_event) -> None:
         try:
             _run_task(sampler, task, result_q, stop_event)
         except Exception as e:  # ship, don't die: the pool is reusable
+            obs_events = None
+            log = get_event_log()
+            if log.capturing:
+                log.log(
+                    "chain.error", level="error", rid=task.rid,
+                    chain=task.chain, error=f"{type(e).__name__}: {e}",
+                )
+                obs_events = log.drain_capture()
+                log.end_capture()
             result_q.put(
-                ("error", task.run_id, task.chain, f"{type(e).__name__}: {e}")
+                (
+                    "error", task.run_id, task.chain,
+                    f"{type(e).__name__}: {e}", obs_events,
+                )
             )
 
 
@@ -445,6 +490,8 @@ class WarmPool:
             self.shutdown()
 
     def _spawn_one(self) -> PoolWorker:
+        from repro.telemetry.obslog import get_event_log
+
         task_q = self._ctx.Queue()
         p = self._ctx.Process(
             target=_pool_worker_main,
@@ -452,13 +499,21 @@ class WarmPool:
             daemon=True,
         )
         p.start()
+        get_event_log().log("worker.spawned", worker_pid=p.pid)
         return PoolWorker(p, task_q)
 
     def ensure_workers(self, n: int) -> None:
         """Grow to at least ``n`` live workers, reviving any that died."""
+        from repro.telemetry.obslog import get_event_log
+
         for i, w in enumerate(self.workers):
             if not w.process.is_alive():
+                old_pid = w.process.pid
                 self.workers[i] = self._spawn_one()
+                get_event_log().log(
+                    "worker.revived", level="warning",
+                    old_pid=old_pid, worker_pid=self.workers[i].process.pid,
+                )
         while len(self.workers) < n:
             self.workers.append(self._spawn_one())
 
@@ -601,6 +656,13 @@ class ChainStream:
         self._stop_requested = False
         self._pool: WarmPool | None = None
         self.buffers: SharedDrawBuffers | None = None
+        # Correlation id + event log, captured at construction (i.e. on
+        # the request's own thread): worker threads/processes receive
+        # the rid explicitly since context vars do not cross them.
+        from repro.telemetry.obslog import current_rid, get_event_log
+
+        self._obslog = get_event_log()
+        self._rid = current_rid()
         if executor == "sequential":
             self._gen = self._run_sequential()
         elif executor == "threads":
@@ -720,6 +782,11 @@ class ChainStream:
                     self.request_stop()
                     continue
                 chunk = ChainChunk(i, span[0], span[1], storage, span[2])
+                if self._obslog.enabled:
+                    self._obslog.log(
+                        "chunk.emitted", rid=self._rid,
+                        chain=i, start=span[0], stop=span[1],
+                    )
                 self._ingest(chunk)
                 yield chunk
             self._finish_chain(i, it.result)
@@ -746,6 +813,11 @@ class ChainStream:
                     **self._chain_kwargs(i),
                 )
                 for start, stop, info in it:
+                    if self._obslog.enabled:
+                        self._obslog.log(
+                            "chunk.emitted", rid=self._rid,
+                            chain=i, start=start, stop=stop,
+                        )
                     q.put(("chunk", i, start, stop, info, storage))
                 q.put(("done", i, it.result))
             except BaseException:
@@ -801,6 +873,8 @@ class ChainStream:
         num_samples = self._kwargs["num_samples"]
         tracer = get_tracer()
         ship_trace = tracer.enabled
+        obslog = self._obslog
+        obs_level = obslog.level_name if obslog.enabled else None
         workers = min(self._workers, self.n_chains)
         pool = get_worker_pool(spec, workers, checkout=True)
         self._pool = pool
@@ -824,6 +898,7 @@ class ChainStream:
                     task = _ChainTask(
                         run_id, i, rng, kwargs, self.buffers.plan,
                         self._chunk_size, ship_trace,
+                        rid=self._rid, obs_level=obs_level,
                     )
                     pool.workers[i % workers].task_q.put(task)
                 pending = set(range(self.n_chains))
@@ -839,6 +914,11 @@ class ChainStream:
                                     f"worker process for chain {i} died "
                                     f"(pid {w.process.pid})"
                                 )
+                                obslog.log(
+                                    "worker.died", level="error",
+                                    rid=self._rid,
+                                    worker_pid=w.process.pid, chain=i,
+                                )
                                 pool.stop_event.set()
                                 pending.discard(i)
                         continue
@@ -850,9 +930,11 @@ class ChainStream:
                     if msg[1] != run_id:
                         continue  # stale message from an aborted prior run
                     if kind == "chunk":
-                        _, _, chain, start, stop, info, events = msg
+                        _, _, chain, start, stop, info, events, obs_ev = msg
                         if events:
                             tracer.adopt(events)
+                        if obs_ev:
+                            obslog.adopt(obs_ev)
                         chunk = ChainChunk(
                             chain, start, stop, storages[chain], info
                         )
@@ -863,7 +945,9 @@ class ChainStream:
                             pool.stop_event.set()
                             raise
                     elif kind == "done":
-                        _, _, chain, result = msg
+                        _, _, chain, result, obs_ev = msg
+                        if obs_ev:
+                            obslog.adopt(obs_ev)
                         storage = storages[chain]
                         resume = self._resume[chain]
                         rebuilt = {}
@@ -897,7 +981,9 @@ class ChainStream:
                         self._finish_chain(chain, result)
                         pending.discard(chain)
                     else:  # "error"
-                        _, _, chain, desc = msg
+                        _, _, chain, desc, obs_ev = msg
+                        if obs_ev:
+                            obslog.adopt(obs_ev)
                         error = RuntimeFailure(
                             f"chain {chain} failed in worker: {desc}"
                         )

@@ -23,6 +23,7 @@ from repro.errors import RuntimeFailure
 from repro.gpusim import Device
 from repro.runtime.rng import Rng
 from repro.runtime.vectors import RaggedArray
+from repro.telemetry.obslog import get_event_log
 from repro.telemetry.stats import SampleStats, allocate_stat_buffers
 from repro.telemetry.trace import get_tracer
 
@@ -800,6 +801,13 @@ class CompiledSampler:
                 for buf in stat_bufs:
                     buf.truncate(sweeps_run)
         final_state = {p: _copy_value(state[p]) for p in self.param_names}
+        _obslog = get_event_log()
+        if _obslog.enabled:
+            _obslog.log(
+                "sample.finished", level="debug",
+                kept=kept, sweeps=sweeps_run,
+                stopped_early=stopped_early, interrupted=interrupted,
+            )
         return SampleResult(
             samples=samples,
             wall_time=wall,

@@ -11,12 +11,14 @@ answers from live, loop-owned state without locking against samplers.
 
 Routes::
 
-    POST /v1/infer           run one inference request (JSON body)
-    GET  /v1/health          liveness + in-flight count
-    GET  /v1/metrics         request-level aggregates
-    GET  /v1/requests/<id>   live status of a named request
-    GET  /v1/report/<id>     the request's HTML report artifact
-    POST /v1/shutdown        graceful stop
+    POST /v1/infer                          run one inference request
+    GET  /v1/health                         liveness + in-flight count
+    GET  /v1/metrics                        request-level aggregates (JSON)
+    GET  /v1/metrics?format=prometheus      OpenMetrics text exposition
+    GET  /v1/requests/<id>                  live status of a named request
+    GET  /v1/requests/<id>/flightrecorder   flight-recorder ring / post-mortem
+    GET  /v1/report/<id>                    the request's HTML report artifact
+    POST /v1/shutdown                       graceful stop
 """
 
 from __future__ import annotations
@@ -26,6 +28,8 @@ import functools
 import itertools
 import json
 import time
+import traceback
+import urllib.parse
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.errors import ReproError
@@ -39,6 +43,12 @@ from repro.serve.protocol import (
     read_http_request,
 )
 from repro.serve.session import InferenceService
+from repro.telemetry.obslog import configure_event_log, log_event
+
+#: Content type of the ``?format=prometheus`` exposition.
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
 
 
 class ReproServer:
@@ -53,12 +63,16 @@ class ReproServer:
         checkpoint_dir: str | None = None,
         artifact_dir: str | None = None,
         max_workers: int = 4,
+        log_path: str | None = None,
+        log_level: str = "info",
     ):
         self.host = host
         self.port = port
         self.service = service or InferenceService(
             checkpoint_dir=checkpoint_dir, artifact_dir=artifact_dir
         )
+        if log_path is not None:
+            configure_event_log(path=log_path, level=log_level)
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-serve"
         )
@@ -128,7 +142,9 @@ class ReproServer:
                 pass
 
     async def _route(self, request) -> bytes:
-        method, path = request.method, request.path.rstrip("/") or "/"
+        raw_path, _, raw_query = request.path.partition("?")
+        method, path = request.method, raw_path.rstrip("/") or "/"
+        query = urllib.parse.parse_qs(raw_query)
         if method == "POST" and path == "/v1/infer":
             return await self._handle_infer(request)
         if method == "POST" and path == "/v1/shutdown":
@@ -144,6 +160,20 @@ class ReproServer:
                 },
             )
         if method == "GET" and path == "/v1/metrics":
+            fmt = (query.get("format") or ["json"])[0]
+            if fmt == "prometheus":
+                text = self.service.metrics.prometheus(
+                    in_flight=self._in_flight
+                )
+                return http_response(
+                    200, text.encode(),
+                    content_type=OPENMETRICS_CONTENT_TYPE,
+                )
+            if fmt != "json":
+                return error_response(
+                    400, f"unknown metrics format {fmt!r}; "
+                    "use 'json' or 'prometheus'"
+                )
             snap = self.service.metrics.snapshot()
             # Live per-request view: which phase each in-flight request
             # is in (warmup vs sampling) and the current adapted step
@@ -161,7 +191,16 @@ class ReproServer:
             }
             return json_response(200, snap)
         if method == "GET" and path.startswith("/v1/requests/"):
-            rid = path[len("/v1/requests/"):]
+            rest = path[len("/v1/requests/"):]
+            if rest.endswith("/flightrecorder"):
+                rid = rest[:-len("/flightrecorder")]
+                record = self.service.flight_record(rid)
+                if record is None:
+                    return error_response(
+                        404, f"no flight record for request {rid!r}"
+                    )
+                return json_response(200, record)
+            rid = rest
             status = self._status.get(rid)
             if status is None:
                 return error_response(404, f"unknown request {rid!r}")
@@ -195,6 +234,11 @@ class ReproServer:
             "enqueued": time.time(),
         }
         self._in_flight += 1
+        log_event(
+            "request.accepted", rid=rid, chains=req.chains,
+            samples=req.samples, executor=req.executor,
+            resume=req.resume and req.request_id is not None,
+        )
 
         def progress(event: dict) -> None:
             # Called from the sampling thread: hop into the event loop
@@ -207,19 +251,14 @@ class ReproServer:
                 functools.partial(
                     self.service.handle, req,
                     enqueued_at=enqueued_at, progress_cb=progress,
+                    rid=rid,
                 ),
             )
         except (ProtocolError, ReproError) as exc:
-            self.service.metrics.record_error()
-            self._status[rid] = {
-                "request_id": rid, "state": "error", "error": str(exc),
-            }
+            self._note_error(rid, exc)
             return error_response(400, str(exc))
         except Exception as exc:
-            self.service.metrics.record_error()
-            self._status[rid] = {
-                "request_id": rid, "state": "error", "error": str(exc),
-            }
+            self._note_error(rid, exc)
             return error_response(500, f"internal error: {exc}")
         finally:
             self._in_flight -= 1
@@ -232,6 +271,17 @@ class ReproServer:
             "draws": response.get("draws"),
         }
         return json_response(200, response)
+
+    def _note_error(self, rid: str, exc: BaseException) -> None:
+        self.service.metrics.record_error(error=exc, request_id=rid)
+        log_event(
+            "request.error", level="error", rid=rid,
+            error=type(exc).__name__, message=str(exc),
+            traceback=traceback.format_exc(),
+        )
+        self._status[rid] = {
+            "request_id": rid, "state": "error", "error": str(exc),
+        }
 
     def _note_progress(self, rid: str, event: dict) -> None:
         status = self._status.get(rid)

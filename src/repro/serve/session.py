@@ -29,6 +29,12 @@ from repro.core.compiler import (
 from repro.core.options import CompileOptions
 from repro.serve.checkpoint import Checkpoint, CheckpointStore, _safe_name
 from repro.serve.protocol import InferRequest, ProtocolError, coerce_values
+from repro.telemetry.flight import (
+    DEFAULT_CAPACITY,
+    DEFAULT_DIVERGENCE_WARN,
+    FlightRecorder,
+)
+from repro.telemetry.obslog import log_event, request_context
 from repro.telemetry.requests import ServiceMetrics
 
 #: Verdict threshold when the request sets no explicit target.
@@ -134,6 +140,8 @@ class InferenceService:
         checkpoint_dir: str | None = None,
         artifact_dir: str | None = None,
         metrics: ServiceMetrics | None = None,
+        divergence_warn: float = DEFAULT_DIVERGENCE_WARN,
+        flight_capacity: int = DEFAULT_CAPACITY,
     ):
         self.checkpoints = (
             CheckpointStore(checkpoint_dir) if checkpoint_dir else None
@@ -144,18 +152,48 @@ class InferenceService:
 
             os.makedirs(artifact_dir, exist_ok=True)
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.divergence_warn = divergence_warn
+        self.flight_capacity = flight_capacity
+        #: Live flight recorders by rid, bounded, for the GET route.
+        self._flights: dict[str, FlightRecorder] = {}
+        self._flights_cap = 64
 
     # -- request pipeline --------------------------------------------------
 
     def handle(
         self, req: InferRequest, enqueued_at: float | None = None,
-        progress_cb=None,
+        progress_cb=None, rid: str | None = None,
     ) -> dict:
         """Run one request to its budget boundary and build the JSON
         response.  Raises :class:`ProtocolError` for request-shaped
         failures (bad data, checkpoint mismatch); compiler/runtime
         errors propagate for the server to map to a 400.
+
+        ``rid`` is the correlation id every event logged on behalf of
+        this request carries (defaults to ``req.request_id``); the
+        whole pipeline runs inside its :func:`request_context`, and a
+        :class:`FlightRecorder` rides along, dumped to a post-mortem
+        artifact if the request errors, diverges past the threshold,
+        or is killed by its deadline.
         """
+        if rid is None:
+            rid = req.request_id
+        flight = FlightRecorder(
+            rid or "anonymous",
+            capacity=self.flight_capacity,
+            divergence_warn=self.divergence_warn,
+        )
+        self._remember_flight(rid, flight)
+        with request_context(rid):
+            try:
+                return self._handle(req, enqueued_at, progress_cb, rid, flight)
+            except Exception as exc:
+                self._dump_flight(flight, "error", rid=rid, error=exc)
+                raise
+
+    def _handle(
+        self, req: InferRequest, enqueued_at, progress_cb, rid, flight,
+    ) -> dict:
         t0 = time.monotonic()
         queue_wait = max(0.0, t0 - enqueued_at) if enqueued_at else 0.0
 
@@ -189,6 +227,11 @@ class InferenceService:
         compile_s = time.monotonic() - t0
         spec_key = (
             spec_cache_key(sampler.spec) if sampler.spec is not None else None
+        )
+        log_event(
+            "request.compiled", rid=rid, cache_hit=cache_hit,
+            compile_s=round(compile_s, 6), tuned=req.tune,
+            spec_key=spec_key[:16] if spec_key else None,
         )
 
         checkpoint = self._load_checkpoint(req, spec_key)
@@ -229,6 +272,16 @@ class InferenceService:
         t_sample = time.monotonic()
         for chunk in stream:
             kept[chunk.chain] = chunk.stop
+            worst = (
+                stream.monitor.worst_rhat()
+                if stream.monitor is not None else None
+            )
+            if flight.record_chunk(chunk, worst_rhat=worst):
+                log_event(
+                    "divergence.threshold", level="warning", rid=rid,
+                    rate=round(flight.divergence_rate, 4),
+                    threshold=flight.divergence_warn,
+                )
             if progress_cb is not None:
                 progress_cb(self._progress_event(req, stream, chunk, kept))
             if stop_reason is not None:
@@ -242,10 +295,13 @@ class InferenceService:
             ):
                 stop_reason = "draw_budget"
                 stream.request_stop()
+            if stop_reason is not None:
+                log_event("budget.stop", rid=rid, reason=stop_reason)
         sampling_s = time.monotonic() - t_sample
         results = stream.results
         if stop_reason is None and stream.stopped_early:
             stop_reason = "converged"
+            log_event("budget.stop", rid=rid, reason=stop_reason)
 
         # Summarize, judge, checkpoint, report.
         summary = summarize_chains(
@@ -271,6 +327,10 @@ class InferenceService:
                 )
             )
             checkpointed = True
+            log_event(
+                "checkpoint.saved", rid=rid,
+                kept=[r.n_kept if r is not None else 0 for r in results],
+            )
         elif complete and self.checkpoints is not None and req.request_id:
             self.checkpoints.delete(req.request_id)
 
@@ -321,7 +381,13 @@ class InferenceService:
         if req.report and self.artifact_dir:
             response["report"] = self._write_report(req, sampler, results)
 
+        if stop_reason == "deadline":
+            self._dump_flight(flight, "deadline", rid=rid)
+        elif flight.exceeded:
+            self._dump_flight(flight, "divergence", rid=rid)
+
         sweeps = sum(r.sweeps_run for r in results if r is not None)
+        total_s = time.monotonic() - t0
         self.metrics.record(
             request_id=req.request_id,
             queue_wait_s=queue_wait,
@@ -335,8 +401,70 @@ class InferenceService:
             checkpointed=checkpointed,
             tuned=req.tune,
             tune_cache_hit=tune_cache_hit,
+            total_s=queue_wait + total_s,
+            divergence_rate=(
+                flight.divergence_rate if flight.sweeps else None
+            ),
+        )
+        log_event(
+            "request.completed", rid=rid, verdict=verdict,
+            stop_reason=stop_reason, sweeps=sweeps,
+            draws=sum(r.n_kept for r in results if r is not None),
+            total_s=round(total_s, 6),
         )
         return response
+
+    # -- flight recorder ---------------------------------------------------
+
+    def _remember_flight(self, rid: str | None, flight) -> None:
+        if rid is None:
+            return
+        while len(self._flights) >= self._flights_cap:
+            self._flights.pop(next(iter(self._flights)))
+        self._flights[rid] = flight
+
+    def _flight_path(self, rid: str | None) -> str | None:
+        if not self.artifact_dir or not rid:
+            return None
+        import os
+
+        return os.path.join(self.artifact_dir, _safe_name(rid) + ".flight.json")
+
+    def _dump_flight(self, flight, reason: str, rid=None, error=None) -> None:
+        """Write the post-mortem artifact (best effort: a dump failure
+        must never mask the request's own outcome)."""
+        path = self._flight_path(rid)
+        if path is None:
+            return
+        from repro.telemetry.obslog import get_event_log
+
+        try:
+            flight.dump(
+                path, reason, error=error,
+                events=get_event_log().recent(rid),
+            )
+            self.metrics.record_flight_dump()
+            log_event(
+                "flight.dumped", level="warning", rid=rid,
+                reason=reason, path=path,
+            )
+        except OSError:
+            pass
+
+    def flight_record(self, rid: str) -> dict | None:
+        """The flight-recorder view for one request id: the post-mortem
+        artifact when one was dumped, else a live snapshot of the
+        (possibly still recording) ring, else ``None``."""
+        path = self._flight_path(rid)
+        if path is not None:
+            import json
+            import os
+
+            if os.path.exists(path):
+                with open(path) as f:
+                    return json.load(f)
+        flight = self._flights.get(rid)
+        return flight.snapshot() if flight is not None else None
 
     # -- pieces ------------------------------------------------------------
 

@@ -16,15 +16,32 @@ Three pillars of observability for compiled MCMC:
   attribution per update, generated declaration, and model statement.
 - :mod:`repro.telemetry.report` -- the self-contained HTML (+ JSON)
   inference report bundling all of the above.
+- :mod:`repro.telemetry.obslog` -- the structured JSON-lines event log
+  with request correlation ids spanning the serve/chains stack.
+- :mod:`repro.telemetry.metrics` -- fixed-bucket histograms and the
+  Prometheus/OpenMetrics text exposition behind ``/v1/metrics``.
+- :mod:`repro.telemetry.flight` -- the per-request flight recorder:
+  a bounded ring of sweep digests dumped as a post-mortem artifact.
 """
 
 from repro.telemetry.explain import CompileLedger, Decision
+from repro.telemetry.flight import FlightRecorder
+from repro.telemetry.metrics import Histogram, render_prometheus
 from repro.telemetry.monitors import (
     ConvergenceMonitor,
     DivergenceMonitor,
     OnlineEss,
     SplitRhat,
     Welford,
+)
+from repro.telemetry.obslog import (
+    EventLog,
+    ObsEvent,
+    configure_event_log,
+    current_rid,
+    get_event_log,
+    log_event,
+    request_context,
 )
 from repro.telemetry.profile import SweepProfile, SweepProfiler
 from repro.telemetry.report import render_html, report_data, write_report
@@ -54,6 +71,10 @@ __all__ = [
     "ConvergenceMonitor",
     "Decision",
     "DivergenceMonitor",
+    "EventLog",
+    "FlightRecorder",
+    "Histogram",
+    "ObsEvent",
     "OnlineEss",
     "SampleStats",
     "SplitRhat",
@@ -65,12 +86,18 @@ __all__ = [
     "Welford",
     "acceptance_ranges",
     "allocate_stat_buffers",
+    "configure_event_log",
+    "current_rid",
     "disable_tracing",
     "enable_tracing",
+    "get_event_log",
     "get_tracer",
     "instant",
+    "log_event",
     "render_html",
+    "render_prometheus",
     "report_data",
+    "request_context",
     "span",
     "stack_chain_stats",
     "tracing_enabled",

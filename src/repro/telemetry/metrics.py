@@ -1,0 +1,142 @@
+"""Fixed-bucket histograms and OpenMetrics/Prometheus text exposition.
+
+:class:`Histogram` is the shared primitive behind both faces of
+``/v1/metrics``: the JSON snapshot embeds :meth:`Histogram.to_dict`
+and ``?format=prometheus`` renders the same counts as a Prometheus
+histogram family (cumulative ``_bucket{le=...}`` series plus ``_sum``
+and ``_count``), so the two views can never disagree.
+
+Buckets are fixed at construction (no dynamic resizing — scrapes from
+different moments must be mergeable), observation is O(buckets) with
+no allocation, and everything is guarded by the owning
+:class:`~repro.telemetry.requests.ServiceMetrics` lock, so the class
+itself stays lock-free.
+"""
+
+from __future__ import annotations
+
+#: Request wall-clock latency, seconds.
+LATENCY_BUCKETS = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+#: Queue wait before handling starts, seconds.
+QUEUE_WAIT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0,
+)
+#: Sampling throughput, sweeps per second.
+SWEEPS_PER_S_BUCKETS = (
+    10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0,
+)
+#: Kept draws per request.
+DRAWS_BUCKETS = (
+    0.0, 10.0, 50.0, 100.0, 500.0, 1_000.0, 10_000.0, 100_000.0,
+)
+#: Divergent-sweep fraction per request.
+DIVERGENCE_RATE_BUCKETS = (0.0, 0.001, 0.01, 0.05, 0.1, 0.25, 0.5)
+
+
+def format_le(bound: float) -> str:
+    """Prometheus ``le`` label text: integral bounds drop the ``.0``."""
+    if bound == float("inf"):
+        return "+Inf"
+    if float(bound) == int(bound):
+        return str(int(bound))
+    return repr(float(bound))
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative Prometheus semantics.
+
+    ``buckets`` are upper bounds in increasing order; the implicit
+    ``+Inf`` bucket is always present.  ``counts[i]`` is
+    *non-cumulative* storage for the i-th bucket; the cumulative view
+    required by the exposition format is computed on read.
+    """
+
+    def __init__(self, name: str, buckets, help: str = "", unit: str = ""):
+        bounds = tuple(float(b) for b in buckets)
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(f"buckets must be strictly increasing: {bounds}")
+        self.name = name
+        self.help = help
+        self.unit = unit
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last = +Inf overflow
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value) -> None:
+        v = float(value)
+        if v != v:  # NaN: nothing sensible to count
+            return
+        self.sum += v
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if v <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative(self) -> list[tuple[str, int]]:
+        """``(le label, cumulative count)`` pairs ending at ``+Inf``."""
+        out = []
+        running = 0
+        for bound, n in zip(self.buckets, self.counts):
+            running += n
+            out.append((format_le(bound), running))
+        out.append(("+Inf", running + self.counts[-1]))
+        return out
+
+    def to_dict(self) -> dict:
+        """The JSON-snapshot view (cumulative, like the exposition)."""
+        return {
+            "buckets": {le: n for le, n in self.cumulative()},
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+def _fmt_value(v) -> str:
+    if isinstance(v, float):
+        if v == int(v) and abs(v) < 1e15:
+            return str(int(v))
+        return repr(v)
+    return str(v)
+
+
+def _labels(labels: dict | None) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels.items())
+    return "{" + inner + "}"
+
+
+def render_prometheus(counters, histograms, gauges=()) -> str:
+    """Render the Prometheus/OpenMetrics text format.
+
+    ``counters`` is an iterable of ``(name, help, samples)`` where
+    ``samples`` is a list of ``(labels_dict_or_None, value)``;
+    ``histograms`` an iterable of :class:`Histogram`; ``gauges`` like
+    counters.  The output ends with the OpenMetrics ``# EOF`` marker
+    and parses as classic Prometheus text exposition too.
+    """
+    lines: list[str] = []
+    for name, help_text, samples in counters:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} counter")
+        for labels, value in samples:
+            lines.append(f"{name}{_labels(labels)} {_fmt_value(value)}")
+    for name, help_text, samples in gauges:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} gauge")
+        for labels, value in samples:
+            lines.append(f"{name}{_labels(labels)} {_fmt_value(value)}")
+    for h in histograms:
+        lines.append(f"# HELP {h.name} {h.help}")
+        lines.append(f"# TYPE {h.name} histogram")
+        for le, n in h.cumulative():
+            lines.append(f'{h.name}_bucket{{le="{le}"}} {n}')
+        lines.append(f"{h.name}_sum {_fmt_value(float(h.sum))}")
+        lines.append(f"{h.name}_count {h.count}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"

@@ -209,6 +209,7 @@ class ConvergenceMonitor:
         # Per-update acceptance-rate accumulators fed from the stats
         # buffers: label -> [min, max, sum, count] over finite sweeps.
         self._acceptance: dict[str, list[float]] = {}
+        self._div_alerted: set[str] = set()
         self._chains_done = 0
         #: Kept draws ingested so far, per chain (drives ``converged``).
         self._draws_seen = [0] * n_chains
@@ -274,6 +275,9 @@ class ConvergenceMonitor:
                     acc[1] = max(acc[1], float(finite.max()))
                     acc[2] += float(finite.sum())
                     acc[3] += int(finite.size)
+        if self.emit is not None:
+            for w in self.new_divergence_warnings():
+                self.emit(f"WARNING: {w}")
 
     def observe_chunk(
         self, chain: int, start: int, stop: int, samples: dict
@@ -336,6 +340,22 @@ class ConvergenceMonitor:
             if finite:
                 totals.append(sum(finite))
         return min(totals) if totals else float("nan")
+
+    def new_divergence_warnings(self) -> list[str]:
+        """Divergence warnings not yet returned by a previous call —
+        each update's threshold crossing is reported exactly once, so
+        callers can surface a single WARNING per run (console line,
+        ``divergence.threshold`` log event) instead of repeating it on
+        every poll."""
+        out = []
+        for label, mon in self._divergence.items():
+            if label in self._div_alerted:
+                continue
+            w = mon.warning
+            if w:
+                self._div_alerted.add(label)
+                out.append(w)
+        return out
 
     def warnings(self) -> list[str]:
         out = []

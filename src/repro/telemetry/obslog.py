@@ -1,0 +1,283 @@
+"""Structured JSON-lines event log with request correlation ids.
+
+The serving stack's operational log: one JSON object per line, each
+carrying a leveled, dotted event name (``request.accepted``,
+``chunk.emitted``, ``worker.died`` ...), the originating process id,
+and — when the event happened on behalf of a request — the request's
+correlation id (``rid``).  Because warm-pool workers capture their
+events in memory and ship them to the parent over the existing chunk
+drain path (the same scheme :class:`~repro.telemetry.trace.Tracer`
+uses for trace spans), one ``grep`` for a rid reconstructs a request
+end to end across every process that touched it.
+
+Like the tracer, logging is **off by default** and every emission
+point is one attribute check until :func:`configure_event_log` arms a
+sink, so the sampling hot path pays nothing when nobody is operating
+the service.
+
+Three modes of one process-wide :class:`EventLog`:
+
+- **disabled** (the default): :meth:`EventLog.log` returns after one
+  ``enabled`` check.
+- **sink mode** (the serving parent): events are serialized to the
+  JSON-lines file under a lock and mirrored into a bounded in-memory
+  ring, which post-mortem artifacts query by rid
+  (:meth:`EventLog.recent`).
+- **capture mode** (pool workers): events accumulate in a bounded
+  buffer; :meth:`EventLog.drain_capture` takes them for shipping and
+  the parent's :meth:`EventLog.adopt` writes them out, preserving the
+  worker's pid and timestamps.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+#: Numeric severities, syslog-style ordering.
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+#: Events kept in the in-memory ring for post-mortem artifacts.
+DEFAULT_RING = 1024
+
+#: Cap on a worker's capture buffer between drains.
+CAPTURE_CAP = 10_000
+
+_rid_var: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_obslog_rid", default=None
+)
+
+
+def current_rid() -> str | None:
+    """The correlation id of the request this thread is serving."""
+    return _rid_var.get()
+
+
+@contextmanager
+def request_context(rid: str | None):
+    """Scope a correlation id: every event logged inside the block
+    (without an explicit ``rid``) carries it."""
+    token = _rid_var.set(rid)
+    try:
+        yield
+    finally:
+        _rid_var.reset(token)
+
+
+def _json_default(obj):
+    import numpy as np
+
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, np.generic):
+        return obj.item()
+    return repr(obj)
+
+
+@dataclass
+class ObsEvent:
+    """One structured log event."""
+
+    event: str
+    level: str
+    ts: float  # epoch seconds
+    rid: str | None
+    pid: int
+    fields: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        rec = {
+            "ts": round(self.ts, 6),
+            "level": self.level,
+            "event": self.event,
+            "rid": self.rid,
+            "pid": self.pid,
+        }
+        rec.update(self.fields)
+        return rec
+
+    def line(self) -> str:
+        return json.dumps(
+            self.to_json(), default=_json_default, separators=(",", ":")
+        )
+
+
+class EventLog:
+    """Leveled structured event log; bounded, thread-safe, off by
+    default (see the module docstring for the three modes)."""
+
+    def __init__(self, ring: int = DEFAULT_RING):
+        self.enabled = False
+        self.level = LEVELS["info"]
+        self.level_name = "info"
+        self.dropped = 0
+        self._sink = None
+        self._sink_path: str | None = None
+        self._owns_sink = False
+        self._capturing = False
+        self._capture: list[ObsEvent] = []
+        self._ring: deque[ObsEvent] = deque(maxlen=ring)
+        self._lock = threading.Lock()
+
+    # -- control -----------------------------------------------------------
+
+    def configure(self, path=None, stream=None, level: str = "info") -> None:
+        """Arm the log: write JSON lines to ``path`` (append mode) or an
+        open ``stream``, keeping events at or above ``level``."""
+        if level not in LEVELS:
+            raise ValueError(
+                f"unknown log level {level!r}; use one of {', '.join(LEVELS)}"
+            )
+        with self._lock:
+            self._close_sink_locked()
+            if path is not None:
+                self._sink = open(path, "a", buffering=1)
+                self._sink_path = path
+                self._owns_sink = True
+            elif stream is not None:
+                self._sink = stream
+                self._sink_path = None
+                self._owns_sink = False
+            self.level = LEVELS[level]
+            self.level_name = level
+            self.enabled = self._sink is not None or self._capturing
+
+    def close(self) -> None:
+        with self._lock:
+            self._close_sink_locked()
+            self.enabled = self._capturing
+
+    def _close_sink_locked(self) -> None:
+        if self._sink is not None and self._owns_sink:
+            try:
+                self._sink.close()
+            except OSError:
+                pass
+        self._sink = None
+        self._sink_path = None
+        self._owns_sink = False
+
+    def reset_after_fork(self) -> None:
+        """Drop state a forked worker inherited from the parent.
+
+        The child must not write to the parent's sink (interleaved
+        partial lines) nor report the parent's ring as its own.  The
+        inherited file object is *abandoned*, not closed: closing would
+        flush nothing (line-buffered writes leave no pending bytes) but
+        the explicit drop keeps the intent obvious.
+        """
+        self._sink = None
+        self._sink_path = None
+        self._owns_sink = False
+        self._capturing = False
+        self._capture = []
+        self._ring.clear()
+        self.enabled = False
+        self._lock = threading.Lock()  # never carry a held parent lock
+
+    # -- worker capture ----------------------------------------------------
+
+    def begin_capture(self, level: str = "info") -> None:
+        """Switch to in-memory capture (pool worker side)."""
+        with self._lock:
+            self._capture = []
+            self._capturing = True
+            self.level = LEVELS.get(level, LEVELS["info"])
+            self.level_name = level
+            self.enabled = True
+
+    @property
+    def capturing(self) -> bool:
+        return self._capturing
+
+    def drain_capture(self) -> list[ObsEvent]:
+        """Atomically take (and clear) the captured events for shipping."""
+        with self._lock:
+            events, self._capture = self._capture, []
+        return events
+
+    def end_capture(self) -> None:
+        with self._lock:
+            self._capturing = False
+            self._capture = []
+            self.enabled = self._sink is not None
+
+    def adopt(self, events) -> None:
+        """Write events shipped from a worker process, preserving their
+        pid/timestamp/rid (parent side of the chunk drain path)."""
+        if not events:
+            return
+        with self._lock:
+            for e in events:
+                self._write_locked(e)
+
+    # -- recording ---------------------------------------------------------
+
+    def log(self, event: str, level: str = "info", rid=None, **fields) -> None:
+        """Record one event.  ``rid`` defaults to the ambient request
+        context (:func:`request_context`); pass it explicitly from code
+        running outside the request's thread."""
+        if not self.enabled:
+            return
+        severity = LEVELS.get(level, LEVELS["info"])
+        if severity < self.level:
+            return
+        if rid is None:
+            rid = _rid_var.get()
+        e = ObsEvent(event, level, time.time(), rid, os.getpid(), fields)
+        with self._lock:
+            if self._capturing:
+                if len(self._capture) >= CAPTURE_CAP:
+                    self.dropped += 1
+                    return
+                self._capture.append(e)
+            else:
+                self._write_locked(e)
+
+    def _write_locked(self, e: ObsEvent) -> None:
+        self._ring.append(e)
+        if self._sink is not None:
+            try:
+                self._sink.write(e.line() + "\n")
+            except (OSError, ValueError):
+                self.dropped += 1
+
+    # -- reading -----------------------------------------------------------
+
+    def recent(self, rid: str | None = None) -> list[ObsEvent]:
+        """The ring's events, optionally filtered to one correlation id
+        (post-mortem artifacts embed these)."""
+        with self._lock:
+            events = list(self._ring)
+        if rid is None:
+            return events
+        return [e for e in events if e.rid == rid]
+
+    @property
+    def sink_path(self) -> str | None:
+        return self._sink_path
+
+
+#: The process-wide event log every emission point reports to.
+_log = EventLog()
+
+
+def get_event_log() -> EventLog:
+    return _log
+
+
+def configure_event_log(path=None, stream=None, level: str = "info") -> EventLog:
+    """Arm the process-wide log (the serve/CLI entry points call this)."""
+    _log.configure(path=path, stream=stream, level=level)
+    return _log
+
+
+def log_event(event: str, level: str = "info", rid=None, **fields) -> None:
+    """``log_event("request.accepted", rid="job-1", chains=2)``"""
+    _log.log(event, level=level, rid=rid, **fields)

@@ -41,6 +41,7 @@ class StreamProgress:
         total_draws: int,
         out=None,
         clock=time.monotonic,
+        divergence_warn: float = 0.05,
     ):
         self.n_chains = n_chains
         self.total = total_draws
@@ -50,6 +51,9 @@ class StreamProgress:
         self.kept = [0] * n_chains
         self.divergent = 0
         self.nan_rejects = 0
+        self.sweeps = 0
+        self.divergence_warn = divergence_warn
+        self._div_warned = False
         self._accept_last: float | None = None
         self._step_size: float | None = None
         self._phase: str | None = None
@@ -74,6 +78,7 @@ class StreamProgress:
                     continue
                 self.divergent += entry.get("divergent", 0)
                 self.nan_rejects += entry.get("nan_rejects", 0)
+                self.sweeps += entry.get("n_sweeps", 0)
                 if entry.get("step_size") is not None:
                     self._step_size = entry["step_size"]
                 rate = entry.get("accept_rate")
@@ -81,7 +86,25 @@ class StreamProgress:
                     accepts.append(rate)
             if accepts:
                 self._accept_last = sum(accepts) / len(accepts)
+        self._warn_divergence()
         self._render(monitor)
+
+    def _warn_divergence(self) -> None:
+        """One WARNING line per run when the running divergence rate
+        first crosses the threshold (20+ sweeps so early noise doesn't
+        trip it)."""
+        if self._div_warned or self.sweeps < 20:
+            return
+        rate = self.divergent / self.sweeps
+        if rate > self.divergence_warn:
+            self._div_warned = True
+            msg = (
+                f"WARNING: divergence rate {rate:.1%} exceeds "
+                f"{self.divergence_warn:.0%} -- decrease the step size"
+            )
+            pad = max(0, self._width - len(msg))
+            self.out.write("\r" + msg + " " * pad + "\n")
+            self._width = 0
 
     def close(self) -> None:
         self.out.write("\n")

@@ -3,22 +3,41 @@
 The inference service records one entry per handled request: queue
 wait, compile cache hit/miss, sampling throughput, how the request
 stopped.  :class:`ServiceMetrics` aggregates them behind a lock (the
-server handles requests on a thread pool) and renders a snapshot for
-the ``/v1/metrics`` endpoint.
+server handles requests on a thread pool) and renders two views for
+the ``/v1/metrics`` endpoint: the JSON snapshot (:meth:`snapshot`) and
+the Prometheus/OpenMetrics text exposition (:meth:`prometheus`), both
+backed by the same counters and fixed-bucket
+:class:`~repro.telemetry.metrics.Histogram` instances so they can
+never disagree.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
+
+from repro.telemetry.metrics import (
+    DIVERGENCE_RATE_BUCKETS,
+    DRAWS_BUCKETS,
+    LATENCY_BUCKETS,
+    QUEUE_WAIT_BUCKETS,
+    SWEEPS_PER_S_BUCKETS,
+    Histogram,
+    render_prometheus,
+)
+
+#: Errors kept in the ``recent_errors`` ring of the JSON snapshot.
+RECENT_ERRORS = 16
 
 
 class ServiceMetrics:
     """Thread-safe rolling aggregates over handled requests."""
 
-    def __init__(self, recent: int = 32):
+    def __init__(self, recent: int = 32, recent_errors: int = RECENT_ERRORS):
         self._lock = threading.Lock()
         self._recent: deque = deque(maxlen=recent)
+        self._errors: deque = deque(maxlen=recent_errors)
         self.requests = 0
         self.errors = 0
         self.compile_cache_hits = 0
@@ -31,10 +50,41 @@ class ServiceMetrics:
         self.converged_stops = 0
         self.checkpoints_saved = 0
         self.resumed_requests = 0
+        self.flight_dumps = 0
         self.total_queue_wait_s = 0.0
         self.total_sampling_s = 0.0
         self.total_sweeps = 0
         self.total_draws = 0
+        self.hist_latency = Histogram(
+            "repro_request_latency_seconds", LATENCY_BUCKETS,
+            "End-to-end request latency (compile + sampling + summary)",
+        )
+        self.hist_queue_wait = Histogram(
+            "repro_request_queue_wait_seconds", QUEUE_WAIT_BUCKETS,
+            "Wait between request arrival and handling start",
+        )
+        self.hist_sweeps_per_s = Histogram(
+            "repro_request_sweeps_per_second", SWEEPS_PER_S_BUCKETS,
+            "Per-request sampling throughput in sweeps/s",
+        )
+        self.hist_draws = Histogram(
+            "repro_request_draws", DRAWS_BUCKETS,
+            "Kept draws per request (all chains)",
+        )
+        self.hist_divergence = Histogram(
+            "repro_request_divergence_rate", DIVERGENCE_RATE_BUCKETS,
+            "Divergent-sweep fraction per request",
+        )
+
+    @property
+    def histograms(self) -> tuple[Histogram, ...]:
+        return (
+            self.hist_latency,
+            self.hist_queue_wait,
+            self.hist_sweeps_per_s,
+            self.hist_draws,
+            self.hist_divergence,
+        )
 
     def record(
         self,
@@ -51,6 +101,8 @@ class ServiceMetrics:
         checkpointed: bool,
         tuned: bool = False,
         tune_cache_hit: bool | None = None,
+        total_s: float | None = None,
+        divergence_rate: float | None = None,
     ) -> None:
         with self._lock:
             self.requests += 1
@@ -78,6 +130,16 @@ class ServiceMetrics:
             self.total_sampling_s += sampling_s
             self.total_sweeps += sweeps
             self.total_draws += draws
+            self.hist_latency.observe(
+                total_s if total_s is not None
+                else compile_s + sampling_s + queue_wait_s
+            )
+            self.hist_queue_wait.observe(queue_wait_s)
+            if sampling_s > 0 and sweeps > 0:
+                self.hist_sweeps_per_s.observe(sweeps / sampling_s)
+            self.hist_draws.observe(draws)
+            if divergence_rate is not None:
+                self.hist_divergence.observe(divergence_rate)
             self._recent.append(
                 {
                     "request_id": request_id,
@@ -95,12 +157,27 @@ class ServiceMetrics:
                 }
             )
 
-    def record_error(self) -> None:
+    def record_error(self, error=None, request_id: str | None = None) -> None:
+        """Count one failed request, keeping its context (error class,
+        message, request id, timestamp) in the bounded ring surfaced as
+        ``recent_errors`` in the snapshot."""
         with self._lock:
             self.errors += 1
+            self._errors.append(
+                {
+                    "time": round(time.time(), 6),
+                    "request_id": request_id,
+                    "error": type(error).__name__ if error is not None else None,
+                    "message": str(error) if error is not None else None,
+                }
+            )
+
+    def record_flight_dump(self) -> None:
+        with self._lock:
+            self.flight_dumps += 1
 
     def snapshot(self) -> dict:
-        """A JSON-ready view of the aggregates plus the recent ring."""
+        """A JSON-ready view of the aggregates plus the recent rings."""
         with self._lock:
             n = self.requests
             sampling = self.total_sampling_s
@@ -123,6 +200,7 @@ class ServiceMetrics:
                 },
                 "checkpoints_saved": self.checkpoints_saved,
                 "resumed_requests": self.resumed_requests,
+                "flight_dumps": self.flight_dumps,
                 "mean_queue_wait_s": (
                     self.total_queue_wait_s / n if n else 0.0
                 ),
@@ -133,4 +211,85 @@ class ServiceMetrics:
                     self.total_sweeps / sampling if sampling > 0 else 0.0
                 ),
                 "recent": list(self._recent),
+                "recent_errors": list(self._errors),
+                "histograms": {
+                    h.name: h.to_dict() for h in self.histograms
+                },
             }
+
+    def prometheus(self, in_flight: int | None = None) -> str:
+        """The Prometheus/OpenMetrics text exposition of the same
+        counters and histograms the JSON snapshot reports."""
+        with self._lock:
+            counters = [
+                (
+                    "repro_requests_total",
+                    "Requests handled to completion",
+                    [(None, self.requests)],
+                ),
+                (
+                    "repro_request_errors_total",
+                    "Requests that failed with an error",
+                    [(None, self.errors)],
+                ),
+                (
+                    "repro_compile_cache_total",
+                    "Compile cache hits and misses",
+                    [
+                        ({"result": "hit"}, self.compile_cache_hits),
+                        ({"result": "miss"}, self.compile_cache_misses),
+                    ],
+                ),
+                (
+                    "repro_tuning_cache_total",
+                    "Schedule-tuning verdict cache hits and misses",
+                    [
+                        ({"result": "hit"}, self.tuning_cache_hits),
+                        ({"result": "miss"}, self.tuning_cache_misses),
+                    ],
+                ),
+                (
+                    "repro_request_stops_total",
+                    "Requests stopped by each budget mechanism",
+                    [
+                        ({"reason": "deadline"}, self.deadline_stops),
+                        ({"reason": "draw_budget"}, self.draw_budget_stops),
+                        ({"reason": "converged"}, self.converged_stops),
+                    ],
+                ),
+                (
+                    "repro_checkpoints_saved_total",
+                    "Request checkpoints written",
+                    [(None, self.checkpoints_saved)],
+                ),
+                (
+                    "repro_resumed_requests_total",
+                    "Requests resumed from a checkpoint",
+                    [(None, self.resumed_requests)],
+                ),
+                (
+                    "repro_flight_dumps_total",
+                    "Flight-recorder post-mortem artifacts written",
+                    [(None, self.flight_dumps)],
+                ),
+                (
+                    "repro_sweeps_total",
+                    "MCMC sweeps executed across all requests",
+                    [(None, self.total_sweeps)],
+                ),
+                (
+                    "repro_draws_total",
+                    "Kept draws across all requests",
+                    [(None, self.total_draws)],
+                ),
+            ]
+            gauges = []
+            if in_flight is not None:
+                gauges.append(
+                    (
+                        "repro_in_flight_requests",
+                        "Requests currently being handled",
+                        [(None, in_flight)],
+                    )
+                )
+            return render_prometheus(counters, self.histograms, gauges)

@@ -191,6 +191,7 @@ def chunk_stat_info(
             entry["divergent"] = int((cols["divergent"][lo:hi] > 0).sum())
         if "step_size" in cols and hi > lo:
             entry["step_size"] = float(cols["step_size"][hi - 1])
+        entry["n_sweeps"] = int(hi - lo)
         out[buf.label] = entry
     return out
 

@@ -1,0 +1,162 @@
+"""Histograms, the exposition renderer, and ServiceMetrics' two views."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.telemetry.metrics import (
+    Histogram,
+    format_le,
+    render_prometheus,
+)
+from repro.telemetry.requests import ServiceMetrics
+
+
+def test_format_le():
+    assert format_le(float("inf")) == "+Inf"
+    assert format_le(10.0) == "10"
+    assert format_le(0.005) == "0.005"
+
+
+def test_histogram_requires_increasing_buckets():
+    with pytest.raises(ValueError, match="strictly increasing"):
+        Histogram("h", (1.0, 1.0, 2.0))
+    with pytest.raises(ValueError, match="strictly increasing"):
+        Histogram("h", (2.0, 1.0))
+
+
+def test_histogram_observe_and_cumulative():
+    h = Histogram("h", (1.0, 5.0, 10.0))
+    for v in (0.5, 0.9, 3.0, 7.0, 100.0):
+        h.observe(v)
+    cum = h.cumulative()
+    assert cum == [("1", 2), ("5", 3), ("10", 4), ("+Inf", 5)]
+    counts = [n for _, n in cum]
+    assert counts == sorted(counts)  # cumulative counts are monotone
+    assert h.count == 5
+    assert h.sum == pytest.approx(111.4)
+
+
+def test_histogram_skips_nan():
+    h = Histogram("h", (1.0,))
+    h.observe(float("nan"))
+    assert h.count == 0 and h.sum == 0.0
+
+
+def test_histogram_boundary_is_inclusive():
+    h = Histogram("h", (1.0, 2.0))
+    h.observe(1.0)  # le="1" bucket includes its upper bound
+    assert h.cumulative()[0] == ("1", 1)
+
+
+def test_to_dict_matches_cumulative():
+    h = Histogram("h", (1.0, 2.0))
+    h.observe(1.5)
+    d = h.to_dict()
+    assert d["buckets"] == {"1": 0, "2": 1, "+Inf": 1}
+    assert d["count"] == 1 and d["sum"] == 1.5
+
+
+def test_render_prometheus_shape():
+    h = Histogram("repro_latency_seconds", (0.1, 1.0), "Latency")
+    h.observe(0.05)
+    text = render_prometheus(
+        counters=[("repro_requests_total", "Requests", [(None, 3)])],
+        histograms=[h],
+        gauges=[("repro_in_flight", "In flight", [(None, 1)])],
+    )
+    assert text.endswith("# EOF\n")
+    lines = text.splitlines()
+    assert "# TYPE repro_requests_total counter" in lines
+    assert "repro_requests_total 3" in lines
+    assert "# TYPE repro_in_flight gauge" in lines
+    assert 'repro_latency_seconds_bucket{le="0.1"} 1' in lines
+    assert 'repro_latency_seconds_bucket{le="+Inf"} 1' in lines
+    assert "repro_latency_seconds_sum 0.05" in lines
+    assert "repro_latency_seconds_count 1" in lines
+
+
+def test_service_metrics_histograms_in_snapshot():
+    m = ServiceMetrics()
+    m.record(
+        request_id="r1", queue_wait_s=0.01, compile_s=0.1, sampling_s=2.0,
+        cache_hit=False, sweeps=1000, draws=500, stop_reason=None,
+        resumed=False, checkpointed=False, total_s=2.5, divergence_rate=0.02,
+    )
+    snap = m.snapshot()
+    hists = snap["histograms"]
+    assert set(hists) == {
+        "repro_request_latency_seconds",
+        "repro_request_queue_wait_seconds",
+        "repro_request_sweeps_per_second",
+        "repro_request_draws",
+        "repro_request_divergence_rate",
+    }
+    for d in hists.values():
+        assert set(d) == {"buckets", "sum", "count"}
+        assert "+Inf" in d["buckets"]
+        counts = list(d["buckets"].values())
+        assert counts == sorted(counts)
+    assert hists["repro_request_latency_seconds"]["count"] == 1
+    assert hists["repro_request_divergence_rate"]["count"] == 1
+    # sweeps/s = 1000 / 2.0 = 500
+    assert hists["repro_request_sweeps_per_second"]["sum"] == 500.0
+
+
+def test_service_metrics_recent_errors_ring():
+    m = ServiceMetrics(recent_errors=2)
+    m.record_error()  # old no-argument form still counts
+    m.record_error(error=ValueError("bad data"), request_id="r2")
+    m.record_error(error=RuntimeError("boom"), request_id="r3")
+    snap = m.snapshot()
+    assert snap["errors"] == 3
+    recent = snap["recent_errors"]
+    assert len(recent) == 2  # bounded ring
+    assert recent[-1]["error"] == "RuntimeError"
+    assert recent[-1]["message"] == "boom"
+    assert recent[-1]["request_id"] == "r3"
+    assert isinstance(recent[-1]["time"], float)
+
+
+def test_service_metrics_prometheus_counters():
+    m = ServiceMetrics()
+    m.record(
+        request_id=None, queue_wait_s=0.0, compile_s=0.1, sampling_s=0.5,
+        cache_hit=True, sweeps=100, draws=50, stop_reason="deadline",
+        resumed=False, checkpointed=True,
+    )
+    m.record_error(error=ValueError("x"), request_id="r")
+    m.record_flight_dump()
+    text = m.prometheus(in_flight=2)
+    lines = text.splitlines()
+    assert "repro_requests_total 1" in lines
+    assert "repro_request_errors_total 1" in lines
+    assert 'repro_compile_cache_total{result="hit"} 1' in lines
+    assert 'repro_request_stops_total{reason="deadline"} 1' in lines
+    assert "repro_checkpoints_saved_total 1" in lines
+    assert "repro_flight_dumps_total 1" in lines
+    assert "repro_sweeps_total 100" in lines
+    assert "repro_in_flight_requests 2" in lines
+    assert text.endswith("# EOF\n")
+
+
+def test_json_and_prometheus_views_agree():
+    m = ServiceMetrics()
+    for i in range(5):
+        m.record(
+            request_id=f"r{i}", queue_wait_s=0.001 * i, compile_s=0.01,
+            sampling_s=0.1, cache_hit=bool(i), sweeps=10, draws=5,
+            stop_reason=None, resumed=False, checkpointed=False,
+            total_s=0.2, divergence_rate=0.0,
+        )
+    snap = m.snapshot()
+    text = m.prometheus()
+    assert f"repro_requests_total {snap['requests']}" in text.splitlines()
+    lat = snap["histograms"]["repro_request_latency_seconds"]
+    assert (
+        f"repro_request_latency_seconds_count {lat['count']}"
+        in text.splitlines()
+    )
+    assert math.isclose(lat["sum"], 5 * 0.2)

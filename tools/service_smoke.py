@@ -12,7 +12,14 @@ behaviours the service exists for:
 3. Resuming the deadline-limited request by id: completes it and the
    finished draws match a never-interrupted reference bitwise.
 
-Leaves the per-request report artifact on disk for CI upload.
+Plus warmup-through-deadline resume (4), schedule tuning (5), and the
+observability stack (6): the Prometheus exposition parses and counts
+requests, the structured event log correlates one request id across
+parent and worker pids, and killed/failed requests dump
+flight-recorder post-mortem artifacts.
+
+Leaves the per-request reports, the event log, and any flight-recorder
+post-mortems on disk for CI upload.
 
 Usage: PYTHONPATH=src python tools/service_smoke.py [--artifact-dir DIR]
 """
@@ -99,11 +106,13 @@ def main() -> int:
     }
 
     ckpt_dir = tempfile.mkdtemp(prefix="repro-smoke-ckpt-")
+    log_path = os.path.join(args.artifact_dir, "SERVICE_events.jsonl")
     server = subprocess.Popen(
         [
             sys.executable, "-m", "repro", "serve", "--port", "0",
             "--checkpoint-dir", ckpt_dir,
             "--artifact-dir", args.artifact_dir,
+            "--log-json", log_path, "--log-level", "debug",
         ],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
         env={**os.environ, "PYTHONPATH": "src"},
@@ -248,11 +257,90 @@ def main() -> int:
             "second request hit the verdict cache"
         )
 
+        # 6. Observability: the Prometheus exposition, the correlated
+        # event log, and the flight recorder's post-mortem artifacts.
+        flight = dict(payload, request_id="flight-1")
+        flight["query"] = dict(
+            payload["query"], samples=2_000_000, chunk_size=200,
+        )
+        flight["budget"] = {"deadline_s": 0.05}
+        status, killed = call(port, "POST", "/v1/infer", flight)
+        assert status == 200 and killed["stop_reason"] == "deadline", killed
+
+        broken = dict(payload, request_id="broken-1")
+        broken["model_source"] = "this is not a model"
+        status, err = call(port, "POST", "/v1/infer", broken)
+        assert status == 400, err
+
+        status, prom = call(port, "GET", "/v1/metrics?format=prometheus")
+        assert status == 200 and isinstance(prom, bytes), type(prom)
+        text = prom.decode()
+        assert text.endswith("# EOF\n"), "exposition must end with # EOF"
+        lines = text.splitlines()
+
+        def sample_value(name):
+            for line in lines:
+                if line.startswith(name + " "):
+                    return float(line.split()[-1])
+            raise AssertionError(f"{name} missing from the exposition")
+
+        assert sample_value("repro_requests_total") > 0
+        assert sample_value("repro_request_errors_total") >= 1
+        assert sample_value("repro_flight_dumps_total") >= 2
+        bucket_families = {
+            line.split("_bucket{", 1)[0] for line in lines
+            if "_bucket{" in line
+        }
+        assert len(bucket_families) >= 4, bucket_families
+
+        from glob import glob
+
+        dumps = glob(os.path.join(args.artifact_dir, "*.flight.json"))
+        assert len(dumps) >= 2, dumps
+        killed_dump = next(
+            d for d in dumps
+            if os.path.basename(d).startswith("flight-1")
+        )
+        doc = json.load(open(killed_dump))
+        assert doc["reason"] == "deadline" and doc["entries"], doc["reason"]
+        assert {e["rid"] for e in doc["events"]} == {"flight-1"}
+        dump_pids = {e["pid"] for e in doc["events"]}
+        if executor == "processes":
+            assert len(dump_pids) >= 2, (
+                f"expected parent + worker pids in the trail: {dump_pids}"
+            )
+        err_dump = next(
+            d for d in dumps
+            if os.path.basename(d).startswith("broken-1")
+        )
+        doc = json.load(open(err_dump))
+        assert doc["reason"] == "error" and doc["error"]["traceback"]
+
+        with open(log_path) as f:
+            records = [json.loads(line) for line in f]
+        flight_recs = [r for r in records if r.get("rid") == "flight-1"]
+        assert flight_recs, "the event log must carry the request's events"
+        log_pids = {r["pid"] for r in flight_recs}
+        if executor == "processes":
+            assert len(log_pids) >= 2, (
+                f"one grep for the rid should span processes: {log_pids}"
+            )
+        print(
+            f"observability: {len(bucket_families)} histogram families, "
+            f"{len(dumps)} flight dumps, rid 'flight-1' spans "
+            f"{len(log_pids)} pid(s) in {len(flight_recs)} events"
+        )
+
         # Artifacts + metrics sanity.
         status, report = call(port, "GET", "/v1/report/warm-1")
         assert status == 200 and report.lstrip().startswith(b"<!DOCTYPE html>")
         status, metrics = call(port, "GET", "/v1/metrics")
-        assert metrics["requests"] >= 7
+        assert metrics["requests"] >= 8
+        assert metrics["errors"] >= 1
+        assert metrics["flight_dumps"] >= 2
+        assert any(
+            e["request_id"] == "broken-1" for e in metrics["recent_errors"]
+        )
         assert metrics["compile_cache"]["hits"] >= 4
         assert metrics["stops"]["deadline"] >= 1
         assert metrics["tuning_cache"]["requests"] >= 2
